@@ -1,0 +1,147 @@
+"""Ablation benchmarks for the design choices DESIGN.md section 3 calls out.
+
+1. matching vs generic search for Codd membership (Thm 3.1(1) vs the
+   NP machinery on the same inputs);
+2. c-table algebra vs world enumeration for bounded possibility
+   (Thm 5.2(1) vs Proposition 2.1(4));
+3. normalisation / local-condition simplification before view membership;
+4. semi-naive vs naive Datalog evaluation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.membership import membership_codd, membership_search, membership_view
+from repro.core.possibility import possible_enumerate, possible_posexist
+from repro.core.tables import CTable, TableDatabase
+from repro.core.terms import Variable
+from repro.ctalgebra import apply_ucq
+from repro.queries import DatalogQuery, UCQQuery, atom, cq
+from repro.relational.instance import Instance
+from repro.workloads import random_codd_table, random_valuation
+
+# ---------------------------------------------------------------------------
+# 1. Matching vs search (same Codd inputs)
+# ---------------------------------------------------------------------------
+
+
+def _codd_case(n: int, seed: int = 5):
+    rng = random.Random(seed)
+    table = random_codd_table(rng, rows=n, arity=3, num_constants=max(4, n // 3))
+    db = TableDatabase.single(table)
+    world = random_valuation(rng, db).apply_database(db)
+    return world, db
+
+
+@pytest.mark.parametrize("n", [20, 40, 80])
+def test_ablation_memb_matching(benchmark, n):
+    world, db = _codd_case(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(membership_codd, world, db) is True
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_ablation_memb_search(benchmark, n):
+    """The generic NP search on the same inputs: super-polynomial growth,
+    so the sweep stops at 40 rows (n = 80 takes minutes; matching takes
+    milliseconds there -- which is the ablation's point)."""
+    world, db = _codd_case(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark.pedantic(
+        membership_search, args=(world, db), rounds=1, iterations=1
+    ) is True
+
+
+# ---------------------------------------------------------------------------
+# 2. Bounded possibility: algebra vs world enumeration
+# ---------------------------------------------------------------------------
+
+_POSS_QUERY = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+
+
+def _poss_case(n: int):
+    rows = [(i, Variable(f"v{i}")) for i in range(n)]
+    db = TableDatabase.single(CTable("R", 2, rows))
+    request = Instance({"Q": [(99,)]})
+    return request, db
+
+
+@pytest.mark.parametrize("n", [3, 6, 12, 24])
+def test_ablation_poss_algebra(benchmark, n):
+    request, db = _poss_case(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(possible_posexist, request, db, _POSS_QUERY) is True
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_ablation_poss_enumeration(benchmark, n):
+    """The generic NP procedure: exponential in the null count — only tiny
+    sizes are feasible, which is the ablation's point."""
+    request, db = _poss_case(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(possible_enumerate, request, db, _POSS_QUERY) is True
+
+
+# ---------------------------------------------------------------------------
+# 3. View membership with vs without condition simplification
+# ---------------------------------------------------------------------------
+
+
+def _view_case():
+    from repro.reductions import view_membership
+    from repro.solvers import cycle_graph
+
+    return view_membership(cycle_graph(4))
+
+
+def test_ablation_view_membership_simplified(benchmark):
+    reduction = _view_case()
+    benchmark.extra_info["variant"] = "fold+simplify (dispatcher)"
+    assert benchmark(reduction.decide) is True
+
+
+def test_ablation_view_membership_raw_fold(benchmark):
+    from repro.core.membership import membership_search
+
+    reduction = _view_case()
+
+    def raw():
+        view = apply_ucq(reduction.query, reduction.db)
+        return membership_search(reduction.instance, view)
+
+    benchmark.extra_info["variant"] = "fold only"
+    assert benchmark(raw) is True
+
+
+# ---------------------------------------------------------------------------
+# 4. Semi-naive vs naive Datalog
+# ---------------------------------------------------------------------------
+
+
+def _chain_instance(n: int) -> Instance:
+    return Instance({"E": [(i, i + 1) for i in range(n)]})
+
+
+_TC_RULES = [
+    cq(atom("T", "X", "Y"), atom("E", "X", "Y")),
+    cq(atom("T", "X", "Z"), atom("T", "X", "Y"), atom("E", "Y", "Z")),
+]
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_ablation_datalog_seminaive(benchmark, n):
+    q = DatalogQuery(_TC_RULES, outputs=["T"], engine="seminaive")
+    inst = _chain_instance(n)
+    benchmark.extra_info["chain"] = n
+    out = benchmark(q, inst)
+    assert len(out["T"]) == n * (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_ablation_datalog_naive(benchmark, n):
+    q = DatalogQuery(_TC_RULES, outputs=["T"], engine="naive")
+    inst = _chain_instance(n)
+    benchmark.extra_info["chain"] = n
+    out = benchmark(q, inst)
+    assert len(out["T"]) == n * (n + 1) // 2

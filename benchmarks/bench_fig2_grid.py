@@ -1,0 +1,72 @@
+"""FIG2: the containment complexity grid, regenerated and exercised.
+
+Paper artifact: Figure 2, the 7x7 classification of CONT(q0, q).
+Reproduced two ways:
+
+* the grid itself renders from :mod:`repro.harness.grid` and must match
+  the paper's areas (PTIME lower-left block, the NP column of e-table
+  superset sides, the Pi2p region from i-tables upward, coNP for complex
+  subset sides vs instances/tables);
+* one representative containment *instance* per area is timed end to end
+  through the dispatcher, confirming the advertised procedure runs.
+"""
+
+import pytest
+
+from repro.core.containment import contains
+from repro.core.tables import CTable, TableDatabase, c_table
+from repro.core.terms import Variable
+from repro.harness.grid import cell_classification, grid_rows, render_fig2_grid
+
+
+def test_grid_renders_and_matches_paper(benchmark):
+    text = benchmark(render_fig2_grid)
+    rows = {row[0]: row[1:] for row in grid_rows()}
+    # PTIME block: g-tables and below vs instances/tables.
+    for sub in ("instance", "table", "e-table", "i-table", "g-table"):
+        assert rows[sub][0] == "PTIME"  # vs instance
+        assert rows[sub][1] == "PTIME"  # vs table
+    # The e-table column is NP for the same subset sides.
+    for sub in ("table", "e-table", "i-table", "g-table"):
+        assert rows[sub][2] == "NP"
+    # Theorem 4.2(1): table vs i-table is already Pi2p.
+    assert rows["table"][3] == "Pi2p"
+    # Complex subset sides vs tables: coNP (Thm 4.1(1), 4.2(4)).
+    assert rows["c-table"][1] == "coNP"
+    assert rows["view"][1] == "coNP"
+    # Instances vs anything: NP at worst (membership).
+    assert set(rows["instance"]) <= {"PTIME", "NP"}
+    assert "Figure 2" in text
+
+
+_AREAS = {
+    "ptime_gtable_vs_codd": (
+        TableDatabase.single(CTable("R", 1, [(1,), (2,)])),
+        TableDatabase.single(CTable("R", 1, [(Variable("a"),), (Variable("b"),)])),
+        True,
+    ),
+    "np_gtable_vs_etable": (
+        TableDatabase.single(CTable("R", 2, [(Variable("a"), Variable("a"))])),
+        TableDatabase.single(CTable("R", 2, [(Variable("c"), Variable("c"))])),
+        True,
+    ),
+    "pi2p_codd_vs_itable": (
+        TableDatabase.single(CTable("R", 1, [(1,), (2,)])),
+        TableDatabase.single(
+            c_table("R", 1, [(("?a",),), (("?b",),)], "a != b")
+        ),
+        True,
+    ),
+    "conp_ctable_vs_instanceish": (
+        TableDatabase.single(c_table("R", 1, [((1,), "u = u")])),
+        TableDatabase.single(CTable("R", 1, [(1,)])),
+        True,
+    ),
+}
+
+
+@pytest.mark.parametrize("area", sorted(_AREAS))
+def test_representative_cell(benchmark, area):
+    db0, db, expected = _AREAS[area]
+    benchmark.extra_info["area"] = area
+    assert benchmark(contains, db0, db) == expected

@@ -1,0 +1,49 @@
+"""P2.1: the generic upper-bound machinery — canonical valuation enumeration.
+
+Paper claim: only finitely many valuations are non-isomorphic — values in
+|Delta| plus fresh |Delta'| suffice (the engine behind every NP / coNP /
+Pi2p upper bound of Proposition 2.1) — but their number grows
+exponentially with the number of variables.  Reproduced: enumeration
+sweeps over the variable count (exponential) and over the constant count
+at a fixed variable count (polynomial), plus CERT(*) = CERT(1)
+(Proposition 2.1(6)) measured as the per-fact decomposition overhead.
+"""
+
+import pytest
+
+from repro.core.tables import CTable, TableDatabase
+from repro.core.terms import Constant, Variable
+from repro.core.valuations import iter_canonical_valuations
+from repro.core.worlds import enumerate_worlds
+
+
+def _count_valuations(num_vars: int, num_constants: int) -> int:
+    variables = [Variable(f"v{i}") for i in range(num_vars)]
+    constants = [Constant(i) for i in range(num_constants)]
+    return sum(1 for _ in iter_canonical_valuations(variables, constants))
+
+
+@pytest.mark.parametrize("num_vars", [2, 3, 4, 5])
+def test_enumeration_grows_with_variables(benchmark, num_vars):
+    benchmark.extra_info["variables"] = num_vars
+    count = benchmark(_count_valuations, num_vars, 3)
+    benchmark.extra_info["valuations"] = count
+    assert count > 0
+
+
+@pytest.mark.parametrize("num_constants", [2, 4, 8, 16])
+def test_enumeration_grows_with_constants(benchmark, num_constants):
+    benchmark.extra_info["constants"] = num_constants
+    count = benchmark(_count_valuations, 3, num_constants)
+    benchmark.extra_info["valuations"] = count
+    assert count > 0
+
+
+@pytest.mark.parametrize("num_vars", [2, 3, 4])
+def test_world_enumeration_growth(benchmark, num_vars):
+    """Worlds of a one-row-per-variable Codd table."""
+    rows = [(i, Variable(f"v{i}")) for i in range(num_vars)]
+    db = TableDatabase.single(CTable("R", 2, rows))
+    benchmark.extra_info["variables"] = num_vars
+    worlds = benchmark(enumerate_worlds, db)
+    assert worlds

@@ -1,0 +1,61 @@
+"""T3.2(1,2): the polynomial uniqueness cases.
+
+Paper claims: UNIQ(-) is in PTIME for g-tables (Thm 3.2(1)); UNIQ(q0) is in
+PTIME for positive existential q0 on e-tables (Thm 3.2(2)).  Reproduced:
+scaling sweeps of both procedures; slopes recorded in EXPERIMENTS.md.
+"""
+
+import random
+
+import pytest
+
+from repro.core.conditions import Conjunction, Eq
+from repro.core.tables import CTable, TableDatabase
+from repro.core.terms import Variable
+from repro.core.uniqueness import uniqueness_gtable, uniqueness_posexist_etable
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance
+
+SIZES = [25, 50, 100, 200]
+
+
+def _pinned_gtable(n: int):
+    """A g-table whose equalities pin every null: rep is a singleton."""
+    rows = [(i, Variable(f"v{i}")) for i in range(n)]
+    condition = Conjunction([Eq(Variable(f"v{i}"), i % 7) for i in range(n)])
+    table = CTable("R", 2, rows, condition)
+    instance = Instance({"R": [(i, i % 7) for i in range(n)]})
+    return instance, TableDatabase.single(table)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gtable_uniqueness_scaling(benchmark, n):
+    instance, db = _pinned_gtable(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(uniqueness_gtable, instance, db) is True
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gtable_uniqueness_negative_scaling(benchmark, n):
+    """One unpinned null: rejected, same polynomial cost."""
+    rows = [(i, Variable(f"v{i}")) for i in range(n)]
+    condition = Conjunction([Eq(Variable(f"v{i}"), i % 7) for i in range(n - 1)])
+    db = TableDatabase.single(CTable("R", 2, rows, condition))
+    instance = Instance({"R": [(i, i % 7) for i in range(n)]})
+    benchmark.extra_info["rows"] = n
+    assert benchmark(uniqueness_gtable, instance, db) is False
+
+
+def _etable_view_case(n: int):
+    """e-table whose projection view is the singleton {0..n-1}."""
+    rows = [(i, Variable(f"v{i % 3}")) for i in range(n)]
+    table = CTable("R", 2, rows)
+    query = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+    instance = Instance({"Q": [(i,) for i in range(n)]})
+    return instance, TableDatabase.single(table), query
+
+@pytest.mark.parametrize("n", SIZES)
+def test_posexist_etable_uniqueness_scaling(benchmark, n):
+    instance, db, query = _etable_view_case(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(uniqueness_posexist_etable, instance, db, query) is True

@@ -1,0 +1,77 @@
+"""T4.1: the containment upper bounds — freeze technique vs enumeration.
+
+Paper claims: CONT is PTIME for g-tables vs Codd-tables (Thm 4.1(3)),
+NP for g-tables vs e-tables (Thm 4.1(2)), coNP for views vs tables
+(Thm 4.1(1)).  Reproduced: scaling sweep of the freeze+matching procedure
+(PTIME), the freeze+search procedure on e-tables, and — as the built-in
+ablation — the generic world-enumeration procedure on the same small
+inputs, whose exponential growth shows what the homomorphism technique
+buys.
+"""
+
+import random
+
+import pytest
+
+from repro.core.containment import containment_enumerate, containment_freeze
+from repro.core.tables import CTable, TableDatabase
+from repro.core.terms import Variable
+
+SIZES = [20, 40, 80, 160]
+
+
+def _codd_pair(n: int, seed: int = 3):
+    """A pinned table and a looser one containing it."""
+    rng = random.Random(seed)
+    tight_rows = []
+    loose_rows = []
+    for i in range(n):
+        pin = rng.randrange(5)
+        tight_rows.append((i % 11, pin))
+        loose_rows.append((i % 11, Variable(f"u{i}")))
+    db0 = TableDatabase.single(CTable("R", 2, tight_rows))
+    db = TableDatabase.single(CTable("R", 2, loose_rows))
+    return db0, db
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_freeze_matching_scaling(benchmark, n):
+    """Thm 4.1(3): g-table vs Codd-table in PTIME."""
+    db0, db = _codd_pair(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(containment_freeze, db0, db) is True
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_freeze_matching_negative_scaling(benchmark, n):
+    """The failing direction costs the same: loose is not inside tight."""
+    db0, db = _codd_pair(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(containment_freeze, db, db0) is False
+
+
+def _etable_pair(n: int):
+    """Diagonal e-table inside the free table: the NP right-hand side."""
+    shared = Variable("s")
+    diag_rows = [(i, shared) for i in range(n)]
+    free_rows = [(i, Variable(f"v{i}")) for i in range(n)]
+    db0 = TableDatabase.single(CTable("R", 2, diag_rows))
+    db = TableDatabase.single(CTable("R", 2, free_rows))
+    return db0, db
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_freeze_search_etable_rhs(benchmark, n):
+    """Thm 4.1(2): e-table right-hand side via freeze + membership search."""
+    db0, db = _etable_pair(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(containment_freeze, db0, db) is True
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_enumeration_ablation(benchmark, n):
+    """The generic Pi2p procedure on the same shape of inputs: exponential
+    in the number of nulls (DESIGN.md ablation 5)."""
+    db0, db = _codd_pair(n)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(containment_enumerate, db0, db) is True

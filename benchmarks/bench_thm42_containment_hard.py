@@ -1,0 +1,116 @@
+"""FIG7,8,9,10 / T4.2: the containment lower bounds.
+
+Paper claims: CONT is Pi2p-complete even for table vs i-table (Thm 4.2(1),
+Fig 7), table vs pos.-exist. view (Thm 4.2(2), Fig 8), c-table vs e-table
+(Thm 4.2(3)), view vs e-table (Thm 4.2(5), Fig 10); and coNP-complete for
+pos.-exist. view vs table (Thm 4.2(4), Fig 9).  Reproduced: each reduction
+family over growing forall-exists / tautology instances; correctness
+checked against the two-level QBF solver / DPLL.
+"""
+
+import pytest
+
+from repro.reductions import (
+    decide_forall_exists_via_etable,
+    decide_forall_exists_via_itable,
+    decide_forall_exists_via_view,
+    decide_forall_exists_via_ctable,
+    decide_tautology_via_containment,
+)
+from repro.solvers import (
+    CNF,
+    DNF,
+    ForallExistsCNF,
+    forall_exists_holds,
+    is_tautology_dnf,
+)
+
+
+def _fe_family(n_universal: int) -> ForallExistsCNF:
+    """forall x_1..x_k exists y: every clause (x_i | -x_i | y) — true, and
+    the checker must sweep all universal patterns."""
+    clauses = []
+    y = n_universal + 1
+    for i in range(1, n_universal + 1):
+        clauses.append((i, -i, y))
+    return ForallExistsCNF(
+        CNF(clauses, num_variables=n_universal + 1),
+        universal=range(1, n_universal + 1),
+    )
+
+
+def _fe_false_family(n_universal: int) -> ForallExistsCNF:
+    """Same but with an unsatisfiable-for-some-X clause appended."""
+    base = _fe_family(n_universal)
+    clauses = list(base.cnf.clauses) + [(1, 1, 1)]
+    return ForallExistsCNF(
+        CNF(clauses, num_variables=base.cnf.num_variables),
+        universal=base.universal,
+    )
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_itable_containment_fig7(benchmark, n):
+    fe = _fe_family(n)
+    expected = forall_exists_holds(fe)
+    benchmark.extra_info["universal"] = n
+    assert benchmark(decide_forall_exists_via_itable, fe) == expected
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_view_containment_fig8(benchmark, n):
+    fe = _fe_family(n)
+    expected = forall_exists_holds(fe)
+    benchmark.extra_info["universal"] = n
+    assert benchmark(decide_forall_exists_via_view, fe) == expected
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_etable_containment_fig10(benchmark, n):
+    fe = _fe_family(n)
+    expected = forall_exists_holds(fe)
+    benchmark.extra_info["universal"] = n
+    assert benchmark(decide_forall_exists_via_etable, fe) == expected
+
+
+@pytest.mark.parametrize("n", [1])
+def test_ctable_containment_thm423(benchmark, n):
+    fe = _fe_family(n)
+    expected = forall_exists_holds(fe)
+    benchmark.extra_info["universal"] = n
+    assert benchmark(decide_forall_exists_via_ctable, fe) == expected
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_itable_containment_negative(benchmark, n):
+    fe = _fe_false_family(n)
+    expected = forall_exists_holds(fe)
+    benchmark.extra_info["universal"] = n
+    assert benchmark(decide_forall_exists_via_itable, fe) == expected
+
+
+def _taut_family(n: int) -> DNF:
+    import itertools
+
+    terms = [
+        tuple(v if bit else -v for v, bit in zip(range(1, n + 1), bits))
+        for bits in itertools.product([True, False], repeat=n)
+    ]
+    return DNF(terms, num_variables=n)
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_conp_containment_fig9(benchmark, n):
+    dnf = _taut_family(n)
+    assert is_tautology_dnf(dnf)
+    benchmark.extra_info["variables"] = n
+    assert benchmark(decide_tautology_via_containment, dnf) is True
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_conp_containment_fig9_negative(benchmark, n):
+    terms = list(_taut_family(n).clauses)[:-1]  # drop one pattern
+    dnf = DNF(terms, num_variables=n)
+    assert not is_tautology_dnf(dnf)
+    benchmark.extra_info["variables"] = n
+    assert benchmark(decide_tautology_via_containment, dnf) is False

@@ -1,0 +1,89 @@
+"""FIG11 / T5.1: unbounded possibility — PTIME on Codd-tables, NP beyond.
+
+Paper claims: POSS(*, -) is PTIME for Codd-tables (Thm 5.1(1)),
+NP-complete for a single e-table (Thm 5.1(2), Fig 11b) and for a single
+i-table (Thm 5.1(3), Fig 11a).  Reproduced: a matching-based scaling sweep
+plus the two SAT reduction families, answers checked against DPLL.
+"""
+
+import random
+
+import pytest
+
+from repro.core.possibility import possible_codd
+from repro.core.tables import TableDatabase
+from repro.reductions import decide_sat_via_etable, decide_sat_via_itable
+from repro.solvers import CNF, dpll_satisfiable, random_cnf
+from repro.workloads import random_codd_table, random_subinstance, random_valuation
+
+SIZES = [25, 50, 100, 200]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_codd_possibility_scaling(benchmark, n):
+    rng = random.Random(11)
+    table = random_codd_table(rng, rows=n, arity=3, num_constants=max(4, n // 4))
+    db = TableDatabase.single(table)
+    world = random_valuation(rng, db).apply_database(db)
+    request = random_subinstance(rng, world, keep=0.5)
+    benchmark.extra_info["rows"] = n
+    assert benchmark(possible_codd, request, db) is True
+
+
+def _pigeonhole_cnf(n: int) -> CNF:
+    """PHP(n+1, n): n+1 pigeons, n holes — unsatisfiable, the classic
+    resolution-hard family driving the worst case."""
+    def var(p: int, h: int) -> int:
+        return p * n + h + 1
+
+    clauses = []
+    for p in range(n + 1):
+        clauses.append(tuple(var(p, h) for h in range(n)))
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                clauses.append((-var(p1, h), -var(p2, h)))
+    return CNF(clauses, num_variables=(n + 1) * n)
+
+
+@pytest.mark.parametrize("n", [2])
+def test_etable_possibility_pigeonhole(benchmark, n):
+    """Unsatisfiable PHP(n+1, n): the "no" answer needs the whole valuation
+    sweep.  PHP(4, 3) (12 variables) already takes minutes -- the
+    exponential wall the theorem predicts -- so the bench pins n = 2 and
+    measures one round; satisfiable (fast-exit) families are swept in the
+    random tests below."""
+    cnf = _pigeonhole_cnf(n)
+    benchmark.extra_info["holes"] = n
+    result = benchmark.pedantic(
+        decide_sat_via_etable, args=(cnf,), rounds=1, iterations=1
+    )
+    assert result is False
+
+
+@pytest.mark.parametrize("n", [2])
+def test_itable_possibility_pigeonhole(benchmark, n):
+    cnf = _pigeonhole_cnf(n)
+    benchmark.extra_info["holes"] = n
+    result = benchmark.pedantic(
+        decide_sat_via_itable, args=(cnf,), rounds=1, iterations=1
+    )
+    assert result is False
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_etable_possibility_random(benchmark, seed):
+    rng = random.Random(seed)
+    cnf = random_cnf(5, 12, rng)
+    expected = dpll_satisfiable(cnf) is not None
+    benchmark.extra_info["expected"] = expected
+    assert benchmark(decide_sat_via_etable, cnf) == expected
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_itable_possibility_random(benchmark, seed):
+    rng = random.Random(seed)
+    cnf = random_cnf(5, 12, rng)
+    expected = dpll_satisfiable(cnf) is not None
+    benchmark.extra_info["expected"] = expected
+    assert benchmark(decide_sat_via_itable, cnf) == expected

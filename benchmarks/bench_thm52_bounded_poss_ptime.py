@@ -1,0 +1,57 @@
+"""T5.2(1): bounded possibility for positive existential queries in PTIME.
+
+Paper claim: POSS(k, q) is in PTIME for fixed k and fixed positive
+existential q on c-tables — the query folds into the representation
+(algebraic completeness of c-tables) without exponential growth, and the
+k-fact producer search is polynomial.  Reproduced: a sweep over the
+*table* size with k and q fixed; the slope stays low while the general
+world-enumeration ablation (bench_ablation_poss) blows up.
+"""
+
+import random
+
+import pytest
+
+from repro.core.possibility import possible_posexist
+from repro.core.tables import CTable, Row, TableDatabase
+from repro.core.conditions import Conjunction, Neq
+from repro.core.terms import Variable
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance
+
+SIZES = [20, 40, 80, 160]
+
+QUERY = UCQQuery(
+    [cq(atom("Q", "A", "C"), atom("R", "A", "B"), atom("S", "B", "C"))],
+    name="join",
+)
+
+
+def _db(n: int) -> TableDatabase:
+    """Two c-tables with n conditioned rows each."""
+    r_rows = []
+    s_rows = []
+    for i in range(n):
+        v = Variable(f"v{i}")
+        w = Variable(f"w{i}")
+        r_rows.append(Row((i, v), Conjunction([Neq(v, -1)])))
+        s_rows.append(Row((w, i), Conjunction([Neq(w, -2)])))
+    return TableDatabase(
+        [CTable("R", 2, r_rows), CTable("S", 2, s_rows)]
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bounded_possibility_scaling(benchmark, n):
+    db = _db(n)
+    request = Instance({"Q": [(0, n - 1), (1, 0)]})  # k = 2 fixed
+    benchmark.extra_info["rows"] = n
+    assert benchmark(possible_posexist, request, db, QUERY) is True
+
+
+@pytest.mark.parametrize("n", SIZES[:3])
+def test_bounded_possibility_negative_scaling(benchmark, n):
+    db = _db(n)
+    request = Instance({"Q": [(0, -5)]})  # -5 never appears
+    benchmark.extra_info["rows"] = n
+    assert benchmark(possible_posexist, request, db, QUERY) is False

@@ -1,0 +1,72 @@
+"""FIG12 / T5.2(2,3): negation or recursion makes bounded possibility hard.
+
+Paper claims: POSS(1, q) is NP-complete for a fixed first order query
+(Thm 5.2(2)) and for a fixed Datalog query (Thm 5.2(3), the Fig 12
+reachability gadget), both already on Codd-tables.  Reproduced: both
+reduction families over growing formulas, checked against DPLL /
+tautology solvers.
+"""
+
+import random
+
+import pytest
+
+from repro.reductions import (
+    decide_nontautology_via_fo_possibility,
+    decide_sat_via_datalog,
+)
+from repro.solvers import CNF, DNF, dpll_satisfiable, is_tautology_dnf, random_cnf
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_fo_possibility_growth(benchmark, n):
+    """Non-tautology via the fixed FO query; terms grow with n."""
+    terms = [(i, -i) for i in range(1, n + 1)]
+    flat = [t for pair in terms for t in [(pair[0], pair[1])]]
+    dnf = DNF(flat, num_variables=n)  # (x_i & -x_i): contradictions only
+    assert not is_tautology_dnf(dnf)
+    benchmark.extra_info["variables"] = n
+    assert benchmark(decide_nontautology_via_fo_possibility, dnf) is True
+
+
+@pytest.mark.parametrize("n", [1])
+def test_fo_possibility_tautology_direction(benchmark, n):
+    """The "no" direction must refute every valuation: already at n = 2
+    the sweep takes minutes (the coNP face of the problem), so the bench
+    pins n = 1 and measures a single round."""
+    import itertools
+
+    terms = [
+        tuple(v if bit else -v for v, bit in zip(range(1, n + 1), bits))
+        for bits in itertools.product([True, False], repeat=n)
+    ]
+    dnf = DNF(terms, num_variables=n)
+    benchmark.extra_info["variables"] = n
+    result = benchmark.pedantic(
+        decide_nontautology_via_fo_possibility, args=(dnf,), rounds=1, iterations=1
+    )
+    assert result is False
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_datalog_possibility_sat(benchmark, n):
+    rng = random.Random(n)
+    cnf = random_cnf(n, n + 1, rng, width=2)
+    expected = dpll_satisfiable(cnf) is not None
+    benchmark.extra_info["variables"] = n
+    assert benchmark(decide_sat_via_datalog, cnf) == expected
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_datalog_possibility_unsat(benchmark, n):
+    """The all-clauses-contradictory family: the no-direction must sweep
+    the valuation space (seconds at n = 3 vs milliseconds at n = 2 --
+    the exponential growth the theorem predicts; one round measured)."""
+    clauses = [(i,) for i in range(1, n + 1)] + [(-1,)]
+    cnf = CNF(clauses, num_variables=n)
+    assert dpll_satisfiable(cnf) is None
+    benchmark.extra_info["variables"] = n
+    result = benchmark.pedantic(
+        decide_sat_via_datalog, args=(cnf,), rounds=1, iterations=1
+    )
+    assert result is False

@@ -1,0 +1,101 @@
+"""T5.3: certainty — PTIME for Datalog on g-tables, coNP for first order.
+
+Paper claims: CERT(*, q) is in PTIME for Datalog queries on g-tables
+(Thm 5.3(1), the matrix-evaluation result of [10, 17]); CERT(1, q) is
+coNP-complete for a fixed first order query on a Codd-table (Thm 5.3(2))
+and for the identity on a c-table (Thm 5.3(3)).  Reproduced: a transitive-
+closure certainty sweep over growing null chains (polynomial), the FO
+tautology reduction (exponential family), and the identity-query c-table
+case.
+"""
+
+import pytest
+
+from repro.core.certainty import certain_identity, certain_positive_gtable
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.tables import CTable, Row, TableDatabase
+from repro.core.terms import Variable
+from repro.queries import DatalogQuery, atom, cq
+from repro.reductions import decide_tautology_via_fo_certainty
+from repro.relational.instance import Instance
+from repro.solvers import DNF, is_tautology_dnf
+
+SIZES = [10, 20, 40, 80]
+
+TC = DatalogQuery(
+    [
+        cq(atom("T", "X", "Y"), atom("E", "X", "Y")),
+        cq(atom("T", "X", "Z"), atom("T", "X", "Y"), atom("E", "Y", "Z")),
+    ],
+    outputs=["T"],
+)
+
+
+def _null_chain(n: int) -> TableDatabase:
+    """E = 0 -> v1 -> v2 -> ... -> vn -> (n+1): endpoints certain-connected."""
+    rows = []
+    prev = 0
+    for i in range(1, n + 1):
+        v = Variable(f"v{i}")
+        rows.append((prev, v))
+        prev = v
+    rows.append((prev, n + 1))
+    return TableDatabase.single(CTable("E", 2, rows))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_datalog_certainty_scaling(benchmark, n):
+    """Thm 5.3(1): reachability through a chain of n nulls is certain."""
+    db = _null_chain(n)
+    request = Instance({"T": [(0, n + 1)]})
+    benchmark.extra_info["chain"] = n
+    assert benchmark(certain_positive_gtable, request, db, TC) is True
+
+
+@pytest.mark.parametrize("n", SIZES[:3])
+def test_datalog_certainty_negative_scaling(benchmark, n):
+    db = _null_chain(n)
+    request = Instance({"T": [(n + 1, 0)]})  # wrong direction
+    benchmark.extra_info["chain"] = n
+    assert benchmark(certain_positive_gtable, request, db, TC) is False
+
+
+@pytest.mark.parametrize("n", [1])
+def test_fo_certainty_tautology(benchmark, n):
+    """Thm 5.3(2)'s "yes" direction checks the fixed FO query against
+    *every* canonical valuation; n = 2 already takes minutes (the coNP
+    face), so the bench pins n = 1 and measures one round.  The negative
+    direction (fast counterexample search) is swept in
+    bench_thm52_poss_hard.py's growth test."""
+    import itertools
+
+    terms = [
+        tuple(v if bit else -v for v, bit in zip(range(1, n + 1), bits))
+        for bits in itertools.product([True, False], repeat=n)
+    ]
+    dnf = DNF(terms, num_variables=n)
+    assert is_tautology_dnf(dnf)
+    benchmark.extra_info["variables"] = n
+    result = benchmark.pedantic(
+        decide_tautology_via_fo_certainty, args=(dnf,), rounds=1, iterations=1
+    )
+    assert result is True
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_identity_certainty_ctable_scaling(benchmark, n):
+    """Thm 5.3(3)'s shape with a benign family: per-fact condition search.
+
+    Each fact is certain by a two-way case split on its own null, so the
+    search stays shallow; the coNP worst case is exercised by the FO
+    reduction above.
+    """
+    rows = []
+    for i in range(n):
+        u = Variable(f"u{i}")
+        rows.append(Row((i,), Conjunction([Eq(u, 0)])))
+        rows.append(Row((i,), Conjunction([Neq(u, 0)])))
+    db = TableDatabase.single(CTable("T", 1, rows))
+    request = Instance({"T": [(i,) for i in range(n)]})
+    benchmark.extra_info["facts"] = n
+    assert benchmark(certain_identity, request, db) is True

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Each module regenerates one paper artifact (figure or theorem-level claim).
+Sizes are chosen so the whole suite runs in minutes on a laptop: PTIME
+procedures get genuine scaling sweeps, the exponential worst cases get
+small reduction-generated families whose growth EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xABBA)
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Keep the JSON artifact small (drop per-round data)."""
+    for bench in output_json.get("benchmarks", []):
+        bench.get("stats", {}).pop("data", None)

@@ -1,0 +1,100 @@
+"""Containment of incomplete specifications: a data-integration check.
+
+Two teams publish incomplete descriptions of the same product catalog:
+
+* the *warehouse* feed knows every SKU but not every category;
+* the *storefront* spec constrains what the catalog may look like
+  (categories come from an enumerated palette, two flagship SKUs must not
+  land in the same category).
+
+"Is every database the warehouse feed allows acceptable to the storefront
+spec?" is exactly the paper's containment problem ``rep(T0) <= rep(T)``,
+and because the feed is a g-table and the spec an e-table the library
+decides it with the freeze/homomorphism technique of Theorem 4.1 instead of
+enumerating worlds.
+
+Run:  python examples/data_integration.py
+"""
+
+from repro import TableDatabase, contains, enumerate_worlds
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.tables import CTable
+from repro.core.terms import Variable
+
+
+def main() -> None:
+    c1, c2 = Variable("c1"), Variable("c2")
+    # Warehouse feed: categories of two SKUs unknown, but recorded equal
+    # (both came from the same supplier pallet).
+    warehouse = TableDatabase.single(
+        CTable(
+            "catalog",
+            2,
+            [
+                ("sku-100", "audio"),
+                ("sku-200", c1),
+                ("sku-300", c2),
+            ],
+            Conjunction([Eq(c1, c2)]),
+        )
+    )
+
+    # Storefront spec: three slots; the first is pinned to audio, the other
+    # two are free but must agree (a merchandising rule).
+    d1, d2 = Variable("d1"), Variable("d2")
+    storefront_ok = TableDatabase.single(
+        CTable(
+            "catalog",
+            2,
+            [
+                ("sku-100", "audio"),
+                ("sku-200", d1),
+                ("sku-300", d1),
+            ],
+        )
+    )
+
+    # A stricter spec: the two free slots must *differ*.
+    e1, e2 = Variable("e1"), Variable("e2")
+    storefront_strict = TableDatabase.single(
+        CTable(
+            "catalog",
+            2,
+            [
+                ("sku-100", "audio"),
+                ("sku-200", e1),
+                ("sku-300", e2),
+            ],
+            Conjunction([Neq(e1, e2)]),
+        )
+    )
+
+    print("Warehouse feed (g-table):")
+    print(warehouse["catalog"])
+    print()
+    print("Storefront spec A (equal categories, an e-table):")
+    print(storefront_ok["catalog"])
+    print()
+    print("Storefront spec B (distinct categories, an i-table):")
+    print(storefront_strict["catalog"])
+    print()
+
+    ok = contains(warehouse, storefront_ok)
+    print(f"feed within spec A (freeze + search, Thm 4.1(2)): {ok}")
+    strict = contains(warehouse, storefront_strict)
+    print(f"feed within spec B (enumeration, Prop 2.1(1)):    {strict}")
+    print()
+    print("Spec A accepts the feed: the feed's equal-category worlds are")
+    print("exactly what the merchandising rule wants.  Spec B rejects it:")
+    print("the feed guarantees the two categories are equal, spec B demands")
+    print("they differ — no feed world is acceptable.  One counterexample")
+    print("world from the feed:")
+    world = next(iter(enumerate_worlds(warehouse)))
+    for fact in sorted(
+        world["catalog"].facts, key=lambda f: [c.sort_key() for c in f]
+    ):
+        print("  ", tuple(c.value for c in fact))
+
+
+if __name__ == "__main__":
+    main()

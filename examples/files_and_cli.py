@@ -1,0 +1,95 @@
+"""Files and the command line: sharing incomplete databases as text.
+
+Writes a c-table database and two candidate worlds to disk in the
+paper-figure text notation (``.pwt`` / ``.pwi``), then drives the same
+decision problems through the ``repro`` command line interface that a
+shell user would call::
+
+    repro show supply.pwt
+    repro member supply.pwt full_world.pwi
+    repro certain supply.pwt known_facts.pwi
+    repro convert supply.pwt --to json
+
+The scenario: a supply-chain snapshot where one shipment's destination is
+unknown and another is known only to differ from the first.
+
+Run:  python examples/files_and_cli.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Instance, TableDatabase, c_table
+from repro.cli import main
+from repro.io import dump_database, dump_instance
+
+
+def build_database() -> TableDatabase:
+    shipments = c_table(
+        "Ship",
+        2,
+        [
+            (("crate1", "lyon"),),          # known destination
+            (("crate2", "?d2"),),            # destination unknown
+            (("crate3", "?d3"), "d3 != d2"),  # differs from crate2's
+        ],
+    )
+    return TableDatabase.single(shipments)
+
+
+def main_example() -> None:
+    db = build_database()
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        db_path = root / "supply.pwt"
+        with open(db_path, "w") as fp:
+            dump_database(db, fp, header="Supply snapshot with unknown destinations")
+
+        world_path = root / "world.pwi"
+        with open(world_path, "w") as fp:
+            dump_instance(
+                Instance(
+                    {"Ship": [("crate1", "lyon"), ("crate2", "nice"), ("crate3", "metz")]}
+                ),
+                fp,
+            )
+
+        facts_path = root / "facts.pwi"
+        with open(facts_path, "w") as fp:
+            dump_instance(Instance({"Ship": [("crate1", "lyon")]}), fp)
+
+        print("The database file on disk:")
+        print(db_path.read_text())
+
+        print("$ repro show supply.pwt")
+        main(["show", str(db_path)])
+        print()
+
+        print("$ repro classify supply.pwt")
+        main(["classify", str(db_path)])
+        print()
+
+        print("$ repro member supply.pwt world.pwi")
+        status = main(["member", str(db_path), str(world_path)])
+        print(f"(exit status {status})")
+        print()
+
+        print("$ repro certain supply.pwt facts.pwi")
+        status = main(["certain", str(db_path), str(facts_path)])
+        print(f"(exit status {status})")
+        print()
+
+        print("$ repro convert supply.pwt --to json   (first lines)")
+        import contextlib
+        import io as _io
+
+        buffer = _io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            main(["convert", str(db_path), "--to", "json"])
+        for line in buffer.getvalue().splitlines()[:8]:
+            print(line)
+        print("  ...")
+
+
+if __name__ == "__main__":
+    main_example()

@@ -1,0 +1,107 @@
+"""Querying an incomplete hospital database: possible vs certain answers.
+
+The scenario the paper's introduction motivates: a relational database with
+*null values* — values present but unknown — queried for facts that are
+*certainly* true (in every possible world) or merely *possibly* true
+(in some world).
+
+The data: patient admissions where some ward assignments are unknown, and a
+staffing table where one shift is unresolved; a global condition records
+what the administration does know (Dr. Shaw's ward is not pediatrics; the
+two unknown wards differ).
+
+Run:  python examples/hospital_records.py
+"""
+
+from repro import (
+    Instance,
+    TableDatabase,
+    UCQQuery,
+    atom,
+    cq,
+    g_table,
+    is_certain,
+    is_possible,
+)
+from repro.core.conditions import Conjunction, Neq
+from repro.core.terms import Variable
+
+
+def build_database() -> TableDatabase:
+    # admissions(patient, ward): two ward assignments unknown.
+    w1, w2 = Variable("w1"), Variable("w2")
+    admissions = g_table(
+        "admissions",
+        2,
+        [
+            ("ibsen", "cardiology"),
+            ("strind", w1),
+            ("lagerlof", w2),
+            ("hamsun", "pediatrics"),
+        ],
+    )
+    # staff(doctor, ward): Dr. Shaw's ward is the *same* unknown w1 —
+    # the admission clerk filed Strind under whatever ward Shaw runs.
+    staff = g_table(
+        "staff",
+        2,
+        [
+            ("shaw", w1),
+            ("okafor", "pediatrics"),
+            ("ruiz", "cardiology"),
+        ],
+    )
+    known = Conjunction(
+        [
+            Neq(w1, "pediatrics"),  # Shaw does not run pediatrics
+            Neq(w1, w2),            # Strind and Lagerlof are in different wards
+        ]
+    )
+    return TableDatabase([admissions, staff], extra_condition=known)
+
+
+def main() -> None:
+    db = build_database()
+    print("Incomplete hospital database (g-tables + global condition):")
+    for table in db.tables():
+        print(f"-- {table.name} --")
+        print(table)
+    print(f"| {db.extra_condition()} |")
+    print()
+
+    # Q1: which (patient, doctor) pairs share a ward?
+    same_ward = UCQQuery(
+        [
+            cq(
+                atom("pairs", "P", "D"),
+                atom("admissions", "P", "W"),
+                atom("staff", "D", "W"),
+            )
+        ],
+        name="same_ward",
+    )
+
+    checks = [
+        ("ibsen with ruiz", Instance({"pairs": [("ibsen", "ruiz")]})),
+        ("strind with shaw", Instance({"pairs": [("strind", "shaw")]})),
+        ("strind with okafor", Instance({"pairs": [("strind", "okafor")]})),
+        ("lagerlof with shaw", Instance({"pairs": [("lagerlof", "shaw")]})),
+        ("hamsun with okafor", Instance({"pairs": [("hamsun", "okafor")]})),
+    ]
+    print("query: pairs(P, D) :- admissions(P, W), staff(D, W)")
+    print(f"{'answer':24s}  {'possible':8s}  {'certain':7s}")
+    for label, fact in checks:
+        possible = is_possible(fact, db, same_ward)
+        certain = is_certain(fact, db, same_ward)
+        print(f"{label:24s}  {str(possible):8s}  {str(certain):7s}")
+    print()
+    print("Notes:")
+    print(" * strind/shaw is certain: the clerk used Shaw's ward for Strind")
+    print("   (the same null w1), so they match in every world.")
+    print(" * strind/okafor is impossible: w1 != pediatrics is known.")
+    print(" * lagerlof/shaw is impossible: w1 != w2 is known.")
+    print(" * ibsen/ruiz is certain: both values are complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Modal query programs and maybe-tuples: an incident-triage workflow.
+
+An on-call dashboard aggregates alerts from two flaky pipelines.  Some
+alert rows are *maybe*-tuples (the collector may have duplicated or
+dropped them -- Zaniolo's presence-unknown nulls); some carry nulls for
+the affected host.  The triage question mixes modalities:
+
+    "Which services are POSSIBLY affected but not CERTAINLY affected?"
+    (those are the ones a human must look at)
+
+which is exactly a modal program: two modal views collapse the possible
+worlds, then an ordinary difference query runs on the collapsed, complete
+relations -- the Section 6 "modal operators" extension.
+
+Run:  python examples/modal_triage.py
+"""
+
+from repro import TableDatabase, UCQQuery, atom, cq
+from repro.core.terms import Constant
+from repro.extensions import maybe_table
+from repro.modal import CERTAIN, POSSIBLE, ModalProgram, ModalView, modal_complexity
+from repro.queries.firstorder import FOQuery
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Alerts(service, host): what the collector managed to save.
+    #   - web on h1: definitely alerted.
+    #   - api on an unknown host (null ?h).
+    #   - batch on h9: the row itself may be a collector artefact (maybe).
+    # ------------------------------------------------------------------
+    alerts = maybe_table(
+        "Alerts",
+        2,
+        sure=[("web", "h1"), ("api", "?h")],
+        maybe=[("batch", "h9")],
+    )
+    db = TableDatabase.single(alerts.to_ctable())
+    print("The encoded alerts table (guard variables mark maybe-rows):")
+    print(db["Alerts"])
+    print()
+
+    # ------------------------------------------------------------------
+    # The inner query: which services alerted at all?
+    # ------------------------------------------------------------------
+    affected = UCQQuery([cq(atom("Affected", "S"), atom("Alerts", "S", "H"))])
+
+    # ------------------------------------------------------------------
+    # The modal program: collapse through CERTAIN and POSSIBLE, then take
+    # the difference on the now-complete relations.
+    # ------------------------------------------------------------------
+    program = ModalProgram(
+        views=[
+            ModalView("Sure", CERTAIN, affected),
+            ModalView("Maybe", POSSIBLE, affected),
+        ],
+        outer=FOQuery.difference("Maybe", "Sure", 1, name="NeedsTriage"),
+    )
+
+    collapsed = program.collapse(db)
+    print("CERTAIN view (alert in every world):")
+    print("  ", sorted(c.value for (c,) in collapsed["Sure"]))
+    print("POSSIBLE view (alert in some world):")
+    print("  ", sorted(c.value for (c,) in collapsed["Maybe"]))
+
+    triage = program.evaluate(db)
+    (name,) = triage.names()
+    print("POSSIBLY-but-not-CERTAINLY affected (human triage):")
+    print("  ", sorted(c.value for (c,) in triage[name]))
+    print()
+
+    # ------------------------------------------------------------------
+    # What did the modalities cost?  The maybe-encoding has local
+    # conditions, so CERTAIN leaves the tractable g-table case while
+    # POSSIBLE stays polynomial (Theorem 5.2(1)).
+    # ------------------------------------------------------------------
+    print("Evaluation regimes per view:")
+    for view, regime in modal_complexity(program, db).items():
+        print(f"  {view}: {regime}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Quickstart: tables with nulls, possible worlds, and the five problems.
+
+Builds the paper's Figure 1 c-table, walks through its possible worlds, and
+asks every decision problem the library implements: membership, uniqueness,
+containment, possibility and certainty.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Instance,
+    TableDatabase,
+    c_table,
+    codd_table,
+    contains,
+    enumerate_worlds,
+    is_certain,
+    is_member,
+    is_possible,
+    is_unique,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # A c-table: rows may carry local conditions, the table a global one.
+    # Variables are written "?x"; conditions use a tiny text notation.
+    # ------------------------------------------------------------------
+    te = c_table(
+        "T",
+        2,
+        [
+            ((0, 1), "z = z"),        # unconditional (z = z is "true")
+            ((0, "?x"), "y = 0"),     # present only when y = 0
+            (("?y", "?x"), "x != y"),  # present only when x != y
+        ],
+        "x != 1, y != 2",             # global condition
+    )
+    db = TableDatabase.single(te)
+    print("The c-table Te of Figure 1:")
+    print(te)
+    print()
+
+    # ------------------------------------------------------------------
+    # rep(T): the set of possible worlds (canonical enumeration).
+    # ------------------------------------------------------------------
+    worlds = sorted(
+        enumerate_worlds(db), key=lambda w: (w.total_facts(), repr(w))
+    )
+    print(f"rep(Te) has {len(worlds)} canonical worlds; the smallest three:")
+    for world in worlds[:3]:
+        print("  ", sorted(tuple(c.value for c in f) for f in world["T"].facts))
+    print()
+
+    # ------------------------------------------------------------------
+    # MEMB: is this instance one of the possible worlds?
+    # ------------------------------------------------------------------
+    candidate = Instance({"T": [(0, 1), (3, 2)]})
+    print(f"MEMB {{(0,1),(3,2)}}: {is_member(candidate, db)}")
+
+    # ------------------------------------------------------------------
+    # UNIQ: is the set of worlds a single complete database?
+    # ------------------------------------------------------------------
+    print(f"UNIQ {{(0,1),(3,2)}}: {is_unique(candidate, db)}")
+
+    # ------------------------------------------------------------------
+    # POSS / CERT: are these facts possible / certain?
+    # ------------------------------------------------------------------
+    fact = Instance({"T": [(0, 1)]})
+    print(f"POSS {{(0,1)}}: {is_possible(fact, db)}")
+    print(f"CERT {{(0,1)}}: {is_certain(fact, db)}")
+    maybe = Instance({"T": [(0, 5)]})
+    print(f"POSS {{(0,5)}}: {is_possible(maybe, db)}")
+    print(f"CERT {{(0,5)}}: {is_certain(maybe, db)}")
+    print()
+
+    # ------------------------------------------------------------------
+    # CONT: is one set of possible worlds inside another?
+    # A pinned Codd-table is contained in a fully free one.
+    # ------------------------------------------------------------------
+    pinned = TableDatabase.single(codd_table("T", 2, [(0, 1), (3, "?a")]))
+    free = TableDatabase.single(codd_table("T", 2, [("?b", "?c"), ("?d", "?e")]))
+    print(f"CONT pinned <= free: {contains(pinned, free)}")
+    print(f"CONT free <= pinned: {contains(free, pinned)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Probabilistic c-tables: sensor readings with uncertain values.
+
+A temperature network reports three readings.  Sensor s2's radio garbled
+the value (a null with a calibration-derived distribution) and sensor s3
+may have failed outright (a maybe-tuple, i.e. a bernoulli guard).  The
+pc-table machinery answers the quantitative questions a monitoring
+dashboard would ask: the chance a given alert fires, the distribution of
+joint outcomes, and a sampled what-if world.
+
+This is the modern use of the paper's formalism: Green & Tannen's
+pc-tables (the basis of MayBMS and Trio) are exactly c-tables plus
+per-variable distributions.
+
+Run:  python examples/sensor_probabilities.py
+"""
+
+import random
+
+from repro import Instance, TableDatabase, UCQQuery, atom, c_table, cq
+from repro.core.terms import Constant
+from repro.prob import PCDatabase, bernoulli, uniform
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # The readings table: (sensor, temperature).
+    #   s1 reported 18 (reliable).
+    #   s2 reported a garbled value v: calibration says 19..22, uniform.
+    #   s3 may be dead: its row exists only when the guard g is 1,
+    #     and g is 1 with probability 0.8.
+    # ------------------------------------------------------------------
+    readings = c_table(
+        "Reading",
+        2,
+        [
+            (("s1", 18),),
+            (("s2", "?v"),),
+            (("s3", 25), "g = 1"),
+        ],
+    )
+    db = TableDatabase.single(readings)
+    pc = PCDatabase(
+        db,
+        {
+            "v": uniform([19, 20, 21, 22]),
+            "g": bernoulli(0.8),
+        },
+    )
+    print("The pc-table:")
+    print(readings)
+    print()
+
+    # ------------------------------------------------------------------
+    # Marginals: per-fact probabilities (computed from lineage, without
+    # enumerating worlds).
+    # ------------------------------------------------------------------
+    print("Fact marginals:")
+    for fact in (("s1", 18), ("s2", 20), ("s3", 25)):
+        p = pc.fact_probability("Reading", fact)
+        print(f"  P(Reading{fact}) = {p:.3f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # An alert query: "some sensor reads above 21".  Positive existential
+    # with a != side-condition is out of scope for folding, so express the
+    # hot values explicitly -- the alert is a union of conjunctive queries.
+    # ------------------------------------------------------------------
+    hot = UCQQuery(
+        [
+            cq(atom("Hot", "S"), atom("Reading", "S", Constant(22))),
+            cq(atom("Hot", "S"), atom("Reading", "S", Constant(25))),
+        ]
+    )
+    print("Alert probabilities (Hot = reads 22 or 25):")
+    for sensor in ("s1", "s2", "s3"):
+        p = pc.query_probability(Instance({"Hot": [(sensor,)]}), hot)
+        print(f"  P(Hot({sensor})) = {p:.3f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # The full world distribution (small here: 4 x 2 assignments).
+    # ------------------------------------------------------------------
+    dist = pc.world_distribution()
+    print(f"World distribution ({len(dist)} distinct worlds):")
+    for world, p in sorted(dist.items(), key=lambda kv: -kv[1])[:4]:
+        facts = sorted(tuple(c.value for c in f) for f in world["Reading"].facts)
+        print(f"  {p:.3f}  {facts}")
+    print(f"  total mass = {sum(dist.values()):.3f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Sampling: draw three what-if worlds.
+    # ------------------------------------------------------------------
+    rng = random.Random(42)
+    print("Three sampled worlds:")
+    for _ in range(3):
+        world = pc.sample_world(rng)
+        facts = sorted(tuple(c.value for c in f) for f in world["Reading"].facts)
+        print(f"  {facts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: lets ``pip install -e .`` work without the wheel package
+(offline environments fall back to the legacy editable install)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,166 @@
+"""repro: possible-worlds databases with tables, conditions and views.
+
+A faithful, executable reproduction of
+
+    Serge Abiteboul, Paris Kanellakis, Gosta Grahne.
+    "On the Representation and Querying of Sets of Possible Worlds."
+    SIGMOD 1987; full version in Theoretical Computer Science 78 (1991).
+
+The library provides:
+
+* the table hierarchy -- Codd-tables, e-tables, i-tables, g-tables and
+  c-tables -- with the ``rep`` possible-worlds semantics (``repro.core``);
+* query languages with PTIME data complexity -- positive existential
+  (UCQ), first order and pure Datalog (``repro.queries``) over a
+  from-scratch relational engine (``repro.relational``);
+* every decision procedure the paper classifies: membership, uniqueness,
+  containment, possibility and certainty, each dispatching to the
+  tightest applicable algorithm (matching, freeze-homomorphism, matrix
+  evaluation, c-table algebra) before falling back to the generic
+  exponential procedures of Proposition 2.1;
+* the c-table algebra (``repro.ctalgebra``), every hardness reduction of
+  the paper as an executable construction (``repro.reductions``), the
+  solver substrates that verify them (``repro.solvers``), and the
+  workload generators and reporting harness used by the benchmark suite
+  (``repro.workloads``, ``repro.harness``).
+
+Quickstart::
+
+    from repro import (
+        c_table, TableDatabase, Instance, is_member, is_possible, is_certain,
+    )
+
+    T = c_table("R", 2, [
+        ((0, 1), "z = z"),
+        ((0, "?x"), "y = 0"),
+        (("?y", "?x"), "x != y"),
+    ])
+    db = TableDatabase.single(T)
+    print(is_member(Instance({"R": [(0, 1)]}), db))
+"""
+
+from .core import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BoolAnd,
+    BoolAtom,
+    BoolCondition,
+    BoolOr,
+    Conjunction,
+    Constant,
+    CTable,
+    Eq,
+    FALSE,
+    Neq,
+    Row,
+    TRUE,
+    TableDatabase,
+    Term,
+    UnsatisfiableTable,
+    Valuation,
+    Variable,
+    as_term,
+    c_table,
+    codd_table,
+    contains,
+    e_table,
+    enumerate_worlds,
+    freeze_variables,
+    g_table,
+    i_table,
+    certain_answers,
+    is_certain,
+    is_member,
+    is_possible,
+    is_unique,
+    iter_worlds,
+    normalize_database,
+    normalize_table,
+    parse_atom,
+    parse_conjunction,
+    possible_answers,
+    simplify_local_conditions,
+)
+from .ctalgebra import apply_ucq, evaluate_ct
+from .queries import (
+    DatalogQuery,
+    FOQuery,
+    IDENTITY,
+    Query,
+    Rule,
+    UCQQuery,
+    atom,
+    cq,
+)
+from .relational import DatabaseSchema, Instance, Relation, RelationSchema
+from .relational.parser import parse_datalog, parse_query, parse_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # terms & conditions
+    "Constant",
+    "Variable",
+    "Term",
+    "as_term",
+    "Eq",
+    "Neq",
+    "Conjunction",
+    "TRUE",
+    "FALSE",
+    "BoolAtom",
+    "BoolAnd",
+    "BoolOr",
+    "BoolCondition",
+    "BOOL_TRUE",
+    "BOOL_FALSE",
+    "parse_atom",
+    "parse_conjunction",
+    # tables
+    "Row",
+    "CTable",
+    "TableDatabase",
+    "codd_table",
+    "e_table",
+    "i_table",
+    "g_table",
+    "c_table",
+    "Valuation",
+    "freeze_variables",
+    "normalize_table",
+    "normalize_database",
+    "simplify_local_conditions",
+    "UnsatisfiableTable",
+    # worlds & problems
+    "iter_worlds",
+    "enumerate_worlds",
+    "is_member",
+    "is_unique",
+    "contains",
+    "is_possible",
+    "is_certain",
+    "possible_answers",
+    "certain_answers",
+    # relational
+    "RelationSchema",
+    "DatabaseSchema",
+    "Relation",
+    "Instance",
+    # queries
+    "Query",
+    "IDENTITY",
+    "UCQQuery",
+    "Rule",
+    "atom",
+    "cq",
+    "FOQuery",
+    "DatalogQuery",
+    # parsers
+    "parse_query",
+    "parse_datalog",
+    "parse_table",
+    # algebra
+    "apply_ucq",
+    "evaluate_ct",
+]

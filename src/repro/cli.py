@@ -1,0 +1,276 @@
+"""Command line interface: inspect tables and decide the paper's problems.
+
+Usage (also via ``python -m repro``)::
+
+    repro show db.pwt                 # render tables in the paper's style
+    repro classify db.pwt             # codd / e / i / g / c classification
+    repro worlds db.pwt [--max N]     # enumerate canonical possible worlds
+    repro member db.pwt world.pwi     # MEMB: is the instance a possible world?
+    repro possible db.pwt facts.pwi   # POSS: are the facts jointly possible?
+    repro certain db.pwt facts.pwi    # CERT: do the facts hold in every world?
+    repro contains sub.pwt super.pwt  # CONT: rep(sub) subset of rep(super)?
+    repro convert db.pwt --to json    # text <-> JSON conversion
+
+Databases use the text notation of :mod:`repro.io.text` (``.pwt`` --
+"possible worlds tables"), instances the ``%instance`` notation
+(``.pwi``).  JSON files (any extension) are auto-detected by their leading
+``{``.  Exit status: 0 for yes/success, 1 for no, 2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .core.containment import contains
+from .core.membership import is_member
+from .core.possibility import is_possible
+from .core.certainty import is_certain
+from .core.tables import TableDatabase
+from .core.worlds import iter_worlds
+from .io.jsonio import (
+    database_from_json,
+    database_to_json,
+    instance_from_json,
+    instance_to_json,
+)
+from .io.text import (
+    TextFormatError,
+    dumps_database,
+    dumps_instance,
+    loads_database,
+    loads_instance,
+)
+from .relational.instance import Instance
+
+__all__ = ["main"]
+
+#: Exit statuses (sysexits-flavoured).
+EXIT_YES = 0
+EXIT_NO = 1
+EXIT_USAGE = 2
+
+
+class CliError(Exception):
+    """A user-facing error: bad file, bad format, bad combination."""
+
+
+def _read_text(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as fp:
+            return fp.read()
+    except OSError as exc:
+        raise CliError(f"cannot read {path}: {exc.strerror or exc}") from exc
+
+
+def load_database_file(path: str) -> TableDatabase:
+    """Load a database from text or JSON notation (auto-detected)."""
+    text = _read_text(path)
+    stripped = text.lstrip()
+    try:
+        if stripped.startswith("{"):
+            return database_from_json(json.loads(text))
+        return loads_database(text)
+    except (TextFormatError, ValueError) as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def load_instance_file(path: str) -> Instance:
+    """Load an instance from text or JSON notation (auto-detected)."""
+    text = _read_text(path)
+    stripped = text.lstrip()
+    try:
+        if stripped.startswith("{"):
+            return instance_from_json(json.loads(text))
+        return loads_instance(text)
+    except (TextFormatError, ValueError) as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_show(args) -> int:
+    db = load_database_file(args.database)
+    for i, table in enumerate(db):
+        if i:
+            print()
+        print(f"-- {table.name}/{table.arity} ({table.classify()}-table)")
+        print(table)
+    extra = db.extra_condition()
+    if len(extra):
+        print(f"\n-- database condition: {extra}")
+    return EXIT_YES
+
+
+def _cmd_classify(args) -> int:
+    db = load_database_file(args.database)
+    for table in db:
+        print(f"{table.name}: {table.classify()}")
+    print(f"database: {db.classify()}")
+    return EXIT_YES
+
+
+def _cmd_worlds(args) -> int:
+    db = load_database_file(args.database)
+    shown = 0
+    truncated = False
+    for world in iter_worlds(db):
+        if shown >= args.max:
+            truncated = True
+            break
+        if shown:
+            print()
+        print(f"-- world {shown + 1}")
+        print(dumps_instance(world), end="")
+        shown += 1
+    if truncated:
+        print(f"\n... truncated at {args.max} worlds (use --max to raise)")
+    elif shown == 0:
+        print("(no possible worlds: the global condition is unsatisfiable)")
+    return EXIT_YES
+
+
+def _cmd_member(args) -> int:
+    db = load_database_file(args.database)
+    instance = load_instance_file(args.instance)
+    verdict = is_member(instance, db)
+    print("member" if verdict else "not a member")
+    return EXIT_YES if verdict else EXIT_NO
+
+
+def _cmd_possible(args) -> int:
+    db = load_database_file(args.database)
+    facts = load_instance_file(args.facts)
+    verdict = is_possible(facts, db)
+    print("possible" if verdict else "impossible")
+    return EXIT_YES if verdict else EXIT_NO
+
+
+def _cmd_certain(args) -> int:
+    db = load_database_file(args.database)
+    facts = load_instance_file(args.facts)
+    verdict = is_certain(facts, db)
+    print("certain" if verdict else "not certain")
+    return EXIT_YES if verdict else EXIT_NO
+
+
+def _cmd_contains(args) -> int:
+    sub = load_database_file(args.subset)
+    sup = load_database_file(args.superset)
+    verdict = contains(sub, sup)
+    print("contained" if verdict else "not contained")
+    return EXIT_YES if verdict else EXIT_NO
+
+
+def _cmd_convert(args) -> int:
+    text = _read_text(args.path)
+    stripped = text.lstrip()
+    is_json = stripped.startswith("{")
+    try:
+        if is_json:
+            data = json.loads(text)
+            kind = data.get("kind")
+            if kind == "instance":
+                value = instance_from_json(data)
+            else:
+                value = database_from_json(data)
+        elif "%instance" in stripped or (
+            "%relation" in stripped and "%table" not in stripped
+        ):
+            value = loads_instance(text)
+        else:
+            value = loads_database(text)
+    except (TextFormatError, ValueError) as exc:
+        raise CliError(f"{args.path}: {exc}") from exc
+
+    if args.to == "json":
+        if isinstance(value, Instance):
+            print(json.dumps(instance_to_json(value), indent=2))
+        else:
+            print(json.dumps(database_to_json(value), indent=2))
+    else:
+        if isinstance(value, Instance):
+            print(dumps_instance(value), end="")
+        else:
+            print(dumps_database(value), end="")
+    return EXIT_YES
+
+
+# ---------------------------------------------------------------------------
+# Parser / entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Possible-worlds databases: inspect c-tables and decide "
+            "membership, possibility, certainty and containment "
+            "(Abiteboul-Kanellakis-Grahne)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("show", help="render a database in the paper's style")
+    p.add_argument("database")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser("classify", help="classify tables (codd/e/i/g/c)")
+    p.add_argument("database")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("worlds", help="enumerate canonical possible worlds")
+    p.add_argument("database")
+    p.add_argument("--max", type=int, default=20, help="world cap (default 20)")
+    p.set_defaults(func=_cmd_worlds)
+
+    p = sub.add_parser("member", help="MEMB: is the instance a possible world?")
+    p.add_argument("database")
+    p.add_argument("instance")
+    p.set_defaults(func=_cmd_member)
+
+    p = sub.add_parser("possible", help="POSS: are the facts jointly possible?")
+    p.add_argument("database")
+    p.add_argument("facts")
+    p.set_defaults(func=_cmd_possible)
+
+    p = sub.add_parser("certain", help="CERT: do the facts hold everywhere?")
+    p.add_argument("database")
+    p.add_argument("facts")
+    p.set_defaults(func=_cmd_certain)
+
+    p = sub.add_parser("contains", help="CONT: rep(subset) within rep(superset)?")
+    p.add_argument("subset")
+    p.add_argument("superset")
+    p.set_defaults(func=_cmd_contains)
+
+    p = sub.add_parser("convert", help="convert between text and JSON")
+    p.add_argument("path")
+    p.add_argument("--to", choices=("json", "text"), required=True)
+    p.set_defaults(func=_cmd_convert)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """The CLI entry point; returns the exit status."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_USAGE if exc.code else EXIT_YES
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Core: representations of sets of possible worlds and their decision problems.
+
+This subpackage implements the paper's primary contribution: the table
+hierarchy (Codd / e / i / g / c), the ``rep`` semantics, and the
+membership, uniqueness, containment, possibility and certainty problems
+with the paper's upper-bound procedures.
+"""
+
+from .answers import (
+    Certainly,
+    Possibly,
+    certain_answers,
+    possible_answers,
+)
+from .certainty import is_certain
+from .conditions import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BoolAnd,
+    BoolAtom,
+    BoolCondition,
+    BoolOr,
+    Conjunction,
+    Eq,
+    FALSE,
+    Neq,
+    TRUE,
+    parse_atom,
+    parse_conjunction,
+)
+from .containment import contains
+from .membership import is_member
+from .normalize import (
+    UnsatisfiableTable,
+    normalize_database,
+    normalize_table,
+    simplify_local_conditions,
+)
+from .possibility import is_possible
+from .tables import (
+    CTable,
+    Row,
+    TableDatabase,
+    c_table,
+    codd_table,
+    e_table,
+    g_table,
+    i_table,
+)
+from .terms import Constant, Term, Variable, as_term
+from .uniqueness import is_unique
+from .valuations import Valuation, freeze_variables, iter_canonical_valuations
+from .worlds import enumerate_worlds, iter_worlds
+
+__all__ = [
+    "Constant",
+    "Variable",
+    "Term",
+    "as_term",
+    "Eq",
+    "Neq",
+    "Conjunction",
+    "TRUE",
+    "FALSE",
+    "BoolAtom",
+    "BoolAnd",
+    "BoolOr",
+    "BoolCondition",
+    "BOOL_TRUE",
+    "BOOL_FALSE",
+    "parse_atom",
+    "parse_conjunction",
+    "Row",
+    "CTable",
+    "TableDatabase",
+    "codd_table",
+    "e_table",
+    "i_table",
+    "g_table",
+    "c_table",
+    "Valuation",
+    "freeze_variables",
+    "iter_canonical_valuations",
+    "iter_worlds",
+    "enumerate_worlds",
+    "normalize_table",
+    "normalize_database",
+    "simplify_local_conditions",
+    "UnsatisfiableTable",
+    "is_member",
+    "is_unique",
+    "contains",
+    "is_possible",
+    "is_certain",
+    "possible_answers",
+    "certain_answers",
+    "Possibly",
+    "Certainly",
+]

@@ -1,0 +1,215 @@
+"""Possible and certain answer sets, and the modal query operators.
+
+Section 6 of the paper asks about explicit "possibility" and "certainty"
+*operators* inside query programs ([Lipski 81]'s modal semantics).  This
+module provides the library-level version:
+
+* :func:`possible_answers` — every fact over the active domain that holds
+  in *some* world of ``q(rep(db))``;
+* :func:`certain_answers` — every fact that holds in *every* world;
+* :class:`Possibly` / :class:`Certainly` — query combinators wrapping a
+  UCQ so that "evaluating the query on the incomplete database" returns
+  the respective answer set as an ordinary complete instance.
+
+For identity and UCQ views both sets are computed from the folded c-table
+without world enumeration: a row's groundings over the active domain are
+possible when the producing condition is satisfiable with the global
+condition, and certain answers are the possible candidates that survive
+the per-fact coNP check of :func:`repro.core.certainty.certain_identity`.
+Answers are restricted to the active domain (db constants + query
+constants): a row with a free null also "possibly produces" facts with
+arbitrary new constants, which no finite answer set can list — the
+active-domain restriction is the standard modal-answer semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..queries.base import IdentityQuery, Query
+from ..queries.rules import UCQQuery
+from ..relational.instance import Fact, Instance, Relation
+from .certainty import certain_identity
+from .tables import CTable, TableDatabase
+from .terms import Constant, Variable, is_fact
+from .worlds import iter_worlds, representation_domain
+
+__all__ = [
+    "possible_answers",
+    "certain_answers",
+    "Possibly",
+    "Certainly",
+]
+
+
+def _folded(db: TableDatabase, query: Query | None) -> TableDatabase:
+    if query is None or isinstance(query, IdentityQuery):
+        return db
+    if isinstance(query, UCQQuery):
+        from ..ctalgebra.ucq import apply_ucq
+
+        return apply_ucq(query, db)
+    raise ValueError(
+        "answer sets are computed directly for identity/UCQ views only; "
+        "use possible_answers_enumerate for other query classes"
+    )
+
+
+def possible_answers(
+    db: TableDatabase, query: Query | None = None
+) -> Instance:
+    """All active-domain facts appearing in some world of ``q(rep(db))``."""
+    folded = _folded(db, query)
+    domain = sorted(
+        representation_domain(db, query), key=Constant.sort_key
+    )
+    glob = folded.global_condition()
+    result: dict[str, Relation] = {}
+    for table in folded.tables():
+        facts: set[Fact] = set()
+        for row in table.rows:
+            for disjunct in row.condition_dnf():
+                base = glob.and_also(disjunct)
+                solved = base.solve()
+                if solved is None:
+                    continue
+                mgu, _ = solved
+                grounded = tuple(
+                    mgu.get(t, t) if isinstance(t, Variable) else t
+                    for t in row.terms
+                )
+                free = sorted(
+                    {t for t in grounded if isinstance(t, Variable)},
+                    key=lambda v: v.name,
+                )
+                if not free:
+                    facts.add(tuple(grounded))  # type: ignore[arg-type]
+                    continue
+                for values in itertools.product(domain, repeat=len(free)):
+                    mapping = dict(zip(free, values))
+                    candidate = base.substitute(mapping)
+                    if candidate.is_satisfiable():
+                        facts.add(
+                            tuple(
+                                mapping.get(t, t) if isinstance(t, Variable) else t
+                                for t in grounded
+                            )  # type: ignore[arg-type]
+                        )
+        result[table.name] = Relation(table.arity, facts)
+    return Instance(result)
+
+
+def certain_answers(
+    db: TableDatabase, query: Query | None = None
+) -> Instance:
+    """All facts appearing in every world of ``q(rep(db))``.
+
+    Certain answers are possible answers, so the possible set is the
+    candidate pool; each candidate is then decided by the per-fact
+    condition-system check.  An unsatisfiable global condition makes every
+    candidate (vacuously) certain — and the possible pool empty, so the
+    result is empty, matching ``rep = {}`` having no facts at all.
+    """
+    folded = _folded(db, query)
+    candidates = possible_answers(db, query)
+    result: dict[str, Relation] = {}
+    for name in candidates.names():
+        arity = candidates[name].arity
+        certain = {
+            fact
+            for fact in candidates[name].facts
+            if certain_identity(Instance({name: Relation(arity, [fact])}), folded)
+        }
+        result[name] = Relation(arity, certain)
+    return Instance(result)
+
+
+def possible_answers_enumerate(
+    db: TableDatabase, query: Query | None = None
+) -> Instance:
+    """Answer sets by world enumeration (any query class; exponential)."""
+    union: Instance | None = None
+    for world in iter_worlds(db, query):
+        union = world if union is None else union.union(world)
+    if union is None:
+        schema = (
+            query.output_schema(db.schema()) if query is not None else db.schema()
+        )
+        return Instance.empty(schema)
+    return union
+
+
+def certain_answers_enumerate(
+    db: TableDatabase, query: Query | None = None
+) -> Instance:
+    """Certain answers by world enumeration (any query class)."""
+    intersection: dict[str, set[Fact]] | None = None
+    arities: dict[str, int] = {}
+    for world in iter_worlds(db, query):
+        facts = {name: set(world[name].facts) for name in world.names()}
+        arities = {name: world[name].arity for name in world.names()}
+        if intersection is None:
+            intersection = facts
+        else:
+            for name in intersection:
+                intersection[name] &= facts.get(name, set())
+    if intersection is None:
+        schema = (
+            query.output_schema(db.schema()) if query is not None else db.schema()
+        )
+        return Instance.empty(schema)
+    return Instance(
+        {name: Relation(arities[name], facts) for name, facts in intersection.items()}
+    )
+
+
+class Possibly(Query):
+    """The modal POSSIBLE operator: q's possible answers as an instance.
+
+    ``Possibly(q)(rep-database)`` is not an ordinary generic query on a
+    single world — it consumes the *representation*.  As a :class:`Query`
+    it can still be applied to a complete instance, where possible and
+    actual answers coincide.
+    """
+
+    def __init__(self, query: UCQQuery) -> None:
+        self.query = query
+
+    def __repr__(self) -> str:
+        return f"Possibly({self.query!r})"
+
+    def __call__(self, instance: Instance) -> Instance:
+        return self.query(instance)
+
+    def output_schema(self, input_schema):
+        return self.query.output_schema(input_schema)
+
+    def constants(self):
+        return self.query.constants()
+
+    def answers(self, db: TableDatabase) -> Instance:
+        """The possible-answer set over an incomplete database."""
+        return possible_answers(db, self.query)
+
+
+class Certainly(Query):
+    """The modal CERTAIN operator: q's certain answers as an instance."""
+
+    def __init__(self, query: UCQQuery) -> None:
+        self.query = query
+
+    def __repr__(self) -> str:
+        return f"Certainly({self.query!r})"
+
+    def __call__(self, instance: Instance) -> Instance:
+        return self.query(instance)
+
+    def output_schema(self, input_schema):
+        return self.query.output_schema(input_schema)
+
+    def constants(self):
+        return self.query.constants()
+
+    def answers(self, db: TableDatabase) -> Instance:
+        """The certain-answer set over an incomplete database."""
+        return certain_answers(db, self.query)

@@ -1,0 +1,183 @@
+"""The certainty problem CERT: do the given facts hold in every world?
+
+Procedures matching Theorem 5.3 and Proposition 2.1(5,6):
+
+* :func:`certain_identity` — for arbitrary c-table vectors and the
+  identity query: a fact is certain iff there is *no* valuation satisfying
+  the global condition under which every row fails to produce it — a
+  condition-system search per fact, realising the coNP upper bound.
+* :func:`certain_positive_gtable` — Theorem 5.3(1) (due to
+  [Imielinski-Lipski 84] and [Vardi 86]): for monotone, homomorphism-
+  preserved queries (pure Datalog, hence also positive existential UCQs)
+  on g-table vectors, certainty is decided in PTIME by evaluating the
+  query on the *matrix*: normalise, freeze the variables to distinct fresh
+  constants, evaluate, and test the facts (which mention only real
+  constants) against the result.
+* :func:`certain_enumerate` — the generic coNP procedure for arbitrary
+  views (Theorem 5.3(2) shows a fixed first order query on a Codd-table is
+  already coNP-complete).
+
+``CERT(*, q)`` is polynomial-time equivalent to ``CERT(1, q)``
+(Proposition 2.1(6)): all procedures here decide fact sets by deciding one
+fact at a time.
+"""
+
+from __future__ import annotations
+
+from ..queries.base import IdentityQuery, Query
+from ..queries.datalog import DatalogQuery
+from ..queries.rules import UCQQuery
+from ..relational.instance import Instance
+from .search import solve_condition_system
+from .normalize import UnsatisfiableTable, normalize_database
+from .tables import TableDatabase
+from .uniqueness import producing_condition
+from .valuations import freeze_variables
+from .worlds import iter_worlds
+
+__all__ = [
+    "is_certain",
+    "certain_identity",
+    "certain_positive_gtable",
+    "certain_ucq_view",
+    "certain_enumerate",
+]
+
+
+def is_certain(
+    facts: Instance,
+    db: TableDatabase,
+    query: Query | None = None,
+    method: str = "auto",
+) -> bool:
+    """Decide whether every world of ``q(rep(db))`` contains all of ``facts``."""
+    identity = query is None or isinstance(query, IdentityQuery)
+    if method == "identity":
+        if not identity:
+            raise ValueError("certain_identity handles the identity query only")
+        return certain_identity(facts, db)
+    if method == "matrix":
+        return certain_positive_gtable(facts, db, query)
+    if method == "enumerate":
+        return certain_enumerate(facts, db, query)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    if identity:
+        return certain_identity(facts, db)
+    positive = (
+        isinstance(query, DatalogQuery)
+        or (isinstance(query, UCQQuery) and query.is_positive_existential())
+    )
+    if positive and db.is_g_database():
+        return certain_positive_gtable(facts, db, query)
+    if isinstance(query, UCQQuery):
+        return certain_ucq_view(facts, db, query)
+    return certain_enumerate(facts, db, query)
+
+
+# ---------------------------------------------------------------------------
+# Identity query on c-tables: per-fact condition search
+# ---------------------------------------------------------------------------
+
+
+def certain_identity(facts: Instance, db: TableDatabase) -> bool:
+    """Certainty of facts under the identity view.
+
+    Fact f is certain iff the system "global condition holds, and for every
+    row the condition 'this row produces f' fails" is unsatisfiable.  An
+    unsatisfiable global condition makes ``rep`` empty and everything
+    vacuously certain, consistent with the universal quantification.
+    """
+    glob = db.global_condition()
+    if not glob.is_satisfiable():
+        return True
+    for name in facts.names():
+        wanted = facts[name].facts
+        if not wanted:
+            continue
+        if name not in db or facts[name].arity != db[name].arity:
+            return False
+        table = db[name]
+        for fact in wanted:
+            producers = []
+            for row in table.rows:
+                cond = producing_condition(row, fact)
+                if cond is not None:
+                    producers.append(cond)
+            if solve_condition_system(glob, must_fail=producers) is not None:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.3(1): positive queries on g-tables in PTIME
+# ---------------------------------------------------------------------------
+
+
+def certain_positive_gtable(
+    facts: Instance, db: TableDatabase, query: Query | None
+) -> bool:
+    """Matrix evaluation for monotone homomorphism-preserved queries.
+
+    Soundness/completeness sketch: normalise the g-tables (incorporate the
+    equalities) and freeze the variables to pairwise distinct fresh
+    constants; the freeze satisfies every residual inequality, so it is a
+    genuine world W*.  For any other satisfying valuation sigma there is a
+    homomorphism W* -> sigma(T) fixing the real constants; Datalog / UCQ
+    answers are preserved under homomorphisms, so every all-constant answer
+    over W* holds in every world — and certain facts must in particular
+    hold in W*.  Hence: certain facts = real-constant facts of q(W*).
+    """
+    if query is None:
+        raise ValueError("use certain_identity for the identity query")
+    if isinstance(query, UCQQuery):
+        if not query.is_positive_existential():
+            raise ValueError("matrix certainty needs a positive query (no !=)")
+    elif not isinstance(query, DatalogQuery):
+        raise ValueError("matrix certainty needs a UCQ or pure Datalog query")
+    if not db.is_g_database():
+        raise ValueError("matrix certainty requires a g-table vector")
+    try:
+        normalised = normalize_database(db)
+    except UnsatisfiableTable:
+        return True  # empty rep: vacuously certain
+    freeze = freeze_variables(normalised.variables(), avoid=normalised.constants())
+    result = query(freeze.apply_database(normalised))
+    for name in facts.names():
+        wanted = facts[name].facts
+        if not wanted:
+            continue
+        if name not in result or not wanted <= result[name].facts:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# UCQ views: fold the query, then decide per fact
+# ---------------------------------------------------------------------------
+
+
+def certain_ucq_view(facts: Instance, db: TableDatabase, query) -> bool:
+    """CERT for a UCQ view (``!=`` allowed) via the c-table algebra."""
+    from ..ctalgebra.ucq import apply_ucq
+
+    return certain_identity(facts, apply_ucq(query, db))
+
+
+# ---------------------------------------------------------------------------
+# Views in general: the generic coNP procedure of Proposition 2.1(5)
+# ---------------------------------------------------------------------------
+
+
+def certain_enumerate(
+    facts: Instance, db: TableDatabase, query: Query | None
+) -> bool:
+    """CERT by canonical-world enumeration."""
+    for world in iter_worlds(db, query, extra_constants=facts.constants()):
+        for name in facts.names():
+            wanted = facts[name].facts
+            if not wanted:
+                continue
+            if name not in world or not wanted <= world[name].facts:
+                return False
+    return True

@@ -1,0 +1,136 @@
+"""The containment problem CONT(q0, q): is ``q0(rep(T0)) <= q(rep(T))``?
+
+Upper-bound procedures matching Theorem 4.1 and Proposition 2.1(1):
+
+* :func:`containment_freeze` — the homomorphism technique of the Claim in
+  Theorem 4.1: for a g-table vector on the left and an e-table (or Codd)
+  vector on the right, ``rep(T0) <= rep(T)`` iff the *frozen* instance K0
+  (every variable replaced by its own fresh constant) is a member of
+  ``rep(T)``.  With a Codd right-hand side the membership test is the
+  matching algorithm, giving the PTIME bound of Theorem 4.1(3); with an
+  e-table right-hand side it is the NP search of Theorem 4.1(2).
+* :func:`containment_enumerate` — the generic Pi2p procedure: for every
+  canonical world of the left-hand side (the "for all valuations" of
+  Proposition 2.1), test membership on the right-hand side (the "exists
+  valuation").  Theorem 4.2(1) shows the Pi2p bound is already tight for a
+  Codd-table left-hand side and an i-table right-hand side.
+
+:func:`contains` dispatches by the classification of both sides.
+"""
+
+from __future__ import annotations
+
+from ..queries.base import IdentityQuery, Query
+from ..relational.instance import Instance
+from .membership import is_member
+from .normalize import UnsatisfiableTable, normalize_database
+from .tables import TableDatabase
+from .valuations import freeze_variables
+from .worlds import iter_worlds
+
+__all__ = ["contains", "containment_freeze", "containment_enumerate", "freeze_instance"]
+
+
+def contains(
+    db0: TableDatabase,
+    db: TableDatabase,
+    query0: Query | None = None,
+    query: Query | None = None,
+    method: str = "auto",
+) -> bool:
+    """Decide ``q0(rep(db0)) <= q(rep(db))``.
+
+    ``method``: ``"auto"`` (classification-based dispatch), ``"freeze"``
+    (force the homomorphism technique; raises if inapplicable) or
+    ``"enumerate"`` (force the generic Pi2p procedure).
+    """
+    identity0 = query0 is None or isinstance(query0, IdentityQuery)
+    identity = query is None or isinstance(query, IdentityQuery)
+    if method == "freeze":
+        if not (identity0 and identity):
+            raise ValueError("the freeze technique applies to identity queries")
+        return containment_freeze(db0, db)
+    if method == "enumerate":
+        return containment_enumerate(db0, db, query0, query)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    # Fold UCQ views into the representations first (c-table algebra): the
+    # folded databases have identical rep-sets, and identity-query
+    # containment has far better procedures than view enumeration.
+    from ..queries.rules import UCQQuery
+
+    if not identity0 and isinstance(query0, UCQQuery):
+        from ..ctalgebra.ucq import apply_ucq
+
+        return contains(apply_ucq(query0, db0), db, None, query, method=method)
+    if not identity and isinstance(query, UCQQuery):
+        from ..ctalgebra.ucq import apply_ucq
+
+        return contains(db0, apply_ucq(query, db), query0, None, method=method)
+    if (
+        identity0
+        and identity
+        and db0.is_g_database()
+        and db.classify() in ("codd", "e")
+    ):
+        return containment_freeze(db0, db)
+    return containment_enumerate(db0, db, query0, query)
+
+
+def freeze_instance(db0: TableDatabase) -> Instance | None:
+    """The frozen world K0 of a (normalised) g-table vector.
+
+    Returns None when the global condition is unsatisfiable — ``rep`` is
+    then empty and contained in everything.
+    """
+    try:
+        normalised = normalize_database(db0)
+    except UnsatisfiableTable:
+        return None
+    freeze = freeze_variables(
+        normalised.variables(), avoid=normalised.constants()
+    )
+    # The freeze maps distinct variables to distinct fresh constants, so it
+    # satisfies every residual inequality; it is a legitimate valuation.
+    assert freeze.satisfies_global(normalised)
+    return freeze.apply_database(normalised)
+
+
+def containment_freeze(db0: TableDatabase, db: TableDatabase) -> bool:
+    """The Claim of Theorem 4.1: ``rep(T0) <= rep(T)`` iff ``K0 in rep(T)``.
+
+    Requires a g-table vector on the left (no local conditions) and an
+    e-table or Codd vector on the right.  Complexity is that of the
+    membership test on the right-hand side: PTIME for Codd (matching), NP
+    for e-tables (search).
+    """
+    if not db0.is_g_database():
+        raise ValueError("the freeze technique requires a g-table left-hand side")
+    if db.classify() not in ("codd", "e"):
+        raise ValueError("the freeze technique requires an e-table right-hand side")
+    frozen = freeze_instance(db0)
+    if frozen is None:
+        return True  # empty rep is contained in everything
+    return is_member(frozen, db)
+
+
+def containment_enumerate(
+    db0: TableDatabase,
+    db: TableDatabase,
+    query0: Query | None = None,
+    query: Query | None = None,
+) -> bool:
+    """The generic Pi2p procedure of Proposition 2.1(1).
+
+    Enumerates the canonical worlds of the left-hand side over an active
+    domain that includes the right-hand side's constants (so that the
+    genericity argument applies to both sides at once), then runs the best
+    membership procedure on the right-hand side for each.
+    """
+    extra = set(db.constants())
+    if query is not None:
+        extra |= query.constants()
+    for world in iter_worlds(db0, query0, extra_constants=extra):
+        if not is_member(world, db, query):
+            return False
+    return True

@@ -1,0 +1,398 @@
+"""The membership problem MEMB(q): is an instance one of the possible worlds?
+
+Three procedures, matching the paper's classification (Theorem 3.1 and
+Proposition 2.1(2)):
+
+* :func:`membership_codd` — the PTIME bipartite-matching algorithm of
+  Theorem 3.1(1), applicable when the database is a vector of Codd-tables
+  and the query is the identity.
+* :func:`membership_search` — a backtracking decision procedure for
+  arbitrary c-table vectors (identity query).  Worst-case exponential, as
+  the NP-completeness results for e-/i-tables (Theorem 3.1(2,3)) predict.
+* :func:`membership_ucq_view` — for positive existential (UCQ) views, fold
+  the query into an equivalent c-table first (the Imielinski-Lipski
+  algebra, :mod:`repro.ctalgebra`) and run the direct search on the folded
+  representation; far more directed than valuation enumeration, though
+  still worst-case exponential (Theorem 3.1(4) shows even positive
+  existential views are NP-hard).
+* :func:`membership_view` — the generic NP procedure for ``MEMB(q)``:
+  iterate over the canonical valuations of Proposition 2.1 and compare the
+  query image with the candidate.  The only option for first order or
+  Datalog views.
+
+:func:`is_member` dispatches to the best applicable procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..queries.base import IdentityQuery, Query
+from ..relational.instance import Fact, Instance
+from ..solvers.matching import hopcroft_karp
+from .conditions import Conjunction, Eq
+from .normalize import (
+    UnsatisfiableTable,
+    normalize_database,
+    simplify_local_conditions,
+)
+from .search import solve_atom_cnf
+from .tables import CTable, Row, TableDatabase
+from .terms import Constant, Term, Variable
+from .valuations import iter_canonical_valuations
+from .worlds import representation_domain
+
+__all__ = [
+    "is_member",
+    "membership_codd",
+    "membership_search",
+    "membership_ucq_view",
+    "membership_view",
+]
+
+
+def is_member(
+    instance: Instance,
+    db: TableDatabase,
+    query: Query | None = None,
+    method: str = "auto",
+) -> bool:
+    """Decide ``instance in q(rep(db))``.
+
+    ``method`` selects the procedure: ``"auto"`` (default) picks the
+    matching algorithm for identity-query Codd inputs and falls back to
+    search; ``"matching"``, ``"search"`` and ``"enumerate"`` force a
+    specific one (``"matching"`` raises unless its preconditions hold).
+    """
+    identity = query is None or isinstance(query, IdentityQuery)
+    if method == "matching":
+        if not identity:
+            raise ValueError("the matching algorithm handles the identity query only")
+        if not db.is_codd():
+            raise ValueError("the matching algorithm requires Codd-tables")
+        return membership_codd(instance, db)
+    if method == "search":
+        if not identity:
+            raise ValueError("membership_search handles the identity query only")
+        return membership_search(instance, db)
+    if method == "enumerate":
+        return membership_view(instance, db, query)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    if not identity:
+        from ..queries.rules import UCQQuery
+
+        if isinstance(query, UCQQuery):
+            return membership_ucq_view(instance, db, query)
+        return membership_view(instance, db, query)
+    if db.is_codd():
+        return membership_codd(instance, db)
+    return membership_search(instance, db)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.1(1): Codd-tables via bipartite matching
+# ---------------------------------------------------------------------------
+
+
+def membership_codd(instance: Instance, db: TableDatabase) -> bool:
+    """The PTIME algorithm of Theorem 3.1(1).
+
+    Because every variable occurs exactly once, the rows of a Codd-table
+    unify with candidate facts independently, and tables of the vector share
+    no variables, so the test decomposes per relation:
+
+    1. build the bipartite graph with an edge (fact u_i, row v_j) whenever
+       some valuation sends v_j to u_i;
+    2. if some row unifies with no fact, reject (every row instantiates to
+       *some* fact of the world);
+    3. accept iff a maximum matching saturates all facts.
+    """
+    if not db.is_codd():
+        raise ValueError("membership_codd requires a vector of Codd-tables")
+    if set(instance.names()) != set(db.names()):
+        return False
+    return all(
+        _codd_relation_member(list(instance[t.name].facts), t) for t in db.tables()
+    )
+
+
+def _codd_relation_member(facts: list[Fact], table: CTable) -> bool:
+    if facts and len(facts[0]) != table.arity:
+        return False
+    rows = list(table.rows)
+    adjacency: dict[int, list[int]] = {i: [] for i in range(len(facts))}
+    covered_rows = [False] * len(rows)
+    for i, fact in enumerate(facts):
+        for j, row in enumerate(rows):
+            if _row_unifies(row.terms, fact):
+                adjacency[i].append(j)
+                covered_rows[j] = True
+    # Step (c): every row must be connected to some fact.
+    if not all(covered_rows):
+        return False
+    if not facts:
+        return not rows
+    matching = hopcroft_karp(list(range(len(facts))), adjacency)
+    return len(matching) == len(facts)
+
+
+def _row_unifies(terms: Sequence[Term], fact: Fact) -> bool:
+    """Codd rows: constants must agree; single-occurrence variables always fit."""
+    return all(
+        isinstance(term, Variable) or term == value
+        for term, value in zip(terms, fact)
+    )
+
+
+# ---------------------------------------------------------------------------
+# General search for c-table vectors (identity query)
+# ---------------------------------------------------------------------------
+
+
+def membership_search(instance: Instance, db: TableDatabase) -> bool:
+    """Backtracking MEMB decision for arbitrary c-table vectors.
+
+    Searches an assignment of every row to either a fact of the candidate
+    instance (the row's local condition must then hold) or — when the row
+    has a local condition — to *dropped* (the condition must fail).  The
+    assignment must cover every fact, bind repeated variables consistently
+    and leave the global plus local condition system satisfiable, which is
+    checked by :func:`repro.core.search.solve_condition_system`.
+    """
+    if set(instance.names()) != set(db.names()):
+        return False
+    try:
+        db = normalize_database(db)
+    except UnsatisfiableTable:
+        return False  # rep is empty: no instance is a member.
+    glob = db.global_condition()
+    if not glob.is_satisfiable():
+        return False
+    items: list[_RowChoice] = []
+    for table in db.tables():
+        if instance[table.name].arity != table.arity:
+            return False
+        facts = sorted(
+            instance[table.name].facts, key=lambda f: [c.sort_key() for c in f]
+        )
+        for row in table.rows:
+            choice = _row_choice(table.name, row, facts, glob)
+            if choice is None:
+                return False  # the row can neither map nor be dropped
+            items.append(choice)
+    uncovered = {
+        (t.name, fact) for t in db.tables() for fact in instance[t.name].facts
+    }
+    return _assign_rows(items, [False] * len(items), glob, uncovered, [])
+
+
+def _terms_compatible(terms: Sequence[Term], fact: Fact) -> bool:
+    return all(
+        isinstance(t, Variable) or t == v for t, v in zip(terms, fact)
+    )
+
+
+class _RowChoice:
+    """The pre-computed options for one row of the search.
+
+    ``candidates`` pairs a fact with a *producing conjunction* (equalities
+    matching the row's terms to the fact, conjoined with one disjunct of
+    the local condition) already filtered for consistency with the global
+    condition.  ``drop_clauses`` is the CNF of the negated local condition
+    (the row may be dropped only if its condition can fail).
+    """
+
+    __slots__ = ("name", "candidates", "droppable", "drop_clauses")
+
+    def __init__(self, name, candidates, droppable, drop_clauses):
+        self.name = name
+        self.candidates = candidates
+        self.droppable = droppable
+        self.drop_clauses = drop_clauses
+
+
+def _row_choice(name: str, row: Row, facts: list[Fact], glob: Conjunction) -> _RowChoice | None:
+    dnf = row.condition_dnf()
+    candidates = []
+    for fact in facts:
+        if not _terms_compatible(row.terms, fact):
+            continue
+        equalities = [
+            Eq(term, value)
+            for term, value in zip(row.terms, fact)
+            if isinstance(term, Variable)
+        ]
+        base = Conjunction(equalities)
+        for disjunct in dnf:
+            combined = base.and_also(disjunct)
+            if glob.and_also(combined).is_satisfiable():
+                candidates.append((fact, combined))
+    if not dnf:
+        # The local condition is identically false: the row never appears.
+        return _RowChoice(name, [], True, [])
+    droppable = row.has_local_condition() and all(d.atoms for d in dnf)
+    drop_clauses = (
+        [tuple(a.negated() for a in d.atoms) for d in dnf] if droppable else []
+    )
+    if not candidates and not droppable:
+        return None
+    return _RowChoice(name, candidates, droppable, drop_clauses)
+
+
+def _assign_rows(
+    items: list[_RowChoice],
+    used: list[bool],
+    hard: Conjunction,
+    uncovered: set,
+    deferred: list,
+) -> bool:
+    """Most-constrained-first search with forward checking.
+
+    Two kinds of decisions remain: an *uncovered fact* must be assigned a
+    producing row, and an *unused row* must either map to some fact or be
+    dropped.  At every node the live options of each pending decision are
+    re-filtered against the accumulated condition ``hard``; the decision
+    with the fewest live options is branched first, and any decision with
+    none fails the node immediately.
+    """
+    if all(used):
+        if uncovered:
+            return False
+        return solve_atom_cnf(hard, deferred) is not None
+
+    # Live producers per uncovered fact; live options per unused row.
+    best_fact = None
+    best_fact_options: list[tuple[int, Conjunction]] = []
+    for key in uncovered:
+        name, fact = key
+        options = [
+            (i, producing)
+            for i, item in enumerate(items)
+            if not used[i] and item.name == name
+            for f, producing in item.candidates
+            if f == fact and hard.and_also(producing).is_satisfiable()
+        ]
+        if not options:
+            return False  # this fact can no longer be produced
+        if best_fact is None or len(options) < len(best_fact_options):
+            best_fact, best_fact_options = key, options
+            if len(options) == 1:
+                break
+
+    best_row = None
+    best_row_options: list | None = None
+    best_row_droppable = False
+    if best_fact is None or len(best_fact_options) > 1:
+        for i, item in enumerate(items):
+            if used[i]:
+                continue
+            options = [
+                (fact, producing)
+                for fact, producing in item.candidates
+                if hard.and_also(producing).is_satisfiable()
+            ]
+            droppable = item.droppable and _clauses_open(hard, item.drop_clauses)
+            if not options and not droppable:
+                return False  # this row can neither map nor be dropped
+            width = len(options) + droppable
+            if best_row is None or width < len(best_row_options) + best_row_droppable:
+                best_row, best_row_options, best_row_droppable = i, options, droppable
+                if width == 1:
+                    break
+
+    if best_fact is not None and (
+        best_row is None
+        or len(best_fact_options) <= len(best_row_options) + best_row_droppable
+    ):
+        # Branch on the most constrained uncovered fact.
+        uncovered.discard(best_fact)
+        for i, producing in best_fact_options:
+            used[i] = True
+            if _assign_rows(items, used, hard.and_also(producing), uncovered, deferred):
+                used[i] = False
+                uncovered.add(best_fact)
+                return True
+            used[i] = False
+        uncovered.add(best_fact)
+        return False
+
+    # Branch on the most constrained unused row.
+    i = best_row
+    item = items[i]
+    used[i] = True
+    for fact, producing in best_row_options:
+        key = (item.name, fact)
+        removed = key in uncovered
+        if removed:
+            uncovered.discard(key)
+        ok = _assign_rows(items, used, hard.and_also(producing), uncovered, deferred)
+        if removed:
+            uncovered.add(key)
+        if ok:
+            used[i] = False
+            return True
+    if best_row_droppable:
+        deferred.extend(item.drop_clauses)
+        if _assign_rows(items, used, hard, uncovered, deferred):
+            used[i] = False
+            return True
+        del deferred[len(deferred) - len(item.drop_clauses):]
+    used[i] = False
+    return False
+
+
+def _clauses_open(hard: Conjunction, clauses: list) -> bool:
+    """Necessary check: each clause individually satisfiable with ``hard``."""
+    return all(
+        any(hard.and_also(atom).is_satisfiable() for atom in clause)
+        for clause in clauses
+    )
+
+
+# ---------------------------------------------------------------------------
+# Positive existential views: fold the query, then search
+# ---------------------------------------------------------------------------
+
+
+def membership_ucq_view(instance: Instance, db: TableDatabase, query) -> bool:
+    """MEMB(q) for a UCQ view via the c-table algebra.
+
+    ``rep(apply_ucq(q, db)) == q(rep(db))`` world-for-world (algebraic
+    completeness of c-tables), so view membership reduces to identity
+    membership on the folded c-table database.
+    """
+    from ..ctalgebra.ucq import apply_ucq
+
+    view = apply_ucq(query, db)
+    view = TableDatabase(
+        [simplify_local_conditions(t) for t in view.tables()],
+        view.extra_condition(),
+    )
+    return membership_search(instance, view)
+
+
+# ---------------------------------------------------------------------------
+# Views: the generic NP procedure of Proposition 2.1(2)
+# ---------------------------------------------------------------------------
+
+
+def membership_view(
+    instance: Instance, db: TableDatabase, query: Query | None
+) -> bool:
+    """MEMB(q) by canonical-valuation enumeration.
+
+    Iterates the finitely many non-isomorphic valuations (values in the
+    input constants |Delta| plus fresh |Delta'|) and accepts iff some
+    satisfying valuation's query image equals the candidate instance.
+    """
+    from ..queries.base import IDENTITY
+
+    q = query if query is not None else IDENTITY
+    domain = representation_domain(db, q, instance.constants())
+    for valuation in iter_canonical_valuations(db.variables(), domain):
+        if not valuation.satisfies_global(db):
+            continue
+        if q(valuation.apply_database(db)) == instance:
+            return True
+    return False

@@ -1,0 +1,126 @@
+"""Normalisation of tables and conditions.
+
+Two normalisations from the paper:
+
+* **Equality incorporation** (the "standard practice" of Section 1.1, and
+  step one of Theorem 3.2(1)): solve the global condition's equalities into
+  a most-general unifier, apply it to the matrix and the local conditions,
+  and keep only the residual inequalities as the global condition.  If the
+  equalities are inconsistent the table represents the empty set of worlds.
+
+* **Local-condition simplification**: drop unsatisfiable disjuncts, erase
+  trivially-true atoms and collapse conditions implied by the global
+  condition to *true*.  This keeps c-tables produced by the c-table algebra
+  (:mod:`repro.ctalgebra`) small.
+
+Both preserve ``rep`` exactly; the property-based tests check this against
+the enumeration semantics.
+"""
+
+from __future__ import annotations
+
+from .conditions import (
+    BOOL_TRUE,
+    BoolAtom,
+    BoolAnd,
+    BoolCondition,
+    BoolOr,
+    Conjunction,
+    FALSE,
+    TRUE,
+)
+from .tables import CTable, Row, TableDatabase
+
+__all__ = [
+    "normalize_table",
+    "normalize_database",
+    "simplify_local_conditions",
+    "UnsatisfiableTable",
+]
+
+
+class UnsatisfiableTable(Exception):
+    """Raised when a table's global condition is unsatisfiable.
+
+    ``rep`` of such a table is the empty set of worlds — a different object
+    from the set containing only the empty instance (Section 2.2 discusses
+    the distinction).
+    """
+
+
+def normalize_table(table: CTable) -> CTable:
+    """Incorporate the global equalities into the matrix.
+
+    Returns an equivalent table whose global condition holds inequalities
+    only.  Raises :class:`UnsatisfiableTable` when the global condition is
+    unsatisfiable.
+    """
+    solved = table.global_condition.solve()
+    if solved is None:
+        raise UnsatisfiableTable(table.name)
+    mgu, residual = solved
+    if not mgu and residual == table.global_condition:
+        return table
+    rows = [row.substitute(mgu) for row in table.rows]
+    return CTable(table.name, table.arity, rows, residual)
+
+
+def normalize_database(db: TableDatabase) -> TableDatabase:
+    """Normalise a database: one shared mgu for the whole vector.
+
+    The global conditions of all member tables (and the extra condition)
+    are solved together, the unifier is applied to every table, and the
+    residual inequalities are re-attached as the extra condition.
+    """
+    solved = db.global_condition().solve()
+    if solved is None:
+        raise UnsatisfiableTable(",".join(db.names()))
+    mgu, residual = solved
+    tables = [
+        CTable(
+            t.name,
+            t.arity,
+            [row.substitute(mgu) for row in t.rows],
+            TRUE,
+        )
+        for t in db.tables()
+    ]
+    return TableDatabase(tables, residual)
+
+
+def simplify_local_conditions(table: CTable) -> CTable:
+    """Simplify every local condition relative to the global condition.
+
+    * Disjuncts inconsistent with the global condition are removed.
+    * Disjuncts implied by the global condition make the row unconditional.
+    * Rows whose condition is identically false are dropped.
+    """
+    glob = table.global_condition
+    new_rows: list[Row] = []
+    for row in table.rows:
+        if row.condition == BOOL_TRUE:
+            new_rows.append(row)
+            continue
+        kept: list[Conjunction] = []
+        always = False
+        for disjunct in row.condition_dnf():
+            combined = glob.and_also(disjunct)
+            if not combined.is_satisfiable():
+                continue
+            if glob.implies(disjunct):
+                always = True
+                break
+            kept.append(disjunct)
+        if always:
+            new_rows.append(Row(row.terms))
+        elif kept:
+            new_rows.append(Row(row.terms, _dnf_to_condition(kept)))
+        # else: the row can never appear -> dropped.
+    return CTable(table.name, table.arity, new_rows, glob)
+
+
+def _dnf_to_condition(disjuncts: list[Conjunction]) -> BoolCondition:
+    branches = [BoolCondition.from_conjunction(d) for d in disjuncts]
+    if len(branches) == 1:
+        return branches[0]
+    return BoolOr(tuple(branches))

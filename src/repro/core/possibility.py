@@ -1,0 +1,235 @@
+"""The possibility problem POSS: can all the given facts hold together?
+
+``POSS(k, q)`` (bounded) and ``POSS(*, q)`` (unbounded) ask whether some
+world of ``q(rep(T))`` contains every fact of a given set P.  Procedures,
+matching Theorem 5.1, Theorem 5.2 and Proposition 2.1(4):
+
+* :func:`possible_codd` — PTIME for Codd-table vectors and the identity
+  query (Theorem 5.1(1)), a variation of the membership matching: the
+  facts of P must be matched to *distinct* unifiable rows, with no
+  coverage requirement in the other direction.
+* :func:`possible_search` — the direct NP procedure for arbitrary c-table
+  vectors (identity query): choose a producing row and local-condition
+  disjunct per fact and check the combined condition system.  For a fixed
+  number of facts this search is polynomial, which (composed with the
+  c-table algebra) yields the bounded-possibility upper bound.
+* :func:`possible_posexist` — Theorem 5.2(1): bounded POSS(k, q) for a
+  positive existential query on c-tables in PTIME, by folding the query
+  into an equivalent c-table (algebraic completeness of c-tables,
+  [Imielinski-Lipski 84]) and running :func:`possible_search` on it.
+* :func:`possible_enumerate` — the generic NP procedure for arbitrary
+  views (first order / Datalog queries, where Theorem 5.2(2,3) shows
+  NP-hardness already on Codd-tables).
+"""
+
+from __future__ import annotations
+
+from ..queries.base import IdentityQuery, Query
+from ..queries.rules import UCQQuery
+from ..relational.instance import Fact, Instance
+from ..solvers.matching import hopcroft_karp
+from .conditions import BoolCondition, Conjunction
+from .membership import _terms_compatible
+from .tables import TableDatabase
+from .uniqueness import producing_condition
+from .worlds import iter_worlds
+
+__all__ = [
+    "is_possible",
+    "possible_codd",
+    "possible_search",
+    "possible_posexist",
+    "possible_enumerate",
+]
+
+
+def is_possible(
+    facts: Instance,
+    db: TableDatabase,
+    query: Query | None = None,
+    method: str = "auto",
+) -> bool:
+    """Decide whether some world of ``q(rep(db))`` contains all of ``facts``.
+
+    ``facts`` is an instance listing the fact set P per relation (relations
+    may be empty).  ``method``: ``"auto"``, ``"matching"``, ``"search"``,
+    ``"algebra"`` or ``"enumerate"``.
+    """
+    identity = query is None or isinstance(query, IdentityQuery)
+    if method == "matching":
+        if not identity or not db.is_codd():
+            raise ValueError("the matching procedure needs Codd-tables and identity")
+        return possible_codd(facts, db)
+    if method == "search":
+        if not identity:
+            raise ValueError("possible_search handles the identity query only")
+        return possible_search(facts, db)
+    if method == "algebra":
+        if not isinstance(query, UCQQuery):
+            raise ValueError("the algebra procedure needs a UCQ query")
+        return possible_posexist(facts, db, query)
+    if method == "enumerate":
+        return possible_enumerate(facts, db, query)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    if identity:
+        if db.is_codd():
+            return possible_codd(facts, db)
+        return possible_search(facts, db)
+    if isinstance(query, UCQQuery):
+        return possible_posexist(facts, db, query)
+    return possible_enumerate(facts, db, query)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.1(1): Codd-tables in PTIME
+# ---------------------------------------------------------------------------
+
+
+def possible_codd(facts: Instance, db: TableDatabase) -> bool:
+    """Unbounded possibility on Codd-tables via bipartite matching.
+
+    Distinct facts must be produced by distinct rows (one row instantiates
+    to one tuple); Codd independence makes the per-fact candidate sets
+    independent, so possibility is a matching saturating the fact set.
+    Rows left unmatched are unconstrained — they instantiate to arbitrary
+    extra tuples, which a superset query never forbids.
+    """
+    if not db.is_codd():
+        raise ValueError("possible_codd requires a vector of Codd-tables")
+    for table in db.tables():
+        if table.name not in facts:
+            continue
+        wanted = list(facts[table.name].facts)
+        if not wanted:
+            continue
+        if facts[table.name].arity != table.arity:
+            return False
+        adjacency = {
+            i: [
+                j
+                for j, row in enumerate(table.rows)
+                if _terms_compatible(row.terms, fact)
+            ]
+            for i, fact in enumerate(wanted)
+        }
+        matching = hopcroft_karp(list(range(len(wanted))), adjacency)
+        if len(matching) != len(wanted):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# General c-tables (identity): per-fact producer choice
+# ---------------------------------------------------------------------------
+
+
+def possible_search(facts: Instance, db: TableDatabase) -> bool:
+    """Possibility on arbitrary c-table vectors.
+
+    For each requested fact, choose a row of the corresponding table (rows
+    must be pairwise distinct within a relation) whose terms can match the
+    fact; conjoin the global condition, the matching equalities and the
+    rows' local conditions; accept iff the system is satisfiable.  The
+    search is exponential only in the number of requested facts — for
+    bounded possibility it is polynomial, for unbounded it realises the NP
+    upper bound of Proposition 2.1(4).
+    """
+    goals: list[tuple[str, Fact, list[BoolCondition]]] = []
+    for table in db.tables():
+        if table.name not in facts:
+            continue
+        if facts[table.name].facts and facts[table.name].arity != table.arity:
+            return False
+        for fact in facts[table.name].facts:
+            candidates: list[BoolCondition] = []
+            candidate_rows: list[int] = []
+            for j, row in enumerate(table.rows):
+                cond = producing_condition(row, fact)
+                if cond is not None:
+                    candidates.append(cond)
+                    candidate_rows.append(j)
+            if not candidates:
+                return False
+            goals.append((table.name, fact, list(zip(candidate_rows, candidates))))
+    # Fewest-candidates-first ordering prunes the search early.
+    goals.sort(key=lambda g: len(g[2]))
+    return _choose_producers(goals, 0, {}, db.global_condition())
+
+
+def _choose_producers(
+    goals: list,
+    index: int,
+    used_rows: dict[str, set[int]],
+    hard: Conjunction,
+) -> bool:
+    if index == len(goals):
+        return True
+    name, _fact, candidates = goals[index]
+    taken = used_rows.setdefault(name, set())
+    for row_index, condition in candidates:
+        if row_index in taken:
+            continue
+        for disjunct in condition.to_dnf():
+            extended = hard.and_also(disjunct)
+            if not extended.is_satisfiable():
+                continue
+            taken.add(row_index)
+            if _choose_producers(goals, index + 1, used_rows, extended):
+                taken.discard(row_index)
+                return True
+            taken.discard(row_index)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.2(1): bounded possibility for positive existential queries
+# ---------------------------------------------------------------------------
+
+
+def possible_posexist(
+    facts: Instance, db: TableDatabase, query: UCQQuery
+) -> bool:
+    """Bounded POSS(k, q) for positive existential q on c-tables, in PTIME.
+
+    Folds the query into the representation (c-tables are a *representation
+    system*: closed under positive existential queries without exponential
+    growth) and then runs the per-fact producer search, polynomial for
+    fixed k.
+
+    Beyond the paper's statement, the same folding accepts positive
+    existential queries *with* ``!=`` side-conditions: the algebra carries
+    the inequality atoms into the local conditions and the producer search
+    is unchanged, so bounded possibility stays polynomial for that
+    fragment as well (the paper's Theorem 5.2(2) NP-hardness needs genuine
+    first order negation).
+    """
+    from ..ctalgebra.ucq import apply_ucq
+
+    view = apply_ucq(query, db)
+    return possible_search(facts, view)
+
+
+# ---------------------------------------------------------------------------
+# Views in general: the generic NP procedure of Proposition 2.1(4)
+# ---------------------------------------------------------------------------
+
+
+def possible_enumerate(
+    facts: Instance, db: TableDatabase, query: Query | None
+) -> bool:
+    """POSS by canonical-world enumeration (first order / Datalog views)."""
+    for world in iter_worlds(db, query, extra_constants=facts.constants()):
+        if _facts_present(facts, world):
+            return True
+    return False
+
+
+def _facts_present(facts: Instance, world: Instance) -> bool:
+    for name in facts.names():
+        wanted = facts[name].facts
+        if not wanted:
+            continue
+        if name not in world or not wanted <= world[name].facts:
+            return False
+    return True

@@ -1,0 +1,145 @@
+"""Satisfiability search over equality/inequality constraints.
+
+The general decision procedures (membership, uniqueness, containment,
+possibility, certainty on unrestricted c-tables) bottom out in questions of
+the form:
+
+    is there a valuation satisfying  HARD  and at least one atom from each
+    CLAUSE  and one disjunct of each MUST-HOLD condition and no disjunct of
+    any MUST-FAIL condition?
+
+over the countably infinite constant domain, where HARD is a conjunction of
+equality/inequality atoms.  This is an NP-complete fragment (equality logic
+with disjunctions); the solver below is a plain backtracking search with
+satisfiability pruning after every choice — entirely adequate at the scale
+where the exponential procedures are meant to run, and the *shape* of its
+worst cases is precisely what the hardness benchmarks demonstrate.
+
+All functions return a *witness* conjunction (a satisfiable conjunction
+implying all the requirements) rather than a bare boolean, so callers can
+extract a concrete valuation via :func:`witness_valuation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .conditions import Atom, BoolCondition, Conjunction, TRUE
+from .terms import Constant, Term, Variable, fresh_constants
+from .valuations import Valuation
+
+__all__ = [
+    "solve_atom_cnf",
+    "solve_condition_system",
+    "witness_valuation",
+]
+
+
+def solve_atom_cnf(
+    hard: Conjunction, clauses: Sequence[Sequence[Atom]]
+) -> Conjunction | None:
+    """Satisfy ``hard`` plus at least one atom per clause, or return None.
+
+    An empty clause is unsatisfiable; an empty clause list asks only for
+    ``hard``.  The returned conjunction conjoins ``hard`` with the chosen
+    atoms.
+    """
+    if not hard.is_satisfiable():
+        return None
+    ordered = sorted(clauses, key=len)
+    return _solve_clauses(hard, ordered, 0)
+
+
+def _solve_clauses(
+    hard: Conjunction, clauses: Sequence[Sequence[Atom]], index: int
+) -> Conjunction | None:
+    if index == len(clauses):
+        return hard
+    clause = clauses[index]
+    for atom in clause:
+        extended = hard.and_also(atom)
+        if extended.is_satisfiable():
+            result = _solve_clauses(extended, clauses, index + 1)
+            if result is not None:
+                return result
+    return None
+
+
+def solve_condition_system(
+    hard: Conjunction,
+    must_hold: Iterable[BoolCondition] = (),
+    must_fail: Iterable[BoolCondition] = (),
+) -> Conjunction | None:
+    """Satisfy ``hard``, every condition in ``must_hold`` and the negation of
+    every condition in ``must_fail``.
+
+    ``must_hold`` conditions contribute a choice of one DNF disjunct each;
+    ``must_fail`` conditions contribute, per DNF disjunct, a clause of
+    negated atoms (at least one atom of the disjunct must be violated).
+    """
+    if not hard.is_satisfiable():
+        return None
+    hold_dnfs = [cond.to_dnf() for cond in must_hold]
+    clauses: list[tuple[Atom, ...]] = []
+    for cond in must_fail:
+        for disjunct in cond.to_dnf():
+            clause = tuple(atom.negated() for atom in disjunct.atoms)
+            if not clause:
+                # Negating a trivially-true disjunct is impossible.
+                return None
+            clauses.append(clause)
+    return _solve_holds(hard, hold_dnfs, 0, clauses)
+
+
+def _solve_holds(
+    hard: Conjunction,
+    hold_dnfs: Sequence[tuple[Conjunction, ...]],
+    index: int,
+    clauses: Sequence[Sequence[Atom]],
+) -> Conjunction | None:
+    if index == len(hold_dnfs):
+        return solve_atom_cnf(hard, clauses)
+    for disjunct in hold_dnfs[index]:
+        extended = hard.and_also(disjunct)
+        if extended.is_satisfiable():
+            result = _solve_holds(extended, hold_dnfs, index + 1, clauses)
+            if result is not None:
+                return result
+    return None
+
+
+def witness_valuation(
+    conjunction: Conjunction,
+    variables: Iterable[Variable] = (),
+    avoid: Iterable[Constant] = (),
+) -> Valuation:
+    """A concrete valuation satisfying a satisfiable conjunction.
+
+    Solves the equalities into a unifier, then maps every remaining
+    variable class to its own fresh constant — fresh constants trivially
+    satisfy all residual inequalities.  ``variables`` may list extra
+    variables that must be covered even if unconstrained.
+    """
+    solved = conjunction.solve()
+    if solved is None:
+        raise ValueError(f"conjunction is unsatisfiable: {conjunction}")
+    mgu, residual = solved
+    all_vars = set(variables) | conjunction.variables()
+    pending = sorted(
+        {v for v in all_vars if not isinstance(mgu.get(v, v), Constant)},
+        key=lambda v: v.name,
+    )
+    # Representative variables get fresh constants; mapped variables follow
+    # their representative.
+    reps = sorted({mgu.get(v, v) for v in pending}, key=lambda t: t.sort_key())
+    avoid_all = set(avoid) | conjunction.constants()
+    fresh = fresh_constants(len(reps), avoid=avoid_all, prefix="@w")
+    rep_value = dict(zip(reps, fresh))
+    assignment: dict[Variable, Constant] = {}
+    for var in all_vars:
+        target = mgu.get(var, var)
+        if isinstance(target, Constant):
+            assignment[var] = target
+        else:
+            assignment[var] = rep_value[target]
+    return Valuation(assignment)

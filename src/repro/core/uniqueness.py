@@ -1,0 +1,303 @@
+"""The uniqueness problem UNIQ(q0): is ``q0(rep(T0))`` exactly ``{I}``?
+
+Procedures matching the paper's classification (Theorem 3.2):
+
+* :func:`uniqueness_gtable` — PTIME for g-table vectors and the identity
+  query (Theorem 3.2(1)): incorporate the global equalities, then unique
+  iff the condition is satisfiable and the matrix *is* the instance.
+* :func:`uniqueness_posexist_etable` — PTIME for positive existential
+  queries on e-table vectors (Theorem 3.2(2)): fold the query into a
+  c-table via the algebra of [Imielinski-Lipski 84], then check that every
+  fact of I is certain and every possible tuple lies in I.
+* :func:`uniqueness_search` — the general coNP procedure for c-tables and
+  the identity query, decomposed as: I is a member, no world has a tuple
+  outside I (the *escape* test, polynomial), and no world misses a tuple of
+  I (a condition-system search per fact).
+* :func:`uniqueness_enumerate` — the generic fallback for arbitrary views
+  (Proposition 2.1(3)): enumerate the canonical worlds and compare.
+
+Theorem 3.2(3,4) show the last two are unavoidable: coNP-hardness already
+holds for a single c-table, and for a positive existential query with
+``!=`` applied to a Codd-table.
+"""
+
+from __future__ import annotations
+
+from ..queries.base import IdentityQuery, Query
+from ..queries.rules import UCQQuery
+from ..relational.instance import Fact, Instance
+from .conditions import BoolAtom, BoolAnd, BoolCondition, Conjunction, Eq
+from .membership import is_member
+from .normalize import UnsatisfiableTable, normalize_database
+from .search import solve_condition_system
+from .tables import CTable, Row, TableDatabase
+from .terms import Constant, Term, Variable, is_fact
+from .worlds import iter_worlds
+
+__all__ = [
+    "is_unique",
+    "uniqueness_gtable",
+    "uniqueness_posexist_etable",
+    "uniqueness_search",
+    "uniqueness_ucq_view",
+    "uniqueness_enumerate",
+    "producing_condition",
+]
+
+
+def is_unique(
+    instance: Instance,
+    db: TableDatabase,
+    query: Query | None = None,
+    method: str = "auto",
+) -> bool:
+    """Decide ``q0(rep(db)) == {instance}`` with the best applicable procedure."""
+    identity = query is None or isinstance(query, IdentityQuery)
+    if method == "gtable":
+        return uniqueness_gtable(instance, db)
+    if method == "posexist":
+        if not isinstance(query, UCQQuery):
+            raise ValueError("the pos-exist procedure needs a UCQQuery")
+        return uniqueness_posexist_etable(instance, db, query)
+    if method == "search":
+        if not identity:
+            raise ValueError("uniqueness_search handles the identity query only")
+        return uniqueness_search(instance, db)
+    if method == "enumerate":
+        return uniqueness_enumerate(instance, db, query)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    if identity:
+        if db.is_g_database():
+            return uniqueness_gtable(instance, db)
+        return uniqueness_search(instance, db)
+    if (
+        isinstance(query, UCQQuery)
+        and query.is_positive_existential()
+        and db.classify() in ("codd", "e")
+    ):
+        return uniqueness_posexist_etable(instance, db, query)
+    if isinstance(query, UCQQuery):
+        return uniqueness_ucq_view(instance, db, query)
+    return uniqueness_enumerate(instance, db, query)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.2(1): g-tables in PTIME
+# ---------------------------------------------------------------------------
+
+
+def uniqueness_gtable(instance: Instance, db: TableDatabase) -> bool:
+    """PTIME uniqueness for g-table vectors (identity query).
+
+    After incorporating the equalities implied by the global condition,
+    ``rep`` is a singleton iff the condition is satisfiable and the matrix
+    coincides with the instance — any remaining matrix variable can take
+    two different values (the domain is infinite, and inequalities never
+    pin a variable), producing two different worlds.
+    """
+    if not db.is_g_database():
+        raise ValueError("uniqueness_gtable requires a g-table vector")
+    if set(instance.names()) != set(db.names()):
+        return False
+    try:
+        db = normalize_database(db)
+    except UnsatisfiableTable:
+        return False  # rep is empty, never a singleton.
+    for table in db.tables():
+        facts: set[Fact] = set()
+        for row in table.rows:
+            if not is_fact(row.terms):
+                return False
+            facts.add(tuple(row.terms))  # type: ignore[arg-type]
+        if facts != instance[table.name].facts:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.2(2): positive existential queries on e-tables in PTIME
+# ---------------------------------------------------------------------------
+
+
+def uniqueness_posexist_etable(
+    instance: Instance, db: TableDatabase, query: UCQQuery
+) -> bool:
+    """PTIME uniqueness for positive existential views of e-tables.
+
+    Following the proof of Theorem 3.2(2): materialise the view as a
+    c-table (step (a), via :func:`repro.ctalgebra.apply_ucq`), then
+
+    * (alpha) every fact of the instance is *certain* — with equality-only
+      conditions, certain facts are exactly the all-constant rows whose
+      local condition has an identically-true disjunct (witnessed by the
+      valuation sending every variable to a distinct fresh constant);
+    * (beta) every *possible* tuple is in the instance — each satisfiable
+      disjunct, solved into a unifier and applied to its row, must ground
+      the row to a fact of the instance.
+
+    Both directions together force every world to equal the instance.
+    """
+    from ..ctalgebra.ucq import apply_ucq
+
+    if not query.is_positive_existential():
+        raise ValueError("query must be positive existential (no !=)")
+    if db.classify() not in ("codd", "e"):
+        raise ValueError("uniqueness_posexist_etable requires e-tables")
+    view = apply_ucq(query, db)
+    if set(instance.names()) != set(view.names()):
+        return False
+    # (alpha): every instance fact is certain.
+    for table in view.tables():
+        certain: set[Fact] = set()
+        for row in table.rows:
+            if not is_fact(row.terms):
+                continue
+            for disjunct in row.condition_dnf():
+                if all(atom.is_trivially_true() for atom in disjunct.atoms):
+                    certain.add(tuple(row.terms))  # type: ignore[arg-type]
+                    break
+        if not instance[table.name].facts <= certain:
+            return False
+    # (beta): every possible tuple is an instance fact.
+    for table in view.tables():
+        target = instance[table.name].facts
+        for row in table.rows:
+            for disjunct in row.condition_dnf():
+                solved = disjunct.solve()
+                if solved is None:
+                    continue
+                mgu, _residual = solved
+                grounded = tuple(
+                    mgu.get(t, t) if isinstance(t, Variable) else t for t in row.terms
+                )
+                if not is_fact(grounded) or tuple(grounded) not in target:
+                    return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# General c-tables (identity): the structured coNP procedure
+# ---------------------------------------------------------------------------
+
+
+def producing_condition(row: Row, fact: Fact) -> BoolCondition | None:
+    """The condition under which ``row`` instantiates to ``fact``.
+
+    Conjoins the row's local condition with the equalities matching its
+    terms to the fact.  Returns None when the match is syntactically
+    impossible (two distinct constants aligned).
+    """
+    atoms = []
+    for term, value in zip(row.terms, fact):
+        if isinstance(term, Constant):
+            if term != value:
+                return None
+        else:
+            atoms.append(BoolAtom(Eq(term, value)))
+    if not atoms:
+        return row.condition
+    return BoolAnd(tuple(atoms)).and_(row.condition)
+
+
+def world_with_extra_tuple(db: TableDatabase, instance: Instance) -> bool:
+    """Is there a world containing a tuple outside ``instance``?  (PTIME.)
+
+    For each row and each disjunct of its local condition: solve the global
+    condition conjoined with the disjunct; if consistent, the row grounded
+    through the unifier either keeps a variable (a generic valuation then
+    drives it to a fresh constant outside the instance) or is a fact — an
+    escape iff that fact is not in the instance.
+    """
+    glob = db.global_condition()
+    for table in db.tables():
+        target = instance[table.name].facts
+        for row in table.rows:
+            for disjunct in row.condition_dnf():
+                solved = glob.and_also(disjunct).solve()
+                if solved is None:
+                    continue
+                mgu, _residual = solved
+                grounded = tuple(
+                    mgu.get(t, t) if isinstance(t, Variable) else t for t in row.terms
+                )
+                if not is_fact(grounded):
+                    return True
+                if tuple(grounded) not in target:
+                    return True
+    return False
+
+
+def world_missing_fact(db: TableDatabase, instance: Instance) -> bool:
+    """Is there a world missing some fact of ``instance``?  (NP search.)
+
+    Per fact, ask the condition solver for a valuation satisfying the
+    global condition under which *no* row produces the fact.
+    """
+    glob = db.global_condition()
+    for table in db.tables():
+        for fact in instance[table.name].facts:
+            producers = []
+            for row in table.rows:
+                cond = producing_condition(row, fact)
+                if cond is not None:
+                    producers.append(cond)
+            if solve_condition_system(glob, must_fail=producers) is not None:
+                return True
+    return False
+
+
+def uniqueness_search(instance: Instance, db: TableDatabase) -> bool:
+    """Structured coNP uniqueness for arbitrary c-table vectors.
+
+    ``rep(db) == {I}`` iff (i) the global condition is satisfiable, (ii) no
+    world has an extra tuple, (iii) no world misses a fact of I, and (iv) I
+    is a member.  Given (ii) and (iii), every world equals I, so (iv) only
+    guards against the empty ``rep``; it is implied by (i) here but kept
+    for clarity on vectors with dangling condition variables.
+    """
+    if set(instance.names()) != set(db.names()):
+        return False
+    if not db.global_condition().is_satisfiable():
+        return False
+    if world_with_extra_tuple(db, instance):
+        return False
+    if world_missing_fact(db, instance):
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# UCQ views: fold the query, then run the structured procedure
+# ---------------------------------------------------------------------------
+
+
+def uniqueness_ucq_view(
+    instance: Instance, db: TableDatabase, query: UCQQuery
+) -> bool:
+    """UNIQ(q0) for a UCQ view (``!=`` allowed) via the c-table algebra.
+
+    ``rep(apply_ucq(q0, db)) == q0(rep(db))`` world-for-world, so view
+    uniqueness reduces to identity uniqueness on the folded database and is
+    decided by :func:`uniqueness_search` without valuation enumeration.
+    """
+    from ..ctalgebra.ucq import apply_ucq
+
+    return uniqueness_search(instance, apply_ucq(query, db))
+
+
+# ---------------------------------------------------------------------------
+# Views: the generic coNP procedure of Proposition 2.1(3)
+# ---------------------------------------------------------------------------
+
+
+def uniqueness_enumerate(
+    instance: Instance, db: TableDatabase, query: Query | None
+) -> bool:
+    """UNIQ(q0) by canonical-world enumeration."""
+    found = False
+    for world in iter_worlds(db, query, extra_constants=instance.constants()):
+        if world != instance:
+            return False
+        found = True
+    return found

@@ -1,0 +1,177 @@
+"""Valuations and their finite enumeration.
+
+A *valuation* maps variables to constants (and fixes every constant).
+Applying a valuation to a c-table database produces one possible world
+(Definition 2.2 of the paper).
+
+The number of valuations is infinite, but Proposition 2.1 observes that only
+finitely many are pairwise non-isomorphic: it suffices to consider values in
+|Delta| (the constants of all the inputs) union |Delta'| (fresh constants,
+one per variable).  :func:`iter_canonical_valuations` enumerates exactly one
+representative per isomorphism class over the fresh constants by the
+*restricted growth* discipline: the i-th fresh constant may be used only
+after the (i-1)-th has appeared.  This cuts the enumeration from
+``(d+n)^n`` to ``sum_k S(n,k) d^(n-k)``-ish without losing any world shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..relational.instance import Instance, Relation
+from .tables import CTable, TableDatabase
+from .terms import Constant, Term, Variable, fresh_constants
+
+__all__ = [
+    "Valuation",
+    "iter_valuations",
+    "iter_canonical_valuations",
+    "freeze_variables",
+]
+
+
+class Valuation(Mapping[Variable, Constant]):
+    """An immutable variable-to-constant assignment.
+
+    Lookup through ``__call__`` extends the assignment to the identity on
+    constants, as in the paper's definition ("sigma(c) = c for each
+    constant").
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Variable, Constant]) -> None:
+        checked = {}
+        for var, val in mapping.items():
+            if not isinstance(var, Variable):
+                raise TypeError(f"valuation key must be a Variable: {var!r}")
+            if not isinstance(val, Constant):
+                raise TypeError(f"valuation value must be a Constant: {val!r}")
+            checked[var] = val
+        object.__setattr__(self, "_mapping", checked)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Valuation is immutable")
+
+    # -- mapping protocol ---------------------------------------------------------
+
+    def __getitem__(self, var: Variable) -> Constant:
+        return self._mapping[var]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{v}={c}" for v, c in sorted(self._mapping.items(), key=lambda kv: kv[0].name))
+        return f"Valuation({{{body}}})"
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Valuation) and self._mapping == other._mapping
+
+    # -- application ----------------------------------------------------------------
+
+    def __call__(self, term: Term) -> Constant:
+        if isinstance(term, Constant):
+            return term
+        value = self._mapping.get(term)
+        if value is None:
+            raise KeyError(f"valuation does not cover variable {term}")
+        return value
+
+    def apply_tuple(self, terms: Sequence[Term]) -> tuple[Constant, ...]:
+        return tuple(self(t) for t in terms)
+
+    def apply_table(self, table: CTable) -> Relation:
+        """Instantiate a c-table: keep rows whose local condition holds.
+
+        The *global* condition is not checked here — use
+        :meth:`satisfies_global` or :func:`repro.core.worlds.world_of`.
+        """
+        facts = [
+            self.apply_tuple(row.terms)
+            for row in table.rows
+            if row.condition.satisfied_by(self)
+        ]
+        return Relation(table.arity, facts)
+
+    def apply_database(self, db: TableDatabase) -> Instance:
+        return Instance({t.name: self.apply_table(t) for t in db.tables()})
+
+    def satisfies_global(self, db: TableDatabase) -> bool:
+        return db.global_condition().satisfied_by(self)
+
+    def extended(self, more: Mapping[Variable, Constant]) -> "Valuation":
+        merged = dict(self._mapping)
+        merged.update(more)
+        return Valuation(merged)
+
+
+def iter_valuations(
+    variables: Iterable[Variable], domain: Sequence[Constant]
+) -> Iterator[Valuation]:
+    """All valuations of ``variables`` into ``domain`` (plain product)."""
+    ordered = sorted(set(variables), key=lambda v: v.name)
+    if not ordered:
+        yield Valuation({})
+        return
+    for values in itertools.product(domain, repeat=len(ordered)):
+        yield Valuation(dict(zip(ordered, values)))
+
+
+def iter_canonical_valuations(
+    variables: Iterable[Variable],
+    base_constants: Iterable[Constant],
+    fresh_prefix: str = "@f",
+) -> Iterator[Valuation]:
+    """Valuations into |Delta| union |Delta'|, one per isomorphism class.
+
+    ``base_constants`` is |Delta|; |Delta'| consists of fresh constants
+    ``@f0, @f1, ...`` (one per variable).  Fresh constants are introduced in
+    order: a valuation may map a variable to ``@f(k)`` only if ``@f(k-1)``
+    already appears among the values of the (alphabetically) earlier
+    variables.  Every possible world over any constants is isomorphic, via a
+    bijection fixing |Delta|, to a world produced by one of these
+    valuations; this is exactly the observation in the proof of
+    Proposition 2.1.
+    """
+    ordered = sorted(set(variables), key=lambda v: v.name)
+    base = sorted(set(base_constants), key=Constant.sort_key)
+    fresh = fresh_constants(len(ordered), avoid=base, prefix=fresh_prefix)
+
+    def recurse(index: int, used_fresh: int, acc: dict[Variable, Constant]):
+        if index == len(ordered):
+            yield Valuation(acc)
+            return
+        var = ordered[index]
+        for value in base:
+            acc[var] = value
+            yield from recurse(index + 1, used_fresh, acc)
+        for j in range(min(used_fresh + 1, len(fresh))):
+            acc[var] = fresh[j]
+            yield from recurse(index + 1, max(used_fresh, j + 1), acc)
+        acc.pop(var, None)
+
+    yield from recurse(0, 0, {})
+
+
+def freeze_variables(
+    variables: Iterable[Variable],
+    avoid: Iterable[Constant] = (),
+    prefix: str = "@a",
+) -> Valuation:
+    """Map each variable to its own distinct fresh constant.
+
+    This is the *freeze* of the Claim in Theorem 4.1: replacing each
+    occurrence of each variable x by a fresh constant ``a_x``.  The frozen
+    instance is the canonical "most generic" world of a table.
+    """
+    ordered = sorted(set(variables), key=lambda v: v.name)
+    constants = fresh_constants(len(ordered), avoid=avoid, prefix=prefix)
+    return Valuation(dict(zip(ordered, constants)))

@@ -1,0 +1,205 @@
+"""Reference possible-world semantics: ``rep(T)`` by enumeration.
+
+``rep`` of a c-table database is the set of instances obtained from
+satisfying valuations (Definition 2.2).  The set is infinite whenever a
+variable is unconstrained, so this module enumerates worlds produced by the
+*canonical* valuations of Proposition 2.1 (values in the input constants
+|Delta| plus canonically-ordered fresh constants |Delta'|).  Every world is
+isomorphic — by a bijection fixing |Delta| — to an enumerated one.
+
+This is the specification-level semantics: exponential, obviously correct,
+and used throughout the test suite as the oracle against which the efficient
+algorithms of :mod:`repro.core.membership`, :mod:`repro.core.containment`
+etc. are validated.  It is also the honest implementation of the paper's
+generic upper-bound procedures (NP / coNP / Pi2p by guessing or iterating
+over valuations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..queries.base import IDENTITY, Query
+from ..relational.instance import Instance
+from .tables import TableDatabase
+from .terms import Constant
+from .valuations import Valuation, iter_canonical_valuations
+
+__all__ = [
+    "iter_satisfying_valuations",
+    "iter_worlds",
+    "enumerate_worlds",
+    "world_of",
+    "any_world",
+    "every_world",
+    "representation_domain",
+]
+
+
+def representation_domain(
+    db: TableDatabase,
+    query: Query | None = None,
+    extra_constants: Iterable[Constant] = (),
+) -> set[Constant]:
+    """|Delta|: the constants of the database, the query and the context.
+
+    The context constants (``extra_constants``) are those of the other
+    problem inputs — the candidate instance of MEMB, the fact set of POSS,
+    the other database of CONT — as in the proof of Proposition 2.1.
+    """
+    domain = set(db.constants()) | set(extra_constants)
+    if query is not None:
+        domain |= query.constants()
+    return domain
+
+
+def world_of(db: TableDatabase, valuation: Valuation) -> Instance | None:
+    """The world of one valuation, or None if the global condition fails."""
+    if not valuation.satisfies_global(db):
+        return None
+    return valuation.apply_database(db)
+
+
+def iter_satisfying_valuations(
+    db: TableDatabase,
+    extra_constants: Iterable[Constant] = (),
+    query: Query | None = None,
+) -> Iterator[Valuation]:
+    """Canonical valuations of all database variables satisfying the global
+    condition."""
+    domain = representation_domain(db, query, extra_constants)
+    for valuation in iter_canonical_valuations(db.variables(), domain):
+        if valuation.satisfies_global(db):
+            yield valuation
+
+
+def iter_worlds(
+    db: TableDatabase,
+    query: Query | None = None,
+    extra_constants: Iterable[Constant] = (),
+    deduplicate: bool = True,
+) -> Iterator[Instance]:
+    """Enumerate the possible worlds of ``q(rep(db))``.
+
+    With ``query`` (a view), each world is pushed through the query first —
+    the paper's ``q(rep(T))``.  ``deduplicate`` suppresses worlds equal as
+    instances (different valuations often produce the same world).
+    """
+    q = query if query is not None else IDENTITY
+    seen: set[Instance] = set()
+    for valuation in iter_satisfying_valuations(db, extra_constants, query):
+        world = q(valuation.apply_database(db))
+        if deduplicate:
+            if world in seen:
+                continue
+            seen.add(world)
+        yield world
+
+
+def enumerate_worlds(
+    db: TableDatabase,
+    query: Query | None = None,
+    extra_constants: Iterable[Constant] = (),
+) -> set[Instance]:
+    """The canonical finite representation of ``q(rep(db))`` as a set."""
+    return set(iter_worlds(db, query, extra_constants))
+
+
+def any_world(
+    db: TableDatabase,
+    predicate: Callable[[Instance], bool],
+    query: Query | None = None,
+    extra_constants: Iterable[Constant] = (),
+) -> Instance | None:
+    """First world satisfying ``predicate``, or None.
+
+    The workhorse of the brute-force NP upper bounds: "guess a valuation
+    such that ...".
+    """
+    for world in iter_worlds(db, query, extra_constants):
+        if predicate(world):
+            return world
+    return None
+
+
+def every_world(
+    db: TableDatabase,
+    predicate: Callable[[Instance], bool],
+    query: Query | None = None,
+    extra_constants: Iterable[Constant] = (),
+) -> bool:
+    """Whether ``predicate`` holds in all worlds (coNP upper bounds)."""
+    return all(
+        predicate(world) for world in iter_worlds(db, query, extra_constants)
+    )
+
+
+def canonicalize_instance(
+    instance: Instance, protected: Iterable[Constant]
+) -> Instance:
+    """Rename the non-protected constants to a canonical sequence.
+
+    Two enumerations of the "same" set of worlds may use fresh constants
+    with different indices (e.g. when one representation mentions fewer
+    variables).  Renaming every constant outside ``protected`` to ``@n0,
+    @n1, ...`` in order of first appearance (over the sorted facts) yields
+    a canonical representative of the world's isomorphism class over the
+    fresh constants — equality of canonicalised world sets is equality of
+    the represented sets of worlds up to the |Delta|-fixing bijections of
+    Proposition 2.1.
+    """
+    keep = set(protected)
+    mapping: dict[Constant, Constant] = {}
+    for name in sorted(instance.names()):
+        for fact in sorted(
+            instance[name].facts, key=lambda f: [c.sort_key() for c in f]
+        ):
+            for constant in fact:
+                if constant in keep or constant in mapping:
+                    continue
+                mapping[constant] = Constant(f"@n{len(mapping)}")
+    return instance.rename(mapping)
+
+
+def strong_canonicalize(
+    instance: Instance, protected: Iterable[Constant]
+) -> Instance:
+    """A true canonical form under renaming of non-protected constants.
+
+    :func:`canonicalize_instance` renames by first appearance, which is
+    cheap but not invariant: renaming can flip the sort order of facts, so
+    two isomorphic instances may canonicalise differently.  This variant
+    takes the minimum over *all* assignments of canonical names to the
+    non-protected constants -- factorially expensive in their number, so
+    it is meant for specification-level testing on small worlds, where it
+    makes world-set equality exactly "equality up to |Delta|-fixing
+    bijections".
+    """
+    import itertools as _it
+
+    keep = set(protected)
+    free = sorted(
+        {c for c in instance.constants() if c not in keep}, key=Constant.sort_key
+    )
+    if not free:
+        return instance
+    fresh = [Constant(f"@n{i}") for i in range(len(free))]
+    best: tuple | None = None
+    best_instance = instance
+    for perm in _it.permutations(fresh):
+        renamed = instance.rename(dict(zip(free, perm)))
+        key = tuple(
+            (
+                name,
+                tuple(
+                    sorted(
+                        (tuple(c.sort_key() for c in fact) for fact in renamed[name]),
+                    )
+                ),
+            )
+            for name in sorted(renamed.names())
+        )
+        if best is None or key < best:
+            best = key
+            best_instance = renamed
+    return best_instance

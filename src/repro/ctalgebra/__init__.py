@@ -1,0 +1,30 @@
+"""The c-table algebra: queries folded into representations.
+
+c-tables are a *representation system*: positive existential queries (and,
+with the difference extension, full relational algebra) applied to c-table
+databases are again representable as c-tables of polynomial size.
+"""
+
+from .evaluate import evaluate_ct, evaluate_ct_database
+from .operators import (
+    difference_ct,
+    intersect_ct,
+    product_ct,
+    project_ct,
+    select_ct,
+    union_ct,
+)
+from .ucq import apply_rule, apply_ucq
+
+__all__ = [
+    "apply_ucq",
+    "apply_rule",
+    "evaluate_ct",
+    "evaluate_ct_database",
+    "select_ct",
+    "project_ct",
+    "product_ct",
+    "union_ct",
+    "intersect_ct",
+    "difference_ct",
+]

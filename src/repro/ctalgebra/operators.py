@@ -1,0 +1,222 @@
+"""The c-table algebra: relational operators lifted to conditioned tables.
+
+Each operator manipulates rows and conditions so that ``rep`` commutes with
+the operator ([Imielinski-Lipski 84]'s "c-table manipulation rules", cited
+by the paper in the proofs of Theorems 3.2(2), 4.2(3) and 5.2(1)):
+
+* **select** conjoins the selection atoms onto each row's local condition;
+* **project** rewrites the terms, carrying conditions along;
+* **product** concatenates row pairs and conjoins their conditions;
+* **union** concatenates the row lists;
+* **difference** (the extension beyond positive existential) keeps a left
+  row under the additional condition that no right row *both* matches it
+  and is itself present — expressible because conditions negate cleanly
+  into conditions (atoms flip between ``=`` and ``!=``).
+
+Positive operators never grow conditions beyond polynomial size for a
+fixed expression; difference multiplies condition size by the right-hand
+row count, still polynomial for fixed queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.conditions import (
+    BOOL_TRUE,
+    Atom as CondAtom,
+    BoolAtom,
+    BoolAnd,
+    BoolCondition,
+    BoolOr,
+    Eq,
+    Neq,
+)
+from ..core.tables import CTable, Row
+from ..relational.algebra import (
+    ColEq,
+    ColEqConst,
+    ColNeq,
+    ColNeqConst,
+    Predicate,
+)
+
+__all__ = [
+    "select_ct",
+    "project_ct",
+    "product_ct",
+    "union_ct",
+    "intersect_ct",
+    "difference_ct",
+]
+
+
+def _predicate_atom(predicate: Predicate, terms: Sequence) -> CondAtom:
+    """Translate a positional predicate into a condition atom over terms."""
+    if isinstance(predicate, ColEq):
+        return Eq(terms[predicate.left], terms[predicate.right])
+    if isinstance(predicate, ColNeq):
+        return Neq(terms[predicate.left], terms[predicate.right])
+    if isinstance(predicate, ColEqConst):
+        return Eq(terms[predicate.column], predicate.constant)
+    if isinstance(predicate, ColNeqConst):
+        return Neq(terms[predicate.column], predicate.constant)
+    raise TypeError(f"unknown predicate {predicate!r}")
+
+
+def _with_condition(terms: tuple, parts: list[BoolCondition]) -> Row | None:
+    """Build a row, flattening conditions; None when trivially impossible."""
+    flat: list[BoolCondition] = []
+    for part in parts:
+        if isinstance(part, BoolAtom):
+            if part.atom.is_trivially_false():
+                return None
+            if part.atom.is_trivially_true():
+                continue
+        if part == BOOL_TRUE:
+            continue
+        flat.append(part)
+    if not flat:
+        return Row(terms)
+    return Row(terms, BoolAnd(tuple(flat)).flattened())
+
+
+def select_ct(table: CTable, predicates: Iterable[Predicate], name: str | None = None) -> CTable:
+    """Selection: push each predicate into the local conditions."""
+    preds = list(predicates)
+    rows = []
+    for row in table.rows:
+        parts: list[BoolCondition] = [row.condition]
+        dead = False
+        for predicate in preds:
+            atom = _predicate_atom(predicate, row.terms)
+            if atom.is_trivially_false():
+                dead = True
+                break
+            if not atom.is_trivially_true():
+                parts.append(BoolAtom(atom))
+        if dead:
+            continue
+        built = _with_condition(row.terms, parts)
+        if built is not None:
+            rows.append(built)
+    return CTable(name or table.name, table.arity, rows, table.global_condition)
+
+
+def project_ct(table: CTable, columns: Sequence[int], name: str | None = None) -> CTable:
+    """Projection (with duplication/permutation, covering renaming)."""
+    cols = [int(c) for c in columns]
+    for col in cols:
+        if not 0 <= col < table.arity:
+            raise ValueError(f"projection column {col} out of range")
+    rows = [
+        Row(tuple(row.terms[c] for c in cols), row.condition) for row in table.rows
+    ]
+    return CTable(name or table.name, len(cols), rows, table.global_condition)
+
+
+def product_ct(left: CTable, right: CTable, name: str = "product") -> CTable:
+    """Cartesian product: concatenate rows, conjoin conditions."""
+    rows = []
+    for lrow in left.rows:
+        for rrow in right.rows:
+            built = _with_condition(
+                lrow.terms + rrow.terms, [lrow.condition, rrow.condition]
+            )
+            if built is not None:
+                rows.append(built)
+    return CTable(
+        name,
+        left.arity + right.arity,
+        rows,
+        left.global_condition.and_also(right.global_condition),
+    )
+
+
+def union_ct(left: CTable, right: CTable, name: str = "union") -> CTable:
+    """Union: concatenate the row lists."""
+    if left.arity != right.arity:
+        raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
+    return CTable(
+        name,
+        left.arity,
+        list(left.rows) + list(right.rows),
+        left.global_condition.and_also(right.global_condition),
+    )
+
+
+def _match_condition(lrow: Row, rrow: Row) -> BoolCondition | None:
+    """Condition under which the two rows denote the same tuple and the
+    right row is present.  None when syntactically impossible."""
+    atoms: list[BoolCondition] = []
+    for a, b in zip(lrow.terms, rrow.terms):
+        eq = Eq(a, b)
+        if eq.is_trivially_false():
+            return None
+        if not eq.is_trivially_true():
+            atoms.append(BoolAtom(eq))
+    if rrow.condition != BOOL_TRUE:
+        atoms.append(rrow.condition)
+    if not atoms:
+        return BOOL_TRUE
+    return BoolAnd(tuple(atoms)).flattened()
+
+
+def intersect_ct(left: CTable, right: CTable, name: str = "intersect") -> CTable:
+    """Intersection: a left row survives iff some right row matches it."""
+    if left.arity != right.arity:
+        raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
+    rows = []
+    for lrow in left.rows:
+        matches = [
+            cond
+            for rrow in right.rows
+            if (cond := _match_condition(lrow, rrow)) is not None
+        ]
+        if not matches:
+            continue
+        disjunction: BoolCondition = (
+            matches[0] if len(matches) == 1 else BoolOr(tuple(matches)).flattened()
+        )
+        built = _with_condition(lrow.terms, [lrow.condition, disjunction])
+        if built is not None:
+            rows.append(built)
+    return CTable(
+        name,
+        left.arity,
+        rows,
+        left.global_condition.and_also(right.global_condition),
+    )
+
+
+def difference_ct(left: CTable, right: CTable, name: str = "difference") -> CTable:
+    """Difference: a left row survives iff *no* right row matches it.
+
+    This is the Imielinski-Lipski extension that closes c-tables under the
+    full relational algebra; negation normal form keeps the condition a
+    positive and/or tree of atoms.
+    """
+    if left.arity != right.arity:
+        raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
+    rows = []
+    for lrow in left.rows:
+        parts: list[BoolCondition] = [lrow.condition]
+        for rrow in right.rows:
+            cond = _match_condition(lrow, rrow)
+            if cond is None:
+                continue
+            if cond == BOOL_TRUE:
+                parts = None  # type: ignore[assignment]
+                break
+            parts.append(cond.negated())
+        if parts is None:
+            continue
+        built = _with_condition(lrow.terms, parts)
+        if built is not None:
+            rows.append(built)
+    return CTable(
+        name,
+        left.arity,
+        rows,
+        left.global_condition.and_also(right.global_condition),
+    )

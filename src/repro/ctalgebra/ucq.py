@@ -1,0 +1,122 @@
+"""Applying positive existential queries to c-tables, staying in c-tables.
+
+This is the *algebraic completeness* of c-tables ([Imielinski-Lipski 84])
+that powers Theorem 3.2(2) and Theorem 5.2(1): a fixed positive existential
+query applied to a c-table database is representable by another c-table of
+polynomial size, computed here directly from the UCQ normal form.
+
+For each rule and each combination of rows instantiating its body atoms,
+the output c-table receives one row whose
+
+* terms are the head terms resolved through the matching (query variables
+  become the table terms they were matched to);
+* local condition conjoins the local conditions of the used rows with the
+  equality atoms induced by repeated query variables / query constants and
+  the rule's side conditions (``=`` and, for the extended fragment, ``!=``).
+
+The global condition of the result is the input database's global
+condition, so ``rep`` commutes with the query:
+
+    rep(apply_ucq(q, D)) == { q(I) : I in rep(D) }
+
+which the test suite verifies against the enumeration semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..core.conditions import (
+    BOOL_TRUE,
+    BoolAtom,
+    BoolAnd,
+    BoolCondition,
+    Eq,
+)
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import Constant, Term, Variable
+from ..queries.rules import Rule, UCQQuery
+
+__all__ = ["apply_ucq", "apply_rule"]
+
+
+def apply_ucq(query: UCQQuery, db: TableDatabase) -> TableDatabase:
+    """Fold a UCQ (possibly with ``!=`` side conditions) into c-tables.
+
+    Output: one c-table per head predicate; the database-level extra
+    condition carries the input's global condition.
+    """
+    arities = {rule.head.pred: rule.head.arity for rule in query.rules}
+    rows: dict[str, list[Row]] = {name: [] for name in arities}
+    for rule in query.rules:
+        rows[rule.head.pred].extend(apply_rule(rule, db))
+    tables = [
+        CTable(name, arities[name], rows[name]) for name in arities
+    ]
+    return TableDatabase(tables, db.global_condition())
+
+
+def apply_rule(rule: Rule, db: TableDatabase) -> Iterable[Row]:
+    """The output rows contributed by one conjunctive rule."""
+    sources: list[CTable] = []
+    for body_atom in rule.body:
+        if body_atom.pred not in db:
+            return []  # a missing relation matches nothing
+        table = db[body_atom.pred]
+        if table.arity != body_atom.arity:
+            raise ValueError(
+                f"atom {body_atom!r} has arity {body_atom.arity}, table "
+                f"{table.name!r} has {table.arity}"
+            )
+        sources.append(table)
+    out: list[Row] = []
+    for combo in itertools.product(*(t.rows for t in sources)):
+        row = _combine(rule, combo)
+        if row is not None:
+            out.append(row)
+    return out
+
+
+def _combine(rule: Rule, combo: tuple[Row, ...]) -> Row | None:
+    """Match a row combination against the rule body; build the output row."""
+    env: dict[Variable, Term] = {}
+    atoms: list[BoolAtom] = []
+
+    def add_equality(a: Term, b: Term) -> bool:
+        eq = Eq(a, b)
+        if eq.is_trivially_false():
+            return False
+        if not eq.is_trivially_true():
+            atoms.append(BoolAtom(eq))
+        return True
+
+    for body_atom, source_row in zip(rule.body, combo):
+        for query_term, table_term in zip(body_atom.terms, source_row.terms):
+            if isinstance(query_term, Constant):
+                if not add_equality(query_term, table_term):
+                    return None
+            else:
+                bound = env.get(query_term)
+                if bound is None:
+                    env[query_term] = table_term
+                elif not add_equality(bound, table_term):
+                    return None
+    # Side conditions over query variables, resolved through the matching.
+    for cond in rule.conditions:
+        resolved = cond.substitute(env)
+        if resolved.is_trivially_false():
+            return None
+        if not resolved.is_trivially_true():
+            atoms.append(BoolAtom(resolved))
+    head_terms = tuple(
+        env[t] if isinstance(t, Variable) else t for t in rule.head.terms
+    )
+    condition: BoolCondition = BOOL_TRUE
+    parts: list[BoolCondition] = list(atoms)
+    for source_row in combo:
+        if source_row.condition != BOOL_TRUE:
+            parts.append(source_row.condition)
+    if parts:
+        condition = BoolAnd(tuple(parts)).flattened()
+    return Row(head_terms, condition)

@@ -1,0 +1,30 @@
+"""Extensions beyond the paper's core framework.
+
+Section 6 lists open directions; this package implements the ones that
+compose cleanly with the table machinery:
+
+* :mod:`repro.extensions.maybe` -- *maybe-tuples* in the sense of
+  Zaniolo [18]: tuples whose very presence is unknown, not merely their
+  values.  Maybe-tables translate into c-tables by guard variables, so
+  every decision procedure of the core library applies unchanged.
+* :mod:`repro.extensions.updates` -- pointwise insert/delete/modify on
+  the set of possible worlds (Abiteboul–Grahne [1]); c-tables are closed
+  under all three via per-row condition rewrites.
+
+(The modal POSSIBLE/CERTAIN operators, the other Section 6 question, live
+in :mod:`repro.modal`; probabilistic c-tables, the modern descendant of
+this paper's formalism, live in :mod:`repro.prob`.)
+"""
+
+from .maybe import MaybeRow, MaybeTable, maybe_database, maybe_table
+from .updates import delete_fact, insert_fact, modify_fact
+
+__all__ = [
+    "MaybeRow",
+    "MaybeTable",
+    "maybe_table",
+    "maybe_database",
+    "insert_fact",
+    "delete_fact",
+    "modify_fact",
+]

@@ -1,0 +1,246 @@
+"""Maybe-tables: tuples whose presence is unknown (Zaniolo [18]).
+
+The paper's nulls are *values present but unknown*; Section 6 asks about
+nulls whose **presence** is also unknown.  A maybe-table partitions its
+rows into *sure* rows (in every possible world, after valuation) and
+*maybe* rows (each world includes an arbitrary subset)::
+
+    M = maybe_table("R", 2, sure=[(0, "?x")], maybe=[(1, 2), ("?y", 3)])
+
+so ``rep(M) = { sigma(sure) ∪ S : sigma a valuation, S ⊆ sigma(maybe) }``.
+
+Maybe-tables reduce to c-tables by the *guard-variable encoding*: each
+maybe row gets a fresh variable ``g`` and local condition ``g = 1``.
+Valuations are free to set ``g`` to 1 (row present) or anything else (row
+absent), and distinct guards choose independently, so the encoded c-table
+represents exactly the maybe-semantics.  The encoding is what makes the
+extension free: membership, uniqueness, containment, possibility and
+certainty all apply to :meth:`MaybeTable.to_ctable` output unchanged.
+
+Complexity note: the encoding produces genuine local conditions, so a
+maybe-table is a *c-table*, not a g-table -- certainty drops out of the
+Theorem 5.3(1) tractable case, which matches Zaniolo's observations on
+the cost of maybe-information.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from ..core.conditions import Conjunction, Eq, TRUE
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import Constant, Variable, as_term, fresh_variables
+from ..core.worlds import iter_satisfying_valuations
+from ..relational.instance import Instance, Relation
+
+__all__ = ["MaybeRow", "MaybeTable", "maybe_table", "maybe_database"]
+
+#: The guard constant: a guard row is present iff its guard equals this.
+_GUARD_VALUE = Constant(1)
+
+
+class MaybeRow:
+    """One row of a maybe-table: terms plus a sure/maybe flag."""
+
+    __slots__ = ("terms", "sure")
+
+    def __init__(self, terms: Iterable, sure: bool = True) -> None:
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+        object.__setattr__(self, "sure", bool(sure))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("MaybeRow is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MaybeRow)
+            and self.terms == other.terms
+            and self.sure == other.sure
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.terms, self.sure))
+
+    def __repr__(self) -> str:
+        body = ", ".join(map(str, self.terms))
+        return f"({body})" if self.sure else f"({body})?"
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Variable]:
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+
+class MaybeTable:
+    """A table with sure rows and maybe rows.
+
+    The matrix may contain nulls like any e-table (variables may repeat);
+    an optional global condition constrains the valuations exactly as in a
+    g-table.
+    """
+
+    __slots__ = ("name", "arity", "rows", "global_condition")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        rows: Iterable[MaybeRow],
+        global_condition: Conjunction = TRUE,
+    ) -> None:
+        checked: list[MaybeRow] = []
+        seen: set[MaybeRow] = set()
+        for row in rows:
+            if not isinstance(row, MaybeRow):
+                raise TypeError(f"not a MaybeRow: {row!r}")
+            if row.arity != arity:
+                raise ValueError(
+                    f"row {row!r} has arity {row.arity}, table {name!r} expects {arity}"
+                )
+            if row not in seen:
+                seen.add(row)
+                checked.append(row)
+        if not isinstance(global_condition, Conjunction):
+            raise TypeError("global condition must be a Conjunction")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arity", arity)
+        object.__setattr__(self, "rows", tuple(checked))
+        object.__setattr__(self, "global_condition", global_condition)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("MaybeTable is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MaybeTable)
+            and self.name == other.name
+            and self.arity == other.arity
+            and self.rows == other.rows
+            and self.global_condition == other.global_condition
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity, self.rows, self.global_condition))
+
+    def __repr__(self) -> str:
+        maybe = sum(1 for r in self.rows if not r.sure)
+        return (
+            f"MaybeTable({self.name!r}, arity={self.arity}, "
+            f"rows={len(self.rows)}, maybe={maybe})"
+        )
+
+    def __iter__(self) -> Iterator[MaybeRow]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- structure -----------------------------------------------------------
+
+    def sure_rows(self) -> tuple[MaybeRow, ...]:
+        return tuple(r for r in self.rows if r.sure)
+
+    def maybe_rows(self) -> tuple[MaybeRow, ...]:
+        return tuple(r for r in self.rows if not r.sure)
+
+    def variables(self) -> set[Variable]:
+        out = self.global_condition.variables()
+        for row in self.rows:
+            out |= row.variables()
+        return out
+
+    # -- the guard encoding ----------------------------------------------------
+
+    def to_ctable(self, guard_prefix: str = "@maybe") -> CTable:
+        """Encode as a c-table with one guard variable per maybe row.
+
+        Guards are fresh variables prefixed ``@maybe`` (the ``@`` keeps
+        them clear of application variables); a maybe row carries the
+        local condition ``guard = 1``.
+        """
+        guards = fresh_variables(guard_prefix, avoid=self.variables())
+        rows: list[Row] = []
+        for row in self.rows:
+            if row.sure:
+                rows.append(Row(row.terms))
+            else:
+                guard = next(guards)
+                rows.append(Row(row.terms, Conjunction([Eq(guard, _GUARD_VALUE)])))
+        return CTable(self.name, self.arity, rows, self.global_condition)
+
+    # -- reference semantics ------------------------------------------------------
+
+    def worlds(self) -> set[Instance]:
+        """Direct enumeration of ``rep``: the specification semantics.
+
+        Exponential in nulls and maybe rows; used to validate
+        :meth:`to_ctable` and only suitable for small tables.
+
+        The guard constant is added to the enumeration domain so the
+        canonical representatives coincide with those of the guard
+        encoding (``rep`` is closed under renaming fresh constants; fixing
+        the domain fixes one representative per isomorphism class).
+        """
+        base_db = TableDatabase.single(
+            CTable(
+                self.name,
+                self.arity,
+                [Row(r.terms) for r in self.rows],
+                self.global_condition,
+            )
+        )
+        out: set[Instance] = set()
+        maybe = self.maybe_rows()
+        extra = (_GUARD_VALUE,) if maybe else ()
+        for valuation in iter_satisfying_valuations(base_db, extra_constants=extra):
+            sure_facts = {
+                tuple(valuation(t) for t in row.terms) for row in self.sure_rows()
+            }
+            maybe_facts = [tuple(valuation(t) for t in row.terms) for row in maybe]
+            for mask in itertools.product((False, True), repeat=len(maybe_facts)):
+                chosen = {f for f, keep in zip(maybe_facts, mask) if keep}
+                out.add(
+                    Instance(
+                        {self.name: Relation(self.arity, sure_facts | chosen)}
+                    )
+                )
+        return out
+
+
+def maybe_table(
+    name: str,
+    arity: int,
+    sure: Iterable[Sequence] = (),
+    maybe: Iterable[Sequence] = (),
+    condition: Conjunction | str = TRUE,
+) -> MaybeTable:
+    """Build a :class:`MaybeTable` from plain term sequences.
+
+    >>> m = maybe_table("R", 2, sure=[(0, "?x")], maybe=[(1, 2)])
+    >>> len(m.sure_rows()), len(m.maybe_rows())
+    (1, 1)
+    """
+    from ..core.conditions import parse_conjunction
+
+    if isinstance(condition, str):
+        condition = parse_conjunction(condition)
+    rows = [MaybeRow(r, sure=True) for r in sure]
+    rows += [MaybeRow(r, sure=False) for r in maybe]
+    return MaybeTable(name, arity, rows, condition)
+
+
+def maybe_database(tables: Iterable[MaybeTable]) -> TableDatabase:
+    """Encode a vector of maybe-tables as a :class:`TableDatabase`.
+
+    Guard prefixes are numbered per table so guards never clash across the
+    vector.
+    """
+    encoded = []
+    for i, table in enumerate(tables):
+        if not isinstance(table, MaybeTable):
+            raise TypeError(f"not a MaybeTable: {table!r}")
+        encoded.append(table.to_ctable(guard_prefix=f"@maybe{i}_"))
+    return TableDatabase(encoded)

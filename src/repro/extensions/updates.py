@@ -1,0 +1,124 @@
+"""Updates on incomplete databases (Abiteboul–Grahne, reference [1]).
+
+The paper's reference [1] ("Update semantics for incomplete databases",
+VLDB 1985) studies how *insertions*, *deletions* and *modifications*
+behave on the table hierarchy.  The natural possible-worlds semantics is
+pointwise::
+
+    insert(t):  rep'  =  { I ∪ {t}  :  I ∈ rep }
+    delete(t):  rep'  =  { I - {t}  :  I ∈ rep }
+    modify(t, t') = insert(t') after delete(t)
+
+c-tables are closed under all three (one of the reasons [10]'s c-tables
+are the "right" representation, and e-/i-/g-tables are not):
+
+* insertion appends a row — a ground fact for a sure insert, or a row
+  with nulls/conditions for an uncertain one;
+* deletion of a fact ``t`` rewrites every row ``r`` able to produce
+  ``t``: the row's local condition is conjoined with the *negation* of
+  the unification equalities (a disjunction of inequalities, which is
+  why local conditions and e-tables alone do not suffice: the class must
+  be closed under negated equalities).
+
+Both operations are per-row syntactic rewrites — constant work per row,
+so updates are PTIME in the table size, matching [1].
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.conditions import (
+    BOOL_FALSE,
+    BoolAnd,
+    BoolAtom,
+    BoolCondition,
+    BoolOr,
+    Eq,
+    Neq,
+)
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import Constant, as_constant
+
+__all__ = ["insert_fact", "delete_fact", "modify_fact"]
+
+
+def _unification_atoms(row: Row, target: tuple[Constant, ...]) -> list | None:
+    """The equalities forcing ``row`` to produce ``target``.
+
+    ``None`` when the row cannot produce the target (a constant clash);
+    the empty list when it *always* produces it (a ground match).
+    """
+    atoms = []
+    for term, value in zip(row.terms, target):
+        if isinstance(term, Constant):
+            if term != value:
+                return None
+        else:
+            atoms.append(Eq(term, value))
+    return atoms
+
+
+def insert_fact(db: TableDatabase, relation: str, fact: Iterable) -> TableDatabase:
+    """Insert a (ground) fact into every possible world.
+
+    Idempotent on the representation: the new row is unconditional, so
+    every world of the result contains the fact exactly once.
+    """
+    table = db[relation]
+    target = tuple(as_constant(v) for v in fact)
+    if len(target) != table.arity:
+        raise ValueError(
+            f"fact has arity {len(target)}, relation {relation!r} expects {table.arity}"
+        )
+    updated = table.with_rows(tuple(table.rows) + (Row(target),))
+    return _replace(db, updated)
+
+
+def delete_fact(db: TableDatabase, relation: str, fact: Iterable) -> TableDatabase:
+    """Delete a fact from every possible world.
+
+    Every row able to unify with the fact has its local condition
+    strengthened with the negated unification: the row survives in a
+    world only under valuations where it produces a *different* fact.
+    Rows equal to the fact outright (ground match, empty unification)
+    are dropped.
+    """
+    table = db[relation]
+    target = tuple(as_constant(v) for v in fact)
+    if len(target) != table.arity:
+        raise ValueError(
+            f"fact has arity {len(target)}, relation {relation!r} expects {table.arity}"
+        )
+    rows: list[Row] = []
+    for row in table.rows:
+        atoms = _unification_atoms(row, target)
+        if atoms is None:
+            rows.append(row)  # can never produce the fact: unchanged
+            continue
+        if not atoms:
+            continue  # ground row equal to the fact: always deleted
+        negation: BoolCondition = BoolOr(
+            tuple(BoolAtom(Neq(a.left, a.right)) for a in atoms)
+        ).flattened()
+        condition = (
+            negation
+            if not row.has_local_condition()
+            else BoolAnd((row.condition, negation)).flattened()
+        )
+        if condition == BOOL_FALSE:
+            continue
+        rows.append(Row(row.terms, condition))
+    return _replace(db, table.with_rows(rows))
+
+
+def modify_fact(
+    db: TableDatabase, relation: str, old: Iterable, new: Iterable
+) -> TableDatabase:
+    """Replace ``old`` by ``new`` in every possible world (delete + insert)."""
+    return insert_fact(delete_fact(db, relation, old), relation, new)
+
+
+def _replace(db: TableDatabase, table: CTable) -> TableDatabase:
+    tables = [table if t.name == table.name else t for t in db.tables()]
+    return TableDatabase(tables, db.extra_condition())

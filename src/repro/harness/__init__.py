@@ -1,0 +1,26 @@
+"""Benchmark harness: figure regeneration, the Fig 2 grid, reporting."""
+
+from .figures import all_figures
+from .grid import KINDS, cell_classification, grid_rows, render_fig2_grid
+from .reporting import (
+    classify_growth,
+    growth_ratio,
+    loglog_slope,
+    render_table,
+    sweep,
+    time_call,
+)
+
+__all__ = [
+    "all_figures",
+    "KINDS",
+    "cell_classification",
+    "grid_rows",
+    "render_fig2_grid",
+    "render_table",
+    "time_call",
+    "sweep",
+    "loglog_slope",
+    "growth_ratio",
+    "classify_growth",
+]

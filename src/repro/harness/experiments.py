@@ -1,0 +1,444 @@
+"""The experiment driver: paper claim vs measured outcome, per artifact.
+
+Each ``experiment_*`` function reproduces one row of the experiment index
+in DESIGN.md and returns a record::
+
+    {"id": ..., "paper": <the claim>, "measured": <what we observed>,
+     "verdict": "reproduced" | "deviation: ...", "details": {...}}
+
+``run_all()`` executes every experiment (seconds to a few minutes) and
+``render_report()`` formats the EXPERIMENTS.md body.  Measurements use the
+growth diagnostics of :mod:`repro.harness.reporting`: PTIME claims are
+matched by low log-log slopes, hardness claims by (i) machine-checked
+reduction equivalences and (ii) exponential-like growth of the generic
+procedures on reduction families.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ..core.containment import containment_enumerate, containment_freeze, contains
+from ..core.certainty import certain_identity, certain_positive_gtable
+from ..core.membership import is_member, membership_codd
+from ..core.possibility import possible_codd, possible_posexist
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.conditions import Conjunction, Eq, Neq
+from ..core.terms import Constant, Variable
+from ..core.uniqueness import uniqueness_gtable, uniqueness_posexist_etable
+from ..core.valuations import iter_canonical_valuations
+from ..queries import DatalogQuery, UCQQuery, atom, cq
+from ..reductions import (
+    decide_colorable_via_etable,
+    decide_colorable_via_itable,
+    decide_colorable_via_view,
+    decide_forall_exists_via_etable,
+    decide_forall_exists_via_itable,
+    decide_forall_exists_via_view,
+    decide_nontautology_via_fo_possibility,
+    decide_noncolorable_via_view,
+    decide_sat_via_datalog,
+    decide_sat_via_etable,
+    decide_sat_via_itable,
+    decide_tautology_via_containment,
+    decide_tautology_via_ctable,
+    decide_tautology_via_fo_certainty,
+)
+from ..relational.instance import Instance
+from ..solvers import (
+    dpll_satisfiable,
+    forall_exists_holds,
+    is_colorable,
+    is_tautology_dnf,
+    random_cnf,
+    random_dnf,
+    random_forall_exists,
+    random_graph,
+)
+from ..workloads import random_codd_table, random_valuation
+from .figures import all_figures
+from .grid import grid_rows
+from .reporting import classify_growth, loglog_slope, render_table, sweep
+
+__all__ = ["run_all", "render_report"]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _codd_membership_case(n: int):
+    rng = random.Random(7)
+    table = random_codd_table(rng, rows=n, arity=3, num_constants=max(4, n // 4))
+    db = TableDatabase.single(table)
+    world = random_valuation(rng, db).apply_database(db)
+    return lambda: membership_codd(world, db)
+
+
+def _equivalences(checker, truth, instances) -> tuple[int, int]:
+    agree = 0
+    for inst in instances:
+        if checker(inst) == truth(inst):
+            agree += 1
+    return agree, len(instances)
+
+
+def _verdict(ok: bool, note: str = "") -> str:
+    return "reproduced" if ok else f"deviation: {note}"
+
+
+# ---------------------------------------------------------------------------
+# experiments
+# ---------------------------------------------------------------------------
+
+
+def experiment_fig1() -> dict:
+    figures = all_figures()
+    ok = (
+        "member: True" in figures["fig1"] and "member: False" not in figures["fig1"]
+    )
+    return {
+        "id": "FIG1",
+        "paper": "five representations Ta..Te, each with a member instance",
+        "measured": "figure regenerated; all five memberships verified",
+        "verdict": _verdict(ok),
+        "details": {},
+    }
+
+
+def experiment_fig2() -> dict:
+    rows = {row[0]: row[1:] for row in grid_rows()}
+    checks = [
+        rows["table"][0] == "PTIME",
+        rows["g-table"][1] == "PTIME",
+        rows["table"][2] == "NP",
+        rows["table"][3] == "Pi2p",   # Thm 4.2(1)
+        rows["c-table"][1] == "coNP",
+        rows["view"][6] == "Pi2p",
+    ]
+    return {
+        "id": "FIG2",
+        "paper": "7x7 containment classification (PTIME/NP/coNP/Pi2p areas)",
+        "measured": "grid regenerated; all spot-checked areas match",
+        "verdict": _verdict(all(checks)),
+        "details": {"cells_checked": len(checks)},
+    }
+
+
+def experiment_t311() -> dict:
+    series = sweep([25, 50, 100, 200], _codd_membership_case, repeat=3)
+    slope = loglog_slope(series)
+    ok = slope < 3.5  # the matching runs in low-polynomial time
+    return {
+        "id": "FIG3/T3.1(1)",
+        "paper": "MEMB in PTIME for Codd-tables (bipartite matching)",
+        "measured": f"log-log slope {slope:.2f} over rows 25..200 "
+        f"({classify_growth(series)})",
+        "verdict": _verdict(ok, f"slope {slope:.2f}"),
+        "details": {"series": series},
+    }
+
+
+def experiment_t312_314() -> dict:
+    rng = random.Random(2)
+    graphs = [random_graph(5, 0.5, rng) for _ in range(8)]
+    small = [random_graph(4, 0.6, rng) for _ in range(4)]
+    e_ok = all(
+        decide_colorable_via_etable(g) == is_colorable(g, 3) for g in graphs
+    )
+    i_ok = all(
+        decide_colorable_via_itable(g) == is_colorable(g, 3) for g in graphs
+    )
+    v_ok = all(decide_colorable_via_view(g) == is_colorable(g, 3) for g in small)
+    return {
+        "id": "FIG4/T3.1(2-4)",
+        "paper": "MEMB NP-complete for e-/i-tables and pos. exist. views",
+        "measured": f"3-colorability equivalences: e-table {e_ok}, "
+        f"i-table {i_ok}, view {v_ok}",
+        "verdict": _verdict(e_ok and i_ok and v_ok),
+        "details": {"graphs": len(graphs), "view_graphs": len(small)},
+    }
+
+
+def experiment_t321_322() -> dict:
+    def gtable_case(n: int):
+        rows = [(i, Variable(f"v{i}")) for i in range(n)]
+        condition = Conjunction([Eq(Variable(f"v{i}"), i % 7) for i in range(n)])
+        db = TableDatabase.single(CTable("R", 2, rows, condition))
+        instance = Instance({"R": [(i, i % 7) for i in range(n)]})
+        return lambda: uniqueness_gtable(instance, db)
+
+    series = sweep([25, 50, 100, 200], gtable_case, repeat=3)
+    slope = loglog_slope(series)
+
+    def view_case(n: int):
+        rows = [(i, Variable(f"v{i % 3}")) for i in range(n)]
+        db = TableDatabase.single(CTable("R", 2, rows))
+        query = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+        instance = Instance({"Q": [(i,) for i in range(n)]})
+        return lambda: uniqueness_posexist_etable(instance, db, query)
+
+    series2 = sweep([25, 50, 100, 200], view_case, repeat=3)
+    slope2 = loglog_slope(series2)
+    ok = slope < 3.5 and slope2 < 3.5
+    return {
+        "id": "T3.2(1,2)",
+        "paper": "UNIQ PTIME for g-tables; PTIME for pos. exist. on e-tables",
+        "measured": f"slopes {slope:.2f} (g-table) / {slope2:.2f} (view)",
+        "verdict": _verdict(ok),
+        "details": {"gtable": series, "view": series2},
+    }
+
+
+def experiment_t323_324() -> dict:
+    rng = random.Random(3)
+    dnfs = [random_dnf(3, rng.randint(1, 6), rng) for _ in range(8)]
+    taut_ok = all(
+        decide_tautology_via_ctable(d) == is_tautology_dnf(d) for d in dnfs
+    )
+    graphs = [random_graph(4, 0.6, rng) for _ in range(5)]
+    view_ok = all(
+        decide_noncolorable_via_view(g) == (not is_colorable(g, 3)) for g in graphs
+    )
+    return {
+        "id": "FIG6/T3.2(3,4)",
+        "paper": "UNIQ coNP-complete for c-tables and for pos.exist.+!= views",
+        "measured": f"tautology equivalences {taut_ok}, non-coloring {view_ok}",
+        "verdict": _verdict(taut_ok and view_ok),
+        "details": {"formulas": len(dnfs), "graphs": len(graphs)},
+    }
+
+
+def experiment_t41() -> dict:
+    def freeze_case(n: int):
+        tight = TableDatabase.single(
+            CTable("R", 2, [(i % 11, i % 5) for i in range(n)])
+        )
+        loose = TableDatabase.single(
+            CTable("R", 2, [(i % 11, Variable(f"u{i}")) for i in range(n)])
+        )
+        return lambda: containment_freeze(tight, loose)
+
+    series = sweep([20, 40, 80, 160], freeze_case, repeat=3)
+    slope = loglog_slope(series)
+
+    def enum_case(n: int):
+        tight = TableDatabase.single(
+            CTable("R", 2, [(i % 11, i % 5) for i in range(n)])
+        )
+        loose = TableDatabase.single(
+            CTable("R", 2, [(i % 11, Variable(f"u{i}")) for i in range(n)])
+        )
+        return lambda: containment_enumerate(tight, loose)
+
+    enum_series = sweep([2, 3, 4, 5], enum_case, repeat=2)
+    return {
+        "id": "T4.1",
+        "paper": "CONT PTIME g-vs-Codd (freeze); generic procedure exponential",
+        "measured": f"freeze slope {slope:.2f}; enumeration "
+        f"{classify_growth(enum_series)} on 2..5 nulls",
+        "verdict": _verdict(slope < 3.5),
+        "details": {"freeze": series, "enumeration": enum_series},
+    }
+
+
+def experiment_t42() -> dict:
+    rng = random.Random(5)
+    fes = [random_forall_exists(1, 1, rng.randint(1, 2), rng) for _ in range(4)]
+    i_ok = all(
+        decide_forall_exists_via_itable(fe) == forall_exists_holds(fe) for fe in fes
+    )
+    v_ok = all(
+        decide_forall_exists_via_view(fe) == forall_exists_holds(fe) for fe in fes
+    )
+    e_ok = all(
+        decide_forall_exists_via_etable(fe) == forall_exists_holds(fe) for fe in fes
+    )
+    dnfs = [random_dnf(2, rng.randint(1, 3), rng, width=2) for _ in range(5)]
+    c_ok = all(
+        decide_tautology_via_containment(d) == is_tautology_dnf(d) for d in dnfs
+    )
+    return {
+        "id": "FIG7-10/T4.2",
+        "paper": "CONT Pi2p-complete (table vs i-table, views); coNP (Fig 9)",
+        "measured": f"forall-exists equivalences: i-table {i_ok}, view {v_ok}, "
+        f"e-table {e_ok}; tautology containment {c_ok}",
+        "verdict": _verdict(i_ok and v_ok and e_ok and c_ok),
+        "details": {"fe_instances": len(fes), "dnfs": len(dnfs)},
+    }
+
+
+def experiment_t51() -> dict:
+    def codd_case(n: int):
+        rng = random.Random(11)
+        table = random_codd_table(rng, rows=n, arity=3, num_constants=max(4, n // 4))
+        db = TableDatabase.single(table)
+        world = random_valuation(rng, db).apply_database(db)
+        return lambda: possible_codd(world, db)
+
+    series = sweep([25, 50, 100, 200], codd_case, repeat=3)
+    slope = loglog_slope(series)
+    rng = random.Random(13)
+    cnfs = [random_cnf(4, rng.randint(2, 8), rng) for _ in range(8)]
+    e_ok = all(
+        decide_sat_via_etable(c) == (dpll_satisfiable(c) is not None) for c in cnfs
+    )
+    i_ok = all(
+        decide_sat_via_itable(c) == (dpll_satisfiable(c) is not None) for c in cnfs
+    )
+    return {
+        "id": "FIG11/T5.1",
+        "paper": "POSS(*) PTIME for Codd-tables; NP-complete for e-/i-tables",
+        "measured": f"matching slope {slope:.2f}; SAT equivalences e {e_ok}, i {i_ok}",
+        "verdict": _verdict(slope < 3.5 and e_ok and i_ok),
+        "details": {"series": series, "formulas": len(cnfs)},
+    }
+
+
+def experiment_t521() -> dict:
+    query = UCQQuery(
+        [cq(atom("Q", "A", "C"), atom("R", "A", "B"), atom("S", "B", "C"))]
+    )
+
+    def case(n: int):
+        r_rows = [Row((i, Variable(f"v{i}")), Conjunction([Neq(Variable(f"v{i}"), -1)])) for i in range(n)]
+        s_rows = [Row((Variable(f"w{i}"), i), Conjunction([Neq(Variable(f"w{i}"), -2)])) for i in range(n)]
+        db = TableDatabase([CTable("R", 2, r_rows), CTable("S", 2, s_rows)])
+        request = Instance({"Q": [(0, n - 1), (1, 0)]})
+        return lambda: possible_posexist(request, db, query)
+
+    series = sweep([20, 40, 80], case, repeat=2)
+    slope = loglog_slope(series)
+    return {
+        "id": "T5.2(1)",
+        "paper": "POSS(k, q) PTIME for fixed pos. exist. q on c-tables",
+        "measured": f"log-log slope {slope:.2f} over rows 20..80 (k = 2 fixed)",
+        "verdict": _verdict(slope < 4.0),
+        "details": {"series": series},
+    }
+
+
+def experiment_t522_523() -> dict:
+    rng = random.Random(17)
+    dnfs = [random_dnf(2, rng.randint(1, 3), rng, width=2) for _ in range(4)]
+    fo_ok = all(
+        decide_nontautology_via_fo_possibility(d) == (not is_tautology_dnf(d))
+        for d in dnfs
+    )
+    cnfs = [random_cnf(2, rng.randint(1, 3), rng, width=2) for _ in range(4)]
+    dl_ok = all(
+        decide_sat_via_datalog(c) == (dpll_satisfiable(c) is not None) for c in cnfs
+    )
+    return {
+        "id": "FIG12/T5.2(2,3)",
+        "paper": "POSS(1, q) NP-complete for fixed FO / Datalog queries",
+        "measured": f"FO non-tautology equivalences {fo_ok}; Datalog SAT {dl_ok}",
+        "verdict": _verdict(fo_ok and dl_ok),
+        "details": {"dnfs": len(dnfs), "cnfs": len(cnfs)},
+    }
+
+
+def experiment_t53() -> dict:
+    tc = DatalogQuery(
+        [
+            cq(atom("T", "X", "Y"), atom("E", "X", "Y")),
+            cq(atom("T", "X", "Z"), atom("T", "X", "Y"), atom("E", "Y", "Z")),
+        ],
+        outputs=["T"],
+    )
+
+    def chain_case(n: int):
+        rows = []
+        prev: object = 0
+        for i in range(1, n + 1):
+            v = Variable(f"v{i}")
+            rows.append((prev, v))
+            prev = v
+        rows.append((prev, n + 1))
+        db = TableDatabase.single(CTable("E", 2, rows))
+        request = Instance({"T": [(0, n + 1)]})
+        return lambda: certain_positive_gtable(request, db, tc)
+
+    series = sweep([10, 20, 40, 80], chain_case, repeat=3)
+    slope = loglog_slope(series)
+    rng = random.Random(19)
+    dnfs = [random_dnf(2, rng.randint(1, 3), rng, width=2) for _ in range(3)]
+    fo_ok = all(
+        decide_tautology_via_fo_certainty(d) == is_tautology_dnf(d) for d in dnfs
+    )
+    return {
+        "id": "T5.3",
+        "paper": "CERT PTIME for Datalog on g-tables; coNP for fixed FO query",
+        "measured": f"matrix-evaluation slope {slope:.2f}; FO equivalences {fo_ok}",
+        "verdict": _verdict(slope < 3.5 and fo_ok),
+        "details": {"series": series},
+    }
+
+
+def experiment_p21() -> dict:
+    def count_case(k: int):
+        variables = [Variable(f"v{i}") for i in range(k)]
+        constants = [Constant(i) for i in range(3)]
+        return lambda: sum(1 for _ in iter_canonical_valuations(variables, constants))
+
+    series = sweep([3, 4, 5, 6], count_case, repeat=2)
+    growth = classify_growth(series)
+    counts = [
+        sum(
+            1
+            for _ in iter_canonical_valuations(
+                [Variable(f"v{i}") for i in range(k)], [Constant(i) for i in range(3)]
+            )
+        )
+        for k in (2, 3, 4)
+    ]
+    return {
+        "id": "P2.1",
+        "paper": "finitely many canonical valuations; exponentially many",
+        "measured": f"counts {counts} for 2/3/4 vars over 3 constants; "
+        f"enumeration {growth}",
+        "verdict": _verdict(growth == "exponential-like"),
+        "details": {"series": series, "counts": counts},
+    }
+
+
+ALL_EXPERIMENTS = [
+    experiment_fig1,
+    experiment_fig2,
+    experiment_t311,
+    experiment_t312_314,
+    experiment_t321_322,
+    experiment_t323_324,
+    experiment_t41,
+    experiment_t42,
+    experiment_t51,
+    experiment_t521,
+    experiment_t522_523,
+    experiment_t53,
+    experiment_p21,
+]
+
+
+def run_all() -> list[dict]:
+    """Run every experiment; returns the records in index order."""
+    return [fn() for fn in ALL_EXPERIMENTS]
+
+
+def render_report(records: list[dict] | None = None) -> str:
+    """Format the records as the EXPERIMENTS.md body."""
+    if records is None:
+        records = run_all()
+    rows = [
+        [r["id"], r["paper"], r["measured"], r["verdict"]] for r in records
+    ]
+    return render_table(
+        ["experiment", "paper claim", "measured", "verdict"],
+        rows,
+        title="Paper vs measured (generated by repro.harness.experiments)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual report
+    print(render_report())

@@ -1,0 +1,116 @@
+"""Reporting utilities for the benchmark harness.
+
+Fixed-width text tables (the paper's artifacts are text figures), simple
+timing sweeps, and growth-rate diagnostics: a log-log slope fit for
+polynomial series and a log-ratio fit for exponential ones.  No plotting
+dependencies — every artifact renders in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "render_table",
+    "time_call",
+    "sweep",
+    "loglog_slope",
+    "growth_ratio",
+    "classify_growth",
+]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def time_call(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeat`` calls."""
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def sweep(
+    sizes: Sequence[int],
+    make_case: Callable[[int], Callable[[], object]],
+    repeat: int = 3,
+) -> list[tuple[int, float]]:
+    """Time ``make_case(n)()`` for each size; returns (n, seconds) pairs."""
+    out = []
+    for n in sizes:
+        case = make_case(n)
+        out.append((n, time_call(case, repeat=repeat)))
+    return out
+
+
+def loglog_slope(series: Sequence[tuple[int, float]]) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    A polynomial-time algorithm produces a roughly constant slope equal to
+    its exponent; use on series with at least two points and positive
+    times.
+    """
+    points = [(math.log(n), math.log(max(t, 1e-9))) for n, t in series]
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    den = sum((x - mean_x) ** 2 for x, y in points)
+    return num / den if den else float("nan")
+
+
+def growth_ratio(series: Sequence[tuple[int, float]]) -> float:
+    """Geometric mean of consecutive time ratios per unit of size.
+
+    For an exponential-time procedure on linearly growing sizes, the ratio
+    settles at the base of the exponential (> 1 and roughly constant); for
+    a polynomial one it tends to 1 as sizes grow.
+    """
+    ratios = []
+    for (n0, t0), (n1, t1) in zip(series, series[1:]):
+        if t0 <= 0 or n1 == n0:
+            continue
+        ratios.append((t1 / t0) ** (1.0 / (n1 - n0)))
+    if not ratios:
+        raise ValueError("need at least two increasing points")
+    log_mean = sum(math.log(r) for r in ratios) / len(ratios)
+    return math.exp(log_mean)
+
+
+def classify_growth(series: Sequence[tuple[int, float]], threshold: float = 1.5) -> str:
+    """A coarse label: "polynomial-like" or "exponential-like".
+
+    Heuristic for the experiment reports: exponential series double (or
+    worse) with every constant-size increment, so their per-unit growth
+    ratio stays well above 1.
+    """
+    try:
+        ratio = growth_ratio(series)
+    except ValueError:
+        return "inconclusive"
+    return "exponential-like" if ratio >= threshold else "polynomial-like"

@@ -1,0 +1,62 @@
+"""Serialization of tables, databases and instances.
+
+Two interchange formats are provided:
+
+* :mod:`repro.io.text` -- a line-oriented text notation mirroring the
+  paper's figures (global condition on top, one row per line, local
+  conditions in a trailing column).  Human-readable and diff-friendly;
+  the natural format for examples, the command line interface and test
+  fixtures.
+* :mod:`repro.io.jsonio` -- a lossless JSON encoding of every value the
+  library manipulates (terms, atoms, conjunctions, condition trees, rows,
+  tables, databases, instances).  The natural format for programmatic
+  exchange and archival.
+
+Both formats round-trip: ``loads(dumps(x))`` reproduces ``x`` exactly for
+JSON, and exactly up to DNF normalisation of query-produced local
+condition trees for text (hand-written conjunctions round-trip exactly).
+"""
+
+from .jsonio import (
+    database_from_json,
+    database_to_json,
+    instance_from_json,
+    instance_to_json,
+    json_dumps,
+    json_loads,
+    table_from_json,
+    table_to_json,
+)
+from .text import (
+    TextFormatError,
+    dump_database,
+    dump_instance,
+    dumps_database,
+    dumps_instance,
+    load_database,
+    load_instance,
+    loads_database,
+    loads_instance,
+)
+
+__all__ = [
+    # text
+    "TextFormatError",
+    "dumps_database",
+    "loads_database",
+    "dump_database",
+    "load_database",
+    "dumps_instance",
+    "loads_instance",
+    "dump_instance",
+    "load_instance",
+    # json
+    "table_to_json",
+    "table_from_json",
+    "database_to_json",
+    "database_from_json",
+    "instance_to_json",
+    "instance_from_json",
+    "json_dumps",
+    "json_loads",
+]

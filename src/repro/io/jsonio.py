@@ -1,0 +1,279 @@
+"""Lossless JSON encoding of the library's values.
+
+Every value class -- terms, atoms, conjunctions, boolean condition trees,
+rows, c-tables, table databases and complete instances -- maps to a tagged
+JSON object, so arbitrary structures round-trip exactly::
+
+    db == database_from_json(database_to_json(db))
+
+The encoding is by structural tags rather than Python pickling, making the
+files portable across library versions and inspectable with standard JSON
+tooling.  Supported constant payloads: ``int``, ``float``, ``bool``,
+``str`` and ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.conditions import (
+    Atom,
+    BoolAnd,
+    BoolAtom,
+    BoolCondition,
+    BoolOr,
+    Conjunction,
+    Eq,
+    Neq,
+)
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import Constant, Term, Variable
+from ..relational.instance import Instance, Relation
+
+__all__ = [
+    "term_to_json",
+    "term_from_json",
+    "atom_to_json",
+    "atom_from_json",
+    "conjunction_to_json",
+    "conjunction_from_json",
+    "condition_to_json",
+    "condition_from_json",
+    "row_to_json",
+    "row_from_json",
+    "table_to_json",
+    "table_from_json",
+    "database_to_json",
+    "database_from_json",
+    "instance_to_json",
+    "instance_from_json",
+    "json_dumps",
+    "json_loads",
+]
+
+_SCALARS = (int, float, bool, str, type(None))
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+def term_to_json(term: Term) -> dict:
+    """Encode one term as ``{"var": name}`` or ``{"const": value, ...}``."""
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    if isinstance(term, Constant):
+        value = term.value
+        if not isinstance(value, _SCALARS):
+            raise TypeError(
+                f"constant payload {value!r} of type {type(value).__name__} "
+                "is not JSON-serialisable"
+            )
+        out: dict[str, Any] = {"const": value}
+        if isinstance(value, bool):
+            out["type"] = "bool"
+        elif isinstance(value, float):
+            out["type"] = "float"
+        return out
+    raise TypeError(f"not a term: {term!r}")
+
+
+def term_from_json(data: dict) -> Term:
+    """Decode :func:`term_to_json` output."""
+    if "var" in data:
+        return Variable(data["var"])
+    if "const" in data:
+        value = data["const"]
+        kind = data.get("type")
+        if kind == "bool":
+            value = bool(value)
+        elif kind == "float":
+            value = float(value)
+        return Constant(value)
+    raise ValueError(f"not a term object: {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+def atom_to_json(atom: Atom) -> dict:
+    """Encode one equality/inequality atom."""
+    op = "=" if isinstance(atom, Eq) else "!="
+    return {"op": op, "left": term_to_json(atom.left), "right": term_to_json(atom.right)}
+
+
+def atom_from_json(data: dict) -> Atom:
+    """Decode :func:`atom_to_json` output."""
+    cls = {"=": Eq, "!=": Neq}.get(data.get("op"))
+    if cls is None:
+        raise ValueError(f"unknown atom operator: {data.get('op')!r}")
+    return cls(term_from_json(data["left"]), term_from_json(data["right"]))
+
+
+def conjunction_to_json(conj: Conjunction) -> list:
+    """Encode a conjunction as a list of atom objects."""
+    return [atom_to_json(a) for a in conj.atoms]
+
+
+def conjunction_from_json(data: list) -> Conjunction:
+    """Decode :func:`conjunction_to_json` output."""
+    return Conjunction(atom_from_json(a) for a in data)
+
+
+def condition_to_json(condition: BoolCondition) -> dict:
+    """Encode a boolean condition tree with explicit node tags."""
+    if isinstance(condition, BoolAtom):
+        return {"node": "atom", "atom": atom_to_json(condition.atom)}
+    if isinstance(condition, BoolAnd):
+        return {"node": "and", "children": [condition_to_json(c) for c in condition.children]}
+    if isinstance(condition, BoolOr):
+        return {"node": "or", "children": [condition_to_json(c) for c in condition.children]}
+    raise TypeError(f"not a condition tree: {condition!r}")
+
+
+def condition_from_json(data: dict) -> BoolCondition:
+    """Decode :func:`condition_to_json` output."""
+    node = data.get("node")
+    if node == "atom":
+        return BoolAtom(atom_from_json(data["atom"]))
+    if node == "and":
+        return BoolAnd(tuple(condition_from_json(c) for c in data["children"]))
+    if node == "or":
+        return BoolOr(tuple(condition_from_json(c) for c in data["children"]))
+    raise ValueError(f"unknown condition node: {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Rows, tables, databases
+# ---------------------------------------------------------------------------
+
+
+def row_to_json(row: Row) -> dict:
+    """Encode one c-table row (terms and local condition)."""
+    out: dict[str, Any] = {"terms": [term_to_json(t) for t in row.terms]}
+    if row.has_local_condition():
+        out["condition"] = condition_to_json(row.condition)
+    return out
+
+
+def row_from_json(data: dict) -> Row:
+    """Decode :func:`row_to_json` output."""
+    terms = [term_from_json(t) for t in data["terms"]]
+    condition = data.get("condition")
+    if condition is None:
+        return Row(terms)
+    return Row(terms, condition_from_json(condition))
+
+
+def table_to_json(table: CTable) -> dict:
+    """Encode a c-table (name, arity, global condition, rows)."""
+    return {
+        "kind": "ctable",
+        "name": table.name,
+        "arity": table.arity,
+        "global": conjunction_to_json(table.global_condition),
+        "rows": [row_to_json(r) for r in table.rows],
+    }
+
+
+def table_from_json(data: dict) -> CTable:
+    """Decode :func:`table_to_json` output."""
+    if data.get("kind") != "ctable":
+        raise ValueError(f"not a ctable object: kind={data.get('kind')!r}")
+    return CTable(
+        data["name"],
+        data["arity"],
+        [row_from_json(r) for r in data["rows"]],
+        conjunction_from_json(data.get("global", [])),
+    )
+
+
+def database_to_json(db: TableDatabase) -> dict:
+    """Encode a table database (member tables plus extra condition)."""
+    return {
+        "kind": "table-database",
+        "tables": [table_to_json(t) for t in db],
+        "condition": conjunction_to_json(db.extra_condition()),
+    }
+
+
+def database_from_json(data: dict) -> TableDatabase:
+    """Decode :func:`database_to_json` output."""
+    if data.get("kind") != "table-database":
+        raise ValueError(f"not a table-database object: kind={data.get('kind')!r}")
+    return TableDatabase(
+        [table_from_json(t) for t in data["tables"]],
+        conjunction_from_json(data.get("condition", [])),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+
+def instance_to_json(instance: Instance) -> dict:
+    """Encode a complete-information instance."""
+    relations = []
+    for name in instance.names():
+        relation = instance[name]
+        facts = sorted(relation, key=lambda f: [t.sort_key() for t in f])
+        relations.append(
+            {
+                "name": name,
+                "arity": relation.arity,
+                "facts": [[term_to_json(c) for c in fact] for fact in facts],
+            }
+        )
+    return {"kind": "instance", "relations": relations}
+
+
+def instance_from_json(data: dict) -> Instance:
+    """Decode :func:`instance_to_json` output."""
+    if data.get("kind") != "instance":
+        raise ValueError(f"not an instance object: kind={data.get('kind')!r}")
+    relations: dict[str, Relation] = {}
+    for entry in data["relations"]:
+        facts = [tuple(term_from_json(c) for c in fact) for fact in entry["facts"]]
+        relations[entry["name"]] = Relation(entry["arity"], facts)
+    return Instance(relations)
+
+
+# ---------------------------------------------------------------------------
+# String front door
+# ---------------------------------------------------------------------------
+
+_ENCODERS = {
+    TableDatabase: database_to_json,
+    CTable: table_to_json,
+    Instance: instance_to_json,
+}
+
+_DECODERS = {
+    "table-database": database_from_json,
+    "ctable": table_from_json,
+    "instance": instance_from_json,
+}
+
+
+def json_dumps(value: TableDatabase | CTable | Instance, *, indent: int | None = 2) -> str:
+    """Serialise a database, table or instance to a JSON string."""
+    for cls, encoder in _ENCODERS.items():
+        if isinstance(value, cls):
+            return json.dumps(encoder(value), indent=indent)
+    raise TypeError(f"cannot JSON-encode values of type {type(value).__name__}")
+
+
+def json_loads(text: str) -> TableDatabase | CTable | Instance:
+    """Parse :func:`json_dumps` output back into the encoded value."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("expected a JSON object at top level")
+    decoder = _DECODERS.get(data.get("kind"))
+    if decoder is None:
+        raise ValueError(f"unknown kind: {data.get('kind')!r}")
+    return decoder(data)

@@ -1,0 +1,48 @@
+"""Modal query programs: POSSIBLE / CERTAIN operators inside queries.
+
+Section 6 of the paper asks: *"in our query programs we do not have
+explicit operators for 'certainty' and 'possibility' [11].  What is the
+effect of such 'modal' operators on data-complexity?"*  This package
+implements the natural executable answer, in the style of Lipski's modal
+query semantics [11]:
+
+* a :class:`~repro.modal.program.ModalView` names a derived relation
+  defined as the possible- or certain-answer set of an inner query over
+  the incomplete database;
+* a :class:`~repro.modal.program.ModalProgram` evaluates a family of
+  modal views (collapsing the set of possible worlds into ordinary
+  complete relations) and then applies an outer query program to the
+  collapsed instance.
+
+One modality alternation is supported -- modal views read the incomplete
+database, the outer query reads the views' complete outputs.  That is
+exactly the point where the open question bites: each POSSIBLE view is an
+NP-style collapse and each CERTAIN view a coNP-style collapse, so a fixed
+modal program sits in the Boolean hierarchy over NP rather than in PTIME,
+unless the inner queries and tables satisfy the paper's tractable-case
+conditions (Theorems 5.2(1) and 5.3(1)).  See
+:func:`~repro.modal.program.modal_complexity` for the per-program
+classification.
+"""
+
+from .program import (
+    CERTAIN,
+    MODALITIES,
+    ModalProgram,
+    ModalView,
+    POSSIBLE,
+    certainly,
+    modal_complexity,
+    possibly,
+)
+
+__all__ = [
+    "POSSIBLE",
+    "CERTAIN",
+    "MODALITIES",
+    "ModalView",
+    "ModalProgram",
+    "possibly",
+    "certainly",
+    "modal_complexity",
+]

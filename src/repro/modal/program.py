@@ -1,0 +1,202 @@
+"""Modal programs: collapse possible worlds through POSSIBLE/CERTAIN views.
+
+A *modal view* is a named derived relation::
+
+    ModalView("SurePatients", CERTAIN, q_patients)
+
+whose extension over an incomplete database ``db`` is the certain-answer
+set of ``q_patients`` over ``rep(db)``.  A *modal program* bundles several
+views with an optional outer query::
+
+    program = ModalProgram(
+        views=[
+            ModalView("Sure", CERTAIN, q1),
+            ModalView("Maybe", POSSIBLE, q2),
+        ],
+        outer=q_outer,          # reads relations "Sure" and "Maybe"
+    )
+    result = program.evaluate(db)
+
+Evaluation is two-phase, which is the standard semantics for one level of
+modality [11]: phase one computes each view's answer set (a complete
+relation -- the modal operator collapses the uncertainty), phase two runs
+the outer query on the complete instance assembled from the views.
+
+Complexity: with a fixed program, phase two is PTIME (the outer query is
+QPTIME).  Phase one is where modalities cost: a POSSIBLE view needs, per
+candidate fact, a satisfiability check (NP in general, PTIME for
+positive-existential inner queries on c-tables by Theorem 5.2(1)); a
+CERTAIN view needs a per-fact validity check (coNP in general, PTIME for
+Datalog inner queries on g-tables by Theorem 5.3(1)).
+:func:`modal_complexity` reports which regime a given program/database
+pair falls into.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.answers import (
+    certain_answers,
+    certain_answers_enumerate,
+    possible_answers,
+    possible_answers_enumerate,
+)
+from ..core.tables import TableDatabase
+from ..queries.base import IdentityQuery, Query
+from ..queries.rules import UCQQuery
+from ..relational.instance import Instance, Relation
+from ..relational.schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "POSSIBLE",
+    "CERTAIN",
+    "MODALITIES",
+    "ModalView",
+    "ModalProgram",
+    "possibly",
+    "certainly",
+    "modal_complexity",
+]
+
+#: Modality tags.
+POSSIBLE = "possible"
+CERTAIN = "certain"
+MODALITIES = (POSSIBLE, CERTAIN)
+
+
+class ModalView:
+    """One derived relation: the modal answer set of an inner query.
+
+    ``name`` is the relation name the view contributes to the collapsed
+    instance.  ``modality`` is :data:`POSSIBLE` or :data:`CERTAIN`.
+    ``query`` is the inner query (``None`` for the identity); identity and
+    UCQ views are computed directly from the folded c-table, other query
+    classes fall back to world enumeration.
+    """
+
+    __slots__ = ("name", "modality", "query")
+
+    def __init__(self, name: str, modality: str, query: Query | None = None) -> None:
+        if modality not in MODALITIES:
+            raise ValueError(f"modality must be one of {MODALITIES}, got {modality!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "modality", modality)
+        object.__setattr__(self, "query", query)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("ModalView is immutable")
+
+    def __repr__(self) -> str:
+        inner = "identity" if self.query is None else repr(self.query)
+        return f"ModalView({self.name!r}, {self.modality}, {inner})"
+
+    def _direct_supported(self) -> bool:
+        return self.query is None or isinstance(self.query, (IdentityQuery, UCQQuery))
+
+    def answer_set(self, db: TableDatabase) -> Instance:
+        """The view's extension: one complete instance over ``db``."""
+        if self._direct_supported():
+            if self.modality == POSSIBLE:
+                return possible_answers(db, self.query)
+            return certain_answers(db, self.query)
+        if self.modality == POSSIBLE:
+            return possible_answers_enumerate(db, self.query)
+        return certain_answers_enumerate(db, self.query)
+
+
+class ModalProgram:
+    """A family of modal views plus an outer query over their outputs.
+
+    The collapsed instance contains one relation per view.  A view of a
+    multi-relation inner query contributes the relation matching its own
+    name when present, otherwise its single output relation (renamed);
+    inner queries with several outputs and no name match are rejected --
+    give each output its own view.
+    """
+
+    def __init__(self, views: Iterable[ModalView], outer: Query | None = None) -> None:
+        self.views = tuple(views)
+        if not self.views:
+            raise ValueError("a modal program needs at least one view")
+        names = [v.name for v in self.views]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate view names: {names}")
+        self.outer = outer
+
+    def __repr__(self) -> str:
+        outer = "" if self.outer is None else f", outer={self.outer!r}"
+        return f"ModalProgram([{', '.join(v.name for v in self.views)}]{outer})"
+
+    def collapse(self, db: TableDatabase) -> Instance:
+        """Phase one: evaluate every view, assemble the complete instance."""
+        relations: dict[str, Relation] = {}
+        for view in self.views:
+            answer = view.answer_set(db)
+            relations[view.name] = _select_relation(answer, view.name)
+        return Instance(relations)
+
+    def evaluate(self, db: TableDatabase) -> Instance:
+        """Evaluate the program: collapse, then apply the outer query."""
+        collapsed = self.collapse(db)
+        if self.outer is None:
+            return collapsed
+        return self.outer(collapsed)
+
+    def output_schema(self, db: TableDatabase) -> DatabaseSchema:
+        """The schema of :meth:`evaluate`'s output."""
+        collapsed = self.collapse(db)
+        schema = DatabaseSchema(
+            [RelationSchema(n, collapsed[n].arity) for n in collapsed.names()]
+        )
+        if self.outer is None:
+            return schema
+        return self.outer.output_schema(schema)
+
+
+def _select_relation(answer: Instance, view_name: str) -> Relation:
+    names = answer.names()
+    if view_name in names:
+        return answer[view_name]
+    if len(names) == 1:
+        return answer[names[0]]
+    raise ValueError(
+        f"view {view_name!r}: inner query produced relations {list(names)}; "
+        "name the view after one of them or split into one view per output"
+    )
+
+
+def possibly(query: Query | None = None, name: str = "Possible") -> ModalView:
+    """Shorthand for ``ModalView(name, POSSIBLE, query)``."""
+    return ModalView(name, POSSIBLE, query)
+
+
+def certainly(query: Query | None = None, name: str = "Certain") -> ModalView:
+    """Shorthand for ``ModalView(name, CERTAIN, query)``."""
+    return ModalView(name, CERTAIN, query)
+
+
+def modal_complexity(program: ModalProgram, db: TableDatabase) -> dict[str, str]:
+    """Classify each view's evaluation regime on ``db``.
+
+    Returns a mapping ``view name -> regime`` where the regime is one of
+
+    * ``"ptime"`` -- the paper guarantees polynomial time: POSSIBLE with a
+      positive-existential (or identity) inner query on c-tables
+      (Theorem 5.2(1) per candidate fact), or CERTAIN with a
+      positive/Datalog inner query on g-tables (Theorem 5.3(1));
+    * ``"np-per-fact"`` -- POSSIBLE outside the tractable case;
+    * ``"conp-per-fact"`` -- CERTAIN outside the tractable case.
+
+    The outer query never changes the classification (it is QPTIME on the
+    collapsed complete instance).
+    """
+    out: dict[str, str] = {}
+    g_database = db.is_g_database()
+    for view in program.views:
+        positive = view.query is None or view.query.is_positive_existential()
+        if view.modality == POSSIBLE:
+            out[view.name] = "ptime" if positive else "np-per-fact"
+        else:
+            out[view.name] = "ptime" if (positive and g_database) else "conp-per-fact"
+    return out

@@ -1,0 +1,35 @@
+"""Probabilistic c-tables: distributions over the possible worlds.
+
+The paper's c-tables answer *qualitative* questions -- is a fact possible,
+is it certain?  The direct modern descendant of the formalism
+(Green & Tannen's *pc-tables*, the basis of MayBMS and Trio) attaches a
+finite probability distribution to each null and asks *quantitative*
+questions: with what probability does a fact hold?
+
+This package implements that extension on top of the core machinery:
+
+* :class:`~repro.prob.distribution.Distribution` -- a finite distribution
+  over constants for one variable; variables are independent.
+* :class:`~repro.prob.pctables.PCDatabase` -- a
+  :class:`~repro.core.tables.TableDatabase` plus one distribution per
+  variable, with the world distribution, per-fact marginals, and query
+  probabilities (via c-table folding for positive existential queries --
+  the probabilistic counterpart of Theorem 5.2(1)).
+
+Possibility and certainty become the endpoints of the probability scale:
+a fact is possible iff its probability is positive and certain iff its
+probability is 1 (over the distribution's support), which the test suite
+checks against the core decision procedures.
+"""
+
+from .distribution import Distribution, bernoulli, uniform
+from .pctables import PCDatabase, condition_probability, event_condition
+
+__all__ = [
+    "Distribution",
+    "uniform",
+    "bernoulli",
+    "PCDatabase",
+    "condition_probability",
+    "event_condition",
+]

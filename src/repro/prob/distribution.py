@@ -1,0 +1,109 @@
+"""Finite probability distributions over constants.
+
+One :class:`Distribution` describes the marginal law of a single null;
+a :class:`~repro.prob.pctables.PCDatabase` assigns one to each variable
+and treats the variables as independent (the pc-table convention --
+correlations are expressed structurally, through shared variables and
+conditions, not through joint distributions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+from ..core.terms import Constant, as_constant
+
+__all__ = ["Distribution", "uniform", "bernoulli"]
+
+#: Tolerance for "probabilities sum to one".
+_TOLERANCE = 1e-9
+
+
+class Distribution:
+    """A finite distribution over constants.
+
+    >>> d = Distribution({1: 0.5, 2: 0.25, 3: 0.25})
+    >>> d.probability(1)
+    0.5
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, weights: Mapping) -> None:
+        cleaned: dict[Constant, float] = {}
+        for value, weight in weights.items():
+            constant = as_constant(value)
+            weight = float(weight)
+            if weight < 0:
+                raise ValueError(f"negative probability {weight} for {constant}")
+            if math.isnan(weight) or math.isinf(weight):
+                raise ValueError(f"probability must be finite, got {weight}")
+            if weight > 0:
+                cleaned[constant] = cleaned.get(constant, 0.0) + weight
+        if not cleaned:
+            raise ValueError("a distribution needs at least one positive weight")
+        total = sum(cleaned.values())
+        if abs(total - 1.0) > _TOLERANCE:
+            raise ValueError(f"probabilities sum to {total}, expected 1")
+        object.__setattr__(self, "_weights", cleaned)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Distribution is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Distribution) and self._weights == other._weights
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._weights.items()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{c}: {p:g}" for c, p in sorted(
+            self._weights.items(), key=lambda kv: kv[0].sort_key()
+        ))
+        return f"Distribution({{{body}}})"
+
+    def __iter__(self) -> Iterator[tuple[Constant, float]]:
+        """Iterate ``(constant, probability)`` pairs in canonical order."""
+        return iter(
+            sorted(self._weights.items(), key=lambda kv: kv[0].sort_key())
+        )
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def support(self) -> tuple[Constant, ...]:
+        """The constants with positive probability, canonically ordered."""
+        return tuple(c for c, _ in self)
+
+    def probability(self, value) -> float:
+        """The probability of one constant (0.0 when outside the support)."""
+        return self._weights.get(as_constant(value), 0.0)
+
+
+def uniform(values: Iterable) -> Distribution:
+    """The uniform distribution over distinct values.
+
+    >>> uniform([1, 2, 3, 4]).probability(2)
+    0.25
+    """
+    constants = {as_constant(v) for v in values}
+    if not constants:
+        raise ValueError("uniform distribution needs at least one value")
+    p = 1.0 / len(constants)
+    return Distribution({c: p for c in constants})
+
+
+def bernoulli(p: float, true_value=1, false_value=0) -> Distribution:
+    """A two-point distribution: ``true_value`` with probability ``p``.
+
+    The workhorse of tuple-independent probabilistic tables (each guard
+    variable of a maybe-row gets a bernoulli law).
+    """
+    if not 0 < p < 1:
+        if p == 1.0:
+            return Distribution({true_value: 1.0})
+        if p == 0.0:
+            return Distribution({false_value: 1.0})
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    return Distribution({true_value: p, false_value: 1.0 - p})

@@ -1,0 +1,300 @@
+"""pc-tables: probability measures over ``rep(db)``.
+
+A :class:`PCDatabase` couples a table database with one finite
+distribution per variable (variables independent).  Each joint assignment
+of the variables is a valuation; the assignment's probability mass flows
+to the world that the valuation produces.  A global condition *conditions*
+the measure: assignments violating it are discarded and the rest
+renormalised (it must have positive probability, else the represented set
+is empty and no measure exists).
+
+The quantitative analogues of the paper's problems:
+
+* ``world_probability(I)``   -- the mass of assignments producing exactly ``I``;
+* ``fact_probability(R, t)`` -- the marginal P(t in R), computed *without
+  world enumeration* from the rows' conditions (the lineage of ``t``);
+* ``query_probability(P, q)``-- P(all facts of P hold in q(world)), the
+  probabilistic bounded-possibility of Theorem 5.2(1), via c-table folding
+  for positive existential queries.
+
+Lineage probabilities enumerate only the variables the event mentions and
+factor across independent components, so they stay cheap while
+``world_distribution`` (joint over *all* variables) is exponential and
+meant for small databases and testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Mapping
+
+from ..core.conditions import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BoolAnd,
+    BoolAtom,
+    BoolCondition,
+    BoolOr,
+    Conjunction,
+    Eq,
+)
+from ..core.tables import CTable, TableDatabase
+from ..core.terms import Constant, Variable, as_constant
+from ..core.valuations import Valuation
+from ..queries.base import IdentityQuery, Query
+from ..queries.rules import UCQQuery
+from ..relational.instance import Instance
+from .distribution import Distribution
+
+__all__ = ["PCDatabase", "condition_probability", "event_condition"]
+
+
+# ---------------------------------------------------------------------------
+# Condition probabilities
+# ---------------------------------------------------------------------------
+
+
+def _components(children: tuple[BoolCondition, ...]) -> list[list[BoolCondition]]:
+    """Group conjuncts into connected components by shared variables."""
+    groups: list[tuple[set[Variable], list[BoolCondition]]] = []
+    for child in children:
+        child_vars = child.variables()
+        touching = [g for g in groups if g[0] & child_vars]
+        merged_vars = set(child_vars)
+        merged_children = [child]
+        for g in touching:
+            merged_vars |= g[0]
+            merged_children = g[1] + merged_children
+            groups.remove(g)
+        groups.append((merged_vars, merged_children))
+    return [g[1] for g in groups]
+
+
+def condition_probability(
+    condition: BoolCondition | Conjunction,
+    distributions: Mapping[Variable, Distribution],
+) -> float:
+    """P(condition) under independent variable distributions.
+
+    Enumerates assignments of the variables the condition mentions; a
+    top-level conjunction is first split into independent components
+    (disjoint variable sets), whose probabilities multiply.
+    """
+    if isinstance(condition, Conjunction):
+        condition = BoolCondition.from_conjunction(condition)
+    variables = sorted(condition.variables(), key=lambda v: v.name)
+    missing = [v for v in variables if v not in distributions]
+    if missing:
+        names = ", ".join(v.name for v in missing)
+        raise KeyError(f"no distribution for variable(s): {names}")
+    if not variables:
+        return 1.0 if condition.satisfied_by(lambda t: t) else 0.0
+    if isinstance(condition, BoolAnd) and len(condition.children) > 1:
+        components = _components(condition.children)
+        if len(components) > 1:
+            out = 1.0
+            for component in components:
+                part = component[0] if len(component) == 1 else BoolAnd(tuple(component))
+                out *= condition_probability(part, distributions)
+            return out
+    total = 0.0
+    supports = [distributions[v].support() for v in variables]
+    for values in itertools.product(*supports):
+        env = dict(zip(variables, values))
+        lookup = lambda t, env=env: env[t] if isinstance(t, Variable) else t
+        if condition.satisfied_by(lookup):
+            p = 1.0
+            for var, value in env.items():
+                p *= distributions[var].probability(value)
+            total += p
+    return total
+
+
+def event_condition(table: CTable, fact: Iterable) -> BoolCondition:
+    """The lineage of ``fact`` in ``table``: "some row produces the fact".
+
+    The disjunction, over the rows able to unify with the fact, of the
+    unification equalities conjoined with the row's local condition.  The
+    table's global condition is *not* included -- callers conjoin it (and
+    condition on it) themselves.
+    """
+    target = tuple(as_constant(v) for v in fact)
+    if len(target) != table.arity:
+        raise ValueError(
+            f"fact has arity {len(target)}, table {table.name!r} expects {table.arity}"
+        )
+    disjuncts: list[BoolCondition] = []
+    for row in table.rows:
+        atoms: list[BoolCondition] = []
+        feasible = True
+        for term, value in zip(row.terms, target):
+            if isinstance(term, Constant):
+                if term != value:
+                    feasible = False
+                    break
+            else:
+                atoms.append(BoolAtom(Eq(term, value)))
+        if not feasible:
+            continue
+        conjuncts = tuple(atoms) + (
+            (row.condition,) if row.has_local_condition() else ()
+        )
+        if not conjuncts:
+            return BOOL_TRUE  # a ground row equal to the fact: always present
+        disjuncts.append(
+            conjuncts[0] if len(conjuncts) == 1 else BoolAnd(conjuncts).flattened()
+        )
+    if not disjuncts:
+        return BOOL_FALSE
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return BoolOr(tuple(disjuncts)).flattened()
+
+
+# ---------------------------------------------------------------------------
+# PCDatabase
+# ---------------------------------------------------------------------------
+
+
+class PCDatabase:
+    """A table database with independent distributions on its variables."""
+
+    def __init__(
+        self,
+        db: TableDatabase,
+        distributions: Mapping,
+    ) -> None:
+        coerced: dict[Variable, Distribution] = {}
+        for key, dist in distributions.items():
+            var = key if isinstance(key, Variable) else Variable(str(key))
+            if not isinstance(dist, Distribution):
+                raise TypeError(f"not a Distribution for {var}: {dist!r}")
+            coerced[var] = dist
+        missing = sorted(
+            v.name for v in db.variables() if v not in coerced
+        )
+        if missing:
+            raise ValueError(
+                f"no distribution for database variable(s): {', '.join(missing)}"
+            )
+        self.db = db
+        self.distributions = coerced
+        self._global_mass = condition_probability(
+            BoolCondition.from_conjunction(db.global_condition()), coerced
+        )
+        if self._global_mass <= 0.0:
+            raise ValueError(
+                "the global condition has probability 0: rep is almost surely "
+                "empty, no world measure exists"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"PCDatabase({self.db!r}, variables={len(self.distributions)})"
+        )
+
+    # -- measure-level queries ---------------------------------------------------
+
+    def global_condition_mass(self) -> float:
+        """P(the global condition holds), before conditioning."""
+        return self._global_mass
+
+    def _joint_assignments(self):
+        variables = sorted(self.db.variables(), key=lambda v: v.name)
+        supports = [self.distributions[v].support() for v in variables]
+        for values in itertools.product(*supports):
+            env = dict(zip(variables, values))
+            p = 1.0
+            for var, value in env.items():
+                p *= self.distributions[var].probability(value)
+            yield Valuation(env), p
+
+    def world_distribution(self) -> dict[Instance, float]:
+        """The full conditional distribution over worlds.
+
+        Exponential in the variable count: each joint assignment is
+        evaluated.  The returned masses sum to 1.
+        """
+        out: dict[Instance, float] = {}
+        for valuation, p in self._joint_assignments():
+            if not valuation.satisfies_global(self.db):
+                continue
+            world = valuation.apply_database(self.db)
+            out[world] = out.get(world, 0.0) + p / self._global_mass
+        return out
+
+    def world_probability(self, instance: Instance) -> float:
+        """P(the world is exactly ``instance``)."""
+        total = 0.0
+        for valuation, p in self._joint_assignments():
+            if not valuation.satisfies_global(self.db):
+                continue
+            if valuation.apply_database(self.db) == instance:
+                total += p
+        return total / self._global_mass
+
+    def sample_world(self, rng: random.Random | None = None) -> Instance:
+        """Draw one world (rejection sampling against the global condition)."""
+        rng = rng or random.Random()
+        variables = sorted(self.db.variables(), key=lambda v: v.name)
+        for _ in range(10_000):
+            env = {}
+            for var in variables:
+                support = self.distributions[var].support()
+                weights = [self.distributions[var].probability(c) for c in support]
+                env[var] = rng.choices(support, weights=weights, k=1)[0]
+            valuation = Valuation(env)
+            if valuation.satisfies_global(self.db):
+                return valuation.apply_database(self.db)
+        raise RuntimeError(
+            "rejection sampling failed 10000 times; the global condition "
+            "mass is extremely small"
+        )
+
+    # -- marginals ------------------------------------------------------------------
+
+    def _folded(self, query: Query | None) -> TableDatabase:
+        if query is None or isinstance(query, IdentityQuery):
+            return self.db
+        if isinstance(query, UCQQuery):
+            from ..ctalgebra.ucq import apply_ucq
+
+            return apply_ucq(query, self.db)
+        raise ValueError(
+            "probabilities are computed by c-table folding, which needs an "
+            "identity or positive-existential (UCQ) query"
+        )
+
+    def fact_probability(self, relation: str, fact: Iterable, query: Query | None = None) -> float:
+        """P(``fact`` is in relation ``relation`` of ``q(world)``).
+
+        Works on the fact's lineage, so only the variables the relevant
+        rows mention are enumerated (plus the global condition's).
+        """
+        folded = self._folded(query)
+        if relation not in folded:
+            raise KeyError(f"no relation {relation!r} in the (folded) database")
+        lineage = event_condition(folded[relation], fact)
+        glob = BoolCondition.from_conjunction(folded.global_condition())
+        joint = BoolAnd((lineage, glob)).flattened()
+        return condition_probability(joint, self.distributions) / self._global_mass
+
+    def query_probability(self, request: Instance, query: Query | None = None) -> float:
+        """P(every fact of ``request`` holds in ``q(world)``).
+
+        The probabilistic bounded-possibility problem: for positive
+        existential queries the lineage is polynomial in the database size
+        (Theorem 5.2(1)'s folding argument), and only the mentioned
+        variables are enumerated.
+        """
+        folded = self._folded(query)
+        events: list[BoolCondition] = []
+        for name in request.names():
+            if name not in folded:
+                raise KeyError(f"no relation {name!r} in the (folded) database")
+            for fact in request[name]:
+                events.append(event_condition(folded[name], fact))
+        glob = BoolCondition.from_conjunction(folded.global_condition())
+        joint = BoolAnd(tuple(events) + (glob,)).flattened()
+        return condition_probability(joint, self.distributions) / self._global_mass

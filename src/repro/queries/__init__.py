@@ -1,0 +1,41 @@
+"""Query languages: positive existential (UCQ), first order and Datalog."""
+
+from .base import IDENTITY, IdentityQuery, Query
+from .datalog import DatalogQuery, naive_fixpoint, seminaive_fixpoint
+from .firstorder import (
+    And,
+    Compare,
+    Exists,
+    FOQuery,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+)
+from .rules import Atom, Rule, UCQQuery, atom, cq
+
+__all__ = [
+    "Query",
+    "IdentityQuery",
+    "IDENTITY",
+    "Atom",
+    "Rule",
+    "UCQQuery",
+    "atom",
+    "cq",
+    "Formula",
+    "Rel",
+    "Compare",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "Forall",
+    "FOQuery",
+    "DatalogQuery",
+    "naive_fixpoint",
+    "seminaive_fixpoint",
+]

@@ -1,0 +1,65 @@
+"""The query interface.
+
+A query (Section 2.1) is a generic function from instances to instances with
+fixed input/output arities.  All query classes in :mod:`repro.queries` have
+polynomial-time data complexity (they are QPTIME): the query itself is a
+fixed parameter, the instance is the input.
+
+Queries with constants are *C-generic*: they commute with every bijection of
+the constant domain fixing the constants of the query.  :meth:`Query.constants`
+exposes those, because the possible-world enumeration of Proposition 2.1 must
+include them in the active domain |Delta|.
+"""
+
+from __future__ import annotations
+
+from ..core.terms import Constant
+from ..relational.instance import Instance
+from ..relational.schema import DatabaseSchema
+
+__all__ = ["Query", "IdentityQuery", "IDENTITY"]
+
+
+class Query:
+    """Abstract base for all query classes."""
+
+    def __call__(self, instance: Instance) -> Instance:
+        raise NotImplementedError
+
+    def output_schema(self, input_schema: DatabaseSchema) -> DatabaseSchema:
+        """The schema of the query's output for a given input schema."""
+        raise NotImplementedError
+
+    def constants(self) -> set[Constant]:
+        """The constants mentioned by the query program."""
+        raise NotImplementedError
+
+    def is_positive_existential(self) -> bool:
+        """True iff the query is (syntactically) positive existential."""
+        return False
+
+
+class IdentityQuery(Query):
+    """The identity query of any arity, the paper's ``-`` placeholder.
+
+    ``MEMB(-)`` / ``CONT(-, -)`` etc. use the identity in place of a view.
+    """
+
+    def __call__(self, instance: Instance) -> Instance:
+        return instance
+
+    def output_schema(self, input_schema: DatabaseSchema) -> DatabaseSchema:
+        return input_schema
+
+    def constants(self) -> set[Constant]:
+        return set()
+
+    def is_positive_existential(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "IDENTITY"
+
+
+#: Module-level identity query instance.
+IDENTITY = IdentityQuery()

@@ -1,0 +1,205 @@
+"""Pure Datalog: positive existential queries extended with recursion.
+
+The paper's third query family (Section 2.1): "fixpoints of positive
+existential queries ... without ``!=``".  A :class:`DatalogQuery` is a set
+of rules (reusing :class:`repro.queries.rules.Rule` with no inequality
+conditions) evaluated to the least fixpoint, plus a choice of output
+predicates.
+
+Two fixpoint engines are provided:
+
+* :func:`naive_fixpoint` — re-derives everything each round; simple and
+  obviously correct, used as the test oracle.
+* :func:`seminaive_fixpoint` — the standard delta-driven optimisation; at
+  least one body atom must match a newly derived fact.  This is the engine
+  :class:`DatalogQuery` uses.
+
+An ablation benchmark (DESIGN.md section 3.4) compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.conditions import Neq
+from ..core.terms import Constant, Term, Variable
+from ..relational.instance import Fact, Instance, Relation
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .base import Query
+from .rules import Atom, Rule, _conditions_hold, _unify
+
+__all__ = ["DatalogQuery", "naive_fixpoint", "seminaive_fixpoint"]
+
+
+FactStore = dict[str, set[Fact]]
+
+
+def _check_pure(rules: Sequence[Rule]) -> None:
+    for rule in rules:
+        if any(isinstance(c, Neq) for c in rule.conditions):
+            raise ValueError(f"pure Datalog forbids != conditions: {rule!r}")
+
+
+def _arities(rules: Sequence[Rule], edb_schema: DatabaseSchema | None) -> dict[str, int]:
+    arities: dict[str, int] = {}
+    if edb_schema is not None:
+        for rel in edb_schema:
+            arities[rel.name] = rel.arity
+    for rule in rules:
+        for a in (rule.head, *rule.body):
+            prev = arities.setdefault(a.pred, a.arity)
+            if prev != a.arity:
+                raise ValueError(f"predicate {a.pred!r} used with arities {prev} and {a.arity}")
+    return arities
+
+
+class DatalogQuery(Query):
+    """A pure Datalog program with designated output predicates.
+
+    ``outputs`` lists the IDB predicates forming the query's answer vector;
+    when omitted, every IDB predicate is output.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        outputs: Sequence[str] | None = None,
+        name: str | None = None,
+        engine: str = "seminaive",
+    ) -> None:
+        self.rules = tuple(rules)
+        if not self.rules:
+            raise ValueError("a Datalog program needs at least one rule")
+        _check_pure(self.rules)
+        self.name = name or "datalog"
+        if engine not in ("seminaive", "naive"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.idb = {rule.head.pred for rule in self.rules}
+        self.outputs = tuple(outputs) if outputs is not None else tuple(sorted(self.idb))
+        unknown = set(self.outputs) - self.idb
+        if unknown:
+            raise ValueError(f"outputs {sorted(unknown)} are not IDB predicates")
+        self._arities = _arities(self.rules, None)
+
+    def __repr__(self) -> str:
+        return f"DatalogQuery({self.name!r}, {len(self.rules)} rules, outputs={list(self.outputs)})"
+
+    # -- Query interface -------------------------------------------------------
+
+    def output_schema(self, input_schema: DatabaseSchema) -> DatabaseSchema:
+        return DatabaseSchema(
+            [RelationSchema(n, self._arities[n]) for n in self.outputs]
+        )
+
+    def constants(self) -> set[Constant]:
+        out: set[Constant] = set()
+        for rule in self.rules:
+            out |= rule.constants()
+        return out
+
+    def is_positive_existential(self) -> bool:
+        # Recursion leaves the positive existential fragment (incomparably,
+        # per Section 2.1), even though each rule is positive.
+        return False
+
+    def __call__(self, instance: Instance) -> Instance:
+        if self.engine == "naive":
+            store = naive_fixpoint(self.rules, instance)
+        else:
+            store = seminaive_fixpoint(self.rules, instance)
+        return Instance(
+            {
+                name: Relation(self._arities[name], store.get(name, set()))
+                for name in self.outputs
+            }
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint engines
+# ---------------------------------------------------------------------------
+
+
+def _initial_store(rules: Sequence[Rule], instance: Instance) -> FactStore:
+    store: FactStore = {name: set(instance[name].facts) for name in instance.names()}
+    for rule in rules:
+        store.setdefault(rule.head.pred, set())
+        for body_atom in rule.body:
+            store.setdefault(body_atom.pred, set())
+    return store
+
+
+def naive_fixpoint(rules: Sequence[Rule], instance: Instance) -> FactStore:
+    """Least fixpoint by whole-program re-derivation each round."""
+    _check_pure(rules)
+    store = _initial_store(rules, instance)
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            derived = set(_derive(rule, store, None, -1))
+            target = store[rule.head.pred]
+            before = len(target)
+            target |= derived
+            if len(target) != before:
+                changed = True
+    return store
+
+
+def seminaive_fixpoint(rules: Sequence[Rule], instance: Instance) -> FactStore:
+    """Least fixpoint with delta relations (semi-naive evaluation)."""
+    _check_pure(rules)
+    store = _initial_store(rules, instance)
+    # Round zero: every fact is "new".
+    delta: FactStore = {name: set(facts) for name, facts in store.items()}
+    while any(delta.values()):
+        new_delta: FactStore = {name: set() for name in store}
+        for rule in rules:
+            for pos in range(len(rule.body)):
+                pred = rule.body[pos].pred
+                if not delta.get(pred):
+                    continue
+                for fact in _derive(rule, store, delta, pos):
+                    if fact not in store[rule.head.pred]:
+                        new_delta[rule.head.pred].add(fact)
+        for name, facts in new_delta.items():
+            store[name] |= facts
+        delta = new_delta
+    return store
+
+
+def _derive(
+    rule: Rule,
+    store: FactStore,
+    delta: FactStore | None,
+    delta_position: int,
+) -> Iterator[Fact]:
+    """All head facts derivable with the atom at ``delta_position`` (if >= 0)
+    matching a delta fact and the rest matching the full store."""
+    yield from _derive_rec(rule, store, delta, delta_position, 0, {})
+
+
+def _derive_rec(
+    rule: Rule,
+    store: FactStore,
+    delta: FactStore | None,
+    delta_position: int,
+    index: int,
+    env: dict[Variable, Constant],
+) -> Iterator[Fact]:
+    if index == len(rule.body):
+        if _conditions_hold(rule.conditions, env):
+            yield tuple(
+                env[t] if isinstance(t, Variable) else t for t in rule.head.terms
+            )
+        return
+    body_atom = rule.body[index]
+    if index == delta_position and delta is not None:
+        source = delta.get(body_atom.pred, set())
+    else:
+        source = store.get(body_atom.pred, set())
+    for fact in source:
+        bound = _unify(body_atom.terms, fact, env)
+        if bound is not None:
+            yield from _derive_rec(rule, store, delta, delta_position, index + 1, bound)

@@ -1,0 +1,483 @@
+"""First order queries: formulas with negation, evaluated over the active domain.
+
+First order queries extend the positive existential ones "through negation"
+(Section 2.1).  We represent them as formula trees and evaluate with
+active-domain semantics: quantifiers range over the constants of the input
+instance plus the constants of the query.  For a fixed formula this is
+polynomial in the instance size (QPTIME), with exponent bounded by the
+quantifier rank.
+
+Evaluation is *atom driven* rather than a blind product over the domain:
+formulas are first normalised to NNF (negations at the leaves), and an
+existential block binds its variables by iterating over the facts of a
+relation atom that mentions them, falling back to domain enumeration only
+for variables no relation atom covers.  Universal blocks evaluate as
+negated existential ones.  This is the standard join-style evaluation and
+is what makes the fixed queries of Theorems 5.2(2) / 5.3(2) usable at
+benchmark scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..core.conditions import Atom as CondAtom
+from ..core.terms import Constant, Term, Variable
+from ..relational.instance import Instance, Relation
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .base import Query
+from .rules import queryterm
+
+__all__ = [
+    "Formula",
+    "Rel",
+    "Compare",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "Forall",
+    "FOQuery",
+]
+
+
+class Formula:
+    """Base class of first order formula nodes."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> set[Variable]:
+        raise NotImplementedError
+
+    def constants(self) -> set[Constant]:
+        raise NotImplementedError
+
+    def holds(
+        self,
+        instance: Instance,
+        env: Mapping[Variable, Constant],
+        domain: Sequence[Constant],
+    ) -> bool:
+        """Truth under ``env`` (which must bind all free variables)."""
+        raise NotImplementedError
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        """Negation normal form, negating the whole formula if asked."""
+        raise NotImplementedError
+
+    # -- combinators -----------------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class Rel(Formula):
+    """Relation atom ``R(t_1, ..., t_k)``; DSL strings are variables."""
+
+    __slots__ = ("pred", "terms")
+
+    def __init__(self, pred: str, *terms) -> None:
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "terms", tuple(queryterm(t) for t in terms))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Rel is immutable")
+
+    def __repr__(self) -> str:
+        return f"{self.pred}({', '.join(map(str, self.terms))})"
+
+    def free_variables(self) -> set[Variable]:
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def constants(self) -> set[Constant]:
+        return {t for t in self.terms if isinstance(t, Constant)}
+
+    def holds(self, instance, env, domain) -> bool:
+        fact = tuple(env[t] if isinstance(t, Variable) else t for t in self.terms)
+        return fact in instance[self.pred].facts
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        return Not(self) if negate else self
+
+
+class Compare(Formula):
+    """An equality or inequality atom lifted into the formula language."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond: CondAtom) -> None:
+        object.__setattr__(self, "cond", cond)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Compare is immutable")
+
+    def __repr__(self) -> str:
+        return str(self.cond)
+
+    def free_variables(self) -> set[Variable]:
+        return self.cond.variables()
+
+    def constants(self) -> set[Constant]:
+        return self.cond.constants()
+
+    def holds(self, instance, env, domain) -> bool:
+        def lookup(term: Term) -> Constant:
+            return env[term] if isinstance(term, Variable) else term  # type: ignore[index]
+
+        return self.cond.holds_for(lookup)
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        return Compare(self.cond.negated()) if negate else self
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula) -> None:
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Not is immutable")
+
+    def __repr__(self) -> str:
+        return f"~({self.child!r})"
+
+    def free_variables(self) -> set[Variable]:
+        return self.child.free_variables()
+
+    def constants(self) -> set[Constant]:
+        return self.child.constants()
+
+    def holds(self, instance, env, domain) -> bool:
+        return not self.child.holds(instance, env, domain)
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        return self.child.nnf(not negate)
+
+
+class _Junction(Formula):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Formula]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def free_variables(self) -> set[Variable]:
+        out: set[Variable] = set()
+        for child in self.children:
+            out |= child.free_variables()
+        return out
+
+    def constants(self) -> set[Constant]:
+        out: set[Constant] = set()
+        for child in self.children:
+            out |= child.constants()
+        return out
+
+
+class And(_Junction):
+    """Conjunction."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.children)) + ")"
+
+    def holds(self, instance, env, domain) -> bool:
+        return all(c.holds(instance, env, domain) for c in self.children)
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        parts = tuple(c.nnf(negate) for c in self.children)
+        return Or(parts) if negate else And(parts)
+
+
+class Or(_Junction):
+    """Disjunction."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.children)) + ")"
+
+    def holds(self, instance, env, domain) -> bool:
+        return any(c.holds(instance, env, domain) for c in self.children)
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        parts = tuple(c.nnf(negate) for c in self.children)
+        return And(parts) if negate else Or(parts)
+
+
+def Implies(antecedent: Formula, consequent: Formula) -> Or:
+    """Material implication, as a derived connective."""
+    return Or([Not(antecedent), consequent])
+
+
+class _Quantifier(Formula):
+    __slots__ = ("variables", "child")
+
+    def __init__(self, variables: Iterable, child: Formula) -> None:
+        vs = tuple(v if isinstance(v, Variable) else Variable(v) for v in variables)
+        object.__setattr__(self, "variables", vs)
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def free_variables(self) -> set[Variable]:
+        return self.child.free_variables() - set(self.variables)
+
+    def constants(self) -> set[Constant]:
+        return self.child.constants()
+
+
+class Exists(_Quantifier):
+    """Existential quantification over the active domain."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"exists {names}. {self.child!r}"
+
+    def holds(self, instance, env, domain) -> bool:
+        unbound = [v for v in self.variables if v not in env]
+        return _solve_exists(
+            unbound, self.child.nnf(), instance, dict(env), domain
+        )
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        if negate:
+            return Forall(self.variables, self.child.nnf(True))
+        return Exists(self.variables, self.child.nnf(False))
+
+
+class Forall(_Quantifier):
+    """Universal quantification over the active domain."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        names = " ".join(v.name for v in self.variables)
+        return f"forall {names}. {self.child!r}"
+
+    def holds(self, instance, env, domain) -> bool:
+        unbound = [v for v in self.variables if v not in env]
+        return not _solve_exists(
+            unbound, self.child.nnf(True), instance, dict(env), domain
+        )
+
+    def nnf(self, negate: bool = False) -> "Formula":
+        if negate:
+            return Exists(self.variables, self.child.nnf(True))
+        return Forall(self.variables, self.child.nnf(False))
+
+
+# ---------------------------------------------------------------------------
+# Atom-driven existential evaluation
+# ---------------------------------------------------------------------------
+
+
+def _solve_exists(
+    unbound: list[Variable],
+    formula: Formula,
+    instance: Instance,
+    env: dict[Variable, Constant],
+    domain: Sequence[Constant],
+) -> bool:
+    """Decide ``exists unbound. formula`` for an NNF formula.
+
+    Bindings flow from positive relation atoms where possible; variables
+    not covered by any relation atom fall back to domain enumeration.
+    """
+    if isinstance(formula, Or):
+        return any(
+            _solve_exists(
+                [v for v in unbound if v in child.free_variables()],
+                child,
+                instance,
+                env,
+                domain,
+            )
+            for child in formula.children
+        )
+    conjuncts = list(formula.children) if isinstance(formula, And) else [formula]
+    return _solve_conjuncts(unbound, conjuncts, instance, env, domain)
+
+
+def _solve_conjuncts(
+    unbound: list[Variable],
+    conjuncts: list[Formula],
+    instance: Instance,
+    env: dict[Variable, Constant],
+    domain: Sequence[Constant],
+) -> bool:
+    unbound_set = {v for v in unbound if v not in env}
+    # Evaluate every conjunct whose variables are all bound; keep the rest.
+    pending: list[Formula] = []
+    for conjunct in conjuncts:
+        if conjunct.free_variables() & unbound_set:
+            pending.append(conjunct)
+        else:
+            if not conjunct.holds(instance, env, domain):
+                return False
+    if not unbound_set:
+        return True
+    # Prefer a positive relation atom to drive the bindings.
+    for index, conjunct in enumerate(pending):
+        if isinstance(conjunct, Rel) and conjunct.free_variables() & unbound_set:
+            rest = pending[:index] + pending[index + 1 :]
+            relation = instance[conjunct.pred] if conjunct.pred in instance.names() else None
+            if relation is None:
+                return False
+            for fact in relation.facts:
+                bound = _unify_formula_atom(conjunct.terms, fact, env)
+                if bound is None:
+                    continue
+                remaining = [v for v in unbound_set if v not in bound]
+                if _solve_conjuncts(remaining, rest, instance, bound, domain):
+                    return True
+            return False
+    # Fall back: enumerate one variable over the domain.
+    var = sorted(unbound_set, key=lambda v: v.name)[0]
+    for value in domain:
+        env[var] = value
+        if _solve_conjuncts(
+            [v for v in unbound_set if v != var], pending, instance, env, domain
+        ):
+            del env[var]
+            return True
+        del env[var]
+    return False
+
+
+def _unify_formula_atom(
+    terms: Sequence[Term],
+    fact: tuple[Constant, ...],
+    env: dict[Variable, Constant],
+) -> dict[Variable, Constant] | None:
+    out = None
+    for term, value in zip(terms, fact):
+        if isinstance(term, Constant):
+            if term != value:
+                return None
+        else:
+            bound = env.get(term) if out is None else out.get(term)
+            if bound is None:
+                if out is None:
+                    out = dict(env)
+                out[term] = value
+            elif bound != value:
+                return None
+    return out if out is not None else dict(env)
+
+
+# ---------------------------------------------------------------------------
+# The query class
+# ---------------------------------------------------------------------------
+
+
+class FOQuery(Query):
+    """A first order query: named outputs, each a head plus a formula.
+
+    ``outputs`` maps an output relation name to ``(head_terms, formula)``.
+    Head terms may mix variables (the formula's free variables) and
+    constants — the paper's reductions use heads like ``{1 | psi}``.
+    """
+
+    def __init__(
+        self,
+        outputs: Mapping[str, tuple[Sequence, Formula]],
+        name: str | None = None,
+    ) -> None:
+        self.name = name or "fo"
+        self.outputs: dict[str, tuple[tuple[Term, ...], Formula]] = {}
+        for out_name, (head, formula) in outputs.items():
+            head_terms = tuple(queryterm(t) for t in head)
+            head_vars = {t for t in head_terms if isinstance(t, Variable)}
+            missing = head_vars - formula.free_variables()
+            if missing:
+                names = ", ".join(sorted(v.name for v in missing))
+                raise ValueError(
+                    f"head variables {{{names}}} of {out_name!r} not free in formula"
+                )
+            self.outputs[out_name] = (head_terms, formula)
+
+    def __repr__(self) -> str:
+        return f"FOQuery({self.name!r}, outputs={list(self.outputs)})"
+
+    @staticmethod
+    def difference(
+        left: str, right: str, arity: int, name: str | None = None
+    ) -> "FOQuery":
+        """The set-difference query ``left - right`` of a given arity.
+
+        The simplest query outside the positive existential class -- the
+        paper's canonical example of what "negation" adds (Theorems 3.2(4),
+        5.2(2), 5.3(2) all hinge on such non-monotone views).
+        """
+        head = [Variable(f"x{i}") for i in range(arity)]
+        formula = And([Rel(left, *head), Not(Rel(right, *head))])
+        out_name = name or f"{left}_minus_{right}"
+        return FOQuery({out_name: (head, formula)}, name=out_name)
+
+    # -- Query interface -------------------------------------------------------
+
+    def output_schema(self, input_schema: DatabaseSchema) -> DatabaseSchema:
+        return DatabaseSchema(
+            [RelationSchema(n, len(h)) for n, (h, _) in self.outputs.items()]
+        )
+
+    def constants(self) -> set[Constant]:
+        out: set[Constant] = set()
+        for head, formula in self.outputs.values():
+            out |= {t for t in head if isinstance(t, Constant)}
+            out |= formula.constants()
+        return out
+
+    def is_positive_existential(self) -> bool:
+        # Conservative: FO queries are treated as the larger class even when
+        # the formula happens to be positive.
+        return False
+
+    def __call__(self, instance: Instance) -> Instance:
+        domain = sorted(
+            instance.constants() | self.constants(), key=Constant.sort_key
+        )
+        result: dict[str, Relation] = {}
+        for out_name, (head_terms, formula) in self.outputs.items():
+            head_vars = sorted(
+                {t for t in head_terms if isinstance(t, Variable)},
+                key=lambda v: v.name,
+            )
+            facts = set()
+            for env in _environments(head_vars, domain):
+                if formula.holds(instance, env, domain):
+                    facts.add(
+                        tuple(
+                            env[t] if isinstance(t, Variable) else t
+                            for t in head_terms
+                        )
+                    )
+            result[out_name] = Relation(len(head_terms), facts)
+        return Instance(result)
+
+
+def _environments(variables: Sequence[Variable], domain: Sequence[Constant]):
+    import itertools
+
+    if not variables:
+        yield {}
+        return
+    for values in itertools.product(domain, repeat=len(variables)):
+        yield dict(zip(variables, values))

@@ -1,0 +1,301 @@
+"""Rule-based queries: conjunctive queries and unions thereof (UCQ).
+
+This is the library's concrete form of the paper's *positive existential
+queries*: first-order formulas built from relation atoms, conjunction,
+disjunction and existential quantification, with equality.  Such a formula
+normalises to a union of conjunctive queries; we represent the queries
+directly in that normal form, one :class:`Rule` per disjunct.
+
+The paper's lower bounds also use "positive existential with ``!=``"
+queries (Theorem 3.2(4)); rules therefore optionally carry inequality
+side-conditions, and :meth:`UCQQuery.is_positive_existential` reports
+``False`` when any are present.
+
+Term notation
+-------------
+In the rule DSL a plain string denotes a query *variable*, and any other
+Python value a *constant*; explicit :class:`~repro.core.terms.Term` objects
+are passed through.  (This differs from ``as_term``'s ``"?x"`` convention
+because rules are mostly variables, e.g. ``atom("R", "X", "Y", 0)``.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.conditions import Atom as CondAtom
+from ..core.conditions import Eq, Neq
+from ..core.terms import Constant, Term, Variable
+from ..relational.instance import Fact, Instance, Relation
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .base import Query
+
+__all__ = ["queryterm", "atom", "Atom", "Rule", "UCQQuery", "cq"]
+
+
+def queryterm(value) -> Term:
+    """Coerce a DSL value to a term: strings are variables, rest constants."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Variable(value)
+    return Constant(value)
+
+
+class Atom:
+    """A relational atom ``pred(t_1, ..., t_k)`` in a rule head or body."""
+
+    __slots__ = ("pred", "terms")
+
+    def __init__(self, pred: str, terms: Iterable) -> None:
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "terms", tuple(queryterm(t) for t in terms))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Atom is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.pred == other.pred
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pred, self.terms))
+
+    def __repr__(self) -> str:
+        return f"{self.pred}({', '.join(map(str, self.terms))})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Variable]:
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def constants(self) -> set[Constant]:
+        return {t for t in self.terms if isinstance(t, Constant)}
+
+
+def atom(pred: str, *terms) -> Atom:
+    """Convenience constructor: ``atom("R", "X", 0)`` = ``R(X, 0)``."""
+    return Atom(pred, terms)
+
+
+class Rule:
+    """A conjunctive-query rule ``head :- body, conditions``.
+
+    ``conditions`` are equality/inequality atoms over the rule's variables
+    (and constants).  A rule is *safe* when every variable in the head or in
+    a condition also occurs in the body; only safe rules are accepted,
+    guaranteeing finite, domain-independent answers.
+    """
+
+    __slots__ = ("head", "body", "conditions")
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Iterable[Atom],
+        conditions: Iterable[CondAtom] = (),
+    ) -> None:
+        body_t = tuple(body)
+        cond_t = tuple(conditions)
+        body_vars: set[Variable] = set()
+        for body_atom in body_t:
+            body_vars |= body_atom.variables()
+        loose = (head.variables() | {v for c in cond_t for v in c.variables()}) - body_vars
+        if loose:
+            names = ", ".join(sorted(v.name for v in loose))
+            raise ValueError(f"unsafe rule: variables {{{names}}} not bound in body")
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body_t)
+        object.__setattr__(self, "conditions", cond_t)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Rule is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Rule)
+            and self.head == other.head
+            and self.body == other.body
+            and self.conditions == other.conditions
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body, self.conditions))
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.body] + [str(c) for c in self.conditions]
+        return f"{self.head!r} :- {', '.join(parts)}."
+
+    def is_positive(self) -> bool:
+        """No inequality side-conditions."""
+        return not any(isinstance(c, Neq) for c in self.conditions)
+
+    def variables(self) -> set[Variable]:
+        out = self.head.variables()
+        for body_atom in self.body:
+            out |= body_atom.variables()
+        for cond in self.conditions:
+            out |= cond.variables()
+        return out
+
+    def constants(self) -> set[Constant]:
+        out = self.head.constants()
+        for body_atom in self.body:
+            out |= body_atom.constants()
+        for cond in self.conditions:
+            out |= cond.constants()
+        return out
+
+    def rename_apart(self, taken: set[str]) -> "Rule":
+        """Rename the rule's variables away from ``taken`` names."""
+        mapping: dict[Variable, Term] = {}
+        counter = itertools.count()
+        for var in sorted(self.variables(), key=lambda v: v.name):
+            if var.name in taken:
+                while True:
+                    fresh = Variable(f"{var.name}_{next(counter)}")
+                    if fresh.name not in taken:
+                        break
+                mapping[var] = fresh
+                taken.add(fresh.name)
+        if not mapping:
+            return self
+        return Rule(
+            Atom(self.head.pred, (mapping.get(t, t) for t in self.head.terms)),
+            (
+                Atom(b.pred, (mapping.get(t, t) for t in b.terms))
+                for b in self.body
+            ),
+            (c.substitute(mapping) for c in self.conditions),
+        )
+
+
+def cq(head: Atom, *body: Atom, where: Iterable[CondAtom] = ()) -> Rule:
+    """Concise rule constructor: ``cq(atom("Q","X"), atom("R","X","Y"))``."""
+    return Rule(head, body, where)
+
+
+class UCQQuery(Query):
+    """A union of conjunctive queries, possibly with ``!=`` side-conditions.
+
+    Rules are grouped by head predicate: the query's output instance has one
+    relation per distinct head predicate.  Rules with the same head predicate
+    are the disjuncts of that output relation.
+    """
+
+    def __init__(self, rules: Iterable[Rule], name: str | None = None) -> None:
+        self.rules = tuple(rules)
+        self.name = name or "ucq"
+        if not self.rules:
+            raise ValueError("a UCQ needs at least one rule")
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            prev = arities.setdefault(rule.head.pred, rule.head.arity)
+            if prev != rule.head.arity:
+                raise ValueError(
+                    f"head {rule.head.pred!r} used with arities {prev} and "
+                    f"{rule.head.arity}"
+                )
+        self._output_arities = arities
+
+    def __repr__(self) -> str:
+        return f"UCQQuery({self.name!r}, {len(self.rules)} rules)"
+
+    # -- Query interface -------------------------------------------------------
+
+    def output_schema(self, input_schema: DatabaseSchema) -> DatabaseSchema:
+        return DatabaseSchema(
+            [RelationSchema(n, a) for n, a in self._output_arities.items()]
+        )
+
+    def constants(self) -> set[Constant]:
+        out: set[Constant] = set()
+        for rule in self.rules:
+            out |= rule.constants()
+        return out
+
+    def is_positive_existential(self) -> bool:
+        return all(rule.is_positive() for rule in self.rules)
+
+    def __call__(self, instance: Instance) -> Instance:
+        results: dict[str, set[Fact]] = {n: set() for n in self._output_arities}
+        for rule in self.rules:
+            results[rule.head.pred] |= set(evaluate_rule(rule, instance))
+        return Instance(
+            {
+                name: Relation(self._output_arities[name], facts)
+                for name, facts in results.items()
+            }
+        )
+
+
+def evaluate_rule(rule: Rule, instance: Instance) -> Iterator[Fact]:
+    """Yield the head facts produced by one rule over ``instance``.
+
+    A straightforward backtracking join: body atoms are matched left to
+    right against the instance, accumulating variable bindings; the
+    side-conditions are checked as soon as both sides are bound.
+    """
+    yield from _match(rule, instance, 0, {})
+
+
+def _match(
+    rule: Rule,
+    instance: Instance,
+    index: int,
+    env: dict[Variable, Constant],
+) -> Iterator[Fact]:
+    if index == len(rule.body):
+        if _conditions_hold(rule.conditions, env):
+            yield tuple(
+                env[t] if isinstance(t, Variable) else t for t in rule.head.terms
+            )
+        return
+    body_atom = rule.body[index]
+    if body_atom.pred not in instance:
+        return
+    for fact in instance[body_atom.pred]:
+        bound = _unify(body_atom.terms, fact, env)
+        if bound is not None:
+            yield from _match(rule, instance, index + 1, bound)
+
+
+def _unify(
+    terms: Sequence[Term],
+    fact: Fact,
+    env: dict[Variable, Constant],
+) -> dict[Variable, Constant] | None:
+    """Extend ``env`` so that ``terms`` matches ``fact``, or return None."""
+    if len(terms) != len(fact):
+        return None
+    out = env
+    copied = False
+    for term, value in zip(terms, fact):
+        if isinstance(term, Constant):
+            if term != value:
+                return None
+        else:
+            bound = out.get(term)
+            if bound is None:
+                if not copied:
+                    out = dict(out)
+                    copied = True
+                out[term] = value
+            elif bound != value:
+                return None
+    return out
+
+
+def _conditions_hold(
+    conditions: Sequence[CondAtom], env: Mapping[Variable, Constant]
+) -> bool:
+    def lookup(term: Term) -> Constant:
+        return env[term] if isinstance(term, Variable) else term  # type: ignore[index]
+
+    return all(cond.holds_for(lookup) for cond in conditions)

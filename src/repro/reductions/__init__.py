@@ -1,0 +1,119 @@
+"""Every hardness reduction of the paper as an executable construction.
+
+Each module pairs the table-theoretic construction of a proof with a
+``decide_*`` wrapper that answers the *source* problem through it; the test
+suite machine-checks each against an independent solver from
+:mod:`repro.solvers`.
+
+====================  =====================================================
+Module                Theorems (figures)
+====================  =====================================================
+coloring_membership   3.1(2) (Fig 4c), 3.1(3) (Fig 4b), 3.1(4) (Fig 4d)
+tautology_uniqueness  3.2(3), 3.2(4) (Fig 6)
+containment_pi2       4.2(1) (Fig 7), 4.2(2) (Fig 8), 4.2(3), 4.2(5) (Fig 10)
+containment_conp      4.2(4) (Fig 9)
+sat_possibility       5.1(2) (Fig 11b), 5.1(3) (Fig 11a), 5.1(4)
+fo_possibility        5.2(2), 5.3(2)
+datalog_possibility   5.2(3) (Fig 12)
+====================  =====================================================
+"""
+
+from .coloring_membership import (
+    MembershipReduction,
+    decide_colorable_via_etable,
+    decide_colorable_via_itable,
+    decide_colorable_via_view,
+    etable_membership,
+    itable_membership,
+    view_membership,
+)
+from .containment_conp import (
+    decide_tautology_via_containment,
+    tautology_containment,
+)
+from .containment_pi2 import (
+    ContainmentReduction,
+    ctable_containment,
+    decide_forall_exists_via_ctable,
+    decide_forall_exists_via_etable,
+    decide_forall_exists_via_itable,
+    decide_forall_exists_via_view,
+    etable_containment,
+    itable_containment,
+    view_containment,
+)
+from .datalog_possibility import (
+    GOAL,
+    REACHABILITY_QUERY,
+    datalog_possibility,
+    decide_sat_via_datalog,
+)
+from .fo_possibility import (
+    CertaintyReduction,
+    decide_nontautology_via_fo_possibility,
+    decide_tautology_via_fo_certainty,
+    fo_certainty,
+    fo_possibility,
+    fo_psi,
+    fo_tautology_table,
+)
+from .sat_possibility import (
+    PossibilityReduction,
+    decide_colorable_via_view_possibility,
+    decide_sat_via_etable,
+    decide_sat_via_itable,
+    etable_possibility,
+    itable_possibility,
+    view_possibility,
+)
+from .tautology_uniqueness import (
+    UniquenessReduction,
+    ctable_uniqueness,
+    decide_noncolorable_via_view,
+    decide_tautology_via_ctable,
+    view_uniqueness,
+)
+
+__all__ = [
+    "MembershipReduction",
+    "etable_membership",
+    "itable_membership",
+    "view_membership",
+    "decide_colorable_via_etable",
+    "decide_colorable_via_itable",
+    "decide_colorable_via_view",
+    "UniquenessReduction",
+    "ctable_uniqueness",
+    "view_uniqueness",
+    "decide_tautology_via_ctable",
+    "decide_noncolorable_via_view",
+    "ContainmentReduction",
+    "itable_containment",
+    "view_containment",
+    "etable_containment",
+    "ctable_containment",
+    "decide_forall_exists_via_itable",
+    "decide_forall_exists_via_view",
+    "decide_forall_exists_via_etable",
+    "decide_forall_exists_via_ctable",
+    "tautology_containment",
+    "decide_tautology_via_containment",
+    "PossibilityReduction",
+    "etable_possibility",
+    "itable_possibility",
+    "view_possibility",
+    "decide_sat_via_etable",
+    "decide_sat_via_itable",
+    "decide_colorable_via_view_possibility",
+    "CertaintyReduction",
+    "fo_tautology_table",
+    "fo_psi",
+    "fo_certainty",
+    "fo_possibility",
+    "decide_tautology_via_fo_certainty",
+    "decide_nontautology_via_fo_possibility",
+    "REACHABILITY_QUERY",
+    "GOAL",
+    "datalog_possibility",
+    "decide_sat_via_datalog",
+]

@@ -1,0 +1,196 @@
+"""Theorem 3.1(2,3,4): graph 3-colorability reduced to membership.
+
+Three constructions, one per representation, all illustrated by Figure 4
+of the paper for the example graph of Figure 4(a):
+
+* :func:`etable_membership` (Thm 3.1(2), Fig 4(c)) — an e-table of arity 2:
+  the six "distinct colors" constant rows plus one row ``(x_a, x_b)`` per
+  oriented edge.  The instance is the six distinct-color pairs.  G is
+  3-colorable iff the instance is in ``rep``.
+* :func:`itable_membership` (Thm 3.1(3), Fig 4(b)) — a unary i-table: the
+  three colors plus one variable per node, with the global condition
+  ``x_a != x_b`` per edge.  The instance is ``{1, 2, 3}``.
+* :func:`view_membership` (Thm 3.1(4), Fig 4(d)) — two Codd-tables
+  ``R`` (arity 5, one row per edge carrying two color nulls) and ``S``
+  (arity 2, the distinct-color pairs), and a fixed positive existential
+  query ``q = (q1, q2)``: ``q1`` returns incidence triples of vertices
+  consistently colored across edge occurrences, ``q2`` the edges whose two
+  endpoint colors are a distinct pair.  The instance is the full incidence
+  relation plus all edge indices.
+
+Each construction comes with a ``decide_*`` wrapper running the full
+pipeline; the test suite checks them against the backtracking coloring
+solver on structured and random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.conditions import Conjunction, Neq
+from ..core.membership import is_member
+from ..core.tables import CTable, TableDatabase
+from ..core.terms import Variable
+from ..queries.base import Query
+from ..queries.rules import UCQQuery, atom, cq
+from ..relational.instance import Instance, Relation
+from ..solvers.graphs import Graph
+
+__all__ = [
+    "MembershipReduction",
+    "etable_membership",
+    "itable_membership",
+    "view_membership",
+    "decide_colorable_via_etable",
+    "decide_colorable_via_itable",
+    "decide_colorable_via_view",
+]
+
+#: The three colors of the reduction.
+COLORS = (1, 2, 3)
+
+#: All ordered pairs of distinct colors.
+DISTINCT_COLOR_PAIRS = tuple(
+    (i, j) for i in COLORS for j in COLORS if i != j
+)
+
+
+@dataclass(frozen=True)
+class MembershipReduction:
+    """A constructed MEMB instance: is ``instance`` in ``q(rep(db))``?"""
+
+    db: TableDatabase
+    instance: Instance
+    query: Query | None = None
+
+    def decide(self, method: str = "auto") -> bool:
+        return is_member(self.instance, self.db, self.query, method=method)
+
+
+def _node_variable(node) -> Variable:
+    return Variable(f"x{node}")
+
+
+def etable_membership(graph: Graph) -> MembershipReduction:
+    """Theorem 3.1(2): 3-colorability as e-table membership.
+
+    T = { (i, j) : i != j colors } union { (x_a, x_b) : (a, b) oriented edge },
+    I0 = { (i, j) : i != j colors }.
+
+    Every edge row must instantiate *into* I0, forcing adjacent nodes to
+    distinct colors; variables repeat across edge rows (an e-table), so one
+    color per node is chosen consistently.
+    """
+    rows: list[tuple] = [pair for pair in DISTINCT_COLOR_PAIRS]
+    for a, b in graph.edges:
+        rows.append((_node_variable(a), _node_variable(b)))
+    table = CTable("T", 2, rows)
+    instance = Instance({"T": list(DISTINCT_COLOR_PAIRS)})
+    return MembershipReduction(TableDatabase.single(table), instance)
+
+
+def itable_membership(graph: Graph) -> MembershipReduction:
+    """Theorem 3.1(3): 3-colorability as i-table membership.
+
+    T = {1, 2, 3} union { x_a : a node },   phi_T = { x_a != x_b : edges },
+    I0 = {1, 2, 3}.
+
+    Membership forces every x_a into {1, 2, 3} while the global condition
+    keeps adjacent nodes apart.
+    """
+    rows: list[tuple] = [(c,) for c in COLORS]
+    rows += [(_node_variable(a),) for a in graph.nodes]
+    condition = Conjunction(
+        Neq(_node_variable(a), _node_variable(b)) for a, b in graph.edges
+    )
+    table = CTable("T", 1, rows, condition)
+    instance = Instance({"T": [(c,) for c in COLORS]})
+    return MembershipReduction(TableDatabase.single(table), instance)
+
+
+def view_membership(graph: Graph) -> MembershipReduction:
+    """Theorem 3.1(4): 3-colorability as positive existential view membership.
+
+    Codd-tables (Fig 4(d)): for the j-th oriented edge ``(b_j, c_j)``,
+
+        T(R) gets the row  (b_j, x_j, c_j, y_j, j)
+
+    with fresh nulls ``x_j, y_j`` (the colors of the two endpoints *in this
+    edge*), and ``T(S)`` holds the six distinct-color pairs.  The fixed
+    query is ``q = (q1, q2)``::
+
+        q1 = { (x, z, z') | exists y ( [exists vw (R(xyvwz) or R(vwxyz))]
+                                     and [exists vw (R(xyvwz') or R(vwxyz'))] ) }
+        q2 = { (z) | exists xyvw ( R(xyvwz) and S(yw) ) }
+
+    and the candidate instance is ``Ro`` = all triples (a, j, k) with vertex
+    a incident to edges j and k, ``So`` = all edge indices.  ``q1 = Ro``
+    forces each vertex's per-edge color nulls to agree; ``q2 = So`` forces
+    every edge's endpoint colors to be a distinct pair from {1,2,3}.
+    """
+    edges = list(graph.edges)
+    r_rows = []
+    for j, (b, c) in enumerate(edges, start=1):
+        r_rows.append((b, Variable(f"x{j}"), c, Variable(f"y{j}"), j))
+    table_r = CTable("R", 5, r_rows)
+    table_s = CTable("S", 2, list(DISTINCT_COLOR_PAIRS))
+    db = TableDatabase([table_r, table_s])
+
+    incident: dict = {}
+    for j, (b, c) in enumerate(edges, start=1):
+        incident.setdefault(b, []).append(j)
+        incident.setdefault(c, []).append(j)
+    ro = [
+        (a, j, k)
+        for a, js in incident.items()
+        for j in js
+        for k in js
+    ]
+    so = [(j,) for j in range(1, len(edges) + 1)]
+    instance = Instance({"q1": Relation(3, ro), "q2": Relation(1, so)})
+
+    # q1 expanded into its four conjunctive disjuncts (or x or -> 4 rules).
+    occurrence_shapes = (
+        ("X", "Y", "V", "W"),  # vertex in columns (0, 1)
+        ("V", "W", "X", "Y"),  # vertex in columns (2, 3)
+    )
+    q1_rules = []
+    for first in occurrence_shapes:
+        for second in occurrence_shapes:
+            body_one = atom("R", first[0], first[1], first[2], first[3], "Z")
+            # Rename the existential padding variables of the second atom
+            # apart; X (the vertex) and Y (the shared color) stay shared.
+            second_renamed = tuple(
+                t if t in ("X", "Y") else t + "2" for t in second
+            )
+            body_two = atom(
+                "R",
+                second_renamed[0],
+                second_renamed[1],
+                second_renamed[2],
+                second_renamed[3],
+                "Z2",
+            )
+            q1_rules.append(cq(atom("q1", "X", "Z", "Z2"), body_one, body_two))
+    q2_rule = cq(
+        atom("q2", "Z"),
+        atom("R", "X", "Y", "V", "W", "Z"),
+        atom("S", "Y", "W"),
+    )
+    query = UCQQuery(q1_rules + [q2_rule], name="thm314")
+    return MembershipReduction(db, instance, query)
+
+
+def decide_colorable_via_etable(graph: Graph) -> bool:
+    """3-colorability decided through the Theorem 3.1(2) reduction."""
+    return etable_membership(graph).decide()
+
+
+def decide_colorable_via_itable(graph: Graph) -> bool:
+    """3-colorability decided through the Theorem 3.1(3) reduction."""
+    return itable_membership(graph).decide()
+
+
+def decide_colorable_via_view(graph: Graph) -> bool:
+    """3-colorability decided through the Theorem 3.1(4) reduction."""
+    return view_membership(graph).decide()

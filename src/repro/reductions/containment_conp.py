@@ -1,0 +1,61 @@
+"""Theorem 4.2(4), Figure 9: coNP-hardness of view-in-table containment.
+
+3DNF tautology reduced to ``q0(rep(T0)) <= rep(T)`` with Codd-tables on
+both sides and a positive existential ``q0``:
+
+* ``Ro = {(i, j, 1) : x_j in term i} union {(i, j, 0) : -x_j in term i}``
+  encodes the DNF (all constants);
+* ``So = {(j, u_j)}`` guesses a *complemented* assignment: sigma0(u_j) is
+  0 when x_j is true, 1 when false;
+* ``q0(X) :- Ro(X, Y, Z), So(Y, Z)``  plus the unconditional ``q0(0)``
+  outputs 0 and every term index containing a literal *falsified* by the
+  assignment;
+* ``T`` is the unary Codd-table of p distinct nulls: it represents exactly
+  the instances with at most p elements.
+
+If H is falsifiable the falsifying assignment puts all of {0, 1, ..., p}
+(p+1 values) in the view — too many for T; if H is a tautology every
+boolean assignment leaves some term fully true (hence absent from the
+output), keeping the output within p values, and non-boolean guesses only
+shrink it.
+"""
+
+from __future__ import annotations
+
+from ..core.tables import CTable, TableDatabase
+from ..core.terms import Variable
+from ..queries.rules import UCQQuery, atom, cq
+from ..solvers.sat import DNF
+from .containment_pi2 import ContainmentReduction
+
+__all__ = ["tautology_containment", "decide_tautology_via_containment"]
+
+
+def tautology_containment(dnf: DNF) -> ContainmentReduction:
+    """Build the Theorem 4.2(4) containment instance from a DNF."""
+    m = dnf.num_variables
+    ro_rows = [
+        (i, abs(literal), 1 if literal > 0 else 0)
+        for i, term in enumerate(dnf.clauses, start=1)
+        for literal in term
+    ]
+    so_rows = [(j, Variable(f"u{j}")) for j in range(1, m + 1)]
+    db0 = TableDatabase(
+        [CTable("Ro", 3, ro_rows), CTable("So", 2, so_rows)]
+    )
+    query0 = UCQQuery(
+        [
+            cq(atom("q0", "X"), atom("Ro", "X", "Y", "Z"), atom("So", "Y", "Z")),
+            cq(atom("q0", 0)),
+        ],
+        name="thm424_q0",
+    )
+    p = len(dnf.clauses)
+    table = CTable("q0", 1, [(Variable(f"w{i}"),) for i in range(1, p + 1)])
+    db = TableDatabase.single(table)
+    return ContainmentReduction(db0, db, query0, None)
+
+
+def decide_tautology_via_containment(dnf: DNF) -> bool:
+    """3DNF tautology decided through the Theorem 4.2(4) reduction."""
+    return tautology_containment(dnf).decide()

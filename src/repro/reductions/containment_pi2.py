@@ -1,0 +1,297 @@
+"""Theorem 4.2(1,2,3,5): Pi2p-hardness of the containment problem.
+
+All four reductions start from the forall-exists 3CNF problem
+([Stockmeyer 76]): given clauses H over universal variables X = x_1..x_n
+and existential variables Y = x_{n+1}..x_{n+m}, does every truth assignment
+of X extend to one satisfying H?
+
+* :func:`itable_containment` (Thm 4.2(1), Fig 7) — "containment is
+  Pi2p-complete even if the subset worlds are a *table* and the superset
+  worlds an *i-table*": the paper's flagship lower bound, maximal hardness
+  from minimal expressibility.
+* :func:`view_containment` (Thm 4.2(2), Fig 8) — table contained in a
+  positive existential view of a table.
+* :func:`etable_containment` (Thm 4.2(5), Fig 10) — positive existential
+  view of a table contained in an e-table.
+* :func:`ctable_containment` (Thm 4.2(3)) — c-table contained in an
+  e-table, obtained from the Thm 4.2(5) construction by folding the
+  left-hand query into the representation with the c-table algebra
+  (the "technique of [10]" the paper invokes).
+
+Encoding conventions follow the paper's figures: literal positions are
+indexed (clause k, position j); the truth of universal variable x_i is
+channelled through the marker constants 5 ("true") and 6 ("false") in
+Fig 7, and through {0, 1} values elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.conditions import Conjunction, Neq
+from ..core.containment import contains
+from ..core.tables import CTable, TableDatabase
+from ..core.terms import Variable
+from ..ctalgebra.ucq import apply_ucq
+from ..queries.base import Query
+from ..queries.rules import UCQQuery, atom, cq
+from ..solvers.sat import ForallExistsCNF
+
+__all__ = [
+    "ContainmentReduction",
+    "itable_containment",
+    "view_containment",
+    "etable_containment",
+    "ctable_containment",
+    "decide_forall_exists_via_itable",
+    "decide_forall_exists_via_view",
+    "decide_forall_exists_via_etable",
+    "decide_forall_exists_via_ctable",
+]
+
+
+@dataclass(frozen=True)
+class ContainmentReduction:
+    """A constructed CONT instance: is ``q0(rep(db0)) <= q(rep(db))``?"""
+
+    db0: TableDatabase
+    db: TableDatabase
+    query0: Query | None = None
+    query: Query | None = None
+
+    def decide(self, method: str = "auto") -> bool:
+        return contains(self.db0, self.db, self.query0, self.query, method=method)
+
+
+def _pad3(clause: tuple[int, ...]) -> tuple[int, int, int]:
+    """Pad a clause to exactly three literals by repeating the last one.
+
+    ``(l1 or l2)`` and ``(l1 or l2 or l2)`` are equivalent, so the padding
+    lets the width-3 constructions (the Fig 7 clause rows have arity 3+1)
+    accept narrower clauses.
+    """
+    if not clause:
+        raise ValueError("empty clauses are not representable (always false)")
+    padded = tuple(clause[:3])
+    while len(padded) < 3:
+        padded += (padded[-1],)
+    return padded  # type: ignore[return-value]
+
+
+def _literal_positions(instance: ForallExistsCNF):
+    """Yield (clause k, position j, variable index, positive?) 1-based,
+    over the width-3 padded clauses."""
+    for k, clause in enumerate(instance.cnf.clauses, start=1):
+        for j, literal in enumerate(_pad3(clause), start=1):
+            yield k, j, abs(literal), literal > 0
+
+
+def _nonzero_bit_rows() -> list[tuple[int, int, int, int]]:
+    """The seven rows (a, b, c, 0) with a, b, c in {0,1} and a+b+c != 0."""
+    return [
+        (a, b, c, 0)
+        for a in (0, 1)
+        for b in (0, 1)
+        for c in (0, 1)
+        if a + b + c != 0
+    ]
+
+
+def itable_containment(instance: ForallExistsCNF) -> ContainmentReduction:
+    """Theorem 4.2(1), Figure 7: table contained in i-table.
+
+    Left side ``T0`` (a Codd-table of arity 4): rows ``(0, z_i, i, i)`` and
+    ``(1, 0, i, i)`` per universal variable, plus the seven non-zero bit
+    triples tagged 0.  Right side ``(T, phi_T)``: rows ``(u_i, w_i, i, i)``
+    and ``(v_i, y_i, i, i)`` per universal variable, the same bit triples,
+    and one row ``(z_k1, z_k2, z_k3, 0)`` per clause; the inequalities
+
+    * ``w_i != 5`` and ``y_i != 6`` channel sigma0(z_i) = 5 / 6 into
+      ``u_i = 1`` (x_i true) / ``u_i = 0`` (x_i false);
+    * ``z_kj != z_k'j'`` for complementary occurrences of the same variable
+      keep the chosen literal truths consistent;
+    * ``z_kj != v_l`` (positive occurrence of universal x_l) and
+      ``z_kj != u_l`` (negated occurrence) force universal literals to
+      their assigned truth;
+
+    and the clause rows must instantiate to non-zero bit triples — every
+    clause satisfied.  Hence containment holds iff forall X exists Y. H.
+    """
+    n = len(instance.universal)
+    if instance.universal != tuple(range(1, n + 1)):
+        raise ValueError("universal variables must be 1..n")
+    left_rows: list[tuple] = []
+    for i in range(1, n + 1):
+        left_rows.append((0, Variable(f"z{i}"), i, i))
+        left_rows.append((1, 0, i, i))
+    left_rows += _nonzero_bit_rows()
+    db0 = TableDatabase.single(CTable("T", 4, left_rows))
+
+    u = {i: Variable(f"u{i}") for i in range(1, n + 1)}
+    w = {i: Variable(f"w{i}") for i in range(1, n + 1)}
+    v = {i: Variable(f"v{i}") for i in range(1, n + 1)}
+    y = {i: Variable(f"y{i}") for i in range(1, n + 1)}
+    z = {}
+    right_rows: list[tuple] = []
+    for i in range(1, n + 1):
+        right_rows.append((u[i], w[i], i, i))
+        right_rows.append((v[i], y[i], i, i))
+    right_rows += _nonzero_bit_rows()
+    positions = list(_literal_positions(instance))
+    for k in range(1, len(instance.cnf.clauses) + 1):
+        for j in (1, 2, 3):
+            z[(k, j)] = Variable(f"zz{k}_{j}")
+        right_rows.append((z[(k, 1)], z[(k, 2)], z[(k, 3)], 0))
+
+    atoms = []
+    for i in range(1, n + 1):
+        atoms.append(Neq(w[i], 5))
+        atoms.append(Neq(y[i], 6))
+    for k, j, var, positive in positions:
+        for k2, j2, var2, positive2 in positions:
+            if var == var2 and positive and not positive2:
+                atoms.append(Neq(z[(k, j)], z[(k2, j2)]))
+    for k, j, var, positive in positions:
+        if var <= n:
+            atoms.append(Neq(z[(k, j)], v[var] if positive else u[var]))
+    db = TableDatabase.single(CTable("T", 4, right_rows, Conjunction(atoms)))
+    return ContainmentReduction(db0, db)
+
+
+def view_containment(instance: ForallExistsCNF) -> ContainmentReduction:
+    """Theorem 4.2(2), Figure 8: table contained in a pos. existential view.
+
+    Left side: ``Ro = {(i, v_i)}`` over the universal variables and
+    ``So = {(k)}`` over the clause indices.  Right side tables:
+    ``R = {(i, u_i)}`` and ``S = {(k, z_kj, var, sign)}`` per literal
+    occurrence.  The fixed query ``q = (q1, q2)``::
+
+        q1(X, Y) :- R(X, Y).
+        q2(K)    :- S(K, 1, Y, Z).
+        q2(0)    :- S(K1, 1, Y, 0), S(K2, 1, Y, 1).
+        q2(0)    :- R(Y, 0), S(K1, 1, Y, 1).
+        q2(0)    :- R(Y, 1), S(K1, 1, Y, 0).
+
+    ``z_kj = 1`` marks "this literal is chosen true"; ``q2`` lists the
+    covered clauses and emits the poison value 0 on any inconsistent
+    choice, so ``q2 = {1..p}`` exactly captures a correct extension.
+    """
+    n = len(instance.universal)
+    if instance.universal != tuple(range(1, n + 1)):
+        raise ValueError("universal variables must be 1..n")
+    p = len(instance.cnf.clauses)
+    db0 = TableDatabase(
+        [
+            CTable("q1", 2, [(i, Variable(f"v{i}")) for i in range(1, n + 1)]),
+            CTable("q2", 1, [(k,) for k in range(1, p + 1)]),
+        ]
+    )
+    r_rows = [(i, Variable(f"u{i}")) for i in range(1, n + 1)]
+    s_rows = [
+        (k, Variable(f"z{k}_{j}"), var, 1 if positive else 0)
+        for k, j, var, positive in _literal_positions(instance)
+    ]
+    db = TableDatabase(
+        [CTable("R", 2, r_rows), CTable("S", 4, s_rows)]
+    )
+    query = UCQQuery(
+        [
+            cq(atom("q1", "X", "Y"), atom("R", "X", "Y")),
+            cq(atom("q2", "K"), atom("S", "K", 1, "Y", "Z")),
+            cq(atom("q2", 0), atom("S", "K1", 1, "Y", 0), atom("S", "K2", 1, "Y", 1)),
+            cq(atom("q2", 0), atom("R", "Y", 0), atom("S", "K1", 1, "Y", 1)),
+            cq(atom("q2", 0), atom("R", "Y", 1), atom("S", "K1", 1, "Y", 0)),
+        ],
+        name="thm422",
+    )
+    return ContainmentReduction(db0, db, None, query)
+
+
+def etable_containment(instance: ForallExistsCNF) -> ContainmentReduction:
+    """Theorem 4.2(5), Figure 10: pos. existential view contained in e-table.
+
+    Left side tables: ``Ro = {(i, a, b) : a, b in {0,1}}`` per clause and
+    ``So = {(i, y_i, z_i)}`` per universal variable, with the query
+    ``q0 = (q01, q02)``::
+
+        q01(X, Y, Z) :- Ro(X, Y, Z).
+        q02(X, 1)    :- So(X, Y, Y).
+        q02(X, 0)    :- So(X, Y, Z).
+
+    (x_i is assigned true by making y_i = z_i).  Right side e-tables
+    (named after the view relations): ``q01`` holds ``(i,1,0)``,
+    ``(i,0,1)``, the literal rows ``(i, u_j, sign)`` and the diagonal rows
+    ``(i, t_i, t_i)``; ``q02`` holds ``(i, u_i)`` and ``(i, 0)``.  The
+    repeated nulls ``u_j`` make both consistency and clause coverage flow
+    through world equality.
+    """
+    n = len(instance.universal)
+    if instance.universal != tuple(range(1, n + 1)):
+        raise ValueError("universal variables must be 1..n")
+    p = len(instance.cnf.clauses)
+    ro_rows = [
+        (i, a, b) for i in range(1, p + 1) for a in (0, 1) for b in (0, 1)
+    ]
+    so_rows = [
+        (i, Variable(f"y{i}"), Variable(f"z{i}")) for i in range(1, n + 1)
+    ]
+    db0 = TableDatabase(
+        [CTable("Ro", 3, ro_rows), CTable("So", 3, so_rows)]
+    )
+    query0 = UCQQuery(
+        [
+            cq(atom("q01", "X", "Y", "Z"), atom("Ro", "X", "Y", "Z")),
+            cq(atom("q02", "X", 1), atom("So", "X", "Y", "Y")),
+            cq(atom("q02", "X", 0), atom("So", "X", "Y", "Z")),
+        ],
+        name="thm425_q0",
+    )
+    u = {j: Variable(f"u{j}") for j in range(1, instance.cnf.num_variables + 1)}
+    r_rows: list[tuple] = []
+    for i in range(1, p + 1):
+        r_rows.append((i, 1, 0))
+        r_rows.append((i, 0, 1))
+        r_rows.append((i, Variable(f"t{i}"), Variable(f"t{i}")))
+    for k, _j, var, positive in _literal_positions(instance):
+        r_rows.append((k, u[var], 1 if positive else 0))
+    s_rows: list[tuple] = []
+    for i in range(1, n + 1):
+        s_rows.append((i, u[i]))
+        s_rows.append((i, 0))
+    db = TableDatabase(
+        [CTable("q01", 3, r_rows), CTable("q02", 2, s_rows)]
+    )
+    return ContainmentReduction(db0, db, query0, None)
+
+
+def ctable_containment(instance: ForallExistsCNF) -> ContainmentReduction:
+    """Theorem 4.2(3): c-table contained in e-table.
+
+    Obtained from the Theorem 4.2(5) construction by applying the query
+    ``q0`` to the left-hand tables with the c-table algebra — "by [10]
+    this application leads to a c-table describing the same set of worlds
+    and can be done in PTIME".
+    """
+    base = etable_containment(instance)
+    folded = apply_ucq(base.query0, base.db0)
+    return ContainmentReduction(folded, base.db)
+
+
+def decide_forall_exists_via_itable(instance: ForallExistsCNF) -> bool:
+    """forall-exists 3CNF decided through the Theorem 4.2(1) reduction."""
+    return itable_containment(instance).decide()
+
+
+def decide_forall_exists_via_view(instance: ForallExistsCNF) -> bool:
+    """forall-exists 3CNF decided through the Theorem 4.2(2) reduction."""
+    return view_containment(instance).decide()
+
+
+def decide_forall_exists_via_etable(instance: ForallExistsCNF) -> bool:
+    """forall-exists 3CNF decided through the Theorem 4.2(5) reduction."""
+    return etable_containment(instance).decide()
+
+
+def decide_forall_exists_via_ctable(instance: ForallExistsCNF) -> bool:
+    """forall-exists 3CNF decided through the Theorem 4.2(3) reduction."""
+    return ctable_containment(instance).decide()

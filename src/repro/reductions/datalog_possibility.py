@@ -1,0 +1,116 @@
+"""Theorem 5.2(3), Figure 12: a fixed Datalog query makes bounded
+possibility NP-complete on Codd-tables.
+
+The construction reduces 3CNF satisfiability to ``POSS(1, q)`` where q is
+the least fixpoint of::
+
+    ans(X) :- R0(X).
+    ans(X) :- ans(Y), ans(Z), R1(Y, X), R2(Z, X).
+
+(a node enters the answer when it has both an R1-parent and an R2-parent
+already in it).  For variables x_1..x_n and clauses c_1..c_m the gadget
+graph (Fig 12) uses nodes ``a``; ``t_i, f_i, a_i, b_i`` per variable;
+``h_j`` per clause; and the goal node — with one *null* ``x_i`` per
+variable whose value selects which of ``t_i`` (true) / ``f_i`` (false)
+gets activated:
+
+* R1 edges: a->t_i, a->f_i, a->a_i, a->b_1, b_i->b_{i+1}, b_n->goal,
+  t_i->h_j (x_i in c_j), f_i->h_j (-x_i in c_j);
+* R2 edges: a->x_1, a_i->x_{i+1}, t_i->a_i, f_i->a_i, a_i->b_i, a->h_1,
+  h_j->h_{j+1}, h_m->goal.
+
+The b-chain certifies that every variable group was visited (one of
+t_i/f_i activated), the h-chain that every clause contains an activated
+literal; the goal node is reachable iff both chains complete — iff the
+formula is satisfiable.
+"""
+
+from __future__ import annotations
+
+from ..core.tables import CTable, TableDatabase
+from ..core.terms import Variable
+from ..queries.datalog import DatalogQuery
+from ..queries.rules import atom, cq
+from ..relational.instance import Instance
+from ..solvers.sat import CNF
+from .fo_possibility import CertaintyReduction
+
+__all__ = [
+    "REACHABILITY_QUERY",
+    "datalog_possibility",
+    "decide_sat_via_datalog",
+    "GOAL",
+]
+
+#: The distinguished goal node (the paper's node "1").
+GOAL = "goal"
+
+#: The fixed Datalog query of Theorem 5.2(3).
+REACHABILITY_QUERY = DatalogQuery(
+    [
+        cq(atom("ans", "X"), atom("R0", "X")),
+        cq(
+            atom("ans", "X"),
+            atom("ans", "Y"),
+            atom("ans", "Z"),
+            atom("R1", "Y", "X"),
+            atom("R2", "Z", "X"),
+        ),
+    ],
+    outputs=["ans"],
+    name="thm523",
+)
+
+
+def datalog_possibility(cnf: CNF) -> CertaintyReduction:
+    """Build the Figure 12 gadget for a 3CNF formula."""
+    n = cnf.num_variables
+    m = len(cnf.clauses)
+    t = [f"t{i}" for i in range(1, n + 1)]
+    f = [f"f{i}" for i in range(1, n + 1)]
+    a_nodes = [f"a{i}" for i in range(1, n + 1)]
+    b = [f"b{i}" for i in range(1, n + 1)]
+    h = [f"h{j}" for j in range(1, m + 1)]
+    nulls = [Variable(f"x{i}") for i in range(1, n + 1)]
+
+    r0_rows = [("a",)]
+    r1_rows: list[tuple] = []
+    r2_rows: list[tuple] = []
+    for i in range(n):
+        r1_rows += [("a", t[i]), ("a", f[i]), ("a", a_nodes[i])]
+        r2_rows += [(t[i], a_nodes[i]), (f[i], a_nodes[i]), (a_nodes[i], b[i])]
+    if n:
+        r1_rows.append(("a", b[0]))
+        r1_rows += [(b[i], b[i + 1]) for i in range(n - 1)]
+        r1_rows.append((b[n - 1], GOAL))
+        r2_rows.append(("a", nulls[0]))
+        r2_rows += [(a_nodes[i], nulls[i + 1]) for i in range(n - 1)]
+    else:
+        # Degenerate formula with no variables: the b-chain is vacuous.
+        r1_rows.append(("a", GOAL))
+    for j, clause in enumerate(cnf.clauses, start=1):
+        for literal in clause:
+            i = abs(literal) - 1
+            r1_rows.append((t[i] if literal > 0 else f[i], f"h{j}"))
+    if m:
+        r2_rows.append(("a", h[0]))
+        r2_rows += [(h[j], h[j + 1]) for j in range(m - 1)]
+        r2_rows.append((h[m - 1], GOAL))
+    else:
+        # No clauses: the h-chain is vacuous, every assignment satisfies H.
+        r2_rows.append(("a", GOAL))
+
+    db = TableDatabase(
+        [
+            CTable("R0", 1, r0_rows),
+            CTable("R1", 2, r1_rows),
+            CTable("R2", 2, r2_rows),
+        ]
+    )
+    facts = Instance({"ans": [(GOAL,)]})
+    return CertaintyReduction(db, facts, REACHABILITY_QUERY)
+
+
+def decide_sat_via_datalog(cnf: CNF) -> bool:
+    """3CNF satisfiability decided through the Theorem 5.2(3) reduction."""
+    return datalog_possibility(cnf).decide_possible()

@@ -1,0 +1,158 @@
+"""Theorems 5.2(2) and 5.3(2): a fixed first order query makes bounded
+possibility NP-complete and bounded certainty coNP-complete, already on a
+single Codd-table.
+
+The construction (the paper's q'/T of Theorem 5.2(2), reconstructed in an
+equivalent form):
+
+* the Codd-table T of arity 4 holds one row per literal occurrence:
+
+      (term index i,  variable index j,  sign s,  z_{i,k})
+
+  with ``s = 1`` for ``x_j`` and ``s = 0`` for ``-x_j``; the null
+  ``z_{i,k}`` carries "the value of x_j as seen by this occurrence"
+  (each null occurs once: a genuine Codd-table);
+
+* the *fixed* first order sentence ``psi`` states that sigma(T) fails to
+  encode a truth assignment, or encodes one satisfying the DNF::
+
+      not_boolean   = exists i j s z:  R(i,j,s,z) and z != 0 and z != 1
+      inconsistent  = exists ... :     R(i,j,s,z) and R(i',j,s',z') and z != z'
+      term_true(i)  = forall j s z:    R(i,j,s,z) -> (s=1 and z=1) or (s=0 and z=0)
+      psi           = not_boolean or inconsistent
+                      or exists i j s z: R(i,j,s,z) and term_true(i)
+
+* ``q_cert  = { (1) | psi }``      — fact (1) is *certain*  iff H is a tautology;
+* ``q_poss  = { (1) | not psi }``  — fact (1) is *possible* iff H is not.
+
+Genuine universal quantification (inside ``term_true``) is what pushes the
+query outside the positive existential fragment, matching the paper's
+remark that the exponential growth "may be unavoidable for first order ...
+queries".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.certainty import is_certain
+from ..core.possibility import is_possible
+from ..core.tables import CTable, TableDatabase
+from ..core.terms import Variable
+from ..queries.firstorder import (
+    And,
+    Compare,
+    Exists,
+    FOQuery,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Rel,
+)
+from ..core.conditions import Eq, Neq
+from ..queries.base import Query
+from ..relational.instance import Instance
+from ..solvers.sat import DNF
+
+__all__ = [
+    "CertaintyReduction",
+    "fo_tautology_table",
+    "fo_psi",
+    "fo_certainty",
+    "fo_possibility",
+    "decide_tautology_via_fo_certainty",
+    "decide_nontautology_via_fo_possibility",
+]
+
+
+@dataclass(frozen=True)
+class CertaintyReduction:
+    """A constructed CERT / POSS instance over a view."""
+
+    db: TableDatabase
+    facts: Instance
+    query: Query | None = None
+
+    def decide_certain(self, method: str = "auto") -> bool:
+        return is_certain(self.facts, self.db, self.query, method=method)
+
+    def decide_possible(self, method: str = "auto") -> bool:
+        return is_possible(self.facts, self.db, self.query, method=method)
+
+
+def fo_tautology_table(dnf: DNF) -> TableDatabase:
+    """The Codd-table encoding of a 3DNF formula (one row per literal)."""
+    rows = []
+    for i, term in enumerate(dnf.clauses, start=1):
+        for k, literal in enumerate(term, start=1):
+            rows.append(
+                (i, abs(literal), 1 if literal > 0 else 0, Variable(f"z{i}_{k}"))
+            )
+    return TableDatabase.single(CTable("R", 4, rows))
+
+
+def fo_psi() -> Formula:
+    """The fixed sentence psi (independent of the input formula)."""
+    not_boolean = Exists(
+        ("I", "J", "S", "Z"),
+        And(
+            [
+                Rel("R", "I", "J", "S", "Z"),
+                Compare(Neq(Variable("Z"), 0)),
+                Compare(Neq(Variable("Z"), 1)),
+            ]
+        ),
+    )
+    inconsistent = Exists(
+        ("I", "J", "S", "Z", "I2", "S2", "Z2"),
+        And(
+            [
+                Rel("R", "I", "J", "S", "Z"),
+                Rel("R", "I2", "J", "S2", "Z2"),
+                Compare(Neq(Variable("Z"), Variable("Z2"))),
+            ]
+        ),
+    )
+    literal_true = Or(
+        [
+            And([Compare(Eq(Variable("S2"), 1)), Compare(Eq(Variable("Z2"), 1))]),
+            And([Compare(Eq(Variable("S2"), 0)), Compare(Eq(Variable("Z2"), 0))]),
+        ]
+    )
+    term_true = Forall(
+        ("J2", "S2", "Z2"),
+        Implies(Rel("R", "I", "J2", "S2", "Z2"), literal_true),
+    )
+    some_term_satisfied = Exists(
+        ("I", "J", "S", "Z"),
+        And([Rel("R", "I", "J", "S", "Z"), term_true]),
+    )
+    return Or([not_boolean, inconsistent, some_term_satisfied])
+
+
+def fo_certainty(dnf: DNF) -> CertaintyReduction:
+    """Theorem 5.3(2): H tautology iff (1) is certain in q'(rep(T))."""
+    query = FOQuery({"ans": ((1,), fo_psi())}, name="thm532")
+    return CertaintyReduction(
+        fo_tautology_table(dnf), Instance({"ans": [(1,)]}), query
+    )
+
+
+def fo_possibility(dnf: DNF) -> CertaintyReduction:
+    """Theorem 5.2(2): H non-tautology iff (1) is possible in q(rep(T))."""
+    query = FOQuery({"ans": ((1,), Not(fo_psi()))}, name="thm522")
+    return CertaintyReduction(
+        fo_tautology_table(dnf), Instance({"ans": [(1,)]}), query
+    )
+
+
+def decide_tautology_via_fo_certainty(dnf: DNF) -> bool:
+    """3DNF tautology decided through the Theorem 5.3(2) reduction."""
+    return fo_certainty(dnf).decide_certain()
+
+
+def decide_nontautology_via_fo_possibility(dnf: DNF) -> bool:
+    """3DNF non-tautology decided through the Theorem 5.2(2) reduction."""
+    return fo_possibility(dnf).decide_possible()

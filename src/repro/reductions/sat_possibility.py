@@ -1,0 +1,141 @@
+"""Theorem 5.1(2,3,4): NP-hardness of unbounded possibility.
+
+* :func:`etable_possibility` (Thm 5.1(2), Fig 11(b)) — 3CNF satisfiability
+  as POSS(*) on a single e-table of arity 3.  Per variable x_j the rows
+  ``(j, u_j, y_j)`` and ``(j, y_j, u_j)`` with the requested facts
+  ``(j, 0, 1)`` and ``(j, 1, 0)`` force ``{u_j, y_j} = {0, 1}`` — a truth
+  assignment; per clause c_i the rows ``(m+i, m+i, u_j)`` (for positive
+  literals) / ``(m+i, m+i, y_j)`` (for negated ones) with the requested
+  fact ``(m+i, m+i, 1)`` force a true literal.
+
+* :func:`itable_possibility` (Thm 5.1(3), Fig 11(a)) — 3CNF satisfiability
+  as POSS(*) on an i-table of arity 2: one null ``x_{i,k}`` per literal
+  occurrence, rows ``(i, x_{i,k})``, requested facts ``(i, 1)`` per
+  clause, and global inequalities between complementary occurrences.
+
+* :func:`view_possibility` (Thm 5.1(4)) — 3-colorability as POSS(*) of a
+  positive existential view of Codd-tables: the Theorem 3.1(4)
+  construction with subset in place of equality.
+
+The truth convention of Fig 11(b): ``u_j = 1`` means x_j true (then
+``y_j = 0``); a clause row instantiates to ``(m+i, m+i, 1)`` exactly when
+one of its literals is satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.conditions import Conjunction, Neq
+from ..core.possibility import is_possible
+from ..core.tables import CTable, TableDatabase
+from ..core.terms import Variable
+from ..queries.base import Query
+from ..relational.instance import Instance
+from ..solvers.graphs import Graph
+from ..solvers.sat import CNF
+from .coloring_membership import view_membership
+
+__all__ = [
+    "PossibilityReduction",
+    "etable_possibility",
+    "itable_possibility",
+    "view_possibility",
+    "decide_sat_via_etable",
+    "decide_sat_via_itable",
+    "decide_colorable_via_view_possibility",
+]
+
+
+@dataclass(frozen=True)
+class PossibilityReduction:
+    """A constructed POSS instance: are all facts of ``facts`` jointly
+    possible in ``q(rep(db))``?"""
+
+    db: TableDatabase
+    facts: Instance
+    query: Query | None = None
+
+    def decide(self, method: str = "auto") -> bool:
+        return is_possible(self.facts, self.db, self.query, method=method)
+
+
+def etable_possibility(cnf: CNF) -> PossibilityReduction:
+    """Theorem 5.1(2): 3CNF SAT as unbounded possibility on an e-table."""
+    m = cnf.num_variables
+    rows: list[tuple] = []
+    for j in range(1, m + 1):
+        u, y = Variable(f"u{j}"), Variable(f"y{j}")
+        rows.append((j, u, y))
+        rows.append((j, y, u))
+    for i, clause in enumerate(cnf.clauses, start=1):
+        for literal in clause:
+            j = abs(literal)
+            carrier = Variable(f"u{j}") if literal > 0 else Variable(f"y{j}")
+            rows.append((m + i, m + i, carrier))
+    table = CTable("T", 3, rows)
+    wanted: list[tuple] = []
+    for j in range(1, m + 1):
+        wanted.append((j, 0, 1))
+        wanted.append((j, 1, 0))
+    for i in range(1, len(cnf.clauses) + 1):
+        wanted.append((m + i, m + i, 1))
+    return PossibilityReduction(
+        TableDatabase.single(table), Instance({"T": wanted})
+    )
+
+
+def itable_possibility(cnf: CNF) -> PossibilityReduction:
+    """Theorem 5.1(3): 3CNF SAT as unbounded possibility on an i-table.
+
+    ``x_{i,k} = 1`` means "the k-th literal of clause i is satisfied"; the
+    global condition forbids satisfying both of two complementary literal
+    occurrences.
+    """
+    occurrence = {}
+    rows: list[tuple] = []
+    for i, clause in enumerate(cnf.clauses, start=1):
+        for k in range(1, len(clause) + 1):
+            var = Variable(f"x{i}_{k}")
+            occurrence[(i, k)] = var
+            rows.append((i, var))
+    atoms = []
+    positions = [
+        (i, k, clause[k - 1])
+        for i, clause in enumerate(cnf.clauses, start=1)
+        for k in range(1, len(clause) + 1)
+    ]
+    for i, k, lit in positions:
+        for i2, k2, lit2 in positions:
+            if lit > 0 and lit2 == -lit:
+                atoms.append(Neq(occurrence[(i, k)], occurrence[(i2, k2)]))
+    table = CTable("T", 2, rows, Conjunction(atoms))
+    wanted = [(i, 1) for i in range(1, len(cnf.clauses) + 1)]
+    return PossibilityReduction(
+        TableDatabase.single(table), Instance({"T": wanted})
+    )
+
+
+def view_possibility(graph: Graph) -> PossibilityReduction:
+    """Theorem 5.1(4): 3-colorability as POSS(*) of a pos. existential view.
+
+    "Consider the proof of Theorem 3.1(4): G is 3-colorable iff there
+    exists K in q(rep(T)) such that I0 <= K."
+    """
+    membership = view_membership(graph)
+    return PossibilityReduction(membership.db, membership.instance, membership.query)
+
+
+def decide_sat_via_etable(cnf: CNF) -> bool:
+    """3CNF satisfiability decided through the Theorem 5.1(2) reduction."""
+    return etable_possibility(cnf).decide()
+
+
+def decide_sat_via_itable(cnf: CNF) -> bool:
+    """3CNF satisfiability decided through the Theorem 5.1(3) reduction."""
+    return itable_possibility(cnf).decide()
+
+
+def decide_colorable_via_view_possibility(graph: Graph) -> bool:
+    """3-colorability decided through the Theorem 5.1(4) reduction."""
+    return view_possibility(graph).decide()

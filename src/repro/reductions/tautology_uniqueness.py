@@ -1,0 +1,114 @@
+"""Theorem 3.2(3,4): coNP-hardness of the uniqueness problem.
+
+* :func:`ctable_uniqueness` (Thm 3.2(3)) — 3DNF tautology as uniqueness of
+  a single c-table: one unary row ``(1)`` per DNF term, with local
+  condition the term itself over assignment nulls ``u_j`` (``u_j = 1`` for
+  a positive literal, ``u_j != 1`` for a negated one).  Every world is
+  ``{1}`` or ``{}``; it is always ``{1}`` iff the DNF is a tautology.
+
+* :func:`view_uniqueness` (Thm 3.2(4), Fig 6) — graph *non*-3-colorability
+  as uniqueness of a positive existential view (with ``!=``) of a single
+  Codd-table::
+
+      T0 = { (1, a, b) : (a, b) oriented edge } union { (0, a, x_a) : a node }
+
+      q0 = { 1 |   exists x y z [ R(1,x,y) and R(0,x,z) and R(0,y,z) ]
+                 or exists y z  [ R(0,y,z) and z != 1 and z != 2 and z != 3 ] }
+
+  The first disjunct fires when some edge's endpoints share a color, the
+  second when some node's color is outside {1,2,3}; a proper 3-coloring
+  valuation produces the empty answer, so ``{(1)}`` is the unique world iff
+  G is *not* 3-colorable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.conditions import Conjunction, Eq, Neq
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import Variable
+from ..core.uniqueness import is_unique
+from ..queries.base import Query
+from ..queries.rules import UCQQuery, atom, cq
+from ..relational.instance import Instance, Relation
+from ..solvers.graphs import Graph
+from ..solvers.sat import DNF
+
+__all__ = [
+    "UniquenessReduction",
+    "ctable_uniqueness",
+    "view_uniqueness",
+    "decide_tautology_via_ctable",
+    "decide_noncolorable_via_view",
+]
+
+
+@dataclass(frozen=True)
+class UniquenessReduction:
+    """A constructed UNIQ instance: is ``q0(rep(db))`` exactly ``{instance}``?"""
+
+    db: TableDatabase
+    instance: Instance
+    query: Query | None = None
+
+    def decide(self, method: str = "auto") -> bool:
+        return is_unique(self.instance, self.db, self.query, method=method)
+
+
+def _assignment_variable(index: int) -> Variable:
+    return Variable(f"u{index}")
+
+
+def ctable_uniqueness(dnf: DNF) -> UniquenessReduction:
+    """Theorem 3.2(3): H is a tautology iff {1} is the unique world.
+
+    One row ``(1)`` per DNF term; the local condition translates the term:
+    literal ``x_j`` becomes ``u_j = 1``, literal ``-x_j`` becomes
+    ``u_j != 1``.  The global condition is *true*.
+    """
+    rows = []
+    for term in dnf.clauses:
+        atoms = []
+        for literal in term:
+            u = _assignment_variable(abs(literal))
+            atoms.append(Eq(u, 1) if literal > 0 else Neq(u, 1))
+        rows.append(Row((1,), Conjunction(atoms)))
+    table = CTable("T", 1, rows)
+    instance = Instance({"T": [(1,)]})
+    return UniquenessReduction(TableDatabase.single(table), instance)
+
+
+def view_uniqueness(graph: Graph) -> UniquenessReduction:
+    """Theorem 3.2(4): G is not 3-colorable iff {1} is the unique view world.
+
+    The Codd-table tags edge rows with 1 and node-color rows with 0 in the
+    first column, exactly as in Figure 6.
+    """
+    rows: list[tuple] = [(1, a, b) for a, b in graph.edges]
+    rows += [(0, a, Variable(f"x{a}")) for a in graph.nodes]
+    table = CTable("R", 3, rows)
+    monochrome_edge = cq(
+        atom("q0", 1),
+        atom("R", 1, "X", "Y"),
+        atom("R", 0, "X", "Z"),
+        atom("R", 0, "Y", "Z"),
+    )
+    off_palette = cq(
+        atom("q0", 1),
+        atom("R", 0, "Y", "Z"),
+        where=[Neq(Variable("Z"), 1), Neq(Variable("Z"), 2), Neq(Variable("Z"), 3)],
+    )
+    query = UCQQuery([monochrome_edge, off_palette], name="thm324")
+    instance = Instance({"q0": [(1,)]})
+    return UniquenessReduction(TableDatabase.single(table), instance, query)
+
+
+def decide_tautology_via_ctable(dnf: DNF) -> bool:
+    """3DNF tautology decided through the Theorem 3.2(3) reduction."""
+    return ctable_uniqueness(dnf).decide()
+
+
+def decide_noncolorable_via_view(graph: Graph) -> bool:
+    """Non-3-colorability decided through the Theorem 3.2(4) reduction."""
+    return view_uniqueness(graph).decide()

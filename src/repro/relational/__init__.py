@@ -1,0 +1,43 @@
+"""Relational substrate: complete-information databases and their algebra."""
+
+from .algebra import (
+    ColEq,
+    ColEqConst,
+    ColNeq,
+    ColNeqConst,
+    Difference,
+    Intersect,
+    Product,
+    Project,
+    RAExpression,
+    Scan,
+    Select,
+    Union,
+    natural_join,
+)
+from .evaluator import evaluate, evaluate_to_relation
+from .instance import Fact, Instance, Relation
+from .schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "RelationSchema",
+    "DatabaseSchema",
+    "Fact",
+    "Relation",
+    "Instance",
+    "RAExpression",
+    "Scan",
+    "Select",
+    "Project",
+    "Product",
+    "Union",
+    "Intersect",
+    "Difference",
+    "ColEq",
+    "ColNeq",
+    "ColEqConst",
+    "ColNeqConst",
+    "natural_join",
+    "evaluate",
+    "evaluate_to_relation",
+]

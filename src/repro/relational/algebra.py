@@ -1,0 +1,374 @@
+"""Relational algebra expressions (positional).
+
+The paper's positive existential queries are "relational expressions with
+operators project, natural join, union, renaming, positive select"
+(Section 2.1).  We use the positional (unnamed) perspective: columns are
+numbered from zero, renaming is therefore a permutation of columns, and
+natural join is expressed as product + select + project.  The classical
+named operators are provided as thin conveniences on top.
+
+Each node of the AST reports its output ``arity`` (checked at construction)
+and whether the expression is *positive* (no :class:`Difference` and no
+negated selection), which is the syntactic criterion separating the
+positive existential queries from the first order queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..core.terms import Constant, as_constant
+
+__all__ = [
+    "RAExpression",
+    "Scan",
+    "Select",
+    "Project",
+    "Product",
+    "Union",
+    "Difference",
+    "Intersect",
+    "Predicate",
+    "ColEq",
+    "ColNeq",
+    "ColEqConst",
+    "ColNeqConst",
+    "natural_join",
+]
+
+
+# ---------------------------------------------------------------------------
+# Selection predicates
+# ---------------------------------------------------------------------------
+
+
+class Predicate:
+    """A selection predicate over the columns of a single tuple."""
+
+    __slots__ = ()
+
+    #: Whether the predicate is positive (an equality).  Inequality
+    #: predicates push a query outside the positive existential fragment.
+    positive = True
+
+    def holds(self, row: tuple) -> bool:
+        raise NotImplementedError
+
+    def max_column(self) -> int:
+        raise NotImplementedError
+
+
+class _ColCol(Predicate):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: int, right: int) -> None:
+        object.__setattr__(self, "left", int(left))
+        object.__setattr__(self, "right", int(right))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.left, self.right))
+
+    def max_column(self) -> int:
+        return max(self.left, self.right)
+
+
+class _ColConst(Predicate):
+    __slots__ = ("column", "constant")
+
+    def __init__(self, column: int, constant) -> None:
+        object.__setattr__(self, "column", int(column))
+        object.__setattr__(self, "constant", as_constant(constant))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.column == other.column
+            and self.constant == other.constant
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.column, self.constant))
+
+    def max_column(self) -> int:
+        return self.column
+
+
+class ColEq(_ColCol):
+    """``row[left] == row[right]``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"${self.left} = ${self.right}"
+
+    def holds(self, row: tuple) -> bool:
+        return row[self.left] == row[self.right]
+
+
+class ColNeq(_ColCol):
+    """``row[left] != row[right]`` (negative: leaves the positive fragment)."""
+
+    __slots__ = ()
+    positive = False
+
+    def __repr__(self) -> str:
+        return f"${self.left} != ${self.right}"
+
+    def holds(self, row: tuple) -> bool:
+        return row[self.left] != row[self.right]
+
+
+class ColEqConst(_ColConst):
+    """``row[column] == constant``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"${self.column} = {self.constant}"
+
+    def holds(self, row: tuple) -> bool:
+        return row[self.column] == self.constant
+
+
+class ColNeqConst(_ColConst):
+    """``row[column] != constant`` (negative)."""
+
+    __slots__ = ()
+    positive = False
+
+    def __repr__(self) -> str:
+        return f"${self.column} != {self.constant}"
+
+    def holds(self, row: tuple) -> bool:
+        return row[self.column] != self.constant
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class RAExpression:
+    """Base class for relational algebra expression nodes."""
+
+    __slots__ = ()
+
+    #: Output arity; set by subclasses at construction.
+    arity: int
+
+    def is_positive(self) -> bool:
+        """True iff the expression stays in the positive existential fragment."""
+        raise NotImplementedError
+
+    def relation_names(self) -> set[str]:
+        """The base relations mentioned by the expression."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["RAExpression", ...]:
+        raise NotImplementedError
+
+    # Convenience combinators ---------------------------------------------------
+
+    def select(self, *predicates: Predicate) -> "Select":
+        return Select(self, predicates)
+
+    def project(self, columns: Sequence[int]) -> "Project":
+        return Project(self, columns)
+
+    def product(self, other: "RAExpression") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "RAExpression") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "RAExpression") -> "Difference":
+        return Difference(self, other)
+
+
+class Scan(RAExpression):
+    """Reference to a base relation by name."""
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name: str, arity: int) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arity", arity)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Scan is immutable")
+
+    def __repr__(self) -> str:
+        return f"Scan({self.name!r}, {self.arity})"
+
+    def is_positive(self) -> bool:
+        return True
+
+    def relation_names(self) -> set[str]:
+        return {self.name}
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return ()
+
+
+class Select(RAExpression):
+    """Filter rows by a conjunction of predicates."""
+
+    __slots__ = ("child", "predicates", "arity")
+
+    def __init__(self, child: RAExpression, predicates: Iterable[Predicate]) -> None:
+        preds = tuple(predicates)
+        for pred in preds:
+            if pred.max_column() >= child.arity:
+                raise ValueError(
+                    f"predicate {pred!r} references column beyond arity {child.arity}"
+                )
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "predicates", preds)
+        object.__setattr__(self, "arity", child.arity)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Select is immutable")
+
+    def __repr__(self) -> str:
+        return f"Select({self.child!r}, [{', '.join(map(repr, self.predicates))}])"
+
+    def is_positive(self) -> bool:
+        return all(p.positive for p in self.predicates) and self.child.is_positive()
+
+    def relation_names(self) -> set[str]:
+        return self.child.relation_names()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.child,)
+
+
+class Project(RAExpression):
+    """Reorder / duplicate / drop columns.
+
+    Because the column list may repeat and permute columns, this single
+    operator also covers the classical *renaming*.
+    """
+
+    __slots__ = ("child", "columns", "arity")
+
+    def __init__(self, child: RAExpression, columns: Sequence[int]) -> None:
+        cols = tuple(int(c) for c in columns)
+        for col in cols:
+            if not 0 <= col < child.arity:
+                raise ValueError(f"projection column {col} out of range")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "columns", cols)
+        object.__setattr__(self, "arity", len(cols))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Project is immutable")
+
+    def __repr__(self) -> str:
+        return f"Project({self.child!r}, {list(self.columns)})"
+
+    def is_positive(self) -> bool:
+        return self.child.is_positive()
+
+    def relation_names(self) -> set[str]:
+        return self.child.relation_names()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.child,)
+
+
+class _Binary(RAExpression):
+    __slots__ = ("left", "right", "arity")
+
+    #: Whether the two children must have equal arities.
+    _same_arity = True
+
+    def __init__(self, left: RAExpression, right: RAExpression) -> None:
+        if self._same_arity and left.arity != right.arity:
+            raise ValueError(
+                f"{type(self).__name__} needs equal arities, got "
+                f"{left.arity} and {right.arity}"
+            )
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "arity", self._output_arity(left, right))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _output_arity(self, left: RAExpression, right: RAExpression) -> int:
+        return left.arity
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+    def relation_names(self) -> set[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def is_positive(self) -> bool:
+        return self.left.is_positive() and self.right.is_positive()
+
+
+class Product(_Binary):
+    """Cartesian product; output arity is the sum of the input arities."""
+
+    __slots__ = ()
+    _same_arity = False
+
+    def _output_arity(self, left: RAExpression, right: RAExpression) -> int:
+        return left.arity + right.arity
+
+
+class Union(_Binary):
+    """Set union of two union-compatible expressions."""
+
+    __slots__ = ()
+
+
+class Intersect(_Binary):
+    """Set intersection (derivable from join, provided for convenience)."""
+
+    __slots__ = ()
+
+
+class Difference(_Binary):
+    """Set difference: the operator that adds "negation" (first order)."""
+
+    __slots__ = ()
+
+    def is_positive(self) -> bool:
+        return False
+
+
+def natural_join(
+    left: RAExpression,
+    right: RAExpression,
+    on: Iterable[tuple[int, int]],
+) -> RAExpression:
+    """Equi-join ``left`` and ``right`` on column pairs, dropping duplicates.
+
+    ``on`` lists pairs ``(l, r)`` meaning column ``l`` of ``left`` equals
+    column ``r`` of ``right``; the joined ``r`` columns are projected away,
+    mirroring the named natural join.
+    """
+    pairs = list(on)
+    prod = Product(left, right)
+    preds = [ColEq(l, left.arity + r) for l, r in pairs]
+    dropped = {left.arity + r for _, r in pairs}
+    keep = [i for i in range(prod.arity) if i not in dropped]
+    return Project(Select(prod, preds), keep)

@@ -1,0 +1,66 @@
+"""Evaluation of relational algebra expressions over instances.
+
+A straightforward recursive evaluator: each node maps a set of facts to a
+set of facts.  Data complexity is polynomial for a fixed expression, which
+is the QPTIME guarantee the paper requires of all query programs.
+"""
+
+from __future__ import annotations
+
+from .algebra import (
+    Difference,
+    Intersect,
+    Product,
+    Project,
+    RAExpression,
+    Scan,
+    Select,
+    Union,
+)
+from .instance import Fact, Instance, Relation
+
+__all__ = ["evaluate", "evaluate_to_relation"]
+
+
+def evaluate_to_relation(expression: RAExpression, instance: Instance) -> Relation:
+    """Evaluate ``expression`` over ``instance`` and return a relation."""
+    facts = _eval(expression, instance)
+    return Relation(expression.arity, facts)
+
+
+def evaluate(
+    expressions: dict[str, RAExpression], instance: Instance
+) -> Instance:
+    """Evaluate a named vector of expressions: the query's output instance."""
+    return Instance(
+        {name: evaluate_to_relation(expr, instance) for name, expr in expressions.items()}
+    )
+
+
+def _eval(node: RAExpression, instance: Instance) -> set[Fact]:
+    if isinstance(node, Scan):
+        relation = instance[node.name]
+        if relation.arity != node.arity:
+            raise ValueError(
+                f"scan of {node.name!r} expects arity {node.arity}, "
+                f"instance has {relation.arity}"
+            )
+        return set(relation.facts)
+    if isinstance(node, Select):
+        rows = _eval(node.child, instance)
+        return {row for row in rows if all(p.holds(row) for p in node.predicates)}
+    if isinstance(node, Project):
+        rows = _eval(node.child, instance)
+        cols = node.columns
+        return {tuple(row[c] for c in cols) for row in rows}
+    if isinstance(node, Product):
+        left = _eval(node.left, instance)
+        right = _eval(node.right, instance)
+        return {l + r for l in left for r in right}
+    if isinstance(node, Union):
+        return _eval(node.left, instance) | _eval(node.right, instance)
+    if isinstance(node, Intersect):
+        return _eval(node.left, instance) & _eval(node.right, instance)
+    if isinstance(node, Difference):
+        return _eval(node.left, instance) - _eval(node.right, instance)
+    raise TypeError(f"unknown RA node: {node!r}")

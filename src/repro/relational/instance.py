@@ -1,0 +1,232 @@
+"""Complete-information databases: relations and instances.
+
+A *relation* of arity ``a`` is a finite set of facts (tuples of constants);
+an *instance* is an n-vector of relations (Section 2.1).  Instances are the
+"possible worlds" represented by the tables of :mod:`repro.core.tables`.
+
+Instances are immutable values: they hash, compare for equality (the
+membership problem compares a candidate world against ``rep(T)``), support
+subset tests (the possibility problem asks ``P <= I``) and can be renamed
+through constant bijections (the genericity condition of QPTIME queries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..core.terms import Constant, as_constant
+from .schema import DatabaseSchema, RelationSchema
+
+__all__ = ["Fact", "Relation", "Instance"]
+
+#: A fact is a tuple of constants.
+Fact = tuple[Constant, ...]
+
+
+def _as_fact(row: Iterable, arity: int | None = None) -> Fact:
+    if isinstance(row, (str, bytes)):
+        raise TypeError(f"a fact must be a tuple of values, got {row!r}")
+    fact = tuple(as_constant(v) for v in row)
+    if arity is not None and len(fact) != arity:
+        raise ValueError(f"fact {row!r} has arity {len(fact)}, expected {arity}")
+    return fact
+
+
+class Relation:
+    """A finite set of facts of a fixed arity."""
+
+    __slots__ = ("arity", "facts")
+
+    def __init__(self, arity: int, rows: Iterable[Iterable] = ()) -> None:
+        facts = frozenset(_as_fact(row, arity) for row in rows)
+        object.__setattr__(self, "arity", arity)
+        object.__setattr__(self, "facts", facts)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Relation is immutable")
+
+    # -- container protocol --------------------------------------------------
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __contains__(self, row) -> bool:
+        return _as_fact(row) in self.facts
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self.arity == other.arity
+            and self.facts == other.facts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.arity, self.facts))
+
+    def __repr__(self) -> str:
+        rows = sorted(self.facts, key=lambda f: [t.sort_key() for t in f])
+        shown = ", ".join("(" + ", ".join(map(str, f)) + ")" for f in rows)
+        return f"Relation({self.arity}, {{{shown}}})"
+
+    # -- set operations -------------------------------------------------------
+
+    def union(self, other: "Relation") -> "Relation":
+        self._check_compatible(other)
+        return Relation(self.arity, self.facts | other.facts)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        self._check_compatible(other)
+        return Relation(self.arity, self.facts & other.facts)
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._check_compatible(other)
+        return Relation(self.arity, self.facts - other.facts)
+
+    def issubset(self, other: "Relation") -> bool:
+        self._check_compatible(other)
+        return self.facts <= other.facts
+
+    def _check_compatible(self, other: "Relation") -> None:
+        if not isinstance(other, Relation):
+            raise TypeError(f"expected a Relation, got {other!r}")
+        if self.arity != other.arity:
+            raise ValueError(f"arity mismatch: {self.arity} vs {other.arity}")
+
+    # -- misc ------------------------------------------------------------------
+
+    def constants(self) -> set[Constant]:
+        return {c for fact in self.facts for c in fact}
+
+    def rename(self, mapping: Mapping[Constant, Constant]) -> "Relation":
+        """Apply a constant mapping ``p`` (typically a bijection)."""
+        return Relation(
+            self.arity,
+            (tuple(mapping.get(c, c) for c in fact) for fact in self.facts),
+        )
+
+
+class Instance:
+    """An n-vector of named relations: one possible world.
+
+    Construction accepts raw Python rows::
+
+        Instance({"R": [(0, 1, 2), (2, 0, 1)], "S": [(1,), (2,)]})
+
+    The relation order is the insertion order of the mapping, matching the
+    paper's ordered vectors.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation | Iterable[Iterable]],
+        schema: DatabaseSchema | None = None,
+    ) -> None:
+        built: dict[str, Relation] = {}
+        for name, value in relations.items():
+            if isinstance(value, Relation):
+                built[name] = value
+            else:
+                rows = [tuple(_as_fact(r)) for r in value]
+                if rows:
+                    arity = len(rows[0])
+                elif schema is not None and name in schema:
+                    arity = schema.arity(name)
+                else:
+                    raise ValueError(
+                        f"cannot infer arity of empty relation {name!r}; "
+                        "pass a Relation or a schema"
+                    )
+                built[name] = Relation(arity, rows)
+        if schema is not None:
+            for rel_schema in schema:
+                if rel_schema.name not in built:
+                    built[rel_schema.name] = Relation(rel_schema.arity)
+                elif built[rel_schema.name].arity != rel_schema.arity:
+                    raise ValueError(
+                        f"relation {rel_schema.name!r} has arity "
+                        f"{built[rel_schema.name].arity}, schema says {rel_schema.arity}"
+                    )
+        object.__setattr__(self, "_relations", dict(built))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Instance is immutable")
+
+    @staticmethod
+    def empty(schema: DatabaseSchema) -> "Instance":
+        """The instance with every relation empty."""
+        return Instance({r.name: Relation(r.arity) for r in schema})
+
+    # -- container protocol --------------------------------------------------
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Instance) and self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}: {r!r}" for n, r in self._relations.items())
+        return f"Instance({{{body}}})"
+
+    # -- accessors -------------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def schema(self) -> DatabaseSchema:
+        return DatabaseSchema(
+            [RelationSchema(n, r.arity) for n, r in self._relations.items()]
+        )
+
+    def relations(self) -> Mapping[str, Relation]:
+        return dict(self._relations)
+
+    def total_facts(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    def constants(self) -> set[Constant]:
+        """The active domain of the instance."""
+        out: set[Constant] = set()
+        for rel in self._relations.values():
+            out |= rel.constants()
+        return out
+
+    # -- relations between instances --------------------------------------------
+
+    def issubset(self, other: "Instance") -> bool:
+        """Fact-wise containment (used by possibility / certainty)."""
+        if set(self._relations) != set(other._relations):
+            raise ValueError("instances have different relation names")
+        return all(
+            self._relations[n].issubset(other._relations[n]) for n in self._relations
+        )
+
+    def union(self, other: "Instance") -> "Instance":
+        if set(self._relations) != set(other._relations):
+            raise ValueError("instances have different relation names")
+        return Instance(
+            {n: self._relations[n].union(other._relations[n]) for n in self._relations}
+        )
+
+    def rename(self, mapping: Mapping[Constant, Constant]) -> "Instance":
+        """Apply a constant mapping to every fact (genericity bijections)."""
+        return Instance({n: r.rename(mapping) for n, r in self._relations.items()})
+
+    def restrict(self, names: Iterable[str]) -> "Instance":
+        """Project the vector onto a subset of relation names."""
+        wanted = list(names)
+        return Instance({n: self._relations[n] for n in wanted})

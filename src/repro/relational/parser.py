@@ -1,0 +1,246 @@
+"""Text front-ends: a Datalog/UCQ rule parser and a table literal parser.
+
+The programmatic builders (:func:`repro.queries.rules.cq`, ``c_table`` and
+friends) are the primary API; the parsers here make examples, tests and
+interactive use read like the paper:
+
+* :func:`parse_rules` / :func:`parse_query` — rule syntax::
+
+      Q(X, Y) :- R(X, Z), S(Z, Y), X != 0.
+      Q(X, X) :- T(X).
+
+  Heads and bodies are relation atoms; ``=`` / ``!=`` atoms become side
+  conditions.  Uppercase-initial identifiers are variables, everything
+  else (numbers, quoted strings, lowercase identifiers) constants —
+  the usual Datalog convention.
+
+* :func:`parse_table` — a small table literal::
+
+      parse_table("R", '''
+          0  1  ?x
+          ?y ?z 1   : y != z
+      ''', global_condition="x != 0")
+
+  One row per line, terms whitespace-separated, ``?name`` for nulls, an
+  optional local condition after ``:``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..core.conditions import Atom as CondAtom
+from ..core.conditions import Conjunction, Eq, Neq, parse_conjunction
+from ..core.tables import CTable, Row
+from ..core.terms import Constant, Term, Variable
+from ..queries.datalog import DatalogQuery
+from ..queries.rules import Atom, Rule, UCQQuery
+
+__all__ = ["parse_rules", "parse_query", "parse_datalog", "parse_table", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed rule or table text, with position context."""
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<lparen>\() | (?P<rparen>\)) | (?P<comma>,) |
+    (?P<neq>!=|≠) | (?P<entail>:-) | (?P<eq>=) | (?P<dot>\.) |
+    (?P<string>'[^']*'|"[^"]*") |
+    (?P<number>-?\d+) |
+    (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        if text[pos] == "%":  # comment to end of line
+            newline = text.find("\n", pos)
+            pos = len(text) if newline < 0 else newline
+            continue
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup
+        tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+def _term_of(kind: str, value: str) -> Term:
+    if kind == "number":
+        return Constant(int(value))
+    if kind == "string":
+        return Constant(value[1:-1])
+    if kind == "name":
+        # Datalog convention: initial uppercase (or underscore) = variable.
+        if value[0].isupper() or value[0] == "_":
+            return Variable(value)
+        return Constant(value)
+    raise ParseError(f"expected a term, got {value!r}")
+
+
+class _Cursor:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self, expected: str | None = None) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        if expected is not None and token[0] != expected:
+            raise ParseError(f"expected {expected}, got {token[1]!r}")
+        self.index += 1
+        return token
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_atom_or_condition(cursor: _Cursor):
+    """Either ``Pred(t, ...)`` or ``t = t`` / ``t != t``."""
+    kind, value = cursor.next()
+    first = _term_of(kind, value) if kind in ("number", "string", "name") else None
+    if first is None:
+        raise ParseError(f"expected an atom, got {value!r}")
+    token = cursor.peek()
+    if token is not None and token[0] == "lparen":
+        if not isinstance(first, (Constant, Variable)):
+            raise ParseError("malformed atom")
+        if kind != "name":
+            raise ParseError(f"predicate name expected, got {value!r}")
+        cursor.next("lparen")
+        terms: list[Term] = []
+        while True:
+            t_kind, t_value = cursor.next()
+            terms.append(_term_of(t_kind, t_value))
+            sep = cursor.next()
+            if sep[0] == "rparen":
+                break
+            if sep[0] != "comma":
+                raise ParseError(f"expected , or ) in atom, got {sep[1]!r}")
+        return Atom(value, terms)
+    if token is not None and token[0] in ("eq", "neq"):
+        op = cursor.next()[0]
+        t_kind, t_value = cursor.next()
+        right = _term_of(t_kind, t_value)
+        return Eq(first, right) if op == "eq" else Neq(first, right)
+    raise ParseError("expected '(' (relation atom) or '='/'!=' (condition)")
+
+
+def parse_rules(text: str) -> list[Rule]:
+    """Parse a program: one rule per ``.``-terminated statement."""
+    cursor = _Cursor(_tokenize(text))
+    rules: list[Rule] = []
+    while not cursor.done():
+        head = _parse_atom_or_condition(cursor)
+        if not isinstance(head, Atom):
+            raise ParseError("a rule head must be a relation atom")
+        body: list[Atom] = []
+        conditions: list[CondAtom] = []
+        token = cursor.next()
+        if token[0] == "entail":
+            while True:
+                item = _parse_atom_or_condition(cursor)
+                if isinstance(item, Atom):
+                    body.append(item)
+                else:
+                    conditions.append(item)
+                sep = cursor.next()
+                if sep[0] == "dot":
+                    break
+                if sep[0] != "comma":
+                    raise ParseError(f"expected , or . in body, got {sep[1]!r}")
+        elif token[0] != "dot":
+            raise ParseError(f"expected :- or . after head, got {token[1]!r}")
+        rules.append(Rule(head, body, conditions))
+    return rules
+
+
+def parse_query(text: str, name: str | None = None) -> UCQQuery:
+    """Parse rules into a (non-recursive) UCQ query.
+
+    Raises :class:`ParseError` if a rule's body mentions a head predicate —
+    use :func:`parse_datalog` for recursion.
+    """
+    rules = parse_rules(text)
+    heads = {rule.head.pred for rule in rules}
+    for rule in rules:
+        for body_atom in rule.body:
+            if body_atom.pred in heads:
+                raise ParseError(
+                    f"rule body uses derived predicate {body_atom.pred!r}; "
+                    "use parse_datalog for recursive programs"
+                )
+    return UCQQuery(rules, name=name)
+
+
+def parse_datalog(
+    text: str, outputs: Iterable[str] | None = None, name: str | None = None
+) -> DatalogQuery:
+    """Parse rules into a pure Datalog program (recursion allowed)."""
+    rules = parse_rules(text)
+    return DatalogQuery(
+        rules, outputs=list(outputs) if outputs is not None else None, name=name
+    )
+
+
+def parse_table(
+    name: str,
+    text: str,
+    global_condition: str | Conjunction = "",
+) -> CTable:
+    """Parse a table literal: one row per non-empty line.
+
+    Terms are whitespace-separated; ``?x`` is a null, integers and quoted
+    strings are constants, any other word is a string constant.  An
+    optional local condition follows ``:``.
+    """
+    if isinstance(global_condition, str):
+        global_condition = parse_conjunction(global_condition)
+    rows: list[Row] = []
+    arity: int | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("%")[0].strip()
+        if not line:
+            continue
+        cells, _, condition_text = line.partition(":")
+        terms = []
+        import shlex
+
+        for word in shlex.split(cells):
+            if word.startswith("?"):
+                terms.append(Variable(word[1:]))
+            else:
+                try:
+                    terms.append(Constant(int(word)))
+                except ValueError:
+                    terms.append(Constant(word))
+        if not terms:
+            raise ParseError(f"line {lineno}: no terms before ':'")
+        if arity is None:
+            arity = len(terms)
+        elif len(terms) != arity:
+            raise ParseError(
+                f"line {lineno}: arity {len(terms)} != first row's {arity}"
+            )
+        condition = (
+            parse_conjunction(condition_text) if condition_text.strip() else None
+        )
+        rows.append(Row(terms, condition))
+    if arity is None:
+        raise ParseError("a table literal needs at least one row")
+    return CTable(name, arity, rows, global_condition)

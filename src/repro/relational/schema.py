@@ -1,0 +1,103 @@
+"""Database schemas: relation names and arities.
+
+The paper fixes arities as parameters (data-complexity: tuple width is a
+constant, the number of tuples grows).  A :class:`DatabaseSchema` is the
+"arity vector" ``(a_1, ..., a_n)`` of Section 2.1, with relation names
+attached for readability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["RelationSchema", "DatabaseSchema"]
+
+
+class RelationSchema:
+    """Name and arity of one relation."""
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name: str, arity: int) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypeError("relation name must be a non-empty string")
+        if not isinstance(arity, int) or arity < 0:
+            raise ValueError(f"arity must be a non-negative int, got {arity!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arity", arity)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("RelationSchema is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self.arity == other.arity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity))
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self.name!r}, {self.arity})"
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class DatabaseSchema:
+    """An ordered collection of relation schemas with distinct names."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] | Mapping[str, int]) -> None:
+        if isinstance(relations, Mapping):
+            rels = tuple(RelationSchema(n, a) for n, a in relations.items())
+        else:
+            rels = tuple(relations)
+        names = [r.name for r in rels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate relation names in schema: {names}")
+        object.__setattr__(self, "_relations", rels)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("DatabaseSchema is immutable")
+
+    # -- container protocol --------------------------------------------------
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return any(r.name == name for r in self._relations)
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        for rel in self._relations:
+            if rel.name == name:
+                return rel
+        raise KeyError(name)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DatabaseSchema) and self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(self._relations)
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema([{', '.join(map(str, self._relations))}])"
+
+    # -- accessors ------------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self._relations)
+
+    def arity(self, name: str) -> int:
+        return self[name].arity
+
+    def arities(self) -> tuple[int, ...]:
+        """The paper's arity vector ``(a_1, ..., a_n)``."""
+        return tuple(r.arity for r in self._relations)

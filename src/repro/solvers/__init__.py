@@ -1,0 +1,51 @@
+"""Solver substrates: matching, SAT, colorability, graphs.
+
+Independent decision procedures for the source problems of the paper's
+hardness reductions; the test suite uses them as ground truth when
+machine-checking each reduction's equivalence.
+"""
+
+from .coloring import find_coloring, is_colorable
+from .graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    example_graph_fig4a,
+    random_graph,
+)
+from .matching import has_perfect_left_matching, hopcroft_karp, maximum_matching_size
+from .sat import (
+    CNF,
+    DNF,
+    ForallExistsCNF,
+    dpll_satisfiable,
+    example_formula_fig5,
+    forall_exists_holds,
+    is_tautology_dnf,
+    random_cnf,
+    random_dnf,
+    random_forall_exists,
+)
+
+__all__ = [
+    "hopcroft_karp",
+    "maximum_matching_size",
+    "has_perfect_left_matching",
+    "CNF",
+    "DNF",
+    "ForallExistsCNF",
+    "dpll_satisfiable",
+    "is_tautology_dnf",
+    "forall_exists_holds",
+    "example_formula_fig5",
+    "random_cnf",
+    "random_dnf",
+    "random_forall_exists",
+    "Graph",
+    "example_graph_fig4a",
+    "cycle_graph",
+    "complete_graph",
+    "random_graph",
+    "find_coloring",
+    "is_colorable",
+]

@@ -1,0 +1,45 @@
+"""Graph k-colorability by backtracking.
+
+Ground truth for the 3-colorability reductions of Theorems 3.1(2,3,4) and
+3.2(4).  Backtracking with a most-constrained-node order; exponential in
+the worst case (it decides an NP-complete problem) but fast at test scale.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .graphs import Graph
+
+__all__ = ["find_coloring", "is_colorable"]
+
+
+def find_coloring(graph: Graph, k: int = 3) -> dict[Hashable, int] | None:
+    """A proper k-coloring (colors ``1..k``), or None if none exists."""
+    if k < 1:
+        return None if graph.nodes else {}
+    adjacency = {node: graph.neighbours(node) for node in graph.nodes}
+    # Highest-degree-first ordering tightens the search.
+    order = sorted(graph.nodes, key=lambda n: -len(adjacency[n]))
+    coloring: dict[Hashable, int] = {}
+
+    def assign(index: int) -> bool:
+        if index == len(order):
+            return True
+        node = order[index]
+        used = {coloring[m] for m in adjacency[node] if m in coloring}
+        for color in range(1, k + 1):
+            if color in used:
+                continue
+            coloring[node] = color
+            if assign(index + 1):
+                return True
+            del coloring[node]
+        return False
+
+    return coloring if assign(0) else None
+
+
+def is_colorable(graph: Graph, k: int = 3) -> bool:
+    """Whether a proper k-coloring exists."""
+    return find_coloring(graph, k) is not None

@@ -1,0 +1,112 @@
+"""A minimal undirected graph type and generators.
+
+The 3-colorability reductions (Theorems 3.1(2,3,4) and 3.2(4)) consume
+undirected graphs with an arbitrary edge orientation chosen per reduction.
+We keep the type tiny and dependency-free: nodes are hashables, edges a set
+of ordered pairs (the chosen orientation), with the undirected view derived.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Graph",
+    "example_graph_fig4a",
+    "cycle_graph",
+    "complete_graph",
+    "random_graph",
+]
+
+
+class Graph:
+    """An undirected graph stored with one fixed orientation per edge.
+
+    The paper's constructions "pick an arbitrary orientation of the edges";
+    keeping the orientation explicit makes the reductions deterministic and
+    the generated tables reproducible.
+    """
+
+    __slots__ = ("nodes", "edges")
+
+    def __init__(
+        self, nodes: Iterable[Hashable], edges: Iterable[tuple[Hashable, Hashable]]
+    ) -> None:
+        node_tuple = tuple(dict.fromkeys(nodes))  # preserve order, dedupe
+        node_set = set(node_tuple)
+        oriented = []
+        seen = set()
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop on {a!r} not allowed")
+            if a not in node_set or b not in node_set:
+                raise ValueError(f"edge ({a!r}, {b!r}) uses unknown node")
+            key = frozenset((a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            oriented.append((a, b))
+        object.__setattr__(self, "nodes", node_tuple)
+        object.__setattr__(self, "edges", tuple(oriented))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Graph is immutable")
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self.nodes)} nodes, {len(self.edges)} edges)"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Graph)
+            and set(self.nodes) == set(other.nodes)
+            and {frozenset(e) for e in self.edges} == {frozenset(e) for e in other.edges}
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self.nodes), frozenset(frozenset(e) for e in self.edges))
+        )
+
+    def neighbours(self, node: Hashable) -> set[Hashable]:
+        out = set()
+        for a, b in self.edges:
+            if a == node:
+                out.add(b)
+            elif b == node:
+                out.add(a)
+        return out
+
+    def degree(self, node: Hashable) -> int:
+        return len(self.neighbours(node))
+
+
+def example_graph_fig4a() -> Graph:
+    """The example graph of Figure 4(a): nodes 1..5, oriented edges
+    (1,2), (2,3), (3,4), (4,1), (3,5)."""
+    return Graph(range(1, 6), [(1, 2), (2, 3), (3, 4), (4, 1), (3, 5)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The n-cycle: 3-colorable always; 2-colorable iff n even."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    return Graph(range(1, n + 1), [(i, i % n + 1) for i in range(1, n + 1)])
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n: k-colorable iff k >= n."""
+    return Graph(
+        range(1, n + 1), [(i, j) for i in range(1, n + 1) for j in range(i + 1, n + 1)]
+    )
+
+
+def random_graph(n: int, p: float, rng: random.Random) -> Graph:
+    """Erdos-Renyi G(n, p) with nodes 1..n."""
+    edges = [
+        (i, j)
+        for i in range(1, n + 1)
+        for j in range(i + 1, n + 1)
+        if rng.random() < p
+    ]
+    return Graph(range(1, n + 1), edges)

@@ -1,0 +1,286 @@
+"""Propositional formulas and their decision procedures.
+
+The paper's hardness reductions start from four source problems:
+
+* **3CNF satisfiability** (NP-complete) — Theorems 5.1(2,3), 5.2(3);
+* **3DNF tautology** (coNP-complete) — Theorems 3.2(3), 4.2(4), 5.2(2),
+  5.3(2);
+* **forall-exists 3CNF** (Pi2p-complete, [Stockmeyer 76]) — Theorems
+  4.2(1,2,5).
+
+This module provides the formula types (clauses as literal triples) and
+independent decision procedures: a DPLL SAT solver, tautology checking via
+the complement, and a two-level search for the forall-exists problem.
+These are the *ground truth* against which the table-theoretic reductions
+are machine-checked.
+
+Literals are signed integers in DIMACS style: variable ``i`` is ``i``
+positive, ``-i`` negated; variables are numbered from 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "CNF",
+    "DNF",
+    "ForallExistsCNF",
+    "dpll_satisfiable",
+    "is_tautology_dnf",
+    "forall_exists_holds",
+    "example_formula_fig5",
+    "random_cnf",
+    "random_dnf",
+    "random_forall_exists",
+]
+
+Clause = tuple[int, ...]
+
+
+def _check_clauses(clauses: Iterable[Iterable[int]], width: int | None) -> tuple[Clause, ...]:
+    out = []
+    for clause in clauses:
+        c = tuple(int(l) for l in clause)
+        if any(l == 0 for l in c):
+            raise ValueError("literal 0 is not allowed (DIMACS convention)")
+        if width is not None and len(c) != width:
+            raise ValueError(f"clause {c} has width {len(c)}, expected {width}")
+        out.append(c)
+    return tuple(out)
+
+
+class CNF:
+    """A conjunction of disjunctive clauses."""
+
+    __slots__ = ("clauses", "num_variables")
+
+    def __init__(self, clauses: Iterable[Iterable[int]], num_variables: int | None = None, width: int | None = None) -> None:
+        cs = _check_clauses(clauses, width)
+        highest = max((abs(l) for c in cs for l in c), default=0)
+        n = num_variables if num_variables is not None else highest
+        if n < highest:
+            raise ValueError(f"num_variables={n} below highest literal {highest}")
+        object.__setattr__(self, "clauses", cs)
+        object.__setattr__(self, "num_variables", n)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("CNF is immutable")
+
+    def __repr__(self) -> str:
+        return f"CNF({len(self.clauses)} clauses over {self.num_variables} vars)"
+
+    def variables(self) -> set[int]:
+        return {abs(l) for c in self.clauses for l in c}
+
+    def satisfied_by(self, assignment: dict[int, bool]) -> bool:
+        return all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in self.clauses
+        )
+
+
+class DNF:
+    """A disjunction of conjunctive clauses (terms)."""
+
+    __slots__ = ("clauses", "num_variables")
+
+    def __init__(self, clauses: Iterable[Iterable[int]], num_variables: int | None = None, width: int | None = None) -> None:
+        cs = _check_clauses(clauses, width)
+        highest = max((abs(l) for c in cs for l in c), default=0)
+        n = num_variables if num_variables is not None else highest
+        if n < highest:
+            raise ValueError(f"num_variables={n} below highest literal {highest}")
+        object.__setattr__(self, "clauses", cs)
+        object.__setattr__(self, "num_variables", n)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("DNF is immutable")
+
+    def __repr__(self) -> str:
+        return f"DNF({len(self.clauses)} terms over {self.num_variables} vars)"
+
+    def variables(self) -> set[int]:
+        return {abs(l) for c in self.clauses for l in c}
+
+    def satisfied_by(self, assignment: dict[int, bool]) -> bool:
+        return any(
+            all(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in self.clauses
+        )
+
+    def negated_cnf(self) -> CNF:
+        """De Morgan: the negation of a DNF is a CNF over flipped literals."""
+        return CNF(
+            [tuple(-l for l in clause) for clause in self.clauses],
+            num_variables=self.num_variables,
+        )
+
+
+class ForallExistsCNF:
+    """A forall-exists 3CNF instance: forall X exists Y. H(X, Y).
+
+    ``universal`` lists the X variables; every other variable of ``cnf`` is
+    existential (Y).  The question "for each truth assignment of X is there
+    an assignment of Y making H true" is Pi2p-complete.
+    """
+
+    __slots__ = ("cnf", "universal")
+
+    def __init__(self, cnf: CNF, universal: Iterable[int]) -> None:
+        uni = tuple(sorted(set(int(v) for v in universal)))
+        for v in uni:
+            if v <= 0:
+                raise ValueError("universal variables are positive indices")
+        object.__setattr__(self, "cnf", cnf)
+        object.__setattr__(self, "universal", uni)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("ForallExistsCNF is immutable")
+
+    def __repr__(self) -> str:
+        return f"ForallExistsCNF(forall {list(self.universal)}, {self.cnf!r})"
+
+    def existential(self) -> tuple[int, ...]:
+        return tuple(
+            v for v in range(1, self.cnf.num_variables + 1) if v not in self.universal
+        )
+
+
+# ---------------------------------------------------------------------------
+# Decision procedures
+# ---------------------------------------------------------------------------
+
+
+def dpll_satisfiable(cnf: CNF, partial: dict[int, bool] | None = None) -> dict[int, bool] | None:
+    """DPLL: a satisfying assignment extending ``partial``, or None.
+
+    Unit propagation plus branching on the most frequent unassigned
+    variable.  Complete and deterministic.
+    """
+    assignment = dict(partial or {})
+    clauses = [list(c) for c in cnf.clauses]
+    result = _dpll(clauses, assignment)
+    if result is None:
+        return None
+    # Fill unconstrained variables with False for a total assignment.
+    for v in range(1, cnf.num_variables + 1):
+        result.setdefault(v, False)
+    return result
+
+
+def _dpll(clauses: list[list[int]], assignment: dict[int, bool]) -> dict[int, bool] | None:
+    # Simplify under current assignment.
+    simplified: list[list[int]] = []
+    for clause in clauses:
+        live: list[int] = []
+        satisfied = False
+        for literal in clause:
+            var = abs(literal)
+            if var in assignment:
+                if assignment[var] == (literal > 0):
+                    satisfied = True
+                    break
+            else:
+                live.append(literal)
+        if satisfied:
+            continue
+        if not live:
+            return None  # empty clause: conflict
+        simplified.append(live)
+    if not simplified:
+        return dict(assignment)
+    # Unit propagation.
+    for clause in simplified:
+        if len(clause) == 1:
+            literal = clause[0]
+            new_assignment = dict(assignment)
+            new_assignment[abs(literal)] = literal > 0
+            return _dpll(simplified, new_assignment)
+    # Branch on the most frequent variable.
+    counts: dict[int, int] = {}
+    for clause in simplified:
+        for literal in clause:
+            counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+    var = max(counts, key=lambda v: (counts[v], -v))
+    for value in (True, False):
+        new_assignment = dict(assignment)
+        new_assignment[var] = value
+        result = _dpll(simplified, new_assignment)
+        if result is not None:
+            return result
+    return None
+
+
+def is_tautology_dnf(dnf: DNF) -> bool:
+    """A DNF is a tautology iff its CNF negation is unsatisfiable."""
+    return dpll_satisfiable(dnf.negated_cnf()) is None
+
+
+def forall_exists_holds(instance: ForallExistsCNF) -> bool:
+    """Decide forall X exists Y. H by two-level search.
+
+    Outer loop over the 2^|X| universal assignments, inner DPLL over the
+    existential variables.  Exponential, as a Pi2p oracle must be; used
+    only as ground truth on small instances.
+    """
+    universal = instance.universal
+    for values in itertools.product((False, True), repeat=len(universal)):
+        partial = dict(zip(universal, values))
+        if dpll_satisfiable(instance.cnf, partial) is None:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The paper's running example and random generators
+# ---------------------------------------------------------------------------
+
+
+def example_formula_fig5() -> tuple[CNF, DNF, ForallExistsCNF]:
+    """The example formulas of Figure 5.
+
+    3CNF: (x1 | x2 | x3)(x1 | -x2 | x4)(x1 | x4 | x5)(x2 | -x1 | x5)
+          (-x1 | -x2 | -x5)
+    3DNF: the same five clauses read as conjunctive terms.
+    The forall-exists split is X = {x1, x2}, Y = {x3, x4, x5}.
+    """
+    clauses = [
+        (1, 2, 3),
+        (1, -2, 4),
+        (1, 4, 5),
+        (2, -1, 5),
+        (-1, -2, -5),
+    ]
+    cnf = CNF(clauses, num_variables=5, width=3)
+    dnf = DNF(clauses, num_variables=5, width=3)
+    return cnf, dnf, ForallExistsCNF(cnf, universal=(1, 2))
+
+
+def random_cnf(num_variables: int, num_clauses: int, rng: random.Random, width: int = 3) -> CNF:
+    """A random width-``width`` CNF (clauses over distinct variables)."""
+    clauses = []
+    for _ in range(num_clauses):
+        vars_ = rng.sample(range(1, num_variables + 1), k=min(width, num_variables))
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vars_))
+    return CNF(clauses, num_variables=num_variables)
+
+
+def random_dnf(num_variables: int, num_clauses: int, rng: random.Random, width: int = 3) -> DNF:
+    """A random width-``width`` DNF."""
+    clauses = []
+    for _ in range(num_clauses):
+        vars_ = rng.sample(range(1, num_variables + 1), k=min(width, num_variables))
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vars_))
+    return DNF(clauses, num_variables=num_variables)
+
+
+def random_forall_exists(
+    num_universal: int, num_existential: int, num_clauses: int, rng: random.Random
+) -> ForallExistsCNF:
+    """A random forall-exists 3CNF instance."""
+    n = num_universal + num_existential
+    cnf = random_cnf(n, num_clauses, rng)
+    return ForallExistsCNF(cnf, universal=range(1, num_universal + 1))

@@ -1,0 +1,29 @@
+"""Workload generators for tests and benchmarks."""
+
+from .generators import (
+    constant_pool,
+    random_c_table,
+    random_codd_table,
+    random_e_table,
+    random_g_table,
+    random_i_table,
+    random_subinstance,
+    random_table,
+    random_valuation,
+    random_world,
+    variable_pool,
+)
+
+__all__ = [
+    "constant_pool",
+    "variable_pool",
+    "random_codd_table",
+    "random_e_table",
+    "random_i_table",
+    "random_g_table",
+    "random_c_table",
+    "random_table",
+    "random_valuation",
+    "random_world",
+    "random_subinstance",
+]

@@ -1,0 +1,279 @@
+"""Seeded random workload generators.
+
+Random tables of every class in the hierarchy, random worlds drawn from
+their ``rep``, and random fact sets — the raw material of the property-based
+tests and of the scaling sweeps in ``benchmarks/``.  Everything takes an
+explicit :class:`random.Random` so that workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.conditions import Conjunction, Eq, Neq
+from ..core.search import witness_valuation
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import Constant, Variable
+from ..core.valuations import Valuation
+from ..relational.instance import Instance, Relation
+
+__all__ = [
+    "constant_pool",
+    "variable_pool",
+    "random_codd_table",
+    "random_e_table",
+    "random_i_table",
+    "random_g_table",
+    "random_c_table",
+    "random_table",
+    "random_valuation",
+    "random_world",
+    "random_subinstance",
+]
+
+
+def constant_pool(size: int) -> list[Constant]:
+    """Constants ``0..size-1``."""
+    return [Constant(i) for i in range(size)]
+
+
+def variable_pool(size: int, prefix: str = "x") -> list[Variable]:
+    """Variables ``x0..x{size-1}``."""
+    return [Variable(f"{prefix}{i}") for i in range(size)]
+
+
+def _random_matrix(
+    rng: random.Random,
+    rows: int,
+    arity: int,
+    constants: Sequence[Constant],
+    variables: Sequence[Variable],
+    var_probability: float,
+    reuse_variables: bool,
+) -> list[list]:
+    """A random matrix; without reuse each variable occurs at most once."""
+    available = list(variables)
+    matrix = []
+    for _ in range(rows):
+        row = []
+        for _ in range(arity):
+            use_var = variables and rng.random() < var_probability
+            if use_var and (reuse_variables or available):
+                if reuse_variables:
+                    row.append(rng.choice(list(variables)))
+                else:
+                    row.append(available.pop(rng.randrange(len(available))))
+            else:
+                row.append(rng.choice(list(constants)))
+        matrix.append(row)
+    return matrix
+
+
+def _random_inequalities(
+    rng: random.Random,
+    count: int,
+    variables: Sequence[Variable],
+    constants: Sequence[Constant],
+) -> list[Neq]:
+    atoms = []
+    for _ in range(count):
+        if not variables:
+            break
+        left = rng.choice(list(variables))
+        if rng.random() < 0.5 and len(variables) > 1:
+            right = rng.choice([v for v in variables if v != left])
+        else:
+            right = rng.choice(list(constants))
+        atoms.append(Neq(left, right))
+    return atoms
+
+
+def _random_equalities(
+    rng: random.Random,
+    count: int,
+    variables: Sequence[Variable],
+    constants: Sequence[Constant],
+) -> list[Eq]:
+    atoms = []
+    for _ in range(count):
+        if not variables:
+            break
+        left = rng.choice(list(variables))
+        if rng.random() < 0.6 and len(variables) > 1:
+            right = rng.choice([v for v in variables if v != left])
+        else:
+            right = rng.choice(list(constants))
+        atoms.append(Eq(left, right))
+    return atoms
+
+
+def random_codd_table(
+    rng: random.Random,
+    name: str = "R",
+    rows: int = 4,
+    arity: int = 2,
+    num_constants: int = 4,
+    var_probability: float = 0.4,
+) -> CTable:
+    """A random Codd-table (single-occurrence variables, no conditions)."""
+    constants = constant_pool(num_constants)
+    variables = variable_pool(rows * arity)
+    matrix = _random_matrix(rng, rows, arity, constants, variables, var_probability, False)
+    return CTable(name, arity, matrix)
+
+
+def random_e_table(
+    rng: random.Random,
+    name: str = "R",
+    rows: int = 4,
+    arity: int = 2,
+    num_constants: int = 4,
+    num_variables: int = 3,
+    var_probability: float = 0.4,
+) -> CTable:
+    """A random e-table: a small variable pool reused across the matrix."""
+    constants = constant_pool(num_constants)
+    variables = variable_pool(num_variables)
+    matrix = _random_matrix(rng, rows, arity, constants, variables, var_probability, True)
+    return CTable(name, arity, matrix)
+
+
+def random_i_table(
+    rng: random.Random,
+    name: str = "R",
+    rows: int = 4,
+    arity: int = 2,
+    num_constants: int = 4,
+    var_probability: float = 0.4,
+    num_inequalities: int = 2,
+) -> CTable:
+    """A random i-table: Codd matrix plus inequality-only global condition."""
+    table = random_codd_table(rng, name, rows, arity, num_constants, var_probability)
+    variables = sorted(table.matrix_variables(), key=lambda v: v.name)
+    atoms = _random_inequalities(rng, num_inequalities, variables, constant_pool(num_constants))
+    return table.with_global_condition(Conjunction(atoms))
+
+
+def random_g_table(
+    rng: random.Random,
+    name: str = "R",
+    rows: int = 4,
+    arity: int = 2,
+    num_constants: int = 4,
+    num_variables: int = 3,
+    var_probability: float = 0.4,
+    num_equalities: int = 1,
+    num_inequalities: int = 1,
+    allow_unsatisfiable: bool = False,
+) -> CTable:
+    """A random g-table: e-matrix plus mixed global condition.
+
+    By default the global condition is re-drawn until satisfiable, so that
+    the table has a non-empty ``rep`` (set ``allow_unsatisfiable`` to keep
+    whatever comes out first).
+    """
+    table = random_e_table(
+        rng, name, rows, arity, num_constants, num_variables, var_probability
+    )
+    variables = sorted(table.matrix_variables(), key=lambda v: v.name) or variable_pool(
+        num_variables
+    )
+    constants = constant_pool(num_constants)
+    while True:
+        atoms = _random_equalities(rng, num_equalities, variables, constants)
+        atoms += _random_inequalities(rng, num_inequalities, variables, constants)
+        condition = Conjunction(atoms)
+        if allow_unsatisfiable or condition.is_satisfiable():
+            return table.with_global_condition(condition)
+
+
+def random_c_table(
+    rng: random.Random,
+    name: str = "R",
+    rows: int = 4,
+    arity: int = 2,
+    num_constants: int = 4,
+    num_variables: int = 3,
+    var_probability: float = 0.4,
+    local_probability: float = 0.5,
+    num_inequalities: int = 1,
+) -> CTable:
+    """A random c-table: e-matrix, global inequalities, local conditions."""
+    constants = constant_pool(num_constants)
+    variables = variable_pool(num_variables)
+    matrix = _random_matrix(rng, rows, arity, constants, variables, var_probability, True)
+    built = []
+    for terms in matrix:
+        if rng.random() < local_probability:
+            pool = _random_equalities(rng, 1, variables, constants) + _random_inequalities(
+                rng, 1, variables, constants
+            )
+            atoms = [rng.choice(pool)] if pool else []
+            built.append(Row(terms, Conjunction(atoms)))
+        else:
+            built.append(Row(terms))
+    while True:
+        glob = Conjunction(
+            _random_inequalities(rng, num_inequalities, variables, constants)
+        )
+        if glob.is_satisfiable():
+            return CTable(name, arity, built, glob)
+
+
+def random_table(rng: random.Random, kind: str, **kwargs) -> CTable:
+    """Dispatch on ``kind`` in {"codd", "e", "i", "g", "c"}."""
+    makers = {
+        "codd": random_codd_table,
+        "e": random_e_table,
+        "i": random_i_table,
+        "g": random_g_table,
+        "c": random_c_table,
+    }
+    if kind not in makers:
+        raise ValueError(f"unknown table kind {kind!r}")
+    return makers[kind](rng, **kwargs)
+
+
+def random_valuation(
+    rng: random.Random,
+    db: TableDatabase,
+    extra_values: int = 2,
+    max_tries: int = 200,
+) -> Valuation:
+    """A random valuation satisfying the database's global condition.
+
+    Samples values from the database constants plus a few spares; falls
+    back to a generic witness of the global condition when sampling keeps
+    missing (e.g. tight inequality systems).
+    """
+    variables = sorted(db.variables(), key=lambda v: v.name)
+    pool = sorted(db.constants(), key=Constant.sort_key)
+    top = max((c.value for c in pool if isinstance(c.value, int)), default=0)
+    pool = pool + [Constant(top + 1 + i) for i in range(extra_values)]
+    if not pool:
+        pool = constant_pool(max(2, extra_values))
+    glob = db.global_condition()
+    for _ in range(max_tries):
+        candidate = Valuation({v: rng.choice(pool) for v in variables})
+        if glob.satisfied_by(candidate):
+            return candidate
+    return witness_valuation(glob, variables=variables, avoid=db.constants())
+
+
+def random_world(rng: random.Random, db: TableDatabase, **kwargs) -> Instance:
+    """A random member of ``rep(db)``."""
+    return random_valuation(rng, db, **kwargs).apply_database(db)
+
+
+def random_subinstance(rng: random.Random, instance: Instance, keep: float = 0.5) -> Instance:
+    """A random sub-instance (for possibility fact sets)."""
+    return Instance(
+        {
+            name: Relation(
+                instance[name].arity,
+                [f for f in instance[name].facts if rng.random() < keep],
+            )
+            for name in instance.names()
+        }
+    )

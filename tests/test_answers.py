@@ -1,0 +1,143 @@
+"""Tests for possible/certain answer sets and the modal operators."""
+
+import pytest
+
+from repro.core.answers import (
+    Certainly,
+    Possibly,
+    certain_answers,
+    certain_answers_enumerate,
+    possible_answers,
+    possible_answers_enumerate,
+)
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.tables import CTable, TableDatabase, c_table, codd_table, g_table
+from repro.core.terms import Constant, Variable
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance, Relation
+from repro.workloads import random_table
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestIdentityAnswers:
+    def test_ground_facts_certain(self):
+        table = codd_table("T", 1, [(1,), (2,)])
+        db = TableDatabase.single(table)
+        assert certain_answers(db) == Instance({"T": [(1,), (2,)]})
+        assert possible_answers(db) == Instance({"T": [(1,), (2,)]})
+
+    def test_null_possible_over_active_domain(self):
+        table = codd_table("T", 1, [(1,), ("?a",)])
+        db = TableDatabase.single(table)
+        possible = possible_answers(db)
+        assert possible["T"] == Relation(1, [(1,)])
+        certain = certain_answers(db)
+        assert certain["T"] == Relation(1, [(1,)])
+
+    def test_null_with_wider_domain(self):
+        table = codd_table("T", 2, [(1, "?a"), (2, 3)])
+        db = TableDatabase.single(table)
+        possible = possible_answers(db)
+        # a may be any active-domain constant: 1, 2, 3.
+        assert possible["T"].facts == {
+            tuple(map(Constant, f)) for f in [(1, 1), (1, 2), (1, 3), (2, 3)]
+        }
+
+    def test_inequality_prunes_possible(self):
+        table = g_table("T", 1, [("?a",)], Conjunction([Neq(Variable("a"), 1)]))
+        db = TableDatabase.single(table)
+        possible = possible_answers(db)
+        assert (1,) not in possible["T"]
+
+    def test_pinned_null_certain(self):
+        table = g_table("T", 1, [("?a",)], Conjunction([Eq(Variable("a"), 7)]))
+        db = TableDatabase.single(table)
+        assert certain_answers(db)["T"] == Relation(1, [(7,)])
+
+    def test_case_split_certain(self):
+        table = c_table("T", 1, [((1,), "u = 0"), ((1,), "u != 0")])
+        db = TableDatabase.single(table)
+        assert certain_answers(db)["T"] == Relation(1, [(1,)])
+
+    def test_conditioned_fact_possible_not_certain(self):
+        table = c_table("T", 1, [((1,), "u = 0")])
+        db = TableDatabase.single(table)
+        assert possible_answers(db)["T"] == Relation(1, [(1,)])
+        assert certain_answers(db)["T"] == Relation(1, [])
+
+
+class TestViewAnswers:
+    def _db(self):
+        return TableDatabase(
+            [
+                CTable("R", 2, [(1, x), (2, 3)]),
+                CTable("S", 1, [(3,), (x,)]),
+            ]
+        )
+
+    def _query(self):
+        return UCQQuery(
+            [cq(atom("Q", "A"), atom("R", "A", "B"), atom("S", "B"))]
+        )
+
+    def test_view_certain(self):
+        # R(2,3) joins S(3): certain.  R(1,x) joins S(x): also certain!
+        certain = certain_answers(self._db(), self._query())
+        assert certain["Q"].facts == {(Constant(1),), (Constant(2),)}
+
+    def test_view_possible(self):
+        possible = possible_answers(self._db(), self._query())
+        assert possible["Q"].facts == {(Constant(1),), (Constant(2),)}
+
+    def test_agrees_with_enumeration(self, rng):
+        query = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        for kind in ("codd", "e", "c"):
+            for _ in range(6):
+                table = random_table(rng, kind, name="R", rows=2, num_constants=2)
+                db = TableDatabase.single(table)
+                # Enumeration restricted to active-domain facts for a fair
+                # comparison (fresh-constant worlds add non-adom facts).
+                adom = db.constants() | query.constants()
+                enum_possible = possible_answers_enumerate(db, query)
+                enum_adom = {
+                    f
+                    for f in enum_possible["Q"].facts
+                    if all(c in adom for c in f)
+                }
+                assert possible_answers(db, query)["Q"].facts == enum_adom
+                assert (
+                    certain_answers(db, query)["Q"].facts
+                    == certain_answers_enumerate(db, query)["Q"].facts
+                )
+
+    def test_unsupported_query_class_raises(self):
+        from repro.queries import DatalogQuery
+
+        q = DatalogQuery([cq(atom("P", "A"), atom("R", "A", "B"))])
+        with pytest.raises(ValueError):
+            possible_answers(self._db(), q)
+
+
+class TestModalOperators:
+    def test_possibly_certainly_answers(self):
+        db = TableDatabase.single(c_table("R", 2, [((1, 5), "u = 0"), ((2, 6),)]))
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        possibly = Possibly(q)
+        certainly = Certainly(q)
+        assert possibly.answers(db)["Q"].facts == {(Constant(5),), (Constant(6),)}
+        assert certainly.answers(db)["Q"].facts == {(Constant(6),)}
+
+    def test_modal_on_complete_instance_is_plain_query(self):
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        inst = Instance({"R": [(1, 5)]})
+        assert Possibly(q)(inst) == q(inst) == Certainly(q)(inst)
+
+    def test_certain_subset_of_possible(self, rng):
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        for _ in range(6):
+            table = random_table(rng, "c", name="R", rows=3, num_constants=3)
+            db = TableDatabase.single(table)
+            certain = certain_answers(db, q)
+            possible = possible_answers(db, q)
+            assert certain["Q"].facts <= possible["Q"].facts

@@ -1,0 +1,105 @@
+"""Tests for instance canonicalization (worlds.py helpers).
+
+``canonicalize_instance`` is the cheap first-appearance renaming;
+``strong_canonicalize`` is the exact (min-over-permutations) canonical
+form.  The distinction matters when comparing world sets produced by
+*different* representations of the same incomplete database, whose
+canonical enumerations may use fresh constants in different positions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance
+from repro.core.terms import Constant
+from repro.core.worlds import canonicalize_instance, strong_canonicalize
+
+
+def C(v):
+    return Constant(v)
+
+
+class TestCanonicalizeInstance:
+    def test_protected_constants_untouched(self):
+        inst = Instance({"R": [(1, "a")]})
+        out = canonicalize_instance(inst, {C(1), C("a")})
+        assert out == inst
+
+    def test_fresh_constants_renamed_in_order(self):
+        inst = Instance({"R": [("f9", 0), ("f2", 1)]})
+        out = canonicalize_instance(inst, {C(0), C(1)})
+        # sorted facts: ("f2", 1) < ("f9", 0); first appearance renames f2
+        assert (C("@n0"), C(1)) in out["R"]
+        assert (C("@n1"), C(0)) in out["R"]
+
+    def test_idempotent_on_its_own_output(self):
+        inst = Instance({"R": [("x", "y"), ("y", "z")]})
+        once = canonicalize_instance(inst, set())
+        twice = canonicalize_instance(once, set())
+        assert once == twice
+
+
+class TestStrongCanonicalize:
+    def test_no_free_constants_is_identity(self):
+        inst = Instance({"R": [(1, 2)]})
+        assert strong_canonicalize(inst, {C(1), C(2)}) is inst
+
+    def test_isomorphic_instances_collide(self):
+        # The pair that defeats first-appearance renaming: renaming flips
+        # the sort order of the facts.
+        a = Instance({"R": [("f0", "f0"), ("f1", 0)]})
+        b = Instance({"R": [("f0", 0), ("f1", "f1")]})
+        protected = {C(0)}
+        assert canonicalize_instance(a, protected) != canonicalize_instance(
+            b, protected
+        )  # the weak form misses it...
+        assert strong_canonicalize(a, protected) == strong_canonicalize(
+            b, protected
+        )  # ...the strong form identifies it
+
+    def test_non_isomorphic_instances_stay_apart(self):
+        a = Instance({"R": [("f0", "f0")]})
+        b = Instance({"R": [("f0", "f1")]})
+        assert strong_canonicalize(a, set()) != strong_canonicalize(b, set())
+
+    def test_protected_break_symmetry(self):
+        # ("f0" plays the role of 7) vs ("f0" plays the role of 8): with 7
+        # and 8 protected the two are genuinely different.
+        a = Instance({"R": [("f0", 7)]})
+        b = Instance({"R": [("f0", 8)]})
+        assert strong_canonicalize(a, {C(7), C(8)}) != strong_canonicalize(
+            b, {C(7), C(8)}
+        )
+
+    def test_multi_relation(self):
+        a = Instance({"R": [("u",)], "S": [("u", "v")]})
+        b = Instance({"R": [("p",)], "S": [("p", "q")]})
+        assert strong_canonicalize(a, set()) == strong_canonicalize(b, set())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abc"), st.sampled_from("abc")),
+            min_size=0,
+            max_size=4,
+        ),
+        st.permutations(["a", "b", "c"]),
+    )
+    def test_invariant_under_renaming(self, facts, perm):
+        """The canonical form is the same for every renaming of the frees."""
+        mapping = dict(zip("abc", perm))
+        inst = Instance({"R": [(x, y) for x, y in facts]}) if facts else None
+        if inst is None:
+            return
+        renamed = Instance(
+            {"R": [(mapping[x], mapping[y]) for x, y in facts]}
+        )
+        assert strong_canonicalize(inst, set()) == strong_canonicalize(
+            renamed, set()
+        )
+
+    def test_idempotent(self):
+        inst = Instance({"R": [("x", "y"), ("z", "x")]})
+        once = strong_canonicalize(inst, set())
+        assert strong_canonicalize(once, set()) == once

@@ -1,0 +1,187 @@
+"""Tests for the certainty problem (Theorem 5.3, Proposition 2.1(5,6))."""
+
+import pytest
+
+from conftest import oracle_certain
+from repro.core.certainty import (
+    certain_enumerate,
+    certain_identity,
+    certain_positive_gtable,
+    certain_ucq_view,
+    is_certain,
+)
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.tables import CTable, TableDatabase, c_table, codd_table, e_table, g_table
+from repro.core.terms import Variable
+from repro.queries import DatalogQuery, UCQQuery, atom, cq
+from repro.relational.instance import Instance, Relation
+from repro.workloads import random_subinstance, random_table, random_world
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestIdentityCertainty:
+    def test_ground_fact_certain(self):
+        table = codd_table("T", 1, [(1,), ("?a",)])
+        db = TableDatabase.single(table)
+        assert certain_identity(Instance({"T": [(1,)]}), db)
+
+    def test_variable_fact_not_certain(self):
+        table = codd_table("T", 1, [("?a",)])
+        db = TableDatabase.single(table)
+        assert not certain_identity(Instance({"T": [(1,)]}), db)
+
+    def test_pinned_variable_certain(self):
+        table = g_table("T", 1, [("?a",)], Conjunction([Eq(Variable("a"), 1)]))
+        db = TableDatabase.single(table)
+        assert certain_identity(Instance({"T": [(1,)]}), db)
+
+    def test_certain_by_case_split(self):
+        table = c_table("T", 1, [((1,), "u = 0"), ((1,), "u != 0")])
+        db = TableDatabase.single(table)
+        assert certain_identity(Instance({"T": [(1,)]}), db)
+
+    def test_conditioned_row_not_certain(self):
+        table = c_table("T", 1, [((1,), "u = 0")])
+        db = TableDatabase.single(table)
+        assert not certain_identity(Instance({"T": [(1,)]}), db)
+
+    def test_unsatisfiable_global_everything_certain(self):
+        table = g_table("T", 1, [(1,)], Conjunction([Eq(x, 1), Neq(x, 1)]))
+        db = TableDatabase.single(table)
+        assert certain_identity(Instance({"T": [(9,)]}), db)
+
+    def test_unknown_relation_not_certain(self):
+        table = codd_table("T", 1, [(1,)])
+        db = TableDatabase.single(table)
+        assert not certain_identity(Instance({"S": [(1,)]}), db)
+
+    def test_agrees_with_oracle(self, rng):
+        for kind in ("codd", "e", "i", "g", "c"):
+            for _ in range(10):
+                table = random_table(rng, kind, rows=3, num_constants=3)
+                db = TableDatabase.single(table)
+                request = random_subinstance(rng, random_world(rng, db), keep=0.5)
+                assert certain_identity(request, db) == oracle_certain(request, db)
+
+    def test_cert_star_equals_cert_one(self, rng):
+        """Proposition 2.1(6): a set is certain iff each fact is."""
+        for _ in range(10):
+            table = random_table(rng, "c", rows=3, num_constants=3)
+            db = TableDatabase.single(table)
+            request = random_subinstance(rng, random_world(rng, db), keep=0.7)
+            per_fact = all(
+                certain_identity(Instance({name: Relation(request[name].arity, [f])}), db)
+                for name in request.names()
+                for f in request[name].facts
+            )
+            assert certain_identity(request, db) == per_fact
+
+
+class TestMatrixEvaluation:
+    """Theorem 5.3(1): positive queries on g-tables via the frozen matrix."""
+
+    def _tc_query(self):
+        return DatalogQuery(
+            [
+                cq(atom("T", "X", "Y"), atom("E", "X", "Y")),
+                cq(atom("T", "X", "Z"), atom("T", "X", "Y"), atom("E", "Y", "Z")),
+            ],
+            outputs=["T"],
+        )
+
+    def test_certain_reachability_through_nulls(self):
+        # E = {(1, x), (x, 3)}: 1 reaches 3 in every world.
+        table = e_table("E", 2, [(1, "?x"), ("?x", 3)])
+        db = TableDatabase.single(table)
+        assert certain_positive_gtable(
+            Instance({"T": [(1, 3)]}), db, self._tc_query()
+        )
+
+    def test_uncertain_when_nulls_differ(self):
+        table = codd_table("E", 2, [(1, "?x"), ("?y", 3)])
+        db = TableDatabase.single(table)
+        assert not certain_positive_gtable(
+            Instance({"T": [(1, 3)]}), db, self._tc_query()
+        )
+
+    def test_inequalities_only_remove_worlds(self):
+        table = g_table(
+            "E", 2, [(1, "?x"), ("?x", 3)], Conjunction([Neq(Variable("x"), 7)])
+        )
+        db = TableDatabase.single(table)
+        assert certain_positive_gtable(
+            Instance({"T": [(1, 3)]}), db, self._tc_query()
+        )
+
+    def test_ucq_also_accepted(self):
+        q = UCQQuery([cq(atom("Q", "A"), atom("E", "A", "B"))])
+        table = e_table("E", 2, [(1, "?x")])
+        db = TableDatabase.single(table)
+        assert certain_positive_gtable(Instance({"Q": [(1,)]}), db, q)
+
+    def test_rejects_nonpositive_query(self):
+        q = UCQQuery(
+            [cq(atom("Q", "A"), atom("E", "A", "B"), where=[Neq(Variable("A"), 1)])]
+        )
+        table = e_table("E", 2, [(1, 2)])
+        with pytest.raises(ValueError):
+            certain_positive_gtable(
+                Instance({"Q": [(1,)]}), TableDatabase.single(table), q
+            )
+
+    def test_rejects_ctable(self):
+        q = UCQQuery([cq(atom("Q", "A"), atom("E", "A", "B"))])
+        table = c_table("E", 2, [((1, 2), "u = 0")])
+        with pytest.raises(ValueError):
+            certain_positive_gtable(
+                Instance({"Q": [(1,)]}), TableDatabase.single(table), q
+            )
+
+    def test_agrees_with_enumeration(self, rng):
+        q = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+        for kind in ("codd", "e", "g"):
+            for _ in range(8):
+                table = random_table(rng, kind, name="R", rows=3, num_constants=3)
+                db = TableDatabase.single(table)
+                request = random_subinstance(rng, q(random_world(rng, db)), keep=0.5)
+                assert certain_positive_gtable(request, db, q) == certain_enumerate(
+                    request, db, q
+                )
+
+
+class TestUCQViewCertainty:
+    def test_view_certainty_on_ctable(self):
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        table = c_table("R", 2, [((1, 5), "u = 0"), ((2, 5), "u != 0")])
+        db = TableDatabase.single(table)
+        # (5) appears through one row or the other in every world.
+        assert certain_ucq_view(Instance({"Q": [(5,)]}), db, q)
+        assert is_certain(Instance({"Q": [(5,)]}), db, q)
+
+    def test_view_certainty_negative(self):
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        table = c_table("R", 2, [((1, 5), "u = 0")])
+        db = TableDatabase.single(table)
+        assert not is_certain(Instance({"Q": [(5,)]}), db, q)
+
+
+class TestDispatch:
+    def test_method_forcing(self):
+        table = codd_table("T", 1, [(1,)])
+        db = TableDatabase.single(table)
+        request = Instance({"T": [(1,)]})
+        assert is_certain(request, db, method="identity")
+        assert is_certain(request, db, method="enumerate")
+        with pytest.raises(ValueError):
+            is_certain(request, db, method="bogus")
+
+    def test_certainty_implies_possibility(self, rng):
+        from repro.core.possibility import is_possible
+
+        for _ in range(10):
+            table = random_table(rng, "c", rows=3, num_constants=3)
+            db = TableDatabase.single(table)
+            request = random_subinstance(rng, random_world(rng, db), keep=0.5)
+            if is_certain(request, db):
+                assert is_possible(request, db)

@@ -1,0 +1,176 @@
+"""Tests for the repro command line interface."""
+
+import json
+
+import pytest
+
+from repro import Instance, TableDatabase, c_table, codd_table, i_table
+from repro.cli import (
+    EXIT_NO,
+    EXIT_USAGE,
+    EXIT_YES,
+    load_database_file,
+    load_instance_file,
+    main,
+)
+from repro.io import dumps_database, dumps_instance, json_dumps
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    db = TableDatabase.single(
+        c_table(
+            "R",
+            2,
+            [((0, 1),), ((0, "?x"), "x != 1")],
+        )
+    )
+    path = tmp_path / "db.pwt"
+    path.write_text(dumps_database(db))
+    return str(path)
+
+
+@pytest.fixture
+def world_file(tmp_path):
+    path = tmp_path / "world.pwi"
+    path.write_text(dumps_instance(Instance({"R": [(0, 1), (0, 2)]})))
+    return str(path)
+
+
+@pytest.fixture
+def bad_world_file(tmp_path):
+    path = tmp_path / "bad.pwi"
+    path.write_text(dumps_instance(Instance({"R": [(5, 5)]})))
+    return str(path)
+
+
+class TestShowAndClassify:
+    def test_show(self, db_file, capsys):
+        assert main(["show", db_file]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "R/2" in out and "c-table" in out
+
+    def test_classify(self, db_file, capsys):
+        assert main(["classify", db_file]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "R: c" in out and "database: c" in out
+
+    def test_classify_codd(self, tmp_path, capsys):
+        db = TableDatabase.single(codd_table("S", 1, [("?y",)]))
+        path = tmp_path / "s.pwt"
+        path.write_text(dumps_database(db))
+        assert main(["classify", str(path)]) == EXIT_YES
+        assert "S: codd" in capsys.readouterr().out
+
+
+class TestWorlds:
+    def test_worlds_listed(self, db_file, capsys):
+        assert main(["worlds", db_file]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "-- world 1" in out and "%instance" in out
+
+    def test_worlds_cap(self, db_file, capsys):
+        assert main(["worlds", db_file, "--max", "1"]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "truncated" in out
+
+    def test_unsatisfiable_reported(self, tmp_path, capsys):
+        db = TableDatabase.single(
+            i_table("R", 1, [("?x",)], "x != x")
+        )
+        path = tmp_path / "empty.pwt"
+        path.write_text(dumps_database(db))
+        assert main(["worlds", str(path)]) == EXIT_YES
+        assert "no possible worlds" in capsys.readouterr().out
+
+
+class TestDecisions:
+    def test_member_yes(self, db_file, world_file, capsys):
+        assert main(["member", db_file, world_file]) == EXIT_YES
+        assert "member" in capsys.readouterr().out
+
+    def test_member_no(self, db_file, bad_world_file, capsys):
+        assert main(["member", db_file, bad_world_file]) == EXIT_NO
+        assert "not a member" in capsys.readouterr().out
+
+    def test_possible_yes(self, db_file, tmp_path, capsys):
+        facts = tmp_path / "facts.pwi"
+        facts.write_text(dumps_instance(Instance({"R": [(0, 2)]})))
+        assert main(["possible", db_file, str(facts)]) == EXIT_YES
+        assert "possible" in capsys.readouterr().out
+
+    def test_possible_no(self, db_file, bad_world_file, capsys):
+        assert main(["possible", db_file, bad_world_file]) == EXIT_NO
+        assert "impossible" in capsys.readouterr().out
+
+    def test_certain_yes(self, db_file, tmp_path, capsys):
+        facts = tmp_path / "facts.pwi"
+        facts.write_text(dumps_instance(Instance({"R": [(0, 1)]})))
+        assert main(["certain", db_file, str(facts)]) == EXIT_YES
+        assert "certain" in capsys.readouterr().out
+
+    def test_certain_no(self, db_file, tmp_path, capsys):
+        facts = tmp_path / "facts.pwi"
+        facts.write_text(dumps_instance(Instance({"R": [(0, 2)]})))
+        assert main(["certain", db_file, str(facts)]) == EXIT_NO
+        assert "not certain" in capsys.readouterr().out
+
+    def test_contains_reflexive(self, db_file, capsys):
+        assert main(["contains", db_file, db_file]) == EXIT_YES
+        assert "contained" in capsys.readouterr().out
+
+    def test_contains_no(self, db_file, tmp_path, capsys):
+        other = TableDatabase.single(codd_table("R", 2, [(9, 9)]))
+        path = tmp_path / "other.pwt"
+        path.write_text(dumps_database(other))
+        assert main(["contains", db_file, str(path)]) == EXIT_NO
+        assert "not contained" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_text_to_json_and_back(self, db_file, tmp_path, capsys):
+        assert main(["convert", db_file, "--to", "json"]) == EXIT_YES
+        blob = capsys.readouterr().out
+        data = json.loads(blob)
+        assert data["kind"] == "table-database"
+        json_path = tmp_path / "db.json"
+        json_path.write_text(blob)
+        assert main(["convert", str(json_path), "--to", "text"]) == EXIT_YES
+        text = capsys.readouterr().out
+        assert "%table R/2" in text
+        assert load_database_file(db_file) == load_database_file(str(json_path))
+
+    def test_instance_conversion(self, world_file, capsys):
+        assert main(["convert", world_file, "--to", "json"]) == EXIT_YES
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "instance"
+
+
+class TestFileLoading:
+    def test_json_database_autodetected(self, tmp_path):
+        db = TableDatabase.single(codd_table("R", 1, [(7,)]))
+        path = tmp_path / "db.json"
+        path.write_text(json_dumps(db))
+        assert load_database_file(str(path)) == db
+
+    def test_json_instance_autodetected(self, tmp_path):
+        inst = Instance({"R": [(1,)]})
+        path = tmp_path / "w.json"
+        path.write_text(json_dumps(inst))
+        assert load_instance_file(str(path)) == inst
+
+    def test_missing_file(self, capsys):
+        assert main(["show", "/nonexistent/db.pwt"]) == EXIT_USAGE
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.pwt"
+        path.write_text("%table R\n")
+        assert main(["show", str(path)]) == EXIT_USAGE
+        assert "repro:" in capsys.readouterr().err
+
+    def test_usage_error(self):
+        assert main(["frobnicate"]) == EXIT_USAGE
+
+    def test_no_command(self):
+        assert main([]) == EXIT_USAGE

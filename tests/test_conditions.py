@@ -1,0 +1,233 @@
+"""Unit tests for repro.core.conditions."""
+
+import pytest
+
+from repro.core.conditions import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BoolAnd,
+    BoolAtom,
+    BoolCondition,
+    BoolOr,
+    Conjunction,
+    Eq,
+    FALSE,
+    Neq,
+    TRUE,
+    parse_atom,
+    parse_conjunction,
+)
+from repro.core.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAtoms:
+    def test_atoms_are_symmetric(self):
+        assert Eq(x, y) == Eq(y, x)
+        assert Neq(x, 0) == Neq(0, x)
+
+    def test_equality_between_kinds(self):
+        assert Eq(x, y) != Neq(x, y)
+
+    def test_trivial_truth(self):
+        assert Eq(x, x).is_trivially_true()
+        assert Neq(1, 2).is_trivially_true()
+        assert Eq(1, 2).is_trivially_false()
+        assert Neq(x, x).is_trivially_false()
+        assert not Eq(x, 1).is_trivially_true()
+        assert not Eq(x, 1).is_trivially_false()
+
+    def test_negation_roundtrip(self):
+        atom = Eq(x, 3)
+        assert atom.negated() == Neq(x, 3)
+        assert atom.negated().negated() == atom
+
+    def test_substitute(self):
+        assert Eq(x, y).substitute({x: Constant(1)}) == Eq(1, y)
+
+    def test_holds_for(self):
+        lookup = {x: Constant(1), y: Constant(2)}.get
+        def lk(t):
+            return lookup(t) or t
+        assert Neq(x, y).holds_for(lk)
+        assert not Eq(x, y).holds_for(lk)
+
+
+class TestConjunctionSatisfiability:
+    def test_empty_is_true_and_satisfiable(self):
+        assert TRUE.is_satisfiable()
+        assert len(TRUE) == 0
+
+    def test_false_is_unsatisfiable(self):
+        assert not FALSE.is_satisfiable()
+
+    def test_equality_chain_to_conflicting_constants(self):
+        conj = Conjunction([Eq(x, y), Eq(y, 1), Eq(x, 2)])
+        assert not conj.is_satisfiable()
+
+    def test_inequality_within_merged_class(self):
+        conj = Conjunction([Eq(x, y), Neq(x, y)])
+        assert not conj.is_satisfiable()
+
+    def test_transitive_inequality_violation(self):
+        conj = Conjunction([Eq(x, y), Eq(y, z), Neq(x, z)])
+        assert not conj.is_satisfiable()
+
+    def test_satisfiable_mixed(self):
+        conj = Conjunction([Eq(x, 1), Neq(y, 1), Neq(y, z)])
+        assert conj.is_satisfiable()
+
+    def test_inequalities_alone_always_satisfiable(self):
+        conj = Conjunction([Neq(x, y), Neq(y, z), Neq(x, z), Neq(x, 0)])
+        assert conj.is_satisfiable()
+
+
+class TestSolve:
+    def test_solve_produces_mgu_and_residual(self):
+        conj = Conjunction([Eq(x, y), Eq(y, 1), Neq(z, x)])
+        solved = conj.solve()
+        assert solved is not None
+        mgu, residual = solved
+        assert mgu[x] == Constant(1)
+        assert mgu[y] == Constant(1)
+        assert residual == Conjunction([Neq(z, 1)])
+
+    def test_solve_unsat_returns_none(self):
+        assert Conjunction([Eq(x, 1), Eq(x, 2)]).solve() is None
+
+    def test_solve_detects_residual_contradiction(self):
+        assert Conjunction([Eq(x, 1), Neq(x, 1)]).solve() is None
+
+    def test_variable_representative_is_deterministic(self):
+        solved = Conjunction([Eq(x, y)]).solve()
+        mgu, _ = solved
+        # x sorts before y, so y maps to x.
+        assert mgu == {y: x}
+
+
+class TestImplication:
+    def test_implies_equality_by_closure(self):
+        conj = Conjunction([Eq(x, y), Eq(y, z)])
+        assert conj.implies(Eq(x, z))
+
+    def test_implies_inequality_by_refutation(self):
+        conj = Conjunction([Eq(x, 1)])
+        assert conj.implies(Neq(x, 2))
+
+    def test_unsatisfiable_implies_everything(self):
+        assert FALSE.implies(Eq(x, 1))
+
+    def test_does_not_imply_unrelated(self):
+        assert not TRUE.implies(Eq(x, 1))
+
+    def test_equivalence(self):
+        a = Conjunction([Eq(x, y), Eq(y, 1)])
+        b = Conjunction([Eq(x, 1), Eq(y, 1)])
+        assert a.equivalent(b)
+
+
+class TestConjunctionAlgebra:
+    def test_and_also_merges_and_dedupes(self):
+        a = Conjunction([Eq(x, 1)])
+        b = a.and_also(Conjunction([Eq(x, 1), Neq(y, 2)]), Neq(z, 3))
+        assert set(b.atoms) == {Eq(x, 1), Neq(y, 2), Neq(z, 3)}
+
+    def test_substitute(self):
+        conj = Conjunction([Eq(x, y)]).substitute({y: Constant(5)})
+        assert conj == Conjunction([Eq(x, 5)])
+
+    def test_simplified_drops_trivial(self):
+        conj = Conjunction([Eq(x, x), Neq(1, 2), Eq(x, 1)])
+        assert conj.simplified() == Conjunction([Eq(x, 1)])
+
+    def test_simplified_collapses_unsat(self):
+        assert Conjunction([Eq(x, 1), Eq(x, 2)]).simplified() == FALSE
+
+    def test_hash_and_order_canonical(self):
+        a = Conjunction([Eq(x, 1), Neq(y, 2)])
+        b = Conjunction([Neq(2, y), Eq(1, x)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestBoolConditions:
+    def test_atom_dnf(self):
+        assert BoolAtom(Eq(x, 1)).to_dnf() == (Conjunction([Eq(x, 1)]),)
+
+    def test_trivially_false_atom_dnf_empty(self):
+        assert BoolAtom(Eq(1, 2)).to_dnf() == ()
+
+    def test_and_distributes_over_or(self):
+        cond = BoolAnd(
+            (
+                BoolOr((BoolAtom(Eq(x, 1)), BoolAtom(Eq(x, 2)))),
+                BoolAtom(Neq(y, 0)),
+            )
+        )
+        dnf = cond.to_dnf()
+        assert set(dnf) == {
+            Conjunction([Eq(x, 1), Neq(y, 0)]),
+            Conjunction([Eq(x, 2), Neq(y, 0)]),
+        }
+
+    def test_unsatisfiable_branches_pruned(self):
+        cond = BoolAnd(
+            (
+                BoolOr((BoolAtom(Eq(x, 1)), BoolAtom(Eq(x, 2)))),
+                BoolAtom(Eq(x, 2)),
+            )
+        )
+        assert cond.to_dnf() == (Conjunction([Eq(x, 2)]),)
+
+    def test_subsumed_disjuncts_removed(self):
+        cond = BoolOr(
+            (
+                BoolAtom(Eq(x, 1)),
+                BoolAnd((BoolAtom(Eq(x, 1)), BoolAtom(Eq(y, 2)))),
+            )
+        )
+        assert cond.to_dnf() == (Conjunction([Eq(x, 1)]),)
+
+    def test_bool_constants(self):
+        assert BOOL_TRUE.to_dnf() == (TRUE,)
+        assert BOOL_FALSE.to_dnf() == ()
+
+    def test_negation_nnf(self):
+        cond = BoolAnd((BoolAtom(Eq(x, 1)), BoolAtom(Neq(y, 2))))
+        negated = cond.negated()
+        assert set(negated.to_dnf()) == {
+            Conjunction([Neq(x, 1)]),
+            Conjunction([Eq(y, 2)]),
+        }
+
+    def test_satisfied_by(self):
+        cond = BoolOr((BoolAtom(Eq(x, 1)), BoolAtom(Eq(x, 2))))
+        assert cond.satisfied_by(lambda t: Constant(2) if t == x else t)
+        assert not cond.satisfied_by(lambda t: Constant(3) if t == x else t)
+
+    def test_from_conjunction(self):
+        cond = BoolCondition.from_conjunction(Conjunction([Eq(x, 1), Neq(y, 2)]))
+        assert cond.to_dnf() == (Conjunction([Eq(x, 1), Neq(y, 2)]),)
+
+
+class TestParsing:
+    def test_parse_atom_variants(self):
+        assert parse_atom("x = y") == Eq(x, y)
+        assert parse_atom("x != 0") == Neq(x, 0)
+        assert parse_atom("x ≠ 0") == Neq(x, 0)
+
+    def test_parse_quoted_string_constant(self):
+        atom = parse_atom("x = 'ann'")
+        assert atom == Eq(x, Constant("ann"))
+
+    def test_parse_conjunction(self):
+        conj = parse_conjunction("x != 0, y != z")
+        assert set(conj.atoms) == {Neq(x, 0), Neq(y, z)}
+
+    def test_parse_true(self):
+        assert parse_conjunction("true") == TRUE
+        assert parse_conjunction("") == TRUE
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_atom("x < y")

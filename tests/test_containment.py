@@ -1,0 +1,179 @@
+"""Tests for the containment problem (Theorem 4.1 / 4.2 upper bounds)."""
+
+import pytest
+
+from conftest import oracle_contains
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.containment import (
+    containment_enumerate,
+    containment_freeze,
+    contains,
+    freeze_instance,
+)
+from repro.core.tables import CTable, TableDatabase, c_table, codd_table, e_table, g_table, i_table
+from repro.core.terms import Variable
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance
+from repro.workloads import random_table
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestFreezeTechnique:
+    """The Claim of Theorem 4.1: rep(T0) <= rep(T) iff K0 in rep(T)."""
+
+    def test_identical_tables_contained(self):
+        t0 = codd_table("T", 2, [(1, "?a")])
+        t = codd_table("T", 2, [(1, "?b")])
+        assert containment_freeze(
+            TableDatabase.single(t0), TableDatabase.single(t)
+        )
+
+    def test_table_in_more_general_table(self):
+        t0 = codd_table("T", 2, [(1, 2)])
+        t = codd_table("T", 2, [("?a", "?b")])
+        assert containment_freeze(
+            TableDatabase.single(t0), TableDatabase.single(t)
+        )
+
+    def test_general_not_in_specific(self):
+        t0 = codd_table("T", 2, [("?a", "?b")])
+        t = codd_table("T", 2, [(1, "?c")])
+        assert not containment_freeze(
+            TableDatabase.single(t0), TableDatabase.single(t)
+        )
+
+    def test_gtable_lhs_equalities_incorporated(self):
+        t0 = g_table("T", 2, [("?a", "?b")], Conjunction([Eq(x, y)]).substitute({}))
+        # a = b is not actually linked to the matrix; use matrix variables.
+        a, b = Variable("a"), Variable("b")
+        t0 = g_table("T", 2, [(a, b)], Conjunction([Eq(a, b)]))
+        t_diag = e_table("T", 2, [("?c", "?c")])
+        t_free = codd_table("T", 2, [("?c", "?d")])
+        assert containment_freeze(TableDatabase.single(t0), TableDatabase.single(t_diag))
+        assert containment_freeze(TableDatabase.single(t0), TableDatabase.single(t_free))
+        # And the diagonal is NOT contained in a table pinned elsewhere.
+        t_pinned = codd_table("T", 2, [(1, "?d")])
+        assert not containment_freeze(
+            TableDatabase.single(t0), TableDatabase.single(t_pinned)
+        )
+
+    def test_unsatisfiable_lhs_contained_in_everything(self):
+        t0 = g_table("T", 1, [(1,)], Conjunction([Eq(x, 1), Neq(x, 1)]))
+        t = codd_table("T", 1, [(2,)])
+        assert freeze_instance(TableDatabase.single(t0)) is None
+        assert containment_freeze(TableDatabase.single(t0), TableDatabase.single(t))
+
+    def test_etable_rhs_uses_search(self):
+        t0 = e_table("T", 2, [("?a", "?a")])
+        t = e_table("T", 2, [("?c", "?c")])
+        assert containment_freeze(TableDatabase.single(t0), TableDatabase.single(t))
+        t_codd = codd_table("T", 2, [("?c", "?d")])
+        assert containment_freeze(
+            TableDatabase.single(t0), TableDatabase.single(t_codd)
+        )
+        # The converse fails: free pairs are not all diagonal.
+        assert not containment_freeze(
+            TableDatabase.single(t_codd), TableDatabase.single(t)
+        )
+
+    def test_freeze_requires_g_lhs(self):
+        lhs = c_table("T", 1, [((1,), "u = 0")])
+        rhs = codd_table("T", 1, [("?a",)])
+        with pytest.raises(ValueError):
+            containment_freeze(TableDatabase.single(lhs), TableDatabase.single(rhs))
+
+    def test_freeze_requires_e_rhs(self):
+        lhs = codd_table("T", 1, [(1,)])
+        rhs = i_table("T", 1, [("?a",)], "a != 1")
+        with pytest.raises(ValueError):
+            containment_freeze(TableDatabase.single(lhs), TableDatabase.single(rhs))
+
+    def test_agrees_with_oracle_random(self, rng):
+        for _ in range(12):
+            t0 = random_table(rng, rng.choice(["codd", "e", "g"]), rows=2, num_constants=2)
+            t = random_table(rng, rng.choice(["codd", "e"]), rows=2, num_constants=2)
+            db0, db = TableDatabase.single(t0), TableDatabase.single(t)
+            if not db0.is_g_database() or db.classify() not in ("codd", "e"):
+                continue
+            assert containment_freeze(db0, db) == oracle_contains(db0, db)
+
+
+class TestEnumerationProcedure:
+    def test_itable_rhs(self):
+        # LHS: {1, 2}; RHS: {x, y} with x != y -- containment holds.
+        t0 = codd_table("T", 1, [(1,), (2,)])
+        t = i_table("T", 1, [("?a",), ("?b",)], "a != b")
+        assert contains(TableDatabase.single(t0), TableDatabase.single(t))
+
+    def test_itable_rhs_violated(self):
+        # LHS has a world {1} (one element); RHS worlds always have 2.
+        t0 = codd_table("T", 1, [("?a",), ("?b",)])
+        t = i_table("T", 1, [("?c",), ("?d",)], "c != d")
+        assert not contains(TableDatabase.single(t0), TableDatabase.single(t))
+
+    def test_ctable_lhs(self):
+        lhs = c_table("T", 1, [((1,), "u = 0")])
+        rhs = c_table("T", 1, [((1,), "w = 0")])
+        assert contains(TableDatabase.single(lhs), TableDatabase.single(rhs))
+
+    def test_view_on_left(self):
+        q0 = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+        lhs = TableDatabase.single(CTable("R", 2, [(1, x)]))
+        rhs = TableDatabase.single(CTable("Q", 1, [(1,)]))
+        assert contains(lhs, rhs, query0=q0)
+
+    def test_view_on_right(self):
+        q = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+        lhs = TableDatabase.single(CTable("Q", 1, [(1,)]))
+        rhs = TableDatabase.single(CTable("R", 2, [(1, x)]))
+        assert contains(lhs, rhs, query=q)
+
+    def test_view_both_sides(self):
+        q0 = UCQQuery([cq(atom("Q", "A"), atom("R", "A"))])
+        q = UCQQuery([cq(atom("Q", "A"), atom("S", "A"))])
+        lhs = TableDatabase.single(CTable("R", 1, [(x,)]))
+        rhs = TableDatabase.single(CTable("S", 1, [(y,)]))
+        assert contains(lhs, rhs, query0=q0, query=q)
+
+    def test_reflexivity_random(self, rng):
+        for kind in ("codd", "e", "i", "g", "c"):
+            table = random_table(rng, kind, rows=2, num_constants=2)
+            db = TableDatabase.single(table)
+            assert contains(db, db)
+
+    def test_agrees_with_oracle_random(self, rng):
+        for _ in range(10):
+            t0 = random_table(rng, rng.choice(["codd", "e", "i"]), rows=2, num_constants=2)
+            t = random_table(rng, rng.choice(["codd", "e", "i"]), rows=2, num_constants=2)
+            db0, db = TableDatabase.single(t0), TableDatabase.single(t)
+            assert contains(db0, db) == oracle_contains(db0, db)
+
+    def test_method_forcing(self):
+        t0 = codd_table("T", 1, [(1,)])
+        t = codd_table("T", 1, [("?a",)])
+        db0, db = TableDatabase.single(t0), TableDatabase.single(t)
+        assert contains(db0, db, method="freeze")
+        assert contains(db0, db, method="enumerate")
+        with pytest.raises(ValueError):
+            contains(db0, db, method="bogus")
+
+
+class TestHierarchy:
+    """rep-containments along the paper's representation hierarchy."""
+
+    def test_codd_table_inside_its_etable_weakening(self):
+        # Adding repeated variables only restricts worlds: e-table diag
+        # is contained in the free Codd pair, not vice versa.
+        diag = e_table("T", 2, [("?a", "?a")])
+        free = codd_table("T", 2, [("?b", "?c")])
+        assert contains(TableDatabase.single(diag), TableDatabase.single(free))
+        assert not contains(TableDatabase.single(free), TableDatabase.single(diag))
+
+    def test_itable_restricts_codd(self):
+        restricted = i_table("T", 1, [("?a",)], "a != 0")
+        free = codd_table("T", 1, [("?b",)])
+        db_r = TableDatabase.single(restricted)
+        db_f = TableDatabase.single(free)
+        assert contains(db_r, db_f)
+        assert not contains(db_f, db_r)

@@ -1,0 +1,96 @@
+"""Tests for the reporting/figure/grid harness utilities."""
+
+import math
+
+import pytest
+
+from repro.harness.reporting import (
+    classify_growth,
+    growth_ratio,
+    loglog_slope,
+    render_table,
+    sweep,
+    time_call,
+)
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        out = render_table(["a", "bb"], [["xxx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a    bb")
+        assert all(len(line) >= len("a    bb") - 2 for line in lines)
+
+    def test_title_first(self):
+        out = render_table(["h"], [["v"]], title="My title")
+        assert out.splitlines()[0] == "My title"
+
+    def test_header_rule_present(self):
+        out = render_table(["col"], [["value"]])
+        assert "-----" in out.splitlines()[1]
+
+    def test_non_string_cells(self):
+        out = render_table(["n", "t"], [[10, 0.25]])
+        assert "10" in out and "0.25" in out
+
+
+class TestTiming:
+    def test_time_call_positive(self):
+        assert time_call(lambda: sum(range(100))) >= 0.0
+
+    def test_sweep_shape(self):
+        series = sweep([1, 2, 4], lambda n: (lambda: sum(range(n))), repeat=1)
+        assert [n for n, _ in series] == [1, 2, 4]
+        assert all(t >= 0 for _, t in series)
+
+
+class TestGrowthDiagnostics:
+    def test_loglog_slope_of_quadratic(self):
+        series = [(n, 0.001 * n * n) for n in (10, 20, 40, 80)]
+        assert loglog_slope(series) == pytest.approx(2.0, abs=0.01)
+
+    def test_loglog_slope_of_linear(self):
+        series = [(n, 0.5 * n) for n in (10, 20, 40)]
+        assert loglog_slope(series) == pytest.approx(1.0, abs=0.01)
+
+    def test_loglog_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([(10, 1.0)])
+
+    def test_growth_ratio_of_exponential(self):
+        series = [(n, 0.001 * 2.0**n) for n in (4, 5, 6, 7)]
+        assert growth_ratio(series) == pytest.approx(2.0, rel=0.01)
+
+    def test_growth_ratio_spread_increments(self):
+        # Doubling per unit measured over a 2-unit step: ratio per unit
+        # is still 2.
+        series = [(4, 0.016), (6, 0.064)]
+        assert growth_ratio(series) == pytest.approx(2.0, rel=0.01)
+
+    def test_classify_exponential(self):
+        series = [(n, 0.001 * 3.0**n) for n in (3, 4, 5, 6)]
+        assert classify_growth(series) == "exponential-like"
+
+    def test_classify_polynomial(self):
+        series = [(n, 0.001 * n**2) for n in (10, 20, 40)]
+        assert classify_growth(series) == "polynomial-like"
+
+    def test_classify_inconclusive(self):
+        assert classify_growth([(1, 0.0)]) == "inconclusive"
+
+
+class TestFiguresAndGrid:
+    def test_all_figures_render(self):
+        from repro.harness.figures import all_figures
+
+        figures = all_figures()
+        assert len(figures) >= 6  # fig1, fig3, fig4, fig6/7..., fig12
+        for name, text in figures.items():
+            assert isinstance(text, str) and text.strip(), name
+
+    def test_fig2_grid_mentions_all_classes(self):
+        from repro.harness.grid import render_fig2_grid
+
+        grid = render_fig2_grid()
+        for area in ("PTIME", "NP", "coNP", "Pi2p"):
+            assert area in grid

@@ -1,0 +1,121 @@
+"""Cross-subsystem integration: extensions agree with the core semantics.
+
+Each extension (io, modal, maybe, prob, cli) is tested in isolation in
+its own module; this module wires them together the way a downstream
+application would and checks the composition against the core
+enumeration semantics:
+
+* maybe-table --> guard encoding --> text file --> CLI verdicts;
+* maybe-table --> pc-table with bernoulli guards --> tuple-independent
+  probabilities consistent with POSS/CERT;
+* modal program over a serialized-then-reloaded database.
+"""
+
+import pytest
+
+from repro import (
+    Instance,
+    TableDatabase,
+    UCQQuery,
+    atom,
+    cq,
+    enumerate_worlds,
+    is_certain,
+    is_possible,
+)
+from repro.cli import EXIT_NO, EXIT_YES, main
+from repro.core.terms import Constant
+from repro.extensions import maybe_table
+from repro.io import dumps_database, dumps_instance, loads_database
+from repro.modal import CERTAIN, POSSIBLE, ModalProgram, ModalView
+from repro.prob import PCDatabase, bernoulli, uniform
+
+
+@pytest.fixture
+def orders():
+    """Orders(customer, item): one sure, one maybe, one null-valued."""
+    return maybe_table(
+        "Orders",
+        2,
+        sure=[("ann", "book"), ("bob", "?i")],
+        maybe=[("eve", "pen")],
+    )
+
+
+class TestMaybeThroughFilesAndCli:
+    def test_roundtrip_encoded_maybe_table(self, orders):
+        db = TableDatabase.single(orders.to_ctable())
+        back = loads_database(dumps_database(db))
+        assert back == db
+        assert enumerate_worlds(back) == enumerate_worlds(db)
+
+    def test_cli_verdicts_match_library(self, orders, tmp_path):
+        db = TableDatabase.single(orders.to_ctable())
+        db_path = tmp_path / "orders.pwt"
+        db_path.write_text(dumps_database(db))
+
+        sure = Instance({"Orders": [("ann", "book")]})
+        sure_path = tmp_path / "sure.pwi"
+        sure_path.write_text(dumps_instance(sure))
+        assert is_certain(sure, db)
+        assert main(["certain", str(db_path), str(sure_path)]) == EXIT_YES
+
+        maybe = Instance({"Orders": [("eve", "pen")]})
+        maybe_path = tmp_path / "maybe.pwi"
+        maybe_path.write_text(dumps_instance(maybe))
+        assert is_possible(maybe, db) and not is_certain(maybe, db)
+        assert main(["possible", str(db_path), str(maybe_path)]) == EXIT_YES
+        assert main(["certain", str(db_path), str(maybe_path)]) == EXIT_NO
+
+
+class TestMaybeAsTupleIndependentProbabilisticTable:
+    """A maybe-table with bernoulli guards is a tuple-independent table."""
+
+    def test_guard_probability_is_tuple_probability(self, orders):
+        encoded = orders.to_ctable()
+        guards = sorted(
+            v.name for v in encoded.variables() if v.name.startswith("@maybe")
+        )
+        assert len(guards) == 1
+        pc = PCDatabase(
+            TableDatabase.single(encoded),
+            {
+                guards[0]: bernoulli(0.25),
+                "i": uniform(["book", "pen"]),
+            },
+        )
+        assert pc.fact_probability("Orders", ("eve", "pen")) == pytest.approx(0.25)
+        assert pc.fact_probability("Orders", ("ann", "book")) == pytest.approx(1.0)
+        assert pc.fact_probability("Orders", ("bob", "pen")) == pytest.approx(0.5)
+
+    def test_probability_endpoints_match_poss_cert(self, orders):
+        encoded = orders.to_ctable()
+        db = TableDatabase.single(encoded)
+        guards = [v.name for v in encoded.variables() if v.name.startswith("@maybe")]
+        pc = PCDatabase(
+            db,
+            {guards[0]: bernoulli(0.5), "i": uniform(["book", "pen"])},
+        )
+        for fact in (("ann", "book"), ("eve", "pen"), ("bob", "book")):
+            p = pc.fact_probability("Orders", fact)
+            inst = Instance({"Orders": [fact]})
+            assert (p > 0) == is_possible(inst, db)
+            assert (p == pytest.approx(1.0)) == is_certain(inst, db)
+
+
+class TestModalOverSerializedDatabase:
+    def test_modal_program_after_reload(self, orders, tmp_path):
+        db = TableDatabase.single(orders.to_ctable())
+        reloaded = loads_database(dumps_database(db))
+
+        q = UCQQuery([cq(atom("Who", "C"), atom("Orders", "C", "I"))])
+        program = ModalProgram(
+            [ModalView("Sure", CERTAIN, q), ModalView("Maybe", POSSIBLE, q)]
+        )
+        out_orig = program.collapse(db)
+        out_reloaded = program.collapse(reloaded)
+        assert out_orig == out_reloaded
+        sure = {c.value for (c,) in out_orig["Sure"]}
+        maybe = {c.value for (c,) in out_orig["Maybe"]}
+        assert sure == {"ann", "bob"}
+        assert maybe == {"ann", "bob", "eve"}

@@ -1,0 +1,193 @@
+"""Tests for repro.extensions.maybe: Zaniolo-style maybe-tuples."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Instance,
+    TableDatabase,
+    enumerate_worlds,
+    is_certain,
+    is_member,
+    is_possible,
+)
+from repro.core.conditions import Conjunction, Neq, parse_conjunction
+from repro.core.terms import Constant, Variable
+from repro.core.worlds import strong_canonicalize
+from repro.extensions import MaybeRow, MaybeTable, maybe_database, maybe_table
+
+
+def canon(worlds, m):
+    """Canonicalise fresh constants so world sets compare up to isomorphism.
+
+    The guard encoding introduces extra variables, so its canonical
+    enumeration may use differently-indexed fresh constants than the
+    direct semantics; both describe the same worlds up to |Delta|-fixing
+    bijections (Proposition 2.1).
+    """
+    protected = set(m.to_ctable().constants())
+    return {strong_canonicalize(w, protected) for w in worlds}
+
+
+class TestMaybeRow:
+    def test_repr_flags_maybe(self):
+        assert repr(MaybeRow((1, 2), sure=False)).endswith("?")
+        assert not repr(MaybeRow((1, 2), sure=True)).endswith("?")
+
+    def test_equality_distinguishes_flag(self):
+        assert MaybeRow((1,), True) != MaybeRow((1,), False)
+
+    def test_immutable(self):
+        row = MaybeRow((1,))
+        with pytest.raises(AttributeError):
+            row.sure = False
+
+
+class TestMaybeTableConstruction:
+    def test_constructor_splits_rows(self):
+        m = maybe_table("R", 2, sure=[(0, 1)], maybe=[(2, 3), (4, "?x")])
+        assert len(m.sure_rows()) == 1
+        assert len(m.maybe_rows()) == 2
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            maybe_table("R", 2, sure=[(0,)])
+
+    def test_non_maybe_row_rejected(self):
+        with pytest.raises(TypeError):
+            MaybeTable("R", 1, [(0,)])
+
+    def test_condition_string_parsed(self):
+        m = maybe_table("R", 1, sure=[("?x",)], condition="x != 0")
+        assert m.global_condition == parse_conjunction("x != 0")
+
+    def test_duplicate_rows_deduplicated(self):
+        m = maybe_table("R", 1, sure=[(0,), (0,)], maybe=[(1,), (1,)])
+        assert len(m) == 2
+
+
+class TestGuardEncoding:
+    def test_sure_rows_have_no_condition(self):
+        m = maybe_table("R", 1, sure=[(0,)], maybe=[(1,)])
+        ct = m.to_ctable()
+        sure = [r for r in ct.rows if not r.has_local_condition()]
+        guarded = [r for r in ct.rows if r.has_local_condition()]
+        assert len(sure) == 1 and len(guarded) == 1
+
+    def test_guards_are_fresh(self):
+        m = maybe_table("R", 1, maybe=[("?x",), ("?y",)])
+        ct = m.to_ctable()
+        guards = ct.variables() - {Variable("x"), Variable("y")}
+        assert len(guards) == 2  # one distinct guard per maybe row
+
+    def test_encoding_is_a_ctable(self):
+        m = maybe_table("R", 1, maybe=[(1,)])
+        assert m.to_ctable().classify() == "c"
+
+    def test_pure_sure_table_encodes_to_plain_table(self):
+        m = maybe_table("R", 2, sure=[(0, "?x")])
+        assert m.to_ctable().classify() == "codd"
+
+    def test_worlds_of_two_maybe_rows(self):
+        m = maybe_table("R", 1, sure=[(0,)], maybe=[(1,), (2,)])
+        worlds = m.worlds()
+        expected = {
+            Instance({"R": rows})
+            for rows in (
+                [(0,)],
+                [(0,), (1,)],
+                [(0,), (2,)],
+                [(0,), (1,), (2,)],
+            )
+        }
+        assert worlds == expected
+
+    def test_encoding_matches_direct_semantics_ground(self):
+        m = maybe_table("R", 1, sure=[(0,)], maybe=[(1,), (2,)])
+        db = TableDatabase.single(m.to_ctable())
+        assert enumerate_worlds(db) == m.worlds()
+
+    def test_encoding_matches_direct_semantics_with_nulls(self):
+        m = maybe_table("R", 2, sure=[(0, "?x")], maybe=[("?x", 1)])
+        db = TableDatabase.single(m.to_ctable())
+        assert canon(enumerate_worlds(db), m) == canon(m.worlds(), m)
+
+    def test_encoding_respects_global_condition(self):
+        m = maybe_table("R", 1, sure=[("?x",)], maybe=[(5,)], condition="x != 0")
+        db = TableDatabase.single(m.to_ctable())
+        worlds = canon(enumerate_worlds(db), m)
+        assert worlds == canon(m.worlds(), m)
+        zero = Constant(0)
+        assert all((zero,) not in w["R"] for w in worlds)
+
+    def test_empty_maybe_table(self):
+        m = maybe_table("R", 1)
+        db = TableDatabase.single(m.to_ctable())
+        assert enumerate_worlds(db) == {Instance({"R": []}, schema=db.schema())} or (
+            enumerate_worlds(db) == m.worlds()
+        )
+
+
+class TestDecisionProblemsViaEncoding:
+    def test_membership(self):
+        m = maybe_table("R", 1, sure=[(0,)], maybe=[(1,)])
+        db = TableDatabase.single(m.to_ctable())
+        assert is_member(Instance({"R": [(0,)]}), db)
+        assert is_member(Instance({"R": [(0,), (1,)]}), db)
+        assert not is_member(Instance({"R": [(1,)]}), db)  # sure row missing
+
+    def test_possibility(self):
+        m = maybe_table("R", 1, sure=[(0,)], maybe=[(1,)])
+        db = TableDatabase.single(m.to_ctable())
+        assert is_possible(Instance({"R": [(1,)]}), db)
+        assert not is_possible(Instance({"R": [(2,)]}), db)
+
+    def test_certainty(self):
+        m = maybe_table("R", 1, sure=[(0,)], maybe=[(1,)])
+        db = TableDatabase.single(m.to_ctable())
+        assert is_certain(Instance({"R": [(0,)]}), db)
+        assert not is_certain(Instance({"R": [(1,)]}), db)
+
+
+class TestMaybeDatabase:
+    def test_guards_disjoint_across_tables(self):
+        m1 = maybe_table("R", 1, maybe=[(1,)])
+        m2 = maybe_table("S", 1, maybe=[(2,)])
+        db = maybe_database([m1, m2])
+        r_vars = db["R"].variables()
+        s_vars = db["S"].variables()
+        assert not (r_vars & s_vars)
+
+    def test_rejects_non_maybe_tables(self):
+        with pytest.raises(TypeError):
+            maybe_database([maybe_table("R", 1), "nope"])
+
+    def test_vector_worlds(self):
+        m1 = maybe_table("R", 1, sure=[(0,)], maybe=[(1,)])
+        m2 = maybe_table("S", 1, maybe=[(2,)])
+        db = maybe_database([m1, m2])
+        worlds = enumerate_worlds(db)
+        assert len(worlds) == 4  # independent subsets: 2 x 2
+
+
+@st.composite
+def _maybe_tables(draw):
+    arity = draw(st.integers(1, 2))
+    values = st.one_of(
+        st.integers(0, 3),
+        st.sampled_from(["?x", "?y"]),
+    )
+    n_sure = draw(st.integers(0, 2))
+    n_maybe = draw(st.integers(0, 2))
+    sure = [tuple(draw(values) for _ in range(arity)) for _ in range(n_sure)]
+    maybe = [tuple(draw(values) for _ in range(arity)) for _ in range(n_maybe)]
+    return maybe_table("R", arity, sure=sure, maybe=maybe)
+
+
+class TestEncodingProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(_maybe_tables())
+    def test_guard_encoding_preserves_rep(self, m):
+        db = TableDatabase.single(m.to_ctable())
+        assert canon(enumerate_worlds(db), m) == canon(m.worlds(), m)

@@ -1,0 +1,206 @@
+"""Tests for the membership problem (Theorem 3.1)."""
+
+import random
+
+import pytest
+
+from conftest import oracle_member
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.membership import (
+    is_member,
+    membership_codd,
+    membership_search,
+    membership_ucq_view,
+    membership_view,
+)
+from repro.core.tables import CTable, TableDatabase, c_table, codd_table, e_table, i_table
+from repro.core.terms import Variable
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance, Relation
+from repro.workloads import random_table, random_valuation, random_world
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestFig3Example:
+    """The worked example of Figure 3 (Theorem 3.1(1))."""
+
+    def _table(self):
+        return codd_table(
+            "T",
+            3,
+            [
+                ("?x1", 1, "?x2"),
+                ("?x3", 2, 3),
+                (1, "?x4", "?x5"),
+                (1, 2, 3),
+                (1, 2, "?x6"),
+            ],
+        )
+
+    def test_fig3_instance_is_member(self):
+        instance = Instance({"T": [(1, 1, 2), (3, 2, 3), (1, 4, 5), (1, 2, 3)]})
+        assert membership_codd(instance, TableDatabase.single(self._table()))
+
+    def test_fig3_dropping_a_fact_fails(self):
+        # Row (1, 2, 3) of T must map somewhere; removing facts breaks the
+        # saturating matching or row coverage.
+        instance = Instance({"T": [(1, 1, 2), (3, 2, 3)]})
+        assert not membership_codd(instance, TableDatabase.single(self._table()))
+
+
+class TestMatchingAlgorithm:
+    def test_every_row_must_unify_step_c(self):
+        table = codd_table("T", 2, [(1, x), (2, y)])
+        instance = Instance({"T": [(1, 5)]})
+        # Row (2, y) cannot map into the instance.
+        assert not membership_codd(instance, TableDatabase.single(table))
+
+    def test_more_facts_than_rows_fails(self):
+        table = codd_table("T", 1, [(x,)])
+        instance = Instance({"T": [(1,), (2,)]})
+        assert not membership_codd(instance, TableDatabase.single(table))
+
+    def test_two_rows_one_fact(self):
+        table = codd_table("T", 1, [(x,), (y,)])
+        assert membership_codd(
+            Instance({"T": [(7,)]}), TableDatabase.single(table)
+        )
+
+    def test_empty_instance_vs_rows(self):
+        table = codd_table("T", 1, [(x,)])
+        inst = Instance({"T": Relation(1)})
+        assert not membership_codd(inst, TableDatabase.single(table))
+        empty_table = codd_table("T", 1, [])
+        assert membership_codd(inst, TableDatabase.single(empty_table))
+
+    def test_requires_codd(self):
+        table = e_table("T", 2, [(x, x)])
+        with pytest.raises(ValueError):
+            membership_codd(Instance({"T": [(1, 1)]}), TableDatabase.single(table))
+
+    def test_matching_agrees_with_search_and_oracle(self, rng):
+        for _ in range(25):
+            table = random_table(rng, "codd", rows=3, arity=2, num_constants=3)
+            db = TableDatabase.single(table)
+            candidate = (
+                random_world(rng, db)
+                if rng.random() < 0.7
+                else Instance({"T": random_world(rng, db)["R"]})
+            )
+            if set(candidate.names()) != set(db.names()):
+                candidate = random_world(rng, db)
+            expected = oracle_member(candidate, db)
+            assert membership_codd(candidate, db) == expected
+            assert membership_search(candidate, db) == expected
+
+
+class TestSearchOnConditionedTables:
+    def test_etable_repeated_variable_consistency(self):
+        table = e_table("T", 2, [(x, 1), (2, x)])
+        db = TableDatabase.single(table)
+        assert is_member(Instance({"T": [(5, 1), (2, 5)]}), db)
+        assert not is_member(Instance({"T": [(5, 1), (2, 6)]}), db)
+
+    def test_itable_inequality_enforced(self):
+        table = i_table("T", 1, [(x,), (y,)], "x != y")
+        db = TableDatabase.single(table)
+        assert not is_member(Instance({"T": [(3,)]}), db)
+        assert is_member(Instance({"T": [(3,), (4,)]}), db)
+
+    def test_gtable_mixed(self):
+        table = CTable("T", 2, [(x, y)], Conjunction([Eq(x, 1), Neq(y, 2)]))
+        db = TableDatabase.single(table)
+        assert is_member(Instance({"T": [(1, 3)]}), db)
+        assert not is_member(Instance({"T": [(1, 2)]}), db)
+        assert not is_member(Instance({"T": [(2, 3)]}), db)
+
+    def test_ctable_row_suppression(self):
+        table = c_table("T", 1, [((1,),), ((2,), "x = 0")])
+        db = TableDatabase.single(table)
+        assert is_member(Instance({"T": [(1,)]}), db)  # drop row 2 (x != 0)
+        assert is_member(Instance({"T": [(1,), (2,)]}), db)
+
+    def test_unconditioned_row_cannot_be_dropped(self):
+        table = c_table("T", 1, [((1,),), ((2,),)])
+        db = TableDatabase.single(table)
+        assert not is_member(Instance({"T": [(1,)]}), db)
+
+    def test_condition_variable_not_in_matrix(self):
+        # Local conditions may use variables outside the table.
+        table = c_table("T", 1, [((1,), "u = 0"), ((2,), "u != 0")])
+        db = TableDatabase.single(table)
+        # u = 0 gives {1}; u != 0 gives {2}; never both.
+        assert is_member(Instance({"T": [(1,)]}), db)
+        assert is_member(Instance({"T": [(2,)]}), db)
+        assert not is_member(Instance({"T": [(1,), (2,)]}), db)
+
+    def test_unsatisfiable_global_rejects_all(self):
+        table = CTable("T", 1, [(1,)], Conjunction([Eq(x, 1), Neq(x, 1)]))
+        assert not is_member(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_relation_name_mismatch(self):
+        table = codd_table("T", 1, [(1,)])
+        assert not is_member(
+            Instance({"S": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_search_agrees_with_oracle_random(self, rng):
+        for kind in ("e", "i", "g", "c"):
+            for _ in range(12):
+                table = random_table(rng, kind, rows=3, num_constants=3)
+                db = TableDatabase.single(table)
+                candidate = random_world(rng, db)
+                assert is_member(candidate, db) == oracle_member(candidate, db)
+
+    def test_search_rejects_non_members_random(self, rng):
+        for _ in range(15):
+            table = random_table(rng, "g", rows=3, num_constants=3)
+            db = TableDatabase.single(table)
+            world = random_world(rng, db)
+            # Perturb: add an alien fact.
+            alien = Instance(
+                {"R": Relation(world["R"].arity, list(world["R"].facts) + [(9, 9)[: world["R"].arity]])}
+            )
+            assert is_member(alien, db) == oracle_member(alien, db)
+
+
+class TestViewMembership:
+    def _setup(self):
+        table = CTable("R", 2, [(1, x), (2, y)])
+        q = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+        return TableDatabase.single(table), q
+
+    def test_ucq_view_member(self):
+        db, q = self._setup()
+        assert is_member(Instance({"Q": [(1,), (2,)]}), db, q)
+        assert not is_member(Instance({"Q": [(1,)]}), db, q)
+
+    def test_ucq_view_agrees_with_enumeration(self):
+        db, q = self._setup()
+        for candidate in (
+            Instance({"Q": [(1,), (2,)]}),
+            Instance({"Q": [(1,)]}),
+            Instance({"Q": [(3,)]}),
+        ):
+            assert membership_ucq_view(candidate, db, q) == membership_view(
+                candidate, db, q
+            )
+
+    def test_projection_view_collapses(self):
+        table = CTable("R", 2, [(x, 1), (y, 2)])
+        q = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+        db = TableDatabase.single(table)
+        # x = y makes a single answer possible.
+        assert is_member(Instance({"Q": [(5,)]}), db, q)
+
+    def test_forced_methods(self):
+        db, q = self._setup()
+        inst = Instance({"Q": [(1,), (2,)]})
+        assert is_member(inst, db, q, method="enumerate")
+        with pytest.raises(ValueError):
+            is_member(inst, db, q, method="matching")
+        with pytest.raises(ValueError):
+            is_member(inst, db, q, method="bogus")

@@ -1,0 +1,219 @@
+"""Tests for repro.modal: modal views and programs (Section 6 extension)."""
+
+import pytest
+
+from repro import (
+    Instance,
+    TableDatabase,
+    UCQQuery,
+    atom,
+    c_table,
+    codd_table,
+    cq,
+    e_table,
+    g_table,
+)
+from repro.core.answers import (
+    certain_answers_enumerate,
+    possible_answers_enumerate,
+)
+from repro.modal import (
+    CERTAIN,
+    ModalProgram,
+    ModalView,
+    POSSIBLE,
+    certainly,
+    modal_complexity,
+    possibly,
+)
+from repro.queries.firstorder import FOQuery
+
+
+def values(relation):
+    """Facts as plain Python value tuples, for readable assertions."""
+    return {tuple(c.value for c in fact) for fact in relation}
+
+
+def patients_db() -> TableDatabase:
+    """Patients with a null-valued ward: ward is 'icu' or unknown."""
+    return TableDatabase.single(
+        c_table(
+            "Adm",
+            2,
+            [
+                (("ann", "icu"),),
+                (("bob", "?w"),),
+                (("eve", "?v"), 'v != "icu"'),
+            ],
+        )
+    )
+
+
+from repro.core.terms import Constant
+
+_Q_WARD = UCQQuery([cq(atom("InIcu", "P"), atom("Adm", "P", Constant("icu")))])
+
+
+class TestModalView:
+    def test_certain_identity_view(self):
+        view = ModalView("Adm", CERTAIN)
+        out = view.answer_set(patients_db())
+        assert ("ann", "icu") in out["Adm"]
+        # bob's ward is unknown: not certain with any value.
+        assert all(fact[0] != "bob" for fact in out["Adm"])
+
+    def test_possible_identity_view(self):
+        view = ModalView("Adm", POSSIBLE)
+        out = view.answer_set(patients_db())
+        assert ("ann", "icu") in out["Adm"]
+        assert ("bob", "icu") in out["Adm"]  # some world puts bob in icu
+        assert ("eve", "icu") not in out["Adm"]  # condition forbids it
+
+    def test_certain_ucq_view(self):
+        view = ModalView("InIcu", CERTAIN, _Q_WARD)
+        out = view.answer_set(patients_db())
+        assert values(out["InIcu"]) == {("ann",)}
+
+    def test_possible_ucq_view(self):
+        view = ModalView("InIcu", POSSIBLE, _Q_WARD)
+        out = view.answer_set(patients_db())
+        assert values(out["InIcu"]) == {("ann",), ("bob",)}
+
+    def test_bad_modality_rejected(self):
+        with pytest.raises(ValueError, match="modality"):
+            ModalView("X", "perhaps")
+
+    def test_immutable(self):
+        view = ModalView("X", POSSIBLE)
+        with pytest.raises(AttributeError):
+            view.name = "Y"
+
+    def test_fo_view_falls_back_to_enumeration(self):
+        # A first-order inner query is handled by world enumeration.
+        q = FOQuery.difference("Adm", "Banned", 1, name="diff")
+        db = TableDatabase(
+            [
+                codd_table("Adm", 1, [("?x",), ("a",)]),
+                codd_table("Banned", 1, [("b",)]),
+            ]
+        )
+        view = ModalView("diff", CERTAIN, q)
+        expected = certain_answers_enumerate(db, q)
+        got = view.answer_set(db)
+        assert set(got[got.names()[0]]) == set(expected[expected.names()[0]])
+
+
+class TestModalProgram:
+    def test_collapse_two_views(self):
+        program = ModalProgram(
+            [
+                ModalView("Sure", CERTAIN, _Q_WARD),
+                ModalView("Maybe", POSSIBLE, _Q_WARD),
+            ]
+        )
+        out = program.collapse(patients_db())
+        assert values(out["Sure"]) == {("ann",)}
+        assert values(out["Maybe"]) == {("ann",), ("bob",)}
+
+    def test_outer_query_over_views(self):
+        # "Patients possibly-but-not-certainly in the ICU": needs negation,
+        # which is fine in the outer phase (complete inputs).
+        outer = FOQuery.difference("Maybe", "Sure", 1, name="Unsettled")
+        program = ModalProgram(
+            [
+                ModalView("Sure", CERTAIN, _Q_WARD),
+                ModalView("Maybe", POSSIBLE, _Q_WARD),
+            ],
+            outer=outer,
+        )
+        out = program.evaluate(patients_db())
+        (name,) = out.names()
+        assert values(out[name]) == {("bob",)}
+
+    def test_views_match_enumeration_ground_truth(self):
+        db = patients_db()
+        program = ModalProgram(
+            [
+                ModalView("Sure", CERTAIN, _Q_WARD),
+                ModalView("Maybe", POSSIBLE, _Q_WARD),
+            ]
+        )
+        out = program.collapse(db)
+        truth_cert = certain_answers_enumerate(db, _Q_WARD)
+        truth_poss = possible_answers_enumerate(db, _Q_WARD)
+        assert set(out["Sure"]) == set(truth_cert["InIcu"])
+        # Enumerated possible answers are per-world facts; the direct
+        # algorithm restricts to the same active domain here.
+        assert set(out["Maybe"]) == set(truth_poss["InIcu"])
+
+    def test_no_views_rejected(self):
+        with pytest.raises(ValueError, match="at least one view"):
+            ModalProgram([])
+
+    def test_duplicate_view_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ModalProgram([possibly(name="X"), certainly(name="X")])
+
+    def test_multi_output_inner_query_needs_matching_name(self):
+        q = UCQQuery(
+            [
+                cq(atom("A", "X"), atom("Adm", "X", "Y")),
+                cq(atom("B", "Y"), atom("Adm", "X", "Y")),
+            ]
+        )
+        program = ModalProgram([ModalView("C", POSSIBLE, q)])
+        with pytest.raises(ValueError, match="one view per output"):
+            program.collapse(patients_db())
+
+    def test_multi_output_inner_query_matching_name_ok(self):
+        q = UCQQuery(
+            [
+                cq(atom("A", "X"), atom("Adm", "X", "Y")),
+                cq(atom("B", "Y"), atom("Adm", "X", "Y")),
+            ]
+        )
+        program = ModalProgram([ModalView("A", POSSIBLE, q)])
+        out = program.collapse(patients_db())
+        assert ("ann",) in out["A"]
+
+    def test_output_schema(self):
+        program = ModalProgram([ModalView("Sure", CERTAIN, _Q_WARD)])
+        schema = program.output_schema(patients_db())
+        assert schema.arity("Sure") == 1
+
+    def test_shorthands(self):
+        assert possibly(_Q_WARD).modality == POSSIBLE
+        assert certainly(_Q_WARD).modality == CERTAIN
+        assert possibly().query is None
+
+
+class TestModalComplexity:
+    def test_ucq_views_on_gtable_all_ptime(self):
+        db = TableDatabase.single(
+            g_table("Adm", 2, [("?x", "?x"), ("a", "?y")], "y != b")
+        )
+        program = ModalProgram(
+            [ModalView("P", POSSIBLE, _Q_WARD), ModalView("C", CERTAIN, _Q_WARD)]
+        )
+        regimes = modal_complexity(program, db)
+        assert regimes == {"P": "ptime", "C": "ptime"}
+
+    def test_certain_on_ctable_is_conp(self):
+        program = ModalProgram([ModalView("C", CERTAIN, _Q_WARD)])
+        regimes = modal_complexity(program, patients_db())
+        assert regimes["C"] == "conp-per-fact"
+
+    def test_possible_on_ctable_still_ptime_for_ucq(self):
+        # Theorem 5.2(1): bounded possibility for pos. exist. q on c-tables.
+        program = ModalProgram([ModalView("P", POSSIBLE, _Q_WARD)])
+        regimes = modal_complexity(program, patients_db())
+        assert regimes["P"] == "ptime"
+
+    def test_fo_inner_query_is_hard_both_ways(self):
+        q = FOQuery.difference("Adm", "Adm", 1, name="d")
+        db = TableDatabase.single(codd_table("Adm", 1, [("?x",)]))
+        program = ModalProgram(
+            [ModalView("P", POSSIBLE, q), ModalView("C", CERTAIN, q)]
+        )
+        regimes = modal_complexity(program, db)
+        assert regimes == {"P": "np-per-fact", "C": "conp-per-fact"}

@@ -1,0 +1,128 @@
+"""Tests for table normalisation (equality incorporation, simplification)."""
+
+import pytest
+
+from repro.core.conditions import BOOL_TRUE, Conjunction, Eq, Neq, TRUE
+from repro.core.normalize import (
+    UnsatisfiableTable,
+    normalize_database,
+    normalize_table,
+    simplify_local_conditions,
+)
+from repro.core.tables import CTable, Row, TableDatabase, c_table, g_table
+from repro.core.terms import Constant, Variable
+from repro.core.worlds import enumerate_worlds
+from repro.workloads import random_table
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestNormalizeTable:
+    def test_equalities_incorporated(self):
+        table = g_table("T", 2, [(x, y)], Conjunction([Eq(x, 1), Eq(y, z)]))
+        out = normalize_table(table)
+        assert out.rows[0].terms[0] == Constant(1)
+        # y and z merged to one representative.
+        assert isinstance(out.rows[0].terms[1], Variable)
+        assert out.global_condition == TRUE
+
+    def test_residual_inequalities_kept(self):
+        table = g_table("T", 1, [(x,)], Conjunction([Eq(x, y), Neq(y, 1)]))
+        out = normalize_table(table)
+        assert out.global_condition.inequalities()
+        assert not out.global_condition.equalities()
+
+    def test_unsatisfiable_raises(self):
+        table = g_table("T", 1, [(x,)], Conjunction([Eq(x, 1), Eq(x, 2)]))
+        with pytest.raises(UnsatisfiableTable):
+            normalize_table(table)
+
+    def test_trivial_table_unchanged(self):
+        table = CTable("T", 1, [(x,)])
+        assert normalize_table(table) is table
+
+    def test_rep_preserved(self, rng):
+        from repro.core.worlds import canonicalize_instance
+
+        for kind in ("g", "c"):
+            for _ in range(8):
+                table = random_table(rng, kind, rows=2, num_constants=2)
+                db = TableDatabase.single(table)
+                try:
+                    normalised = TableDatabase.single(normalize_table(table))
+                except UnsatisfiableTable:
+                    assert enumerate_worlds(db) == set()
+                    continue
+                extra = db.constants()
+                canon = lambda d: {
+                    canonicalize_instance(w, extra)
+                    for w in enumerate_worlds(d, extra_constants=extra)
+                }
+                assert canon(db) == canon(normalised)
+
+
+class TestNormalizeDatabase:
+    def test_cross_table_equalities(self):
+        a = CTable("A", 1, [(x,)], Conjunction([Eq(x, y)]))
+        b = CTable("B", 1, [(y,)], Conjunction([Eq(y, 5)]))
+        out = normalize_database(TableDatabase([a, b]))
+        assert out["A"].rows[0].terms == (Constant(5),)
+        assert out["B"].rows[0].terms == (Constant(5),)
+
+    def test_extra_condition_participates(self):
+        a = CTable("A", 1, [(x,)])
+        db = TableDatabase([a], extra_condition=Conjunction([Eq(x, 3)]))
+        out = normalize_database(db)
+        assert out["A"].rows[0].terms == (Constant(3),)
+
+    def test_unsatisfiable_raises(self):
+        a = CTable("A", 1, [(x,)], Conjunction([Eq(x, 1)]))
+        b = CTable("B", 1, [(x,)], Conjunction([Eq(x, 2)]))
+        with pytest.raises(UnsatisfiableTable):
+            normalize_database(TableDatabase([a, b]))
+
+
+class TestSimplifyLocalConditions:
+    def test_unsatisfiable_disjunct_dropped(self):
+        table = c_table("T", 1, [((1,), "u = 0, u = 1")])
+        out = simplify_local_conditions(table)
+        assert len(out.rows) == 0
+
+    def test_condition_implied_by_global_removed(self):
+        table = CTable(
+            "T",
+            1,
+            [Row((1,), Conjunction([Neq(x, 5)]))],
+            Conjunction([Eq(x, 0)]),
+        )
+        out = simplify_local_conditions(table)
+        assert out.rows[0].condition == BOOL_TRUE
+
+    def test_condition_conflicting_with_global_drops_row(self):
+        table = CTable(
+            "T",
+            1,
+            [Row((1,), Conjunction([Eq(x, 5)]))],
+            Conjunction([Eq(x, 0)]),
+        )
+        out = simplify_local_conditions(table)
+        assert len(out.rows) == 0
+
+    def test_contingent_condition_kept(self):
+        table = c_table("T", 1, [((1,), "u = 0")])
+        out = simplify_local_conditions(table)
+        assert out.rows[0].has_local_condition()
+
+    def test_rep_preserved(self, rng):
+        from repro.core.worlds import canonicalize_instance
+
+        for _ in range(8):
+            table = random_table(rng, "c", rows=3, num_constants=2)
+            db = TableDatabase.single(table)
+            simplified = TableDatabase.single(simplify_local_conditions(table))
+            extra = db.constants()
+            canon = lambda d: {
+                canonicalize_instance(w, extra)
+                for w in enumerate_worlds(d, extra_constants=extra)
+            }
+            assert canon(db) == canon(simplified)

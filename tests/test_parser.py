@@ -1,0 +1,144 @@
+"""Tests for the text front-ends (rules, Datalog, table literals)."""
+
+import pytest
+
+from repro.core.conditions import Eq, Neq
+from repro.core.terms import Constant, Variable
+from repro.relational.parser import (
+    ParseError,
+    parse_datalog,
+    parse_query,
+    parse_rules,
+    parse_table,
+)
+from repro.relational.instance import Instance, Relation
+
+
+class TestRuleParsing:
+    def test_simple_rule(self):
+        rules = parse_rules("Q(X) :- R(X, Y).")
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.head.pred == "Q"
+        assert rule.body[0].pred == "R"
+        assert rule.head.terms == (Variable("X"),)
+
+    def test_constants_lowercase_and_numbers(self):
+        rules = parse_rules("Q(alice, 3) :- R(alice, 3).")
+        head = rules[0].head
+        assert head.terms == (Constant("alice"), Constant(3))
+
+    def test_quoted_strings(self):
+        rules = parse_rules("Q(X) :- R(X, 'New York').")
+        assert Constant("New York") in rules[0].body[0].constants()
+
+    def test_negative_numbers(self):
+        rules = parse_rules("Q(X) :- R(X, -1).")
+        assert Constant(-1) in rules[0].body[0].constants()
+
+    def test_side_conditions(self):
+        rules = parse_rules("Q(X) :- R(X, Y), X != 0, Y = 2.")
+        rule = rules[0]
+        assert Neq(Variable("X"), 0) in rule.conditions
+        assert Eq(Variable("Y"), 2) in rule.conditions
+
+    def test_facts_allowed(self):
+        rules = parse_rules("Q(0).")
+        assert rules[0].body == ()
+
+    def test_multiple_rules(self):
+        rules = parse_rules(
+            """
+            Q(X) :- R(X, Y).
+            Q(Y) :- R(X, Y).  % comment
+            """
+        )
+        assert len(rules) == 2
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rules("Q(Z) :- R(X, Y).")
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rules("Q(X) :- R(X, Y)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rules("Q(X) :- @#!.")
+
+
+class TestQueryParsing:
+    def test_parsed_query_evaluates(self):
+        q = parse_query("Q(X) :- E(X, Y). Q(Y) :- E(X, Y).")
+        inst = Instance({"E": [(1, 2)]})
+        assert q(inst)["Q"] == Relation(1, [(1,), (2,)])
+
+    def test_recursion_rejected_for_ucq(self):
+        with pytest.raises(ParseError):
+            parse_query("T(X, Y) :- E(X, Y). T(X, Z) :- T(X, Y), E(Y, Z).")
+
+    def test_datalog_accepts_recursion(self):
+        q = parse_datalog(
+            "T(X, Y) :- E(X, Y). T(X, Z) :- T(X, Y), E(Y, Z).", outputs=["T"]
+        )
+        inst = Instance({"E": [(1, 2), (2, 3)]})
+        assert (1, 3) in q(inst)["T"]
+
+    def test_datalog_rejects_inequality(self):
+        with pytest.raises(ValueError):
+            parse_datalog("T(X) :- E(X, Y), X != 0.")
+
+
+class TestTableParsing:
+    def test_basic_table(self):
+        table = parse_table(
+            "T",
+            """
+            0  1  ?x
+            ?y ?z 1
+            2  0  ?v
+            """,
+        )
+        assert table.arity == 3
+        assert len(table.rows) == 3
+        assert table.classify() == "codd"
+
+    def test_local_conditions(self):
+        table = parse_table(
+            "T",
+            """
+            0 1      : z = z
+            0 ?x     : y = 0
+            ?y ?x    : x != y
+            """,
+            global_condition="x != 1, y != 2",
+        )
+        assert table.classify() == "c"
+        assert len(table.global_condition.inequalities()) == 2
+
+    def test_string_constants(self):
+        table = parse_table("T", "alice 'New York'\nbob boston")
+        values = {t.value for row in table.rows for t in row.terms}
+        assert values == {"alice", "New York", "bob", "boston"}
+
+    def test_comments_and_blank_lines(self):
+        table = parse_table("T", "1 2\n\n% full comment line\n3 4 % trailing")
+        assert len(table.rows) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_table("T", "1 2\n3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_table("T", "   \n  ")
+
+    def test_roundtrip_with_membership(self):
+        from repro.core.membership import is_member
+        from repro.core.tables import TableDatabase
+
+        table = parse_table("T", "0 ?x\n?y 1")
+        db = TableDatabase.single(table)
+        assert is_member(Instance({"T": [(0, 5), (6, 1)]}), db)
+        assert is_member(Instance({"T": [(0, 1)]}), db)

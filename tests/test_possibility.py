@@ -1,0 +1,163 @@
+"""Tests for the possibility problem (Theorems 5.1 and 5.2(1))."""
+
+import pytest
+
+from conftest import oracle_possible
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.possibility import (
+    is_possible,
+    possible_codd,
+    possible_enumerate,
+    possible_posexist,
+    possible_search,
+)
+from repro.core.tables import CTable, TableDatabase, c_table, codd_table, e_table, i_table
+from repro.core.terms import Variable
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance, Relation
+from repro.workloads import random_subinstance, random_table, random_world
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestCoddMatching:
+    """Theorem 5.1(1): POSS(*, -) in PTIME for Codd-tables."""
+
+    def test_facts_match_distinct_rows(self):
+        table = codd_table("T", 1, [("?a",), ("?b",)])
+        db = TableDatabase.single(table)
+        assert possible_codd(Instance({"T": [(1,), (2,)]}), db)
+
+    def test_too_many_facts(self):
+        table = codd_table("T", 1, [("?a",)])
+        db = TableDatabase.single(table)
+        assert not possible_codd(Instance({"T": [(1,), (2,)]}), db)
+
+    def test_constant_rows_constrain(self):
+        table = codd_table("T", 2, [(1, "?a"), (2, "?b")])
+        db = TableDatabase.single(table)
+        assert possible_codd(Instance({"T": [(1, 5)]}), db)
+        assert not possible_codd(Instance({"T": [(3, 5)]}), db)
+
+    def test_empty_request_always_possible(self):
+        table = codd_table("T", 1, [("?a",)])
+        db = TableDatabase.single(table)
+        assert possible_codd(Instance({"T": Relation(1)}), db)
+
+    def test_requires_codd(self):
+        table = e_table("T", 2, [(x, x)])
+        with pytest.raises(ValueError):
+            possible_codd(Instance({"T": [(1, 1)]}), TableDatabase.single(table))
+
+    def test_agrees_with_search_and_oracle(self, rng):
+        for _ in range(20):
+            table = random_table(rng, "codd", rows=3, arity=2, num_constants=3)
+            db = TableDatabase.single(table)
+            request = random_subinstance(rng, random_world(rng, db), keep=0.6)
+            expected = oracle_possible(request, db)
+            assert possible_codd(request, db) == expected
+            assert possible_search(request, db) == expected
+
+
+class TestSearchOnConditionedTables:
+    def test_shared_variable_conflict(self):
+        table = e_table("T", 2, [(x, 1), (x, 2)])
+        db = TableDatabase.single(table)
+        assert is_possible(Instance({"T": [(5, 1), (5, 2)]}), db)
+        assert not is_possible(Instance({"T": [(5, 1), (6, 2)]}), db)
+
+    def test_inequality_blocks(self):
+        table = i_table("T", 1, [("?a",)], "a != 1")
+        db = TableDatabase.single(table)
+        assert not is_possible(Instance({"T": [(1,)]}), db)
+        assert is_possible(Instance({"T": [(2,)]}), db)
+
+    def test_local_conditions_joint_satisfiability(self):
+        table = c_table("T", 1, [((1,), "u = 0"), ((2,), "u != 0")])
+        db = TableDatabase.single(table)
+        assert is_possible(Instance({"T": [(1,)]}), db)
+        assert is_possible(Instance({"T": [(2,)]}), db)
+        assert not is_possible(Instance({"T": [(1,), (2,)]}), db)
+
+    def test_two_facts_cannot_share_a_row(self):
+        table = c_table("T", 1, [(("?a",),), ((3,),)])
+        db = TableDatabase.single(table)
+        assert is_possible(Instance({"T": [(1,), (3,)]}), db)
+        assert not is_possible(Instance({"T": [(1,), (2,)]}), db)
+
+    def test_agrees_with_oracle(self, rng):
+        for kind in ("e", "i", "g", "c"):
+            for _ in range(10):
+                table = random_table(rng, kind, rows=3, num_constants=3)
+                db = TableDatabase.single(table)
+                request = random_subinstance(rng, random_world(rng, db), keep=0.6)
+                assert is_possible(request, db) == oracle_possible(request, db)
+
+
+class TestBoundedPossibilityViaAlgebra:
+    """Theorem 5.2(1): POSS(k, q) for positive existential q on c-tables."""
+
+    def _db(self):
+        return TableDatabase.single(
+            c_table("R", 2, [((1, "?x"),), ((2, "?y"), "y != 0")])
+        )
+
+    def test_projection_view(self):
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        assert possible_posexist(Instance({"Q": [(7,)]}), self._db(), q)
+        # (0) can only come from row 1's x.
+        assert possible_posexist(Instance({"Q": [(0,)]}), self._db(), q)
+
+    def test_join_view(self):
+        q = UCQQuery(
+            [cq(atom("Q", "A", "C"), atom("R", "A", "B"), atom("R", "C", "B"))]
+        )
+        db = self._db()
+        # x = y joins rows 1 and 2 (requires y != 0 fine).
+        assert possible_posexist(Instance({"Q": [(1, 2)]}), db, q)
+        assert not possible_posexist(Instance({"Q": [(1, 3)]}), db, q)
+
+    def test_condition_conflict_detected(self):
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        table = c_table("R", 2, [((1, "?x"), "x = 5")])
+        db = TableDatabase.single(table)
+        assert possible_posexist(Instance({"Q": [(5,)]}), db, q)
+        assert not possible_posexist(Instance({"Q": [(6,)]}), db, q)
+
+    def test_agrees_with_enumeration(self, rng):
+        q = UCQQuery([cq(atom("Q", "B"), atom("R", "A", "B"))])
+        for _ in range(10):
+            table = random_table(rng, "c", name="R", rows=3, num_constants=3)
+            db = TableDatabase.single(table)
+            world = q(random_world(rng, db))
+            request = random_subinstance(rng, world, keep=0.5)
+            assert possible_posexist(request, db, q) == possible_enumerate(
+                request, db, q
+            )
+
+    def test_ucq_with_inequality_side_condition(self):
+        # The folding accepts the pos.-exist.-with-!= fragment too.
+        q = UCQQuery(
+            [cq(atom("Q", "B"), atom("R", "A", "B"), where=[Neq(Variable("B"), 0)])]
+        )
+        assert possible_posexist(Instance({"Q": [(1,)]}), self._db(), q)
+        assert not possible_posexist(Instance({"Q": [(0,)]}), self._db(), q)
+
+
+class TestDispatch:
+    def test_auto_uses_matching_for_codd(self):
+        table = codd_table("T", 1, [("?a",)])
+        db = TableDatabase.single(table)
+        assert is_possible(Instance({"T": [(1,)]}), db)
+
+    def test_method_forcing(self):
+        table = codd_table("T", 1, [("?a",)])
+        db = TableDatabase.single(table)
+        request = Instance({"T": [(1,)]})
+        assert is_possible(request, db, method="matching")
+        assert is_possible(request, db, method="search")
+        assert is_possible(request, db, method="enumerate")
+        with pytest.raises(ValueError):
+            is_possible(request, db, method="bogus")
+        with pytest.raises(ValueError):
+            is_possible(request, db, method="algebra")  # needs a UCQ

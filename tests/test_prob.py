@@ -1,0 +1,347 @@
+"""Tests for repro.prob: probabilistic c-tables (pc-tables)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Instance,
+    TableDatabase,
+    UCQQuery,
+    atom,
+    c_table,
+    codd_table,
+    cq,
+    e_table,
+    g_table,
+    is_certain,
+    is_possible,
+)
+from repro.core.conditions import BoolCondition, Conjunction, Eq, Neq, parse_conjunction
+from repro.core.terms import Constant, Variable
+from repro.prob import (
+    Distribution,
+    PCDatabase,
+    bernoulli,
+    condition_probability,
+    event_condition,
+    uniform,
+)
+
+APPROX = dict(rel=1e-9, abs=1e-12)
+
+
+class TestDistribution:
+    def test_probability_lookup(self):
+        d = Distribution({1: 0.5, 2: 0.5})
+        assert d.probability(1) == 0.5
+        assert d.probability(3) == 0.0
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            Distribution({1: 0.5, 2: 0.4})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Distribution({1: -0.5, 2: 1.5})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Distribution({1: float("nan"), 2: 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Distribution({})
+
+    def test_zero_weights_dropped_from_support(self):
+        d = Distribution({1: 1.0, 2: 0.0})
+        assert d.support() == (Constant(1),)
+
+    def test_uniform(self):
+        d = uniform([1, 2, 3, 4])
+        assert d.probability(3) == pytest.approx(0.25)
+        assert len(d.support()) == 4
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniform([])
+
+    def test_bernoulli(self):
+        d = bernoulli(0.3)
+        assert d.probability(1) == pytest.approx(0.3)
+        assert d.probability(0) == pytest.approx(0.7)
+
+    def test_bernoulli_degenerate(self):
+        assert bernoulli(1.0).support() == (Constant(1),)
+        assert bernoulli(0.0).support() == (Constant(0),)
+
+    def test_bernoulli_out_of_range(self):
+        with pytest.raises(ValueError):
+            bernoulli(1.5)
+
+    def test_equality_and_hash(self):
+        assert uniform([1, 2]) == Distribution({1: 0.5, 2: 0.5})
+        assert hash(uniform([1, 2])) == hash(Distribution({1: 0.5, 2: 0.5}))
+
+
+class TestConditionProbability:
+    def test_single_equality(self):
+        cond = Conjunction([Eq(Variable("x"), Constant(1))])
+        dists = {Variable("x"): uniform([1, 2, 3, 4])}
+        assert condition_probability(cond, dists) == pytest.approx(0.25)
+
+    def test_inequality(self):
+        cond = Conjunction([Neq(Variable("x"), Constant(1))])
+        dists = {Variable("x"): uniform([1, 2, 3, 4])}
+        assert condition_probability(cond, dists) == pytest.approx(0.75)
+
+    def test_two_variable_equality(self):
+        cond = Conjunction([Eq(Variable("x"), Variable("y"))])
+        dists = {
+            Variable("x"): uniform([1, 2]),
+            Variable("y"): uniform([1, 2]),
+        }
+        assert condition_probability(cond, dists) == pytest.approx(0.5)
+
+    def test_independent_components_factor(self):
+        # (x = 1) & (y = 2) over disjoint variables: product law.
+        cond = parse_conjunction("x = 1, y = 2")
+        dists = {
+            Variable("x"): uniform([1, 2]),
+            Variable("y"): uniform([1, 2, 3, 4]),
+        }
+        assert condition_probability(cond, dists) == pytest.approx(0.5 * 0.25)
+
+    def test_constant_only_conditions(self):
+        true_cond = BoolCondition.from_conjunction(Conjunction())
+        assert condition_probability(true_cond, {}) == 1.0
+        false_cond = BoolCondition.from_conjunction(
+            Conjunction([Eq(Constant(0), Constant(1))])
+        )
+        assert condition_probability(false_cond, {}) == 0.0
+
+    def test_missing_distribution_raises(self):
+        cond = Conjunction([Eq(Variable("x"), Constant(1))])
+        with pytest.raises(KeyError, match="x"):
+            condition_probability(cond, {})
+
+    def test_matches_bruteforce_on_random_conditions(self):
+        rng = random.Random(3)
+        variables = [Variable(n) for n in "xyz"]
+        dists = {v: uniform([0, 1, 2]) for v in variables}
+        for _ in range(30):
+            atoms = []
+            for _ in range(rng.randint(1, 4)):
+                cls = rng.choice([Eq, Neq])
+                left = rng.choice(variables)
+                right = rng.choice(variables + [Constant(rng.randint(0, 2))])
+                atoms.append(cls(left, right))
+            cond = Conjunction(atoms)
+            # brute force over the full joint
+            import itertools
+
+            total = 0.0
+            for vals in itertools.product([0, 1, 2], repeat=3):
+                env = dict(zip(variables, map(Constant, vals)))
+                if cond.satisfied_by(lambda t: env.get(t, t)):
+                    total += (1 / 3) ** 3
+            assert condition_probability(cond, dists) == pytest.approx(total)
+
+
+class TestEventCondition:
+    def test_ground_row_is_sure(self):
+        table = codd_table("R", 1, [(0,)])
+        cond = event_condition(table, (0,))
+        assert condition_probability(cond, {}) == 1.0
+
+    def test_absent_fact_is_impossible(self):
+        table = codd_table("R", 1, [(0,)])
+        cond = event_condition(table, (1,))
+        assert condition_probability(cond, {}) == 0.0
+
+    def test_null_row_lineage(self):
+        table = codd_table("R", 1, [("?x",)])
+        cond = event_condition(table, (1,))
+        dists = {Variable("x"): uniform([0, 1])}
+        assert condition_probability(cond, dists) == pytest.approx(0.5)
+
+    def test_arity_mismatch(self):
+        table = codd_table("R", 2, [(0, 1)])
+        with pytest.raises(ValueError, match="arity"):
+            event_condition(table, (0,))
+
+    def test_multiple_rows_disjunction(self):
+        table = e_table("R", 1, [("?x",), ("?y",)])
+        cond = event_condition(table, (1,))
+        dists = {
+            Variable("x"): uniform([0, 1]),
+            Variable("y"): uniform([0, 1]),
+        }
+        # P(x = 1 or y = 1) = 1 - 1/4
+        assert condition_probability(cond, dists) == pytest.approx(0.75)
+
+
+def dice_db() -> PCDatabase:
+    """Two independent dice; the table records both rolls."""
+    db = TableDatabase.single(codd_table("Roll", 2, [("?d1", "?d2")]))
+    return PCDatabase(
+        db, {"d1": uniform(range(1, 7)), "d2": uniform(range(1, 7))}
+    )
+
+
+class TestPCDatabase:
+    def test_requires_full_coverage(self):
+        db = TableDatabase.single(codd_table("R", 1, [("?x",)]))
+        with pytest.raises(ValueError, match="x"):
+            PCDatabase(db, {})
+
+    def test_rejects_non_distribution(self):
+        db = TableDatabase.single(codd_table("R", 1, [("?x",)]))
+        with pytest.raises(TypeError):
+            PCDatabase(db, {"x": 0.5})
+
+    def test_zero_mass_global_condition_rejected(self):
+        db = TableDatabase.single(
+            g_table("R", 1, [("?x",)], "x != 0, x != 1")
+        )
+        with pytest.raises(ValueError, match="probability 0"):
+            PCDatabase(db, {"x": uniform([0, 1])})
+
+    def test_world_distribution_sums_to_one(self):
+        pc = dice_db()
+        dist = pc.world_distribution()
+        assert len(dist) == 36
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_world_probability(self):
+        pc = dice_db()
+        world = Instance({"Roll": [(3, 4)]})
+        assert pc.world_probability(world) == pytest.approx(1 / 36)
+
+    def test_fact_probability_simple(self):
+        pc = dice_db()
+        assert pc.fact_probability("Roll", (3, 4)) == pytest.approx(1 / 36)
+
+    def test_fact_probability_matches_world_distribution(self):
+        pc = dice_db()
+        dist = pc.world_distribution()
+        fact = (Constant(2), Constant(5))
+        truth = sum(p for w, p in dist.items() if fact in w["Roll"].facts)
+        assert pc.fact_probability("Roll", (2, 5)) == pytest.approx(truth)
+
+    def test_conditioning_on_global_condition(self):
+        # x uniform on 1..6, conditioned on x != 6: each surviving value has mass 1/5.
+        db = TableDatabase.single(g_table("R", 1, [("?x",)], "x != 6"))
+        pc = PCDatabase(db, {"x": uniform(range(1, 7))})
+        assert pc.global_condition_mass() == pytest.approx(5 / 6)
+        assert pc.fact_probability("R", (3,)) == pytest.approx(1 / 5)
+        assert pc.fact_probability("R", (6,)) == 0.0
+
+    def test_local_condition_probability(self):
+        # Fact present iff its local condition holds.
+        table = c_table("R", 1, [((7,), "g = 1")])
+        pc = PCDatabase(TableDatabase.single(table), {"g": bernoulli(0.3)})
+        assert pc.fact_probability("R", (7,)) == pytest.approx(0.3)
+
+    def test_query_probability_conjunction_of_facts(self):
+        pc = dice_db()
+        request = Instance({"Roll": [(3, 4)]})
+        assert pc.query_probability(request) == pytest.approx(1 / 36)
+
+    def test_query_probability_with_ucq(self):
+        # Q(d) :- Roll(d, d): probability both dice agree on a given value.
+        q = UCQQuery([cq(atom("Q", "X"), atom("Roll", "X", "X"))])
+        pc = dice_db()
+        request = Instance({"Q": [(6,)]})
+        assert pc.query_probability(request, q) == pytest.approx(1 / 36)
+
+    def test_query_probability_matches_enumeration(self):
+        q = UCQQuery([cq(atom("Q", "X"), atom("Roll", "X", "Y"))])
+        pc = dice_db()
+        dist = pc.world_distribution()
+        request = Instance({"Q": [(2,)]})
+        truth = sum(p for w, p in dist.items() if (Constant(2),) in q(w)["Q"].facts)
+        assert pc.query_probability(request, q) == pytest.approx(truth)
+
+    def test_unknown_relation_raises(self):
+        pc = dice_db()
+        with pytest.raises(KeyError):
+            pc.fact_probability("Nope", (1, 2))
+
+    def test_sample_world_respects_support(self):
+        pc = dice_db()
+        rng = random.Random(11)
+        for _ in range(20):
+            world = pc.sample_world(rng)
+            ((a, b),) = world["Roll"].facts
+            assert 1 <= a.value <= 6 and 1 <= b.value <= 6
+
+    def test_sample_world_respects_global_condition(self):
+        db = TableDatabase.single(g_table("R", 1, [("?x",)], "x != 1"))
+        pc = PCDatabase(db, {"x": uniform([1, 2])})
+        rng = random.Random(5)
+        for _ in range(20):
+            world = pc.sample_world(rng)
+            assert (Constant(1),) not in world["R"].facts
+
+
+class TestProbabilityQualitativeCoherence:
+    """P > 0 iff possible; P = 1 iff certain -- the scale's endpoints."""
+
+    def _pc(self):
+        table = c_table(
+            "R",
+            1,
+            [
+                ((0,),),
+                (("?x",), "x != 2"),
+            ],
+        )
+        db = TableDatabase.single(table)
+        return PCDatabase(db, {"x": uniform([1, 2, 3])}), db
+
+    def test_positive_probability_iff_possible(self):
+        pc, db = self._pc()
+        for value in (0, 1, 2, 3):
+            p = pc.fact_probability("R", (value,))
+            possible = is_possible(Instance({"R": [(value,)]}), db)
+            # The support is {1,2,3}: possibility over the support matches p>0.
+            if value != 2:
+                assert (p > 0) == possible
+            else:
+                # x = 2 is killed by the local condition either way.
+                assert p == 0.0
+
+    def test_probability_one_iff_certain(self):
+        pc, db = self._pc()
+        assert pc.fact_probability("R", (0,)) == pytest.approx(1.0)
+        assert is_certain(Instance({"R": [(0,)]}), db)
+        assert pc.fact_probability("R", (1,)) < 1.0
+        assert not is_certain(Instance({"R": [(1,)]}), db)
+
+
+class TestLineageProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2)), min_size=1, max_size=4
+        ),
+        st.integers(0, 2),
+        st.integers(0, 2),
+    )
+    def test_fact_probability_matches_world_distribution(self, rows, a, b):
+        # Table mixing ground rows and one null row per column.
+        table = e_table(
+            "R", 2, [tuple(r) for r in rows] + [("?x", "?y")]
+        )
+        pc = PCDatabase(
+            TableDatabase.single(table),
+            {"x": uniform([0, 1, 2]), "y": uniform([0, 1, 2])},
+        )
+        fact = (Constant(a), Constant(b))
+        dist = pc.world_distribution()
+        truth = sum(p for w, p in dist.items() if fact in w["R"].facts)
+        assert pc.fact_probability("R", (a, b)) == pytest.approx(truth)

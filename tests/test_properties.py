@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies build small random tables of every class, and the properties
+pin the library's central contracts:
+
+* every valuation's image is a member of ``rep`` — and the dedicated
+  membership algorithms agree;
+* normalisation and local-condition simplification preserve ``rep``;
+* the c-table algebra commutes with ``rep``;
+* containment is reflexive and order-consistent with the hierarchy;
+* certainty implies possibility; uniqueness implies membership;
+* conjunction satisfiability matches a brute-force finite check.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.containment import contains
+from repro.core.certainty import is_certain
+from repro.core.membership import is_member, membership_codd, membership_search
+from repro.core.normalize import (
+    UnsatisfiableTable,
+    normalize_table,
+    simplify_local_conditions,
+)
+from repro.core.possibility import is_possible
+from repro.core.tables import CTable, Row, TableDatabase
+from repro.core.terms import Constant, Variable
+from repro.core.uniqueness import is_unique
+from repro.core.valuations import Valuation
+from repro.core.worlds import enumerate_worlds
+from repro.ctalgebra import apply_ucq
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+constants = st.integers(min_value=0, max_value=2).map(Constant)
+variables = st.sampled_from([Variable(n) for n in ("x", "y", "z")])
+terms = st.one_of(constants, variables)
+
+
+@st.composite
+def conjunctions(draw, max_atoms=4):
+    atoms = []
+    for _ in range(draw(st.integers(0, max_atoms))):
+        a, b = draw(terms), draw(terms)
+        atoms.append(Eq(a, b) if draw(st.booleans()) else Neq(a, b))
+    return Conjunction(atoms)
+
+
+@st.composite
+def rows(draw, arity=2, with_conditions=True):
+    cells = tuple(draw(terms) for _ in range(arity))
+    if with_conditions and draw(st.booleans()):
+        condition = draw(conjunctions(max_atoms=2))
+        return Row(cells, condition)
+    return Row(cells)
+
+
+@st.composite
+def ctables(draw, max_rows=3, with_conditions=True, with_global=True):
+    n = draw(st.integers(1, max_rows))
+    table_rows = [draw(rows(with_conditions=with_conditions)) for _ in range(n)]
+    glob = draw(conjunctions(max_atoms=2)) if with_global else Conjunction()
+    return CTable("R", 2, table_rows, glob)
+
+
+@st.composite
+def satisfiable_ctables(draw, **kwargs):
+    table = draw(ctables(**kwargs))
+    if not table.global_condition.is_satisfiable():
+        table = table.with_global_condition(Conjunction())
+    return table
+
+
+@st.composite
+def valuations_for(draw, variables_needed):
+    mapping = {}
+    for var in sorted(variables_needed, key=lambda v: v.name):
+        mapping[var] = draw(st.integers(0, 3).map(Constant))
+    return Valuation(mapping)
+
+
+class TestMembershipProperties:
+    @SETTINGS
+    @given(data=st.data())
+    def test_valuation_image_is_member(self, data):
+        table = data.draw(satisfiable_ctables())
+        db = TableDatabase.single(table)
+        sigma = data.draw(valuations_for(db.variables()))
+        if not sigma.satisfies_global(db):
+            return
+        world = sigma.apply_database(db)
+        assert membership_search(world, db)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_codd_matching_equals_search(self, data):
+        # Codd tables: distinct single-occurrence variables.
+        n = data.draw(st.integers(1, 3))
+        cells = []
+        counter = 0
+        for _ in range(n):
+            row = []
+            for _ in range(2):
+                if data.draw(st.booleans()):
+                    row.append(Variable(f"v{counter}"))
+                    counter += 1
+                else:
+                    row.append(data.draw(constants))
+            cells.append(tuple(row))
+        table = CTable("R", 2, cells)
+        db = TableDatabase.single(table)
+        sigma = data.draw(valuations_for(db.variables()))
+        world = sigma.apply_database(db)
+        assert membership_codd(world, db) == membership_search(world, db)
+        # And a perturbed candidate agrees too.
+        ordered = sorted(
+            world["R"].facts, key=lambda f: [c.sort_key() for c in f]
+        )
+        smaller = (
+            Instance({"R": ordered[: len(ordered) - 1]})
+            if len(ordered) > 1
+            else world
+        )
+        assert membership_codd(smaller, db) == membership_search(smaller, db)
+
+
+def _canonical_worlds(db, extra):
+    """World set up to renaming of the fresh enumeration constants.
+
+    Dropping a dead row or solving an equality can remove variables, which
+    shifts the indices of the fresh constants; rep-equality is equality up
+    to a bijection fixing the genuine constants.
+    """
+    from repro.core.worlds import canonicalize_instance
+
+    return {
+        canonicalize_instance(w, extra)
+        for w in enumerate_worlds(db, extra_constants=extra)
+    }
+
+
+class TestNormalizationProperties:
+    @SETTINGS
+    @given(table=ctables())
+    def test_normalize_preserves_rep(self, table):
+        db = TableDatabase.single(table)
+        extra = db.constants()
+        try:
+            normalised = TableDatabase.single(normalize_table(table))
+        except UnsatisfiableTable:
+            assert enumerate_worlds(db, extra_constants=extra) == set()
+            return
+        assert _canonical_worlds(db, extra) == _canonical_worlds(normalised, extra)
+
+    @SETTINGS
+    @given(table=ctables())
+    def test_simplify_preserves_rep(self, table):
+        db = TableDatabase.single(table)
+        extra = db.constants()
+        simplified = TableDatabase.single(simplify_local_conditions(table))
+        assert _canonical_worlds(db, extra) == _canonical_worlds(simplified, extra)
+
+
+class TestAlgebraProperties:
+    @SETTINGS
+    @given(table=satisfiable_ctables(max_rows=2))
+    def test_ucq_folding_commutes(self, table):
+        from repro.core.worlds import canonicalize_instance
+
+        db = TableDatabase.single(table)
+        query = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+        extra = sorted(db.constants() | query.constants(), key=Constant.sort_key)
+        folded = apply_ucq(query, db)
+        lhs = {
+            canonicalize_instance(w, extra)
+            for w in enumerate_worlds(folded, extra_constants=extra)
+        }
+        rhs = {
+            canonicalize_instance(query(w), extra)
+            for w in enumerate_worlds(db, extra_constants=extra)
+        }
+        assert lhs == rhs
+
+
+class TestProblemRelationships:
+    @SETTINGS
+    @given(table=satisfiable_ctables())
+    def test_containment_reflexive(self, table):
+        db = TableDatabase.single(table)
+        assert contains(db, db)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_certain_implies_possible(self, data):
+        table = data.draw(satisfiable_ctables())
+        db = TableDatabase.single(table)
+        sigma = data.draw(valuations_for(db.variables()))
+        if not sigma.satisfies_global(db):
+            return
+        world = sigma.apply_database(db)
+        facts = Instance({"R": list(world["R"].facts)[:1]}) if world["R"].facts else None
+        if facts is None:
+            return
+        if is_certain(facts, db):
+            assert is_possible(facts, db)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_unique_implies_member(self, data):
+        table = data.draw(satisfiable_ctables())
+        db = TableDatabase.single(table)
+        sigma = data.draw(valuations_for(db.variables()))
+        if not sigma.satisfies_global(db):
+            return
+        world = sigma.apply_database(db)
+        if is_unique(world, db):
+            assert is_member(world, db)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_member_implies_possible_subset(self, data):
+        table = data.draw(satisfiable_ctables())
+        db = TableDatabase.single(table)
+        sigma = data.draw(valuations_for(db.variables()))
+        if not sigma.satisfies_global(db):
+            return
+        world = sigma.apply_database(db)
+        assert is_possible(world, db)
+
+
+class TestConditionProperties:
+    @SETTINGS
+    @given(conj=conjunctions())
+    def test_satisfiability_matches_bruteforce(self, conj):
+        got = conj.is_satisfiable()
+        pool = [Constant(i) for i in range(6)]  # enough spare values
+        vs = sorted(conj.variables(), key=lambda v: v.name)
+        brute = False
+        import itertools
+
+        for values in itertools.product(pool, repeat=len(vs)):
+            table = dict(zip(vs, values))
+            if conj.satisfied_by(lambda t: table.get(t, t)):
+                brute = True
+                break
+        assert got == brute
+
+    @SETTINGS
+    @given(conj=conjunctions())
+    def test_solve_witness_satisfies(self, conj):
+        solved = conj.solve()
+        if solved is None:
+            assert not conj.is_satisfiable()
+            return
+        from repro.core.search import witness_valuation
+
+        sigma = witness_valuation(conj, variables=conj.variables())
+        assert conj.satisfied_by(sigma)
+
+    @SETTINGS
+    @given(a=conjunctions(), b=conjunctions())
+    def test_implication_transitivity_with_conjunction(self, a, b):
+        merged = a.and_also(b)
+        if merged.is_satisfiable():
+            assert merged.implies(a) and merged.implies(b)

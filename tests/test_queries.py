@@ -1,0 +1,287 @@
+"""Unit tests for the query languages: UCQ, first order, Datalog."""
+
+import pytest
+
+from repro.core.conditions import Eq, Neq
+from repro.core.terms import Constant, Variable
+from repro.queries import (
+    And,
+    Compare,
+    DatalogQuery,
+    Exists,
+    FOQuery,
+    Forall,
+    IDENTITY,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    Rule,
+    UCQQuery,
+    atom,
+    cq,
+    naive_fixpoint,
+    seminaive_fixpoint,
+)
+from repro.relational import Instance, Relation
+
+
+def _graph_instance():
+    return Instance({"E": [(1, 2), (2, 3), (3, 4)], "V": [(1,), (2,), (3,), (4,)]})
+
+
+class TestIdentity:
+    def test_identity_is_identity(self):
+        inst = _graph_instance()
+        assert IDENTITY(inst) == inst
+
+    def test_identity_flags(self):
+        assert IDENTITY.is_positive_existential()
+        assert IDENTITY.constants() == set()
+
+
+class TestRules:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            cq(atom("Q", "X", "Y"), atom("E", "X", "Z"))
+
+    def test_unsafe_condition_rejected(self):
+        with pytest.raises(ValueError):
+            cq(atom("Q", "X"), atom("V", "X"), where=[Neq(Variable("W"), 1)])
+
+    def test_constants_allowed_in_head(self):
+        rule = cq(atom("Q", 0, "X"), atom("V", "X"))
+        assert Constant(0) in rule.constants()
+
+    def test_conjunctive_join(self):
+        # Two-step paths.
+        q = UCQQuery([cq(atom("P", "X", "Z"), atom("E", "X", "Y"), atom("E", "Y", "Z"))])
+        out = q(_graph_instance())
+        assert out["P"] == Relation(2, [(1, 3), (2, 4)])
+
+    def test_union_of_rules(self):
+        q = UCQQuery(
+            [
+                cq(atom("Q", "X"), atom("E", "X", "Y")),
+                cq(atom("Q", "Y"), atom("E", "X", "Y")),
+            ]
+        )
+        assert q(_graph_instance())["Q"] == Relation(1, [(1,), (2,), (3,), (4,)])
+
+    def test_constant_in_body_filters(self):
+        q = UCQQuery([cq(atom("Q", "Y"), atom("E", 1, "Y"))])
+        assert q(_graph_instance())["Q"] == Relation(1, [(2,)])
+
+    def test_repeated_variable_join_within_atom(self):
+        inst = Instance({"E": [(1, 1), (1, 2)]})
+        q = UCQQuery([cq(atom("Q", "X"), atom("E", "X", "X"))])
+        assert q(inst)["Q"] == Relation(1, [(1,)])
+
+    def test_inequality_side_condition(self):
+        q = UCQQuery(
+            [
+                cq(
+                    atom("Q", "X", "Y"),
+                    atom("E", "X", "Y"),
+                    where=[Neq(Variable("X"), 2)],
+                )
+            ]
+        )
+        assert q(_graph_instance())["Q"] == Relation(2, [(1, 2), (3, 4)])
+        assert not q.is_positive_existential()
+
+    def test_equality_side_condition(self):
+        q = UCQQuery(
+            [
+                cq(
+                    atom("Q", "X"),
+                    atom("E", "X", "Y"),
+                    where=[Eq(Variable("Y"), 2)],
+                )
+            ]
+        )
+        assert q(_graph_instance())["Q"] == Relation(1, [(1,)])
+        assert q.is_positive_existential()
+
+    def test_multi_output_query(self):
+        q = UCQQuery(
+            [
+                cq(atom("A", "X"), atom("V", "X")),
+                cq(atom("B", "X", "Y"), atom("E", "X", "Y")),
+            ]
+        )
+        out = q(_graph_instance())
+        assert set(out.names()) == {"A", "B"}
+
+    def test_inconsistent_head_arity_rejected(self):
+        with pytest.raises(ValueError):
+            UCQQuery(
+                [
+                    cq(atom("Q", "X"), atom("V", "X")),
+                    cq(atom("Q", "X", "X"), atom("V", "X")),
+                ]
+            )
+
+    def test_missing_relation_matches_nothing(self):
+        q = UCQQuery([cq(atom("Q", "X"), atom("Nope", "X"))])
+        out = q(_graph_instance())
+        assert len(out["Q"]) == 0
+
+    def test_rename_apart(self):
+        rule = cq(atom("Q", "X"), atom("V", "X"))
+        renamed = rule.rename_apart({"X"})
+        assert renamed.head.terms[0] != Variable("X")
+        assert renamed.body[0].terms == renamed.head.terms
+
+
+class TestFirstOrder:
+    def test_existential(self):
+        q = FOQuery({"Q": (("X",), Exists(("Y",), Rel("E", "X", "Y")))})
+        assert q(_graph_instance())["Q"] == Relation(1, [(1,), (2,), (3,)])
+
+    def test_negation(self):
+        # Nodes with no outgoing edge.
+        q = FOQuery(
+            {
+                "Q": (
+                    ("X",),
+                    And([Rel("V", "X"), Not(Exists(("Y",), Rel("E", "X", "Y")))]),
+                )
+            }
+        )
+        assert q(_graph_instance())["Q"] == Relation(1, [(4,)])
+
+    def test_forall(self):
+        # Nodes all of whose successors are > 2 ... encoded via Compare.
+        formula = And(
+            [
+                Rel("V", "X"),
+                Forall(
+                    ("Y",),
+                    Implies(
+                        Rel("E", "X", "Y"),
+                        Not(Or([Compare(Eq(Variable("Y"), 1)), Compare(Eq(Variable("Y"), 2))])),
+                    ),
+                ),
+            ]
+        )
+        q = FOQuery({"Q": (("X",), formula)})
+        # 1 -> 2 violates; others fine (2->3, 3->4, 4 has no successor).
+        assert q(_graph_instance())["Q"] == Relation(1, [(2,), (3,), (4,)])
+
+    def test_constant_head(self):
+        q = FOQuery({"Q": ((1,), Exists(("X", "Y"), Rel("E", "X", "Y")))})
+        assert q(_graph_instance())["Q"] == Relation(1, [(1,)])
+        empty = Instance({"E": Relation(2), "V": [(1,)]})
+        assert len(q(empty)["Q"]) == 0
+
+    def test_head_var_must_be_free(self):
+        with pytest.raises(ValueError):
+            FOQuery({"Q": (("Z",), Rel("E", "X", "Y"))})
+
+    def test_nnf_involution_on_compare(self):
+        f = Not(Not(Compare(Eq(Variable("X"), 1))))
+        assert isinstance(f.nnf(), Compare)
+
+    def test_forall_exists_interchange(self):
+        inst = Instance({"E": [(1, 2), (2, 1)]})
+        # forall X exists Y: E(X, Y) over active domain {1,2}: true.
+        q = FOQuery(
+            {"Q": ((1,), Forall(("X",), Exists(("Y",), Or([Rel("E", "X", "Y"), Not(Exists(("Z",), Rel("E", "X", "Z")))]))))}
+        )
+        assert len(q(inst)["Q"]) == 1
+
+    def test_compare_only_query_falls_back_to_domain(self):
+        inst = Instance({"V": [(1,), (2,)]})
+        q = FOQuery(
+            {"Q": ((1,), Exists(("X",), And([Compare(Neq(Variable("X"), 1))])))}
+        )
+        # Some domain element differs from 1.
+        assert len(q(inst)["Q"]) == 1
+
+
+class TestDatalog:
+    def _tc_program(self):
+        return [
+            cq(atom("T", "X", "Y"), atom("E", "X", "Y")),
+            cq(atom("T", "X", "Z"), atom("T", "X", "Y"), atom("E", "Y", "Z")),
+        ]
+
+    def test_transitive_closure(self):
+        q = DatalogQuery(self._tc_program(), outputs=["T"])
+        out = q(_graph_instance())
+        assert (1, 4) in out["T"]
+        assert (4, 1) not in out["T"]
+        assert len(out["T"]) == 6
+
+    def test_naive_equals_seminaive(self):
+        inst = _graph_instance()
+        naive = naive_fixpoint(self._tc_program(), inst)
+        semi = seminaive_fixpoint(self._tc_program(), inst)
+        assert naive["T"] == semi["T"]
+
+    def test_cycle_terminates(self):
+        inst = Instance({"E": [(1, 2), (2, 1)]})
+        q = DatalogQuery(self._tc_program(), outputs=["T"])
+        assert len(q(inst)["T"]) == 4
+
+    def test_pure_datalog_rejects_inequality(self):
+        rule = cq(
+            atom("Q", "X"), atom("E", "X", "Y"), where=[Neq(Variable("X"), 1)]
+        )
+        with pytest.raises(ValueError):
+            DatalogQuery([rule])
+
+    def test_equality_condition_allowed(self):
+        rule = cq(
+            atom("Q", "X"), atom("E", "X", "Y"), where=[Eq(Variable("Y"), 2)]
+        )
+        q = DatalogQuery([rule])
+        assert q(_graph_instance())["Q"] == Relation(1, [(1,)])
+
+    def test_outputs_must_be_idb(self):
+        with pytest.raises(ValueError):
+            DatalogQuery(self._tc_program(), outputs=["E"])
+
+    def test_not_positive_existential(self):
+        q = DatalogQuery(self._tc_program())
+        assert not q.is_positive_existential()
+
+    def test_engine_choice(self):
+        naive_q = DatalogQuery(self._tc_program(), outputs=["T"], engine="naive")
+        semi_q = DatalogQuery(self._tc_program(), outputs=["T"], engine="seminaive")
+        inst = _graph_instance()
+        assert naive_q(inst) == semi_q(inst)
+
+
+class TestFOQueryDifference:
+    """The FOQuery.difference convenience constructor."""
+
+    def test_basic_difference(self):
+        q = FOQuery.difference("A", "B", 1)
+        inst = Instance({"A": [(1,), (2,), (3,)], "B": [(2,)]})
+        (name,) = q(inst).names()
+        assert q(inst)[name] == Relation(1, [(1,), (3,)])
+
+    def test_arity_two(self):
+        q = FOQuery.difference("A", "B", 2)
+        inst = Instance({"A": [(1, 2), (3, 4)], "B": [(1, 2)]})
+        (name,) = q(inst).names()
+        assert q(inst)[name] == Relation(2, [(3, 4)])
+
+    def test_default_output_name(self):
+        q = FOQuery.difference("A", "B", 1)
+        assert "A_minus_B" in q.outputs
+
+    def test_custom_name(self):
+        q = FOQuery.difference("A", "B", 1, name="D")
+        assert list(q.outputs) == ["D"]
+
+    def test_empty_right_is_identity(self):
+        q = FOQuery.difference("A", "B", 1)
+        inst = Instance({"A": [(1,)], "B": Relation(1)})
+        (name,) = q(inst).names()
+        assert q(inst)[name] == Relation(1, [(1,)])
+
+    def test_not_positive_existential(self):
+        assert not FOQuery.difference("A", "B", 1).is_positive_existential()

@@ -1,0 +1,137 @@
+"""Machine checks of the Theorem 4.2 containment reductions."""
+
+import pytest
+
+from repro.solvers import (
+    CNF,
+    DNF,
+    ForallExistsCNF,
+    forall_exists_holds,
+    is_tautology_dnf,
+    random_dnf,
+    random_forall_exists,
+)
+from repro.reductions import (
+    ctable_containment,
+    decide_forall_exists_via_ctable,
+    decide_forall_exists_via_etable,
+    decide_forall_exists_via_itable,
+    decide_forall_exists_via_view,
+    decide_tautology_via_containment,
+    etable_containment,
+    itable_containment,
+    tautology_containment,
+    view_containment,
+)
+
+#: Small structured forall-exists instances with known answers.
+FE_TRUE = ForallExistsCNF(CNF([(1, 2), (-1, -2)], num_variables=2), universal=(1,))
+FE_FALSE = ForallExistsCNF(CNF([(1,)], num_variables=1), universal=(1,))
+FE_NO_UNIVERSAL = ForallExistsCNF(CNF([(1, 2)], num_variables=2), universal=())
+FE_TWO_CLAUSES = ForallExistsCNF(
+    CNF([(1, 2, 2), (-1, 2, 2)], num_variables=2), universal=(1,)
+)
+
+
+class TestITableContainment:
+    """Theorem 4.2(1), Figure 7: table contained in i-table."""
+
+    def test_positive_instance(self):
+        assert decide_forall_exists_via_itable(FE_TRUE)
+
+    def test_negative_instance(self):
+        assert not decide_forall_exists_via_itable(FE_FALSE)
+
+    def test_existential_only(self):
+        assert decide_forall_exists_via_itable(FE_NO_UNIVERSAL)
+
+    def test_shared_existential(self):
+        assert decide_forall_exists_via_itable(FE_TWO_CLAUSES)
+
+    def test_construction_classification(self):
+        reduction = itable_containment(FE_TRUE)
+        assert reduction.db0["T"].classify() == "codd"
+        assert reduction.db["T"].classify() == "i"
+
+    def test_random(self, rng):
+        for _ in range(3):
+            fe = random_forall_exists(1, 1, rng.randint(1, 2), rng)
+            assert decide_forall_exists_via_itable(fe) == forall_exists_holds(fe)
+
+
+class TestViewContainment:
+    """Theorem 4.2(2), Figure 8: table contained in a pos. exist. view."""
+
+    def test_positive_instance(self):
+        assert decide_forall_exists_via_view(FE_TRUE)
+
+    def test_negative_instance(self):
+        assert not decide_forall_exists_via_view(FE_FALSE)
+
+    def test_construction_classification(self):
+        reduction = view_containment(FE_TRUE)
+        assert reduction.db0.is_codd()
+        assert reduction.db.is_codd()
+        assert reduction.query.is_positive_existential()
+
+    def test_random(self, rng):
+        for _ in range(3):
+            fe = random_forall_exists(1, 1, rng.randint(1, 2), rng)
+            assert decide_forall_exists_via_view(fe) == forall_exists_holds(fe)
+
+
+class TestETableContainment:
+    """Theorem 4.2(5), Figure 10: pos. exist. view contained in e-table."""
+
+    def test_positive_instance(self):
+        assert decide_forall_exists_via_etable(FE_TRUE)
+
+    def test_negative_instance(self):
+        assert not decide_forall_exists_via_etable(FE_FALSE)
+
+    def test_construction_classification(self):
+        reduction = etable_containment(FE_TRUE)
+        assert reduction.db0.is_codd()
+        assert reduction.db.classify() == "e"
+        assert reduction.query0.is_positive_existential()
+
+    def test_random(self, rng):
+        for _ in range(3):
+            fe = random_forall_exists(1, 1, rng.randint(1, 2), rng)
+            assert decide_forall_exists_via_etable(fe) == forall_exists_holds(fe)
+
+
+class TestCTableContainment:
+    """Theorem 4.2(3): c-table contained in e-table, by folding 4.2(5)."""
+
+    def test_positive_instance(self):
+        assert decide_forall_exists_via_ctable(FE_TRUE)
+
+    def test_negative_instance(self):
+        assert not decide_forall_exists_via_ctable(FE_FALSE)
+
+    def test_folded_lhs_is_ctable(self):
+        reduction = ctable_containment(FE_TRUE)
+        assert reduction.query0 is None
+        assert reduction.db0.classify() == "c"
+
+
+class TestConpContainment:
+    """Theorem 4.2(4), Figure 9: tautology as view-in-table containment."""
+
+    def test_tautology(self):
+        assert decide_tautology_via_containment(DNF([(1,), (-1,)]))
+
+    def test_non_tautology(self):
+        assert not decide_tautology_via_containment(DNF([(1, 2)]))
+
+    def test_construction_classification(self):
+        reduction = tautology_containment(DNF([(1, 2)]))
+        assert reduction.db0.is_codd()
+        assert reduction.db.is_codd()
+        assert reduction.query0.is_positive_existential()
+
+    def test_random(self, rng):
+        for _ in range(5):
+            dnf = random_dnf(2, rng.randint(1, 3), rng, width=2)
+            assert decide_tautology_via_containment(dnf) == is_tautology_dnf(dnf)

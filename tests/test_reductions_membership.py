@@ -1,0 +1,99 @@
+"""Machine checks of the Theorem 3.1 reductions against the coloring solver."""
+
+import pytest
+
+from repro.reductions import (
+    decide_colorable_via_etable,
+    decide_colorable_via_itable,
+    decide_colorable_via_view,
+    etable_membership,
+    itable_membership,
+    view_membership,
+)
+from repro.solvers import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    example_graph_fig4a,
+    is_colorable,
+    random_graph,
+)
+
+STRUCTURED = [
+    example_graph_fig4a(),
+    complete_graph(3),
+    complete_graph(4),   # the smallest non-3-colorable graph
+    cycle_graph(4),
+    cycle_graph(5),
+    Graph([1, 2], [(1, 2)]),
+]
+
+
+class TestETableReduction:
+    """Theorem 3.1(2), Figure 4(c)."""
+
+    @pytest.mark.parametrize("graph", STRUCTURED, ids=repr)
+    def test_structured(self, graph):
+        assert decide_colorable_via_etable(graph) == is_colorable(graph, 3)
+
+    def test_random(self, rng):
+        for _ in range(8):
+            graph = random_graph(5, 0.5, rng)
+            assert decide_colorable_via_etable(graph) == is_colorable(graph, 3)
+
+    def test_construction_shape(self):
+        reduction = etable_membership(example_graph_fig4a())
+        table = reduction.db["T"]
+        assert table.classify() in ("e", "codd")  # e unless the graph is empty
+        # 6 constant rows + one per edge.
+        assert len(table.rows) == 6 + 5
+        assert reduction.instance["T"].facts == {
+            tuple(map(lambda v: v, pair))
+            for pair in reduction.instance["T"].facts
+        }
+
+
+class TestITableReduction:
+    """Theorem 3.1(3), Figure 4(b)."""
+
+    @pytest.mark.parametrize("graph", STRUCTURED, ids=repr)
+    def test_structured(self, graph):
+        assert decide_colorable_via_itable(graph) == is_colorable(graph, 3)
+
+    def test_random(self, rng):
+        for _ in range(8):
+            graph = random_graph(5, 0.5, rng)
+            assert decide_colorable_via_itable(graph) == is_colorable(graph, 3)
+
+    def test_construction_shape(self):
+        reduction = itable_membership(example_graph_fig4a())
+        table = reduction.db["T"]
+        assert table.classify() == "i"
+        assert len(table.rows) == 3 + 5  # colors + one per node
+        assert len(table.global_condition.inequalities()) == 5  # one per edge
+
+
+class TestViewReduction:
+    """Theorem 3.1(4), Figure 4(d)."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [complete_graph(3), cycle_graph(3), Graph([1, 2], [(1, 2)]), complete_graph(4)],
+        ids=repr,
+    )
+    def test_structured(self, graph):
+        assert decide_colorable_via_view(graph) == is_colorable(graph, 3)
+
+    def test_fig4a(self):
+        graph = example_graph_fig4a()
+        assert decide_colorable_via_view(graph) == is_colorable(graph, 3)
+
+    def test_construction_shape(self):
+        reduction = view_membership(example_graph_fig4a())
+        assert reduction.db["R"].classify() == "codd"
+        assert reduction.db["S"].classify() == "codd"
+        assert reduction.db.is_codd()  # vector of Codd-tables
+        assert reduction.query.is_positive_existential()
+        # One R-row per edge, carrying two fresh nulls each.
+        assert len(reduction.db["R"].rows) == 5
+        assert len(reduction.db["R"].variables()) == 10

@@ -1,0 +1,152 @@
+"""Machine checks of the Theorem 5.1 / 5.2 / 5.3 reductions."""
+
+import pytest
+
+from repro.reductions import (
+    datalog_possibility,
+    decide_colorable_via_view_possibility,
+    decide_nontautology_via_fo_possibility,
+    decide_sat_via_datalog,
+    decide_sat_via_etable,
+    decide_sat_via_itable,
+    decide_tautology_via_fo_certainty,
+    etable_possibility,
+    fo_certainty,
+    fo_possibility,
+    itable_possibility,
+)
+from repro.solvers import (
+    CNF,
+    DNF,
+    complete_graph,
+    cycle_graph,
+    dpll_satisfiable,
+    example_formula_fig5,
+    is_colorable,
+    is_tautology_dnf,
+    random_cnf,
+    random_dnf,
+)
+
+
+def _sat(cnf):
+    return dpll_satisfiable(cnf) is not None
+
+
+class TestETablePossibility:
+    """Theorem 5.1(2), Figure 11(b)."""
+
+    def test_fig5(self):
+        cnf, _, _ = example_formula_fig5()
+        assert decide_sat_via_etable(cnf) == _sat(cnf)
+
+    def test_unsat(self):
+        assert not decide_sat_via_etable(CNF([(1,), (-1,)]))
+
+    def test_random(self, rng):
+        for _ in range(8):
+            cnf = random_cnf(3, rng.randint(1, 6), rng)
+            assert decide_sat_via_etable(cnf) == _sat(cnf)
+
+    def test_construction_shape(self):
+        cnf, _, _ = example_formula_fig5()
+        reduction = etable_possibility(cnf)
+        table = reduction.db["T"]
+        assert table.classify() == "e"
+        # 2 rows per variable + one per literal occurrence.
+        assert len(table.rows) == 2 * 5 + 15
+
+
+class TestITablePossibility:
+    """Theorem 5.1(3), Figure 11(a)."""
+
+    def test_fig5(self):
+        cnf, _, _ = example_formula_fig5()
+        assert decide_sat_via_itable(cnf) == _sat(cnf)
+
+    def test_unsat(self):
+        assert not decide_sat_via_itable(CNF([(1,), (-1,)]))
+
+    def test_random(self, rng):
+        for _ in range(8):
+            cnf = random_cnf(3, rng.randint(1, 6), rng)
+            assert decide_sat_via_itable(cnf) == _sat(cnf)
+
+    def test_construction_shape(self):
+        cnf, _, _ = example_formula_fig5()
+        reduction = itable_possibility(cnf)
+        table = reduction.db["T"]
+        assert table.classify() == "i"
+        assert len(table.rows) == 15  # one per literal occurrence
+
+
+class TestViewPossibility:
+    """Theorem 5.1(4): the Thm 3.1(4) construction with subset semantics."""
+
+    @pytest.mark.parametrize(
+        "graph", [complete_graph(3), cycle_graph(3), complete_graph(4)], ids=repr
+    )
+    def test_structured(self, graph):
+        assert decide_colorable_via_view_possibility(graph) == is_colorable(graph, 3)
+
+
+class TestFOPossibilityCertainty:
+    """Theorems 5.2(2) and 5.3(2): fixed first order query on a Codd-table."""
+
+    def test_tautology_certain(self):
+        taut = DNF([(1,), (-1,)])
+        assert decide_tautology_via_fo_certainty(taut)
+        assert not decide_nontautology_via_fo_possibility(taut)
+
+    def test_nontautology_possible(self):
+        nontaut = DNF([(1, -2), (-1,)])
+        assert not decide_tautology_via_fo_certainty(nontaut)
+        assert decide_nontautology_via_fo_possibility(nontaut)
+
+    def test_random(self, rng):
+        for _ in range(5):
+            dnf = random_dnf(2, rng.randint(1, 3), rng, width=2)
+            truth = is_tautology_dnf(dnf)
+            assert decide_tautology_via_fo_certainty(dnf) == truth
+            assert decide_nontautology_via_fo_possibility(dnf) == (not truth)
+
+    def test_table_is_codd(self):
+        reduction = fo_certainty(DNF([(1, -2)]))
+        assert reduction.db["R"].classify() == "codd"
+
+    def test_possibility_and_certainty_complement(self):
+        """The two reductions use psi and not-psi over the same table."""
+        dnf = DNF([(1, 2), (-1, -2)])
+        cert = fo_certainty(dnf)
+        poss = fo_possibility(dnf)
+        assert cert.db == poss.db
+
+
+class TestDatalogPossibility:
+    """Theorem 5.2(3), Figure 12: fixed Datalog query on Codd-tables."""
+
+    def test_satisfiable(self):
+        cnf = CNF([(1, 2), (-1, 2)], num_variables=2)
+        assert decide_sat_via_datalog(cnf) == _sat(cnf)
+
+    def test_unsatisfiable(self):
+        assert not decide_sat_via_datalog(CNF([(1,), (-1,)]))
+
+    def test_random(self, rng):
+        for _ in range(4):
+            cnf = random_cnf(2, rng.randint(1, 3), rng, width=2)
+            assert decide_sat_via_datalog(cnf) == _sat(cnf)
+
+    def test_gadget_shape(self):
+        cnf = CNF([(1, 2), (-1, 2)], num_variables=2)
+        reduction = datalog_possibility(cnf)
+        assert reduction.db.is_codd()
+        # n nulls, one per variable.
+        assert len(reduction.db.variables()) == 2
+
+    def test_goal_requires_both_chains(self):
+        """With zero clauses the h-chain is empty: goal only needs the
+        b-chain, which completes for any assignment."""
+        cnf = CNF([], num_variables=1)
+        reduction = datalog_possibility(cnf)
+        assert reduction.decide_possible()

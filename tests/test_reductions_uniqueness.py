@@ -1,0 +1,80 @@
+"""Machine checks of the Theorem 3.2(3,4) reductions."""
+
+import pytest
+
+from repro.reductions import (
+    ctable_uniqueness,
+    decide_noncolorable_via_view,
+    decide_tautology_via_ctable,
+    view_uniqueness,
+)
+from repro.solvers import (
+    DNF,
+    complete_graph,
+    cycle_graph,
+    example_formula_fig5,
+    example_graph_fig4a,
+    is_colorable,
+    is_tautology_dnf,
+    random_dnf,
+    random_graph,
+)
+
+
+class TestCTableTautology:
+    """Theorem 3.2(3): 3DNF tautology as c-table uniqueness."""
+
+    def test_excluded_middle_is_tautology(self):
+        assert decide_tautology_via_ctable(DNF([(1,), (-1,)]))
+
+    def test_fig5_dnf_not_tautology(self):
+        _, dnf, _ = example_formula_fig5()
+        assert not decide_tautology_via_ctable(dnf)
+
+    def test_single_term_never_tautology(self):
+        assert not decide_tautology_via_ctable(DNF([(1, 2, 3)]))
+
+    def test_wider_tautology(self):
+        # (x1 & x2) | (-x1) | (x1 & -x2) covers everything.
+        assert decide_tautology_via_ctable(DNF([(1, 2), (-1,), (1, -2)]))
+
+    def test_random(self, rng):
+        for _ in range(10):
+            dnf = random_dnf(3, rng.randint(1, 6), rng)
+            assert decide_tautology_via_ctable(dnf) == is_tautology_dnf(dnf)
+
+    def test_construction_shape(self):
+        _, dnf, _ = example_formula_fig5()
+        reduction = ctable_uniqueness(dnf)
+        table = reduction.db["T"]
+        assert table.classify() == "c"
+        assert len(table.rows) == len(dnf.clauses)
+        assert all(row.terms == (row.terms[0],) for row in table.rows)
+
+
+class TestViewNonColorability:
+    """Theorem 3.2(4), Figure 6: non-3-colorability as view uniqueness."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [example_graph_fig4a(), complete_graph(3), complete_graph(4), cycle_graph(4)],
+        ids=repr,
+    )
+    def test_structured(self, graph):
+        assert decide_noncolorable_via_view(graph) == (not is_colorable(graph, 3))
+
+    def test_random(self, rng):
+        for _ in range(6):
+            graph = random_graph(4, 0.6, rng)
+            assert decide_noncolorable_via_view(graph) == (
+                not is_colorable(graph, 3)
+            )
+
+    def test_construction_shape(self):
+        reduction = view_uniqueness(example_graph_fig4a())
+        table = reduction.db["R"]
+        assert table.classify() == "codd"
+        # One row per edge plus one per node.
+        assert len(table.rows) == 5 + 5
+        # The query is positive existential *with* inequality conditions.
+        assert not reduction.query.is_positive_existential()

@@ -1,0 +1,192 @@
+"""Unit tests for the relational substrate (schema, instances, RA)."""
+
+import pytest
+
+from repro.core.terms import Constant
+from repro.relational import (
+    ColEq,
+    ColEqConst,
+    ColNeq,
+    ColNeqConst,
+    DatabaseSchema,
+    Difference,
+    Instance,
+    Intersect,
+    Product,
+    Project,
+    Relation,
+    RelationSchema,
+    Scan,
+    Select,
+    Union,
+    evaluate,
+    evaluate_to_relation,
+    natural_join,
+)
+
+
+class TestSchema:
+    def test_relation_schema_validation(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", -1)
+        with pytest.raises(TypeError):
+            RelationSchema("", 2)
+
+    def test_database_schema_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema([RelationSchema("R", 1), RelationSchema("R", 2)])
+
+    def test_arity_vector(self):
+        schema = DatabaseSchema({"R": 2, "S": 1})
+        assert schema.arities() == (2, 1)
+        assert schema.arity("S") == 1
+        assert "R" in schema and "T" not in schema
+
+
+class TestRelation:
+    def test_facts_coerced_and_deduped(self):
+        rel = Relation(2, [(1, 2), (1, 2), (3, 4)])
+        assert len(rel) == 2
+        assert (1, 2) in rel
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Relation(2, [(1, 2, 3)])
+
+    def test_set_operations(self):
+        a = Relation(1, [(1,), (2,)])
+        b = Relation(1, [(2,), (3,)])
+        assert a.union(b) == Relation(1, [(1,), (2,), (3,)])
+        assert a.intersection(b) == Relation(1, [(2,)])
+        assert a.difference(b) == Relation(1, [(1,)])
+        assert Relation(1, [(2,)]).issubset(a)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Relation(1, [(1,)]).union(Relation(2, [(1, 2)]))
+
+    def test_rename(self):
+        rel = Relation(2, [(1, 2)])
+        renamed = rel.rename({Constant(1): Constant(9)})
+        assert renamed == Relation(2, [(9, 2)])
+
+
+class TestInstance:
+    def test_construction_from_raw_rows(self):
+        inst = Instance({"R": [(0, 1)], "S": [(1,)]})
+        assert inst["R"].arity == 2
+        assert inst.total_facts() == 2
+
+    def test_empty_relation_needs_schema(self):
+        with pytest.raises(ValueError):
+            Instance({"R": []})
+        schema = DatabaseSchema({"R": 3})
+        inst = Instance({"R": []}, schema=schema)
+        assert inst["R"].arity == 3
+
+    def test_schema_fills_missing_relations(self):
+        schema = DatabaseSchema({"R": 1, "S": 2})
+        inst = Instance({"R": [(1,)]}, schema=schema)
+        assert len(inst["S"]) == 0
+
+    def test_equality_and_hash(self):
+        a = Instance({"R": [(1, 2), (3, 4)]})
+        b = Instance({"R": [(3, 4), (1, 2)]})
+        assert a == b and hash(a) == hash(b)
+
+    def test_issubset(self):
+        small = Instance({"R": [(1, 2)]})
+        big = Instance({"R": [(1, 2), (3, 4)]})
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_constants(self):
+        inst = Instance({"R": [(1, 2)], "S": [("a",)]})
+        assert inst.constants() == {Constant(1), Constant(2), Constant("a")}
+
+    def test_rename_genericity(self):
+        inst = Instance({"R": [(1, 2)]})
+        swapped = inst.rename({Constant(1): Constant(2), Constant(2): Constant(1)})
+        assert swapped == Instance({"R": [(2, 1)]})
+
+    def test_empty_instance(self):
+        schema = DatabaseSchema({"R": 2})
+        assert Instance.empty(schema)["R"] == Relation(2)
+
+
+#: A small instance used throughout the RA tests.
+def _db():
+    return Instance(
+        {
+            "R": [(1, 2), (2, 3), (3, 1), (1, 1)],
+            "S": [(1,), (2,)],
+        }
+    )
+
+
+class TestAlgebraEvaluation:
+    def test_scan(self):
+        rel = evaluate_to_relation(Scan("S", 1), _db())
+        assert rel == Relation(1, [(1,), (2,)])
+
+    def test_scan_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_to_relation(Scan("S", 2), _db())
+
+    def test_select_col_eq_col(self):
+        expr = Select(Scan("R", 2), [ColEq(0, 1)])
+        assert evaluate_to_relation(expr, _db()) == Relation(2, [(1, 1)])
+
+    def test_select_col_neq_const(self):
+        expr = Select(Scan("R", 2), [ColNeqConst(0, 1)])
+        assert evaluate_to_relation(expr, _db()) == Relation(2, [(2, 3), (3, 1)])
+
+    def test_select_conjunction_of_predicates(self):
+        expr = Select(Scan("R", 2), [ColEqConst(0, 1), ColNeq(0, 1)])
+        assert evaluate_to_relation(expr, _db()) == Relation(2, [(1, 2)])
+
+    def test_project_permutes_and_duplicates(self):
+        expr = Project(Scan("R", 2), [1, 0, 0])
+        rel = evaluate_to_relation(expr, _db())
+        assert (2, 1, 1) in rel and rel.arity == 3
+
+    def test_product(self):
+        expr = Product(Scan("S", 1), Scan("S", 1))
+        assert len(evaluate_to_relation(expr, _db())) == 4
+
+    def test_union_and_difference_and_intersect(self):
+        r01 = Project(Scan("R", 2), [0])
+        s = Scan("S", 1)
+        assert evaluate_to_relation(Union(r01, s), _db()) == Relation(
+            1, [(1,), (2,), (3,)]
+        )
+        assert evaluate_to_relation(Difference(r01, s), _db()) == Relation(1, [(3,)])
+        assert evaluate_to_relation(Intersect(r01, s), _db()) == Relation(
+            1, [(1,), (2,)]
+        )
+
+    def test_natural_join(self):
+        # R join R on R.1 = R.0: paths of length two.
+        expr = natural_join(Scan("R", 2), Scan("R", 2), on=[(1, 0)])
+        rel = evaluate_to_relation(expr, _db())
+        assert (1, 2, 3) in rel  # 1->2->3
+        assert (3, 1, 2) in rel  # 3->1->2
+        assert rel.arity == 3
+
+    def test_vector_evaluation(self):
+        out = evaluate({"A": Scan("S", 1), "B": Project(Scan("R", 2), [0])}, _db())
+        assert set(out.names()) == {"A", "B"}
+
+    def test_positivity_flag(self):
+        positive = Select(Scan("R", 2), [ColEq(0, 1)])
+        negative = Select(Scan("R", 2), [ColNeq(0, 1)])
+        difference = Difference(Scan("S", 1), Scan("S", 1))
+        assert positive.is_positive()
+        assert not negative.is_positive()
+        assert not difference.is_positive()
+
+    def test_predicate_column_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Select(Scan("S", 1), [ColEq(0, 1)])
+        with pytest.raises(ValueError):
+            Project(Scan("S", 1), [1])

@@ -1,0 +1,134 @@
+"""Tests for the condition-system solver (repro.core.search)."""
+
+import itertools
+
+import pytest
+
+from repro.core.conditions import (
+    BoolAnd,
+    BoolAtom,
+    BoolOr,
+    Conjunction,
+    Eq,
+    FALSE,
+    Neq,
+    TRUE,
+)
+from repro.core.search import solve_atom_cnf, solve_condition_system, witness_valuation
+from repro.core.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestSolveAtomCNF:
+    def test_no_clauses_returns_hard(self):
+        hard = Conjunction([Eq(x, 1)])
+        assert solve_atom_cnf(hard, []) == hard
+
+    def test_unsatisfiable_hard(self):
+        assert solve_atom_cnf(FALSE, []) is None
+
+    def test_single_clause_choice(self):
+        hard = Conjunction([Eq(x, 1)])
+        clauses = [[Eq(x, 2), Eq(y, 3)]]
+        result = solve_atom_cnf(hard, clauses)
+        assert result is not None
+        assert result.implies(Eq(y, 3))
+
+    def test_empty_clause_unsatisfiable(self):
+        assert solve_atom_cnf(TRUE, [[]]) is None
+
+    def test_interacting_clauses(self):
+        # x = 1 or x = 2;  x != 1;  => x = 2.
+        clauses = [[Eq(x, 1), Eq(x, 2)], [Neq(x, 1)]]
+        result = solve_atom_cnf(TRUE, clauses)
+        assert result is not None and result.implies(Eq(x, 2))
+
+    def test_jointly_unsatisfiable_clauses(self):
+        clauses = [[Eq(x, 1)], [Eq(x, 2)]]
+        assert solve_atom_cnf(TRUE, clauses) is None
+
+    def test_exhaustive_against_bruteforce(self):
+        """Compare with brute force over a small finite assignment space."""
+        domain = [Constant(0), Constant(1)]
+        variables = [x, y]
+        atom_pool = [Eq(x, 0), Eq(x, y), Neq(y, 1), Neq(x, y)]
+        for bits in range(16):
+            clauses = []
+            for i, atom in enumerate(atom_pool):
+                if bits >> i & 1:
+                    clauses.append([atom, Neq(x, 0)])
+            got = solve_atom_cnf(TRUE, clauses) is not None
+            brute = False
+            # Note: the solver works over the infinite domain, so brute force
+            # over {0,1} plus one spare value per variable.
+            wide = domain + [Constant(2), Constant(3)]
+            for vx in wide:
+                for vy in wide:
+                    lookup = lambda t: {x: vx, y: vy}.get(t, t)
+                    if all(
+                        any(a.holds_for(lookup) for a in clause)
+                        for clause in clauses
+                    ):
+                        brute = True
+            assert got == brute, f"bits={bits}"
+
+
+class TestSolveConditionSystem:
+    def test_must_hold_chooses_disjunct(self):
+        cond = BoolOr((BoolAtom(Eq(x, 1)), BoolAtom(Eq(x, 2))))
+        result = solve_condition_system(Conjunction([Neq(x, 1)]), [cond])
+        assert result is not None and result.implies(Eq(x, 2))
+
+    def test_must_hold_conflict(self):
+        cond = BoolAtom(Eq(x, 1))
+        assert solve_condition_system(Conjunction([Neq(x, 1)]), [cond]) is None
+
+    def test_must_fail_negates(self):
+        cond = BoolAnd((BoolAtom(Eq(x, 1)), BoolAtom(Eq(y, 2))))
+        result = solve_condition_system(TRUE, [], [cond])
+        assert result is not None
+        lookup_ok = not cond.satisfied_by(
+            witness_valuation(result, variables=[x, y])
+        )
+        assert lookup_ok
+
+    def test_must_fail_tautology_impossible(self):
+        cond = BoolAtom(Eq(x, x))
+        assert solve_condition_system(TRUE, [], [cond]) is None
+
+    def test_hold_and_fail_interplay(self):
+        hold = BoolAtom(Eq(x, 1))
+        fail = BoolAtom(Eq(x, 1))
+        assert solve_condition_system(TRUE, [hold], [fail]) is None
+
+    def test_disjunctive_fail(self):
+        # not(x=1 or x=2) => x != 1 and x != 2.
+        cond = BoolOr((BoolAtom(Eq(x, 1)), BoolAtom(Eq(x, 2))))
+        result = solve_condition_system(TRUE, [], [cond])
+        assert result is not None
+        assert result.implies(Neq(x, 1)) and result.implies(Neq(x, 2))
+
+
+class TestWitnessValuation:
+    def test_witness_satisfies(self):
+        conj = Conjunction([Eq(x, 1), Neq(y, 1), Neq(y, z)])
+        sigma = witness_valuation(conj, variables=[x, y, z])
+        assert conj.satisfied_by(sigma)
+
+    def test_witness_covers_requested_variables(self):
+        sigma = witness_valuation(TRUE, variables=[x, y])
+        assert x in sigma and y in sigma
+
+    def test_witness_respects_equalities(self):
+        conj = Conjunction([Eq(x, y)])
+        sigma = witness_valuation(conj, variables=[x, y])
+        assert sigma[x] == sigma[y]
+
+    def test_witness_avoids(self):
+        sigma = witness_valuation(TRUE, variables=[x], avoid=[Constant("@w0")])
+        assert sigma[x] != Constant("@w0")
+
+    def test_unsatisfiable_raises(self):
+        with pytest.raises(ValueError):
+            witness_valuation(FALSE)

@@ -1,0 +1,217 @@
+"""Tests for the solver substrates (matching, SAT, coloring, graphs)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.solvers import (
+    CNF,
+    DNF,
+    ForallExistsCNF,
+    Graph,
+    complete_graph,
+    cycle_graph,
+    dpll_satisfiable,
+    example_formula_fig5,
+    example_graph_fig4a,
+    find_coloring,
+    forall_exists_holds,
+    has_perfect_left_matching,
+    hopcroft_karp,
+    is_colorable,
+    is_tautology_dnf,
+    maximum_matching_size,
+    random_cnf,
+    random_dnf,
+    random_graph,
+)
+
+
+class TestMatching:
+    def test_perfect_matching(self):
+        adj = {0: ["a", "b"], 1: ["a"], 2: ["c"]}
+        matching = hopcroft_karp([0, 1, 2], adj)
+        assert len(matching) == 3
+        assert matching[1] == "a" and matching[0] == "b"
+
+    def test_deficient_graph(self):
+        adj = {0: ["a"], 1: ["a"]}
+        assert maximum_matching_size([0, 1], adj) == 1
+        assert not has_perfect_left_matching([0, 1], adj)
+
+    def test_empty(self):
+        assert hopcroft_karp([], {}) == {}
+        assert has_perfect_left_matching([], {})
+
+    def test_isolated_left_node(self):
+        assert not has_perfect_left_matching([0], {0: []})
+
+    def test_agrees_with_bruteforce(self, rng):
+        for _ in range(25):
+            n_left, n_right = rng.randint(1, 5), rng.randint(1, 5)
+            adj = {
+                i: [j for j in range(n_right) if rng.random() < 0.4]
+                for i in range(n_left)
+            }
+            got = maximum_matching_size(list(range(n_left)), adj)
+            best = 0
+            for rights in itertools.permutations(range(n_right), min(n_left, n_right)):
+                for lefts in itertools.permutations(range(n_left), len(rights)):
+                    size = sum(1 for l, r in zip(lefts, rights) if r in adj[l])
+                    best = max(best, size)
+            # Brute force over injections counts matchable pairs greedily;
+            # recompute properly: maximum over all injective maps.
+            assert got <= min(n_left, n_right)
+            assert got >= 0
+            # Exact check via brute force on subsets:
+            exact = _brute_matching(adj, n_left, n_right)
+            assert got == exact
+
+
+def _brute_matching(adj, n_left, n_right):
+    best = 0
+    lefts = list(range(n_left))
+    for size in range(min(n_left, n_right), -1, -1):
+        for chosen in itertools.combinations(lefts, size):
+            for assignment in itertools.permutations(range(n_right), size):
+                if all(r in adj[l] for l, r in zip(chosen, assignment)):
+                    return size
+    return best
+
+
+class TestDPLL:
+    def test_simple_sat(self):
+        cnf = CNF([(1, 2), (-1, 2)])
+        model = dpll_satisfiable(cnf)
+        assert model is not None and cnf.satisfied_by(model)
+
+    def test_simple_unsat(self):
+        cnf = CNF([(1,), (-1,)])
+        assert dpll_satisfiable(cnf) is None
+
+    def test_partial_assignment_respected(self):
+        cnf = CNF([(1, 2)])
+        model = dpll_satisfiable(cnf, {1: False})
+        assert model is not None and model[2] is True
+
+    def test_model_is_total(self):
+        cnf = CNF([(1,)], num_variables=3)
+        model = dpll_satisfiable(cnf)
+        assert set(model) == {1, 2, 3}
+
+    def test_agrees_with_bruteforce(self, rng):
+        for _ in range(30):
+            cnf = random_cnf(4, rng.randint(1, 8), rng)
+            got = dpll_satisfiable(cnf) is not None
+            brute = any(
+                cnf.satisfied_by(dict(zip(range(1, 5), bits)))
+                for bits in itertools.product([False, True], repeat=4)
+            )
+            assert got == brute, cnf.clauses
+
+    def test_literal_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CNF([(0, 1)])
+
+
+class TestTautology:
+    def test_excluded_middle(self):
+        assert is_tautology_dnf(DNF([(1,), (-1,)]))
+
+    def test_fig5_not_tautology(self):
+        _, dnf, _ = example_formula_fig5()
+        assert not is_tautology_dnf(dnf)
+
+    def test_agrees_with_bruteforce(self, rng):
+        for _ in range(30):
+            dnf = random_dnf(4, rng.randint(1, 8), rng)
+            got = is_tautology_dnf(dnf)
+            brute = all(
+                dnf.satisfied_by(dict(zip(range(1, 5), bits)))
+                for bits in itertools.product([False, True], repeat=4)
+            )
+            assert got == brute, dnf.clauses
+
+
+class TestForallExists:
+    def test_fig5_instance(self):
+        _, _, fe = example_formula_fig5()
+        assert forall_exists_holds(fe)
+
+    def test_trivially_false(self):
+        fe = ForallExistsCNF(CNF([(1,)], num_variables=1), universal=(1,))
+        assert not forall_exists_holds(fe)
+
+    def test_exists_compensates(self):
+        # forall x1 exists x2: (x1 | x2) & (-x1 | -x2).
+        fe = ForallExistsCNF(CNF([(1, 2), (-1, -2)]), universal=(1,))
+        assert forall_exists_holds(fe)
+
+    def test_agrees_with_bruteforce(self, rng):
+        for _ in range(15):
+            cnf = random_cnf(4, rng.randint(1, 6), rng)
+            fe = ForallExistsCNF(cnf, universal=(1, 2))
+            got = forall_exists_holds(fe)
+            brute = all(
+                any(
+                    cnf.satisfied_by({1: u1, 2: u2, 3: e1, 4: e2})
+                    for e1 in (False, True)
+                    for e2 in (False, True)
+                )
+                for u1 in (False, True)
+                for u2 in (False, True)
+            )
+            assert got == brute, cnf.clauses
+
+
+class TestColoring:
+    def test_triangle_needs_three(self):
+        g = complete_graph(3)
+        assert not is_colorable(g, 2)
+        coloring = find_coloring(g, 3)
+        assert coloring is not None
+        assert len(set(coloring.values())) == 3
+
+    def test_k4_not_three_colorable(self):
+        assert not is_colorable(complete_graph(4), 3)
+        assert is_colorable(complete_graph(4), 4)
+
+    def test_even_cycle_two_colorable(self):
+        assert is_colorable(cycle_graph(6), 2)
+        assert not is_colorable(cycle_graph(7), 2)
+        assert is_colorable(cycle_graph(7), 3)
+
+    def test_coloring_is_proper(self, rng):
+        for _ in range(10):
+            g = random_graph(6, 0.4, rng)
+            coloring = find_coloring(g, 3)
+            if coloring is not None:
+                assert all(coloring[a] != coloring[b] for a, b in g.edges)
+
+    def test_empty_graph(self):
+        g = Graph([1, 2], [])
+        assert is_colorable(g, 1)
+
+
+class TestGraphs:
+    def test_fig4a(self):
+        g = example_graph_fig4a()
+        assert len(g.nodes) == 5 and len(g.edges) == 5
+        assert g.neighbours(3) == {2, 4, 5}
+        assert g.degree(5) == 1
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([1], [(1, 1)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([1], [(1, 2)])
+
+    def test_duplicate_edges_collapsed(self):
+        g = Graph([1, 2], [(1, 2), (2, 1)])
+        assert len(g.edges) == 1
+
+    def test_equality_ignores_orientation(self):
+        assert Graph([1, 2], [(1, 2)]) == Graph([2, 1], [(2, 1)])

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    Variable,
+    as_constant,
+    as_term,
+    constants_in,
+    fresh_constants,
+    fresh_variables,
+    is_fact,
+    variables_in,
+)
+
+
+class TestConstant:
+    def test_equality_by_payload(self):
+        assert Constant(3) == Constant(3)
+        assert Constant("a") == Constant("a")
+
+    def test_distinct_payloads_differ(self):
+        assert Constant(3) != Constant(4)
+
+    def test_payload_type_matters(self):
+        assert Constant(3) != Constant("3")
+
+    def test_hashable_and_set_friendly(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Constant(1).value = 2
+
+    def test_rejects_term_payload(self):
+        with pytest.raises(TypeError):
+            Constant(Variable("x"))
+
+    def test_str(self):
+        assert str(Constant(7)) == "7"
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_variable_never_equals_constant(self):
+        assert Variable("x") != Constant("x")
+
+    def test_requires_nonempty_string(self):
+        with pytest.raises(TypeError):
+            Variable("")
+        with pytest.raises(TypeError):
+            Variable(3)
+
+    def test_kind_predicates(self):
+        assert Variable("x").is_variable and not Variable("x").is_constant
+        assert Constant(1).is_constant and not Constant(1).is_variable
+
+
+class TestOrdering:
+    def test_constants_sort_before_variables(self):
+        assert Constant(99).sort_key() < Variable("a").sort_key()
+
+    def test_sort_is_deterministic_across_payload_types(self):
+        terms = [Variable("b"), Constant("z"), Constant(1), Variable("a")]
+        ordered = sorted(terms, key=lambda t: t.sort_key())
+        assert ordered == sorted(terms, key=lambda t: t.sort_key())
+        assert ordered[-2:] == [Variable("a"), Variable("b")]
+
+
+class TestCoercion:
+    def test_as_term_passthrough(self):
+        x = Variable("x")
+        assert as_term(x) is x
+
+    def test_as_term_question_mark_convention(self):
+        assert as_term("?x") == Variable("x")
+
+    def test_as_term_plain_values(self):
+        assert as_term(5) == Constant(5)
+        assert as_term("abc") == Constant("abc")
+
+    def test_as_constant_rejects_variables(self):
+        with pytest.raises(TypeError):
+            as_constant("?x")
+
+
+class TestFreshness:
+    def test_fresh_variables_avoid_taken(self):
+        taken = [Variable("v0"), Variable("v2")]
+        stream = fresh_variables("v", avoid=taken)
+        first_three = [next(stream) for _ in range(3)]
+        assert Variable("v0") not in first_three
+        assert Variable("v2") not in first_three
+        assert len(set(first_three)) == 3
+
+    def test_fresh_constants_count_and_avoidance(self):
+        avoid = [Constant("@c0")]
+        out = fresh_constants(3, avoid=avoid)
+        assert len(out) == 3
+        assert Constant("@c0") not in out
+        assert len(set(out)) == 3
+
+
+class TestCollections:
+    def test_variables_and_constants_in(self):
+        terms = [Constant(1), Variable("x"), Constant(2), Variable("x")]
+        assert variables_in(terms) == {Variable("x")}
+        assert constants_in(terms) == {Constant(1), Constant(2)}
+
+    def test_is_fact(self):
+        assert is_fact([Constant(1), Constant(2)])
+        assert not is_fact([Constant(1), Variable("x")])
+        assert is_fact([])

@@ -1,0 +1,200 @@
+"""Tests for the uniqueness problem (Theorem 3.2)."""
+
+import pytest
+
+from conftest import oracle_unique
+from repro.core.conditions import Conjunction, Eq, Neq
+from repro.core.tables import CTable, TableDatabase, c_table, codd_table, e_table, g_table
+from repro.core.terms import Variable
+from repro.core.uniqueness import (
+    is_unique,
+    uniqueness_enumerate,
+    uniqueness_gtable,
+    uniqueness_posexist_etable,
+    uniqueness_search,
+    uniqueness_ucq_view,
+)
+from repro.queries import UCQQuery, atom, cq
+from repro.relational.instance import Instance, Relation
+from repro.workloads import random_table, random_world
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestGTablePTime:
+    """Theorem 3.2(1): UNIQ(-) in PTIME for g-tables."""
+
+    def test_ground_table_unique(self):
+        table = codd_table("T", 1, [(1,), (2,)])
+        assert uniqueness_gtable(
+            Instance({"T": [(1,), (2,)]}), TableDatabase.single(table)
+        )
+
+    def test_free_variable_not_unique(self):
+        table = codd_table("T", 1, [(x,)])
+        assert not uniqueness_gtable(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_equality_pins_variable(self):
+        table = g_table("T", 1, [("?x",)], Conjunction([Eq(x, 1)]))
+        assert uniqueness_gtable(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_equality_chain_pins_through_variables(self):
+        table = g_table("T", 2, [("?x", "?y")], Conjunction([Eq(x, y), Eq(y, 3)]))
+        assert uniqueness_gtable(
+            Instance({"T": [(3, 3)]}), TableDatabase.single(table)
+        )
+
+    def test_inequality_never_pins(self):
+        table = g_table("T", 1, [("?x",)], Conjunction([Neq(x, 1), Neq(x, 2)]))
+        assert not uniqueness_gtable(
+            Instance({"T": [(3,)]}), TableDatabase.single(table)
+        )
+
+    def test_unsatisfiable_condition_not_unique(self):
+        table = g_table("T", 1, [(1,)], Conjunction([Eq(x, 1), Neq(x, 1)]))
+        assert not uniqueness_gtable(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_wrong_instance(self):
+        table = codd_table("T", 1, [(1,)])
+        assert not uniqueness_gtable(
+            Instance({"T": [(2,)]}), TableDatabase.single(table)
+        )
+
+    def test_agrees_with_oracle(self, rng):
+        for kind in ("codd", "e", "i", "g"):
+            for _ in range(10):
+                table = random_table(rng, kind, rows=2, num_constants=3)
+                db = TableDatabase.single(table)
+                candidate = random_world(rng, db)
+                assert uniqueness_gtable(candidate, db) == oracle_unique(
+                    candidate, db
+                )
+
+
+class TestPosExistOnETables:
+    """Theorem 3.2(2): UNIQ(q0) in PTIME for pos. exist. queries on e-tables."""
+
+    def _query(self):
+        return UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"))])
+
+    def test_projected_ground_answer(self):
+        table = e_table("R", 2, [(1, x), (1, y)])
+        db = TableDatabase.single(table)
+        assert uniqueness_posexist_etable(Instance({"Q": [(1,)]}), db, self._query())
+
+    def test_variable_in_answer_position_not_unique(self):
+        table = e_table("R", 2, [(x, 1)])
+        db = TableDatabase.single(table)
+        assert not uniqueness_posexist_etable(
+            Instance({"Q": [(1,)]}), db, self._query()
+        )
+
+    def test_join_query(self):
+        q = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"), atom("S", "B"))])
+        r = e_table("R", 2, [(1, x)])
+        s = e_table("S", 1, [(x,)])
+        db = TableDatabase([r, s])
+        # R(1, x) joins S(x) always (same x): answer {1} in every world.
+        assert uniqueness_posexist_etable(Instance({"Q": [(1,)]}), db, q)
+
+    def test_join_with_fresh_variables_not_certain(self):
+        q = UCQQuery([cq(atom("Q", "A"), atom("R", "A", "B"), atom("S", "B"))])
+        r = e_table("R", 2, [(1, x)])
+        s = e_table("S", 1, [(y,)])
+        db = TableDatabase([r, s])
+        # x = y only in some worlds: {1} possible but not certain.
+        assert not uniqueness_posexist_etable(Instance({"Q": [(1,)]}), db, q)
+
+    def test_rejects_nonpositive(self):
+        q = UCQQuery(
+            [cq(atom("Q", "A"), atom("R", "A", "B"), where=[Neq(Variable("A"), 1)])]
+        )
+        with pytest.raises(ValueError):
+            uniqueness_posexist_etable(
+                Instance({"Q": [(1,)]}), TableDatabase.single(e_table("R", 2, [(1, x)])), q
+            )
+
+    def test_agrees_with_enumeration(self, rng):
+        q = self._query()
+        for _ in range(12):
+            table = random_table(
+                rng, "e", name="R", rows=2, arity=2, num_constants=2, num_variables=2
+            )
+            db = TableDatabase.single(table)
+            world = random_world(rng, db)
+            candidate = q(world)
+            assert uniqueness_posexist_etable(candidate, db, q) == oracle_unique(
+                candidate, db, q
+            )
+
+
+class TestCTableSearch:
+    """The structured coNP procedure on c-tables."""
+
+    def test_tautological_condition_unique(self):
+        table = c_table("T", 1, [((1,), "u = u")])
+        assert uniqueness_search(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_contingent_condition_not_unique(self):
+        table = c_table("T", 1, [((1,), "u = 0")])
+        assert not uniqueness_search(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_covering_conditions_unique(self):
+        # Rows (1) if u = 0 and (1) if u != 0: always exactly {1}.
+        table = c_table("T", 1, [((1,), "u = 0"), ((1,), "u != 0")])
+        assert uniqueness_search(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_escape_via_variable_row(self):
+        table = c_table("T", 1, [((1,),), (("?x",), "x != 1")])
+        assert not uniqueness_search(
+            Instance({"T": [(1,)]}), TableDatabase.single(table)
+        )
+
+    def test_agrees_with_oracle(self, rng):
+        for _ in range(15):
+            table = random_table(rng, "c", rows=2, num_constants=2, num_variables=2)
+            db = TableDatabase.single(table)
+            candidate = random_world(rng, db)
+            assert uniqueness_search(candidate, db) == oracle_unique(candidate, db)
+
+
+class TestDispatchAndViews:
+    def test_auto_dispatch_gtable(self):
+        table = codd_table("T", 1, [(1,)])
+        assert is_unique(Instance({"T": [(1,)]}), TableDatabase.single(table))
+
+    def test_ucq_view_uniqueness(self):
+        # Query with != : Theorem 3.2(4)'s fragment.
+        q = UCQQuery(
+            [cq(atom("Q", 1), atom("R", "A"), where=[Neq(Variable("A"), 0)])]
+        )
+        table = CTable("R", 1, [(x,)])
+        db = TableDatabase.single(table)
+        # Worlds: {} (x = 0) or {(1)} (x != 0): not unique.
+        assert not is_unique(Instance({"Q": [(1,)]}), db, q)
+        assert not uniqueness_ucq_view(Instance({"Q": [(1,)]}), db, q)
+
+    def test_ucq_view_unique_case(self):
+        q = UCQQuery([cq(atom("Q", 1), atom("R", "A"))])
+        table = CTable("R", 1, [(x,)])
+        db = TableDatabase.single(table)
+        # Row always present: answer always {(1)}.
+        assert is_unique(Instance({"Q": [(1,)]}), db, q)
+
+    def test_enumerate_fallback(self):
+        q = UCQQuery([cq(atom("Q", "A"), atom("R", "A"))])
+        table = CTable("R", 1, [(1,)])
+        db = TableDatabase.single(table)
+        assert uniqueness_enumerate(Instance({"Q": [(1,)]}), db, q)

@@ -1,0 +1,188 @@
+"""Tests for repro.extensions.updates: pointwise update semantics [1]."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Instance,
+    TableDatabase,
+    c_table,
+    codd_table,
+    e_table,
+    enumerate_worlds,
+    g_table,
+)
+from repro.core.terms import Constant
+from repro.extensions import delete_fact, insert_fact, modify_fact
+from repro.relational.instance import Relation
+
+
+def worlds_with(db):
+    return enumerate_worlds(db)
+
+
+def facts_of(world, name="R"):
+    return {tuple(c.value for c in f) for f in world[name]}
+
+
+class TestInsert:
+    def test_insert_adds_to_every_world(self):
+        db = TableDatabase.single(codd_table("R", 1, [("?x",)]))
+        out = insert_fact(db, "R", (7,))
+        assert all((Constant(7),) in w["R"].facts for w in worlds_with(out))
+
+    def test_insert_pointwise_semantics(self):
+        db = TableDatabase.single(codd_table("R", 1, [("?x",), (0,)]))
+        out = insert_fact(db, "R", (7,))
+        expected = {
+            Instance({"R": Relation(1, set(w["R"].facts) | {(Constant(7),)})})
+            for w in worlds_with(db)
+        }
+        assert worlds_with(out) == expected
+
+    def test_insert_existing_fact_is_idempotent_on_rep(self):
+        db = TableDatabase.single(codd_table("R", 1, [(0,)]))
+        out = insert_fact(db, "R", (0,))
+        assert worlds_with(out) == worlds_with(db)
+
+    def test_arity_checked(self):
+        db = TableDatabase.single(codd_table("R", 2, [(0, 1)]))
+        with pytest.raises(ValueError, match="arity"):
+            insert_fact(db, "R", (0,))
+
+    def test_unknown_relation(self):
+        db = TableDatabase.single(codd_table("R", 1, [(0,)]))
+        with pytest.raises(KeyError):
+            insert_fact(db, "S", (0,))
+
+
+class TestDelete:
+    def test_delete_ground_row(self):
+        db = TableDatabase.single(codd_table("R", 1, [(0,), (1,)]))
+        out = delete_fact(db, "R", (0,))
+        assert worlds_with(out) == {Instance({"R": [(1,)]})}
+
+    def test_delete_rewrites_null_rows(self):
+        # R = {(?x,)}: deleting (0,) leaves worlds {(c,)} for c != 0 and {}.
+        db = TableDatabase.single(codd_table("R", 1, [("?x",)]))
+        out = delete_fact(db, "R", (0,))
+        for world in worlds_with(out):
+            assert (Constant(0),) not in world["R"].facts
+        # The empty world (x was 0, row deleted) must be possible.
+        assert any(len(w["R"]) == 0 for w in worlds_with(out))
+
+    def test_delete_pointwise_semantics(self):
+        db = TableDatabase.single(
+            e_table("R", 2, [("?x", "?x"), (0, "?y"), (1, 2)])
+        )
+        out = delete_fact(db, "R", (0, 0))
+        target = (Constant(0), Constant(0))
+        expected = {
+            Instance({"R": Relation(2, set(w["R"].facts) - {target})})
+            for w in worlds_with(db)
+        }
+        assert worlds_with(out) == expected
+
+    def test_delete_respects_existing_local_conditions(self):
+        db = TableDatabase.single(
+            c_table("R", 1, [(("?x",), "x != 5")])
+        )
+        out = delete_fact(db, "R", (0,))
+        for world in worlds_with(out):
+            assert (Constant(0),) not in world["R"].facts
+            assert (Constant(5),) not in world["R"].facts
+
+    def test_delete_unmatched_fact_is_noop_on_rep(self):
+        db = TableDatabase.single(codd_table("R", 2, [(1, 2)]))
+        out = delete_fact(db, "R", (8, 9))
+        assert worlds_with(out) == worlds_with(db)
+
+    def test_delete_then_member(self):
+        from repro import is_certain, is_possible
+
+        db = TableDatabase.single(codd_table("R", 1, [("?x",), (3,)]))
+        out = delete_fact(db, "R", (3,))
+        assert not is_possible(Instance({"R": [(3,)]}), out)
+        # Note: x may still be anything except producing 3? No -- x is
+        # unconstrained but the deletion also rewrote the (?x,) row.
+        assert is_possible(Instance({"R": [(4,)]}), out)
+
+    def test_arity_checked(self):
+        db = TableDatabase.single(codd_table("R", 1, [(0,)]))
+        with pytest.raises(ValueError, match="arity"):
+            delete_fact(db, "R", (0, 1))
+
+
+class TestModify:
+    def test_modify_moves_the_fact(self):
+        db = TableDatabase.single(codd_table("R", 1, [(0,), (1,)]))
+        out = modify_fact(db, "R", (0,), (9,))
+        assert worlds_with(out) == {Instance({"R": [(1,), (9,)]})}
+
+    def test_modify_pointwise(self):
+        db = TableDatabase.single(codd_table("R", 1, [("?x",)]))
+        out = modify_fact(db, "R", (0,), (9,))
+        nine = (Constant(9),)
+        zero = (Constant(0),)
+        for world in worlds_with(out):
+            assert nine in world["R"].facts
+            assert zero not in world["R"].facts
+
+
+class TestUpdateClosure:
+    """g-tables are NOT closed under deletion; c-tables are."""
+
+    def test_deletion_creates_local_conditions(self):
+        db = TableDatabase.single(g_table("R", 1, [("?x",)], "x != 9"))
+        out = delete_fact(db, "R", (0,))
+        assert out["R"].classify() == "c"
+
+    def test_ctable_stays_ctable(self):
+        db = TableDatabase.single(c_table("R", 1, [(("?x",), "x != 5")]))
+        out = delete_fact(db, "R", (0,))
+        assert out["R"].classify() == "c"
+
+
+_values = st.one_of(st.integers(0, 2), st.sampled_from(["?x", "?y"]))
+
+
+@st.composite
+def _tables(draw):
+    n_rows = draw(st.integers(1, 3))
+    rows = [tuple(draw(_values) for _ in range(2)) for _ in range(n_rows)]
+    return TableDatabase.single(e_table("R", 2, rows))
+
+
+class TestUpdateProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(_tables(), st.integers(0, 2), st.integers(0, 2))
+    def test_delete_is_pointwise(self, db, a, b):
+        # Deletion mentions the target's constants, so it is not generic
+        # in them: the pointwise comparison must enumerate rep(db) with
+        # those constants in the domain.
+        target = (Constant(a), Constant(b))
+        out = delete_fact(db, "R", (a, b))
+        expected = {
+            Instance({"R": Relation(2, set(w["R"].facts) - {target})})
+            for w in enumerate_worlds(db, extra_constants=target)
+        }
+        assert enumerate_worlds(out, extra_constants=target) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(_tables(), st.integers(0, 2), st.integers(0, 2))
+    def test_insert_is_pointwise(self, db, a, b):
+        target = (Constant(a), Constant(b))
+        out = insert_fact(db, "R", (a, b))
+        expected = {
+            Instance({"R": Relation(2, set(w["R"].facts) | {target})})
+            for w in enumerate_worlds(db, extra_constants=target)
+        }
+        assert enumerate_worlds(out, extra_constants=target) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(_tables(), st.integers(0, 2), st.integers(0, 2))
+    def test_delete_is_idempotent(self, db, a, b):
+        once = delete_fact(db, "R", (a, b))
+        twice = delete_fact(once, "R", (a, b))
+        assert worlds_with(once) == worlds_with(twice)

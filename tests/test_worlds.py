@@ -1,0 +1,210 @@
+"""Tests for valuations, canonical enumeration and the rep semantics.
+
+Includes the paper's Figure 1 examples: tables Ta..Te with the instances
+Ia..Ie listed beneath them, plus Example 2.1's valuation.
+"""
+
+import pytest
+
+from repro.core.conditions import Conjunction, Eq, Neq, parse_conjunction
+from repro.core.tables import CTable, Row, TableDatabase, c_table, e_table, g_table, i_table, codd_table
+from repro.core.terms import Constant, Variable
+from repro.core.valuations import (
+    Valuation,
+    freeze_variables,
+    iter_canonical_valuations,
+    iter_valuations,
+)
+from repro.core.worlds import (
+    any_world,
+    enumerate_worlds,
+    every_world,
+    iter_worlds,
+    world_of,
+)
+from repro.relational.instance import Instance
+
+x, y, z, v = Variable("x"), Variable("y"), Variable("z"), Variable("v")
+
+
+# -- the five representations of Figure 1 -----------------------------------
+
+
+def fig1_table_a():
+    return codd_table("T", 3, [(0, 1, x), (y, z, 1), (2, 0, v)])
+
+
+def fig1_table_b():
+    return e_table("T", 3, [(0, 1, x), (x, z, 1), (2, 0, z)])
+
+
+def fig1_table_c():
+    return i_table("T", 3, [(0, 1, x), (y, z, 1), (2, 0, v)], "x != 0, y != z")
+
+
+def fig1_table_d():
+    return g_table("T", 3, [(0, 1, x), (x, z, 1), (2, 0, z)], "x != z")
+
+
+def fig1_table_e():
+    return c_table(
+        "T",
+        2,
+        [
+            ((0, 1), "z = z"),
+            ((0, "?x"), "y = 0"),
+            (("?y", "?x"), "x != y"),
+        ],
+        "x != 1, y != 2",
+    )
+
+
+class TestExample21:
+    def test_sigma_of_ta_is_ia(self):
+        """Example 2.1: sigma(x)=2, sigma(y)=3, sigma(z)=0, sigma(v)=5."""
+        sigma = Valuation(
+            {x: Constant(2), y: Constant(3), z: Constant(0), v: Constant(5)}
+        )
+        world = world_of(TableDatabase.single(fig1_table_a()), sigma)
+        assert world == Instance({"T": [(0, 1, 2), (3, 0, 1), (2, 0, 5)]})
+
+
+class TestFig1Memberships:
+    """Each figure lists an instance next to its table; check membership."""
+
+    def test_instance_a(self):
+        from repro.core.membership import is_member
+
+        ia = Instance({"T": [(0, 1, 2), (2, 0, 1), (2, 0, 0)]})
+        assert is_member(ia, TableDatabase.single(fig1_table_a()))
+
+    def test_instance_b(self):
+        from repro.core.membership import is_member
+
+        ib = Instance({"T": [(0, 1, 2), (2, 0, 1), (2, 0, 0)]})
+        assert is_member(ib, TableDatabase.single(fig1_table_b()))
+
+    def test_instance_c(self):
+        from repro.core.membership import is_member
+
+        ic = Instance({"T": [(0, 1, 2), (3, 0, 1), (2, 0, 5)]})
+        assert is_member(ic, TableDatabase.single(fig1_table_c()))
+
+    def test_instance_c_violating_condition_rejected(self):
+        from repro.core.membership import is_member
+
+        # x = 0 violates the global inequality x != 0.
+        bad = Instance({"T": [(0, 1, 0), (3, 2, 1), (2, 0, 5)]})
+        assert not is_member(bad, TableDatabase.single(fig1_table_c()))
+
+    def test_instance_d(self):
+        from repro.core.membership import is_member
+
+        instance = Instance({"T": [(0, 1, 2), (2, 0, 1), (2, 0, 0)]})
+        assert is_member(instance, TableDatabase.single(fig1_table_d()))
+
+    def test_instance_d_equal_x_z_rejected(self):
+        from repro.core.membership import is_member
+
+        # Requires x = z = 1, violating x != z.
+        bad = Instance({"T": [(0, 1, 1), (1, 1, 1), (2, 0, 1)]})
+        assert not is_member(bad, TableDatabase.single(fig1_table_d()))
+
+    def test_instance_e(self):
+        from repro.core.membership import is_member
+
+        ie = Instance({"T": [(0, 1), (3, 2)]})
+        assert is_member(ie, TableDatabase.single(fig1_table_e()))
+
+
+class TestValuation:
+    def test_identity_on_constants(self):
+        sigma = Valuation({x: Constant(1)})
+        assert sigma(Constant(9)) == Constant(9)
+        assert sigma(x) == Constant(1)
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Valuation({})(x)
+
+    def test_type_checking(self):
+        with pytest.raises(TypeError):
+            Valuation({x: 1})  # raw int, not Constant
+        with pytest.raises(TypeError):
+            Valuation({"x": Constant(1)})
+
+    def test_apply_table_respects_local_conditions(self):
+        table = c_table("R", 1, [((1,), "x = 0"), ((2,),)])
+        sigma = Valuation({x: Constant(0)})
+        assert set(sigma.apply_table(table).facts) == {
+            (Constant(1),),
+            (Constant(2),),
+        }
+        sigma2 = Valuation({x: Constant(5)})
+        assert set(sigma2.apply_table(table).facts) == {(Constant(2),)}
+
+    def test_extended(self):
+        sigma = Valuation({x: Constant(1)}).extended({y: Constant(2)})
+        assert sigma(y) == Constant(2)
+
+
+class TestCanonicalEnumeration:
+    def test_plain_product_count(self):
+        vals = list(iter_valuations([x, y], [Constant(0), Constant(1)]))
+        assert len(vals) == 4
+
+    def test_canonical_count_two_vars_two_constants(self):
+        # Each variable: 2 base constants or a fresh one with restricted
+        # growth: patterns (b,b):4, (b,f1):2, (f1,b):2, (f1,f1):1, (f1,f2):1.
+        vals = list(iter_canonical_valuations([x, y], [Constant(0), Constant(1)]))
+        assert len(vals) == 10
+
+    def test_canonical_no_constants(self):
+        # Restricted growth strings: 1 var -> 1; the Bell numbers follow.
+        assert len(list(iter_canonical_valuations([x], []))) == 1
+        assert len(list(iter_canonical_valuations([x, y], []))) == 2
+
+    def test_freeze_assigns_distinct_fresh(self):
+        sigma = freeze_variables([x, y], avoid=[Constant("@a0")])
+        assert sigma[x] != sigma[y]
+        assert sigma[x] != Constant("@a0") and sigma[y] != Constant("@a0")
+
+
+class TestWorlds:
+    def test_codd_table_world_count(self):
+        # One variable over {0} plus fresh: canonical worlds = 2.
+        table = CTable("R", 1, [(0,), (x,)])
+        worlds = enumerate_worlds(TableDatabase.single(table))
+        assert len(worlds) == 2  # x = 0 collapses; x fresh keeps two facts
+
+    def test_global_condition_filters_worlds(self):
+        table = CTable("R", 1, [(x,)], Conjunction([Neq(x, 0)]))
+        db = TableDatabase.single(table)
+        worlds = enumerate_worlds(db, extra_constants=[Constant(0)])
+        assert Instance({"R": [(0,)]}) not in worlds
+        assert worlds  # still inhabited
+
+    def test_unsatisfiable_global_means_no_worlds(self):
+        table = CTable("R", 1, [(x,)], Conjunction([Eq(x, 0), Neq(x, 0)]))
+        assert enumerate_worlds(TableDatabase.single(table)) == set()
+
+    def test_local_conditions_can_drop_rows(self):
+        table = c_table("R", 1, [((1,), "x = 0")])
+        worlds = enumerate_worlds(TableDatabase.single(table))
+        schema = TableDatabase.single(table).schema()
+        assert Instance.empty(schema) in worlds
+        assert Instance({"R": [(1,)]}) in worlds
+
+    def test_any_and_every_world(self):
+        table = CTable("R", 1, [(x,)])
+        db = TableDatabase.single(table)
+        assert any_world(db, lambda w: len(w["R"]) == 1) is not None
+        assert every_world(db, lambda w: len(w["R"]) == 1)
+
+    def test_view_worlds(self):
+        from repro.queries import UCQQuery, atom, cq
+
+        q = UCQQuery([cq(atom("Q", "X"), atom("R", "X", "Y"))])
+        table = CTable("R", 2, [(1, x)])
+        worlds = enumerate_worlds(TableDatabase.single(table), query=q)
+        assert worlds == {Instance({"Q": [(1,)]})}
