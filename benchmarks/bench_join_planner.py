@@ -1,0 +1,118 @@
+"""Join planner benchmark: hash-join evaluation vs the naive product path.
+
+Times ``evaluate_ct_optimized`` (planner + hash-partitioned ``join_ct``)
+against ``evaluate_ct`` (literal select-over-product) on generated two-way
+equijoin workloads of growing size, verifying on each run that the two
+evaluators produce the same rows.  The naive path is O(|R| x |S|); the
+planned path is O(|R| + |S| + output) on ground rows, so the speedup grows
+linearly with the per-side row count.
+
+Runs standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_join_planner.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_join_planner.py --quick  # CI smoke
+
+Exit status is non-zero if correctness fails, or if the speedup at the
+acceptance size (200 rows per side, full mode only) falls below the
+5x floor promised in the roadmap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.core.conditions import clear_condition_caches, condition_cache_stats
+from repro.ctalgebra import evaluate_ct, evaluate_ct_optimized
+from repro.workloads import equijoin_expression, random_join_database
+
+#: Full-mode sweep sizes (rows per side) and the 5x acceptance threshold at
+#: 200 rows per side.  Quick mode runs smaller sizes, where the asymptotic
+#: gap is narrower, so it enforces a looser floor at its largest size — still
+#: enough to catch the planner silently degenerating to the product path.
+FULL_SIZES = (50, 100, 200, 400)
+QUICK_SIZES = (25, 50)
+FULL_ACCEPTANCE = (200, 5.0)
+QUICK_ACCEPTANCE = (50, 2.0)
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(sizes, acceptance, repeat: int, var_probability: float, seed: int) -> int:
+    acceptance_size, acceptance_floor = acceptance
+    expression = equijoin_expression()
+    print(f"{'rows/side':>9}  {'naive':>10}  {'planned':>10}  {'speedup':>8}  {'out rows':>8}")
+    failures = 0
+    acceptance_speedup = None
+    for size in sizes:
+        rng = random.Random(seed)
+        db = random_join_database(rng, rows_per_side=size, var_probability=var_probability)
+        naive_view = evaluate_ct(expression, db, name="J")
+        planned_view = evaluate_ct_optimized(expression, db, name="J")
+        if set(naive_view.rows) != set(planned_view.rows):
+            print(f"  !! row mismatch at size {size}", file=sys.stderr)
+            failures += 1
+            continue
+        naive_time = _best_of(lambda: evaluate_ct(expression, db), repeat)
+        planned_time = _best_of(lambda: evaluate_ct_optimized(expression, db), repeat)
+        speedup = naive_time / planned_time if planned_time > 0 else float("inf")
+        if size == acceptance_size:
+            acceptance_speedup = speedup
+        print(
+            f"{size:>9}  {naive_time * 1e3:>8.2f}ms  {planned_time * 1e3:>8.2f}ms"
+            f"  {speedup:>7.1f}x  {len(planned_view):>8}"
+        )
+    stats = condition_cache_stats()
+    print(
+        f"condition caches: sat {stats['sat_hits']}/{stats['sat_hits'] + stats['sat_misses']} hits, "
+        f"trivially-false {stats['trivially_false_hits']}"
+        f"/{stats['trivially_false_hits'] + stats['trivially_false_misses']} hits"
+    )
+    if acceptance_speedup is not None and acceptance_speedup < acceptance_floor:
+        print(
+            f"  !! speedup {acceptance_speedup:.1f}x at {acceptance_size} rows/side is below "
+            f"the {acceptance_floor}x floor",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--var-probability",
+        type=float,
+        default=0.0,
+        help="chance a join key is a variable (exercises the wild-row fallback)",
+    )
+    parser.add_argument("--seed", type=int, default=0xAB1987)
+    args = parser.parse_args(argv)
+    clear_condition_caches()
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    acceptance = QUICK_ACCEPTANCE if args.quick else FULL_ACCEPTANCE
+    if args.var_probability > 0:
+        # Wild rows legitimately narrow the gap; floors apply to the
+        # default ground workload only.
+        acceptance = (None, 0.0)
+    failures = run(sizes, acceptance, args.repeat, args.var_probability, args.seed)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

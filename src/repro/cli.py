@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
     repro certain db.pwt facts.pwi    # CERT: do the facts hold in every world?
     repro contains sub.pwt super.pwt  # CONT: rep(sub) subset of rep(super)?
     repro convert db.pwt --to json    # text <-> JSON conversion
+    repro eval db.pwt query.dl        # evaluate a UCQ view via the planner
 
 Databases use the text notation of :mod:`repro.io.text` (``.pwt`` --
 "possible worlds tables"), instances the ``%instance`` notation
@@ -201,6 +202,45 @@ def _cmd_convert(args) -> int:
     return EXIT_YES
 
 
+def _cmd_eval(args) -> int:
+    from .ctalgebra.evaluate import evaluate_ct, evaluate_ct_optimized
+    from .relational.parser import ParseError, parse_query
+    from .relational.planner import PlanError, plan, ra_of_ucq
+
+    db = load_database_file(args.database)
+    import os
+
+    if os.path.exists(args.query):
+        query_text = _read_text(args.query)
+    elif args.query.strip() and "(" not in args.query:
+        # Every rule contains parentheses; a paren-free argument is almost
+        # certainly a mistyped file path, so fail as one.
+        raise CliError(f"cannot read {args.query}: no such file")
+    else:
+        query_text = args.query
+    try:
+        query = parse_query(query_text)
+        expression = ra_of_ucq(query)
+    except (ParseError, PlanError, ValueError) as exc:
+        raise CliError(f"query: {exc}") from exc
+    name = query.rules[0].head.pred
+    if args.plan:
+        # Show what actually executes: the rewritten plan, or with --naive
+        # the expression as compiled (the naive evaluator runs it literally).
+        shown = expression if args.naive else plan(expression)
+        print(f"-- plan: {shown!r}")
+    try:
+        evaluator = evaluate_ct if args.naive else evaluate_ct_optimized
+        view = evaluator(expression, db, name=name)
+    except KeyError as exc:
+        raise CliError(f"evaluation: unknown relation {exc}") from exc
+    except ValueError as exc:
+        raise CliError(f"evaluation: {exc}") from exc
+    print(f"-- {view.name}/{view.arity} ({view.classify()}-table, {len(view)} rows)")
+    print(view)
+    return EXIT_YES
+
+
 # ---------------------------------------------------------------------------
 # Parser / entry point
 # ---------------------------------------------------------------------------
@@ -254,6 +294,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--to", choices=("json", "text"), required=True)
     p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser(
+        "eval", help="evaluate a UCQ view over the database (planned by default)"
+    )
+    p.add_argument("database")
+    p.add_argument("query", help="rule file, or literal rule text")
+    p.add_argument(
+        "--naive",
+        action="store_true",
+        help="use the naive select-over-product evaluator (no planning)",
+    )
+    p.add_argument(
+        "--plan", action="store_true", help="print the planned expression first"
+    )
+    p.set_defaults(func=_cmd_eval)
 
     return parser
 

@@ -44,6 +44,11 @@ __all__ = [
     "UnionFind",
     "parse_atom",
     "parse_conjunction",
+    "intern_conjunction",
+    "conjoin",
+    "condition_is_trivially_false",
+    "condition_cache_stats",
+    "clear_condition_caches",
 ]
 
 
@@ -176,6 +181,126 @@ class Neq(Atom):
 
     def negated(self) -> "Eq":
         return Eq(self.left, self.right)
+
+
+# ---------------------------------------------------------------------------
+# Condition caches
+# ---------------------------------------------------------------------------
+#
+# Query evaluation over c-tables manufactures the same conditions over and
+# over: every joined row pair conjoins the same pair of local conditions,
+# and every dead-row check re-decides satisfiability of a condition already
+# seen.  All condition objects are immutable and hashable, so the results
+# are safe to memoise globally.  The planner (:mod:`repro.ctalgebra`) leans
+# on these caches; the caches are an optimisation only — every cached entry
+# is exactly what the uncached computation would return.
+
+#: Entry cap per cache.  Query evaluation manufactures a unique combined
+#: condition per output row, so uncapped caches would grow with the total
+#: rows ever processed; on overflow a cache is simply dropped and rebuilt,
+#: which keeps the hot (repeated) entries cheap to restore.
+_CACHE_LIMIT = 1 << 18
+
+#: Satisfiability verdicts keyed by a conjunction's canonical atom tuple.
+_SAT_CACHE: dict[tuple, bool] = {}
+
+#: Canonical (interned) conjunction per atom tuple.
+_INTERN_CACHE: dict[tuple, "Conjunction"] = {}
+
+#: Memoised pairwise conjunction results.
+_CONJOIN_CACHE: dict[tuple, "Conjunction"] = {}
+
+#: Memoised trivially-false verdicts for boolean condition trees.
+_TRIVIALLY_FALSE_CACHE: dict["BoolCondition", bool] = {}
+
+
+def _bounded_insert(cache: dict, key, value) -> None:
+    if len(cache) >= _CACHE_LIMIT:
+        cache.clear()
+    cache[key] = value
+
+#: Hit/miss counters, one pair per cache (exposed for tests and tuning).
+_CACHE_STATS = {
+    "sat_hits": 0,
+    "sat_misses": 0,
+    "intern_hits": 0,
+    "intern_misses": 0,
+    "conjoin_hits": 0,
+    "conjoin_misses": 0,
+    "trivially_false_hits": 0,
+    "trivially_false_misses": 0,
+}
+
+
+def condition_cache_stats() -> dict[str, int]:
+    """A snapshot of the condition-cache hit/miss counters."""
+    return dict(_CACHE_STATS)
+
+
+def clear_condition_caches() -> None:
+    """Drop every memoised condition result (and reset the counters)."""
+    _SAT_CACHE.clear()
+    _INTERN_CACHE.clear()
+    _CONJOIN_CACHE.clear()
+    _TRIVIALLY_FALSE_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def intern_conjunction(conjunction: "Conjunction") -> "Conjunction":
+    """The canonical shared instance for this conjunction's atom set.
+
+    Interning makes repeated conjunctions share storage and turns deep
+    equality checks between planner-produced conditions into pointer
+    comparisons; semantically it is the identity.
+    """
+    cached = _INTERN_CACHE.get(conjunction.atoms)
+    if cached is not None:
+        _CACHE_STATS["intern_hits"] += 1
+        return cached
+    _CACHE_STATS["intern_misses"] += 1
+    _bounded_insert(_INTERN_CACHE, conjunction.atoms, conjunction)
+    return conjunction
+
+
+def conjoin(left: "Conjunction", right: "Conjunction") -> "Conjunction":
+    """Memoised ``left.and_also(right)``, returning an interned result."""
+    key = (left.atoms, right.atoms)
+    cached = _CONJOIN_CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS["conjoin_hits"] += 1
+        return cached
+    _CACHE_STATS["conjoin_misses"] += 1
+    result = intern_conjunction(left.and_also(right))
+    _bounded_insert(_CONJOIN_CACHE, key, result)
+    return result
+
+
+def condition_is_trivially_false(condition: "BoolCondition") -> bool:
+    """Sound, cheap falsity detection for boolean condition trees.
+
+    Returns True only when the tree is unsatisfiable *for structural
+    reasons* visible without solving: a false atom, an And with a false
+    child, an Or whose children are all false.  (A deeper contradiction
+    like ``x = 1 & x = 2`` split across atoms is left to the DNF/sat
+    machinery.)  Verdicts are memoised per subtree, so the dead-row pruning
+    in the c-table operators pays for each distinct condition once.
+    """
+    cached = _TRIVIALLY_FALSE_CACHE.get(condition)
+    if cached is not None:
+        _CACHE_STATS["trivially_false_hits"] += 1
+        return cached
+    _CACHE_STATS["trivially_false_misses"] += 1
+    if isinstance(condition, BoolAtom):
+        verdict = condition.atom.is_trivially_false()
+    elif isinstance(condition, BoolAnd):
+        verdict = any(condition_is_trivially_false(c) for c in condition.children)
+    elif isinstance(condition, BoolOr):
+        verdict = all(condition_is_trivially_false(c) for c in condition.children)
+    else:  # pragma: no cover - future condition kinds default to "unknown"
+        verdict = False
+    _bounded_insert(_TRIVIALLY_FALSE_CACHE, condition, verdict)
+    return verdict
 
 
 # ---------------------------------------------------------------------------
@@ -361,12 +486,21 @@ class Conjunction:
 
         Polynomial time: congruence-close the equalities; unsatisfiable iff
         that merges two distinct constants or some inequality atom has both
-        sides in the same class.
+        sides in the same class.  Verdicts are memoised globally (keyed by
+        the canonical atom tuple), so the repeated checks issued by query
+        evaluation hit a cache.
         """
+        cached = _SAT_CACHE.get(self.atoms)
+        if cached is not None:
+            _CACHE_STATS["sat_hits"] += 1
+            return cached
+        _CACHE_STATS["sat_misses"] += 1
         uf = self.closure()
-        if uf.inconsistent:
-            return False
-        return not any(uf.same(a.left, a.right) for a in self.inequalities())
+        verdict = not uf.inconsistent and not any(
+            uf.same(a.left, a.right) for a in self.inequalities()
+        )
+        _bounded_insert(_SAT_CACHE, self.atoms, verdict)
+        return verdict
 
     def solve(self) -> "tuple[dict[Variable, Term], Conjunction] | None":
         """Solve the conjunction: return ``(mgu, residual)`` or ``None``.

@@ -5,10 +5,11 @@ with the difference extension, full relational algebra) applied to c-table
 databases are again representable as c-tables of polynomial size.
 """
 
-from .evaluate import evaluate_ct, evaluate_ct_database
+from .evaluate import evaluate_ct, evaluate_ct_database, evaluate_ct_optimized
 from .operators import (
     difference_ct,
     intersect_ct,
+    join_ct,
     product_ct,
     project_ct,
     select_ct,
@@ -21,9 +22,11 @@ __all__ = [
     "apply_rule",
     "evaluate_ct",
     "evaluate_ct_database",
+    "evaluate_ct_optimized",
     "select_ct",
     "project_ct",
     "product_ct",
+    "join_ct",
     "union_ct",
     "intersect_ct",
     "difference_ct",

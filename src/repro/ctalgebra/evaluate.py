@@ -6,9 +6,19 @@ single c-table representing the view; positive expressions stay within the
 paper's positive existential fragment, and :class:`Difference` exercises the
 full-closure extension.
 
+Two entry points share the translation:
+
+* :func:`evaluate_ct` — the naive evaluator: executes the AST literally,
+  with :class:`Join` nodes desugared to select-over-product.  Quadratic on
+  joins, obviously correct; it doubles as the differential-testing oracle.
+* :func:`evaluate_ct_optimized` — runs the rewrite planner
+  (:func:`repro.relational.planner.plan`) first, then executes
+  :class:`Join` nodes with the hash-partitioning :func:`join_ct`.
+
 ``rep(evaluate_ct(e, D)) == { e(I) : I in rep(D) }`` is validated by the
 integration tests against both the instance-level evaluator and the world
-enumeration.
+enumeration, and ``rep(evaluate_ct_optimized(e, D)) == rep(evaluate_ct(e,
+D))`` by the planner's differential property tests.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from ..core.tables import CTable, TableDatabase
 from ..relational.algebra import (
     Difference,
     Intersect,
+    Join,
     Product,
     Project,
     RAExpression,
@@ -24,16 +35,18 @@ from ..relational.algebra import (
     Select,
     Union,
 )
+from ..relational.planner import plan
 from .operators import (
     difference_ct,
     intersect_ct,
+    join_ct,
     product_ct,
     project_ct,
     select_ct,
     union_ct,
 )
 
-__all__ = ["evaluate_ct", "evaluate_ct_database"]
+__all__ = ["evaluate_ct", "evaluate_ct_database", "evaluate_ct_optimized"]
 
 
 def evaluate_ct(expression: RAExpression, db: TableDatabase, name: str = "view") -> CTable:
@@ -43,19 +56,35 @@ def evaluate_ct(expression: RAExpression, db: TableDatabase, name: str = "view")
     of every scanned table; pair it with the database's extra condition via
     :func:`evaluate_ct_database` when building a full view database.
     """
-    table = _eval(expression, db)
+    table = _eval(expression, db, optimized=False)
+    return CTable(name, table.arity, table.rows, table.global_condition)
+
+
+def evaluate_ct_optimized(
+    expression: RAExpression, db: TableDatabase, name: str = "view"
+) -> CTable:
+    """Plan, then evaluate: the optimizing counterpart of :func:`evaluate_ct`.
+
+    The expression is first rewritten by :func:`repro.relational.planner.
+    plan` (join fusion + selection push-down); :class:`Join` nodes then
+    execute via the hash-partitioning :func:`repro.ctalgebra.operators.
+    join_ct` instead of a materialised product.  Semantics are unchanged:
+    ``rep`` of the result equals ``rep`` of the naive result.
+    """
+    table = _eval(plan(expression), db, optimized=True)
     return CTable(name, table.arity, table.rows, table.global_condition)
 
 
 def evaluate_ct_database(
-    expressions: dict[str, RAExpression], db: TableDatabase
+    expressions: dict[str, RAExpression], db: TableDatabase, optimize: bool = False
 ) -> TableDatabase:
     """Evaluate a named vector of RA expressions into a view database."""
-    tables = [evaluate_ct(expr, db, name) for name, expr in expressions.items()]
+    evaluator = evaluate_ct_optimized if optimize else evaluate_ct
+    tables = [evaluator(expr, db, name) for name, expr in expressions.items()]
     return TableDatabase(tables, db.global_condition())
 
 
-def _eval(node: RAExpression, db: TableDatabase) -> CTable:
+def _eval(node: RAExpression, db: TableDatabase, optimized: bool) -> CTable:
     if isinstance(node, Scan):
         table = db[node.name]
         if table.arity != node.arity:
@@ -64,15 +93,23 @@ def _eval(node: RAExpression, db: TableDatabase) -> CTable:
             )
         return table
     if isinstance(node, Select):
-        return select_ct(_eval(node.child, db), node.predicates)
+        return select_ct(_eval(node.child, db, optimized), node.predicates)
     if isinstance(node, Project):
-        return project_ct(_eval(node.child, db), node.columns)
+        return project_ct(_eval(node.child, db, optimized), node.columns)
+    if isinstance(node, Join):
+        if optimized:
+            return join_ct(
+                _eval(node.left, db, optimized),
+                _eval(node.right, db, optimized),
+                node.on,
+            )
+        return _eval(node.as_select_product(), db, optimized)
     if isinstance(node, Product):
-        return product_ct(_eval(node.left, db), _eval(node.right, db))
+        return product_ct(_eval(node.left, db, optimized), _eval(node.right, db, optimized))
     if isinstance(node, Union):
-        return union_ct(_eval(node.left, db), _eval(node.right, db))
+        return union_ct(_eval(node.left, db, optimized), _eval(node.right, db, optimized))
     if isinstance(node, Intersect):
-        return intersect_ct(_eval(node.left, db), _eval(node.right, db))
+        return intersect_ct(_eval(node.left, db, optimized), _eval(node.right, db, optimized))
     if isinstance(node, Difference):
-        return difference_ct(_eval(node.left, db), _eval(node.right, db))
+        return difference_ct(_eval(node.left, db, optimized), _eval(node.right, db, optimized))
     raise TypeError(f"unknown RA node: {node!r}")

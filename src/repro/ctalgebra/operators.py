@@ -7,6 +7,11 @@ by the paper in the proofs of Theorems 3.2(2), 4.2(3) and 5.2(1)):
 * **select** conjoins the selection atoms onto each row's local condition;
 * **project** rewrites the terms, carrying conditions along;
 * **product** concatenates row pairs and conjoins their conditions;
+* **join** (:func:`join_ct`) is select-over-product semantically, but hash
+  partitions rows on constant-ground join columns so ground rows meet only
+  their matches — the planner's workhorse (see
+  :func:`repro.ctalgebra.evaluate.evaluate_ct_optimized` and
+  ``benchmarks/bench_join_planner.py``);
 * **union** concatenates the row lists;
 * **difference** (the extension beyond positive existential) keeps a left
   row under the additional condition that no right row *both* matches it
@@ -31,20 +36,25 @@ from ..core.conditions import (
     BoolOr,
     Eq,
     Neq,
+    condition_is_trivially_false,
+    conjoin,
 )
 from ..core.tables import CTable, Row
+from ..core.terms import Constant
 from ..relational.algebra import (
     ColEq,
     ColEqConst,
     ColNeq,
     ColNeqConst,
     Predicate,
+    validate_join_columns,
 )
 
 __all__ = [
     "select_ct",
     "project_ct",
     "product_ct",
+    "join_ct",
     "union_ct",
     "intersect_ct",
     "difference_ct",
@@ -68,12 +78,11 @@ def _with_condition(terms: tuple, parts: list[BoolCondition]) -> Row | None:
     """Build a row, flattening conditions; None when trivially impossible."""
     flat: list[BoolCondition] = []
     for part in parts:
-        if isinstance(part, BoolAtom):
-            if part.atom.is_trivially_false():
-                return None
-            if part.atom.is_trivially_true():
-                continue
         if part == BOOL_TRUE:
+            continue
+        if condition_is_trivially_false(part):
+            return None
+        if isinstance(part, BoolAtom) and part.atom.is_trivially_true():
             continue
         flat.append(part)
     if not flat:
@@ -129,7 +138,100 @@ def product_ct(left: CTable, right: CTable, name: str = "product") -> CTable:
         name,
         left.arity + right.arity,
         rows,
-        left.global_condition.and_also(right.global_condition),
+        conjoin(left.global_condition, right.global_condition),
+    )
+
+
+def _join_partition(
+    rows: Sequence[Row], columns: Sequence[int]
+) -> tuple[dict[tuple, list[Row]], list[Row], list[Row]]:
+    """Split live rows into hash buckets (all join terms constant) and the
+    variable-bearing remainder.
+
+    Returns ``(buckets, wild, alive)``: ``buckets`` maps constant join-key
+    tuples to rows, ``wild`` holds rows with a variable in some join
+    column, ``alive`` is every surviving row (dead rows — local condition
+    trivially false — are pruned here and contribute to nothing).
+    """
+    buckets: dict[tuple, list[Row]] = {}
+    wild: list[Row] = []
+    alive: list[Row] = []
+    for row in rows:
+        if condition_is_trivially_false(row.condition):
+            continue
+        alive.append(row)
+        key = tuple(row.terms[c] for c in columns)
+        if all(isinstance(t, Constant) for t in key):
+            buckets.setdefault(key, []).append(row)
+        else:
+            wild.append(row)
+    return buckets, wild, alive
+
+
+def join_ct(
+    left: CTable,
+    right: CTable,
+    on: Iterable[tuple[int, int]],
+    name: str = "join",
+) -> CTable:
+    """Equi-join by hash partitioning on constant-ground join columns.
+
+    Semantically identical to ``select_ct(product_ct(left, right), [ColEq
+    (l, left.arity + r), ...])``: every output row concatenates a left and
+    a right row and conjoins their conditions with the join equalities.
+    The implementation avoids materialising the product:
+
+    * rows whose join terms are **all constants** are hash-partitioned;
+      only equal-key bucket pairs meet, so the ground-ground part costs
+      O(|L| + |R| + output) instead of O(|L| x |R|);
+    * rows with a **variable** in a join column cannot be hashed (the
+      variable may equal anything), so they fall back to pairing with
+      every live row on the other side, conjoining the join equalities
+      into the local condition — exactly what the product path does;
+    * rows whose local condition is trivially false are dropped up front
+      (they contribute nothing to any world), as are pairs whose join
+      equality is between distinct constants.
+
+    For the fully-ground c-tables produced by typical workloads the wild
+    lists are short and the hash path dominates.
+    """
+    pairs = validate_join_columns(on, left.arity, right.arity)
+    lcols = [l for l, _ in pairs]
+    rcols = [r for _, r in pairs]
+
+    lbuckets, lwild, _ = _join_partition(left.rows, lcols)
+    rbuckets, rwild, ralive = _join_partition(right.rows, rcols)
+
+    rows: list[Row] = []
+
+    def emit(lrow: Row, rrow: Row) -> None:
+        parts: list[BoolCondition] = [lrow.condition, rrow.condition]
+        for l, r in pairs:
+            eq = Eq(lrow.terms[l], rrow.terms[r])
+            if eq.is_trivially_false():
+                return
+            if not eq.is_trivially_true():
+                parts.append(BoolAtom(eq))
+        built = _with_condition(lrow.terms + rrow.terms, parts)
+        if built is not None:
+            rows.append(built)
+
+    for key, lrows in lbuckets.items():
+        matches = rbuckets.get(key, ())
+        for lrow in lrows:
+            for rrow in matches:
+                emit(lrow, rrow)
+            for rrow in rwild:
+                emit(lrow, rrow)
+    for lrow in lwild:
+        for rrow in ralive:
+            emit(lrow, rrow)
+
+    return CTable(
+        name,
+        left.arity + right.arity,
+        rows,
+        conjoin(left.global_condition, right.global_condition),
     )
 
 
@@ -141,7 +243,7 @@ def union_ct(left: CTable, right: CTable, name: str = "union") -> CTable:
         name,
         left.arity,
         list(left.rows) + list(right.rows),
-        left.global_condition.and_also(right.global_condition),
+        conjoin(left.global_condition, right.global_condition),
     )
 
 
@@ -185,7 +287,7 @@ def intersect_ct(left: CTable, right: CTable, name: str = "intersect") -> CTable
         name,
         left.arity,
         rows,
-        left.global_condition.and_also(right.global_condition),
+        conjoin(left.global_condition, right.global_condition),
     )
 
 
@@ -218,5 +320,5 @@ def difference_ct(left: CTable, right: CTable, name: str = "difference") -> CTab
         name,
         left.arity,
         rows,
-        left.global_condition.and_also(right.global_condition),
+        conjoin(left.global_condition, right.global_condition),
     )

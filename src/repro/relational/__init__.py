@@ -7,6 +7,7 @@ from .algebra import (
     ColNeqConst,
     Difference,
     Intersect,
+    Join,
     Product,
     Project,
     RAExpression,
@@ -17,6 +18,7 @@ from .algebra import (
 )
 from .evaluator import evaluate, evaluate_to_relation
 from .instance import Fact, Instance, Relation
+from .planner import PlanError, plan, ra_of_ucq
 from .schema import DatabaseSchema, RelationSchema
 
 __all__ = [
@@ -30,6 +32,7 @@ __all__ = [
     "Select",
     "Project",
     "Product",
+    "Join",
     "Union",
     "Intersect",
     "Difference",
@@ -40,4 +43,7 @@ __all__ = [
     "natural_join",
     "evaluate",
     "evaluate_to_relation",
+    "plan",
+    "ra_of_ucq",
+    "PlanError",
 ]

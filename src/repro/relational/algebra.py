@@ -25,6 +25,7 @@ __all__ = [
     "Select",
     "Project",
     "Product",
+    "Join",
     "Union",
     "Difference",
     "Intersect",
@@ -34,6 +35,7 @@ __all__ = [
     "ColEqConst",
     "ColNeqConst",
     "natural_join",
+    "validate_join_columns",
 ]
 
 
@@ -332,6 +334,65 @@ class Product(_Binary):
 
     def _output_arity(self, left: RAExpression, right: RAExpression) -> int:
         return left.arity + right.arity
+
+
+def validate_join_columns(
+    on: Iterable[tuple[int, int]], left_arity: int, right_arity: int
+) -> tuple[tuple[int, int], ...]:
+    """Normalise and range-check join column pairs.
+
+    Shared by :class:`Join` and the c-table ``join_ct`` operator so the two
+    never drift on validation or error wording.
+    """
+    pairs = tuple((int(l), int(r)) for l, r in on)
+    for l, r in pairs:
+        if not 0 <= l < left_arity:
+            raise ValueError(f"join column {l} out of range for left arity {left_arity}")
+        if not 0 <= r < right_arity:
+            raise ValueError(f"join column {r} out of range for right arity {right_arity}")
+    return pairs
+
+
+class Join(_Binary):
+    """Equi-join: product plus cross-side column equalities, as one node.
+
+    ``on`` is a tuple of pairs ``(l, r)``: column ``l`` of ``left`` must
+    equal column ``r`` of ``right``.  Semantically ``Join(L, R, on)`` is
+    exactly ``Select(Product(L, R), [ColEq(l, L.arity + r), ...])`` — the
+    naive evaluators treat it that way — but keeping it first-class lets
+    the planner (:mod:`repro.relational.planner`) pick a hash-join
+    implementation instead of filtering a materialised product.  All
+    columns of both sides are kept; wrap in :class:`Project` to drop the
+    duplicated join columns.
+    """
+
+    __slots__ = ("on",)
+    _same_arity = False
+
+    def __init__(
+        self,
+        left: RAExpression,
+        right: RAExpression,
+        on: Iterable[tuple[int, int]],
+    ) -> None:
+        pairs = validate_join_columns(on, left.arity, right.arity)
+        object.__setattr__(self, "on", pairs)
+        super().__init__(left, right)
+
+    def _output_arity(self, left: RAExpression, right: RAExpression) -> int:
+        return left.arity + right.arity
+
+    def __repr__(self) -> str:
+        on = ", ".join(f"${l}=${r}" for l, r in self.on)
+        return f"Join({self.left!r}, {self.right!r}, on=[{on}])"
+
+    def as_select_product(self) -> RAExpression:
+        """The naive desugaring: select-over-product with the same semantics."""
+        prod = Product(self.left, self.right)
+        if not self.on:
+            return prod
+        preds = [ColEq(l, self.left.arity + r) for l, r in self.on]
+        return Select(prod, preds)
 
 
 class Union(_Binary):

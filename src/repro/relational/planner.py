@@ -1,0 +1,275 @@
+"""A rewrite-based query planner for relational algebra expressions.
+
+The naive evaluators execute the AST literally, so ``Select(Product(L, R))``
+materialises the full |L|x|R| product before filtering.  :func:`plan`
+rewrites an expression into an equivalent one that the optimising
+evaluators execute asymptotically faster:
+
+* **join fusion** — a selection over a product whose predicates equate a
+  left column with a right column becomes a first-class :class:`Join`
+  node, implemented by hash partitioning downstream;
+* **selection push-down** — remaining predicates move to the smallest
+  subexpression whose columns they mention: into either product/join side,
+  through projections (columns remapped), through unions and intersections
+  (both branches), and into the left side of a difference;
+* **selection fusion** — adjacent selections merge into one.
+
+The rewrites are purely syntactic equivalences of the classical algebra,
+so they are valid both over complete instances and over c-tables (where
+each operator is the lifted version and ``rep`` commutes with it); the
+differential tests in ``tests/test_planner.py`` check the latter against
+the world-enumeration oracle.
+
+:func:`ra_of_ucq` additionally compiles a (safe-range) UCQ into the
+algebra so that rule-syntax queries can ride the same planner — that is
+the path the CLI's ``eval`` subcommand uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.terms import Constant, Variable
+from .algebra import (
+    ColEq,
+    ColEqConst,
+    ColNeq,
+    ColNeqConst,
+    Difference,
+    Intersect,
+    Join,
+    Predicate,
+    Product,
+    Project,
+    RAExpression,
+    Scan,
+    Select,
+    Union,
+)
+
+__all__ = ["plan", "push_select", "ra_of_ucq", "PlanError"]
+
+
+class PlanError(ValueError):
+    """Raised when a query cannot be compiled to the planned algebra."""
+
+
+def plan(expression: RAExpression) -> RAExpression:
+    """Rewrite ``expression`` into an equivalent, join-aware form."""
+    return _plan(expression)
+
+
+def _plan(node: RAExpression) -> RAExpression:
+    if isinstance(node, Scan):
+        return node
+    if isinstance(node, Select):
+        child = _plan(node.child)
+        return push_select(child, node.predicates)
+    if isinstance(node, Project):
+        return Project(_plan(node.child), node.columns)
+    if isinstance(node, Product):
+        # A bare product is a join on no columns: downstream still benefits
+        # from the join operator's dead-row pruning.
+        return Join(_plan(node.left), _plan(node.right), ())
+    if isinstance(node, Join):
+        return Join(_plan(node.left), _plan(node.right), node.on)
+    if isinstance(node, Union):
+        return Union(_plan(node.left), _plan(node.right))
+    if isinstance(node, Intersect):
+        return Intersect(_plan(node.left), _plan(node.right))
+    if isinstance(node, Difference):
+        return Difference(_plan(node.left), _plan(node.right))
+    raise TypeError(f"unknown RA node: {node!r}")
+
+
+def push_select(node: RAExpression, predicates: Sequence[Predicate]) -> RAExpression:
+    """Apply ``predicates`` to an already-planned ``node``, pushed as deep
+    as each predicate's column footprint allows."""
+    preds = list(predicates)
+    if not preds:
+        return node
+
+    if isinstance(node, Select):
+        # Fuse adjacent selections, then retry the push on the child.
+        return push_select(node.child, list(node.predicates) + preds)
+
+    if isinstance(node, Project):
+        pushable, residual = [], []
+        for pred in preds:
+            remapped = _remap_through_project(pred, node.columns)
+            if remapped is None:
+                residual.append(pred)
+            else:
+                pushable.append(remapped)
+        out: RAExpression = node
+        if pushable:
+            out = Project(push_select(node.child, pushable), node.columns)
+        return _select(out, residual)
+
+    if isinstance(node, (Product, Join)):
+        return _push_into_product_like(node, preds)
+
+    if isinstance(node, (Union, Intersect)):
+        # sigma(L op R) == sigma(L) op sigma(R) for union and intersection.
+        return type(node)(
+            push_select(node.left, preds), push_select(node.right, preds)
+        )
+
+    if isinstance(node, Difference):
+        # sigma(L - R) == sigma(L) - R; filtering R would be unsound.
+        return Difference(push_select(node.left, preds), node.right)
+
+    return _select(node, preds)
+
+
+def _select(node: RAExpression, predicates: Sequence[Predicate]) -> RAExpression:
+    return Select(node, predicates) if predicates else node
+
+
+def _remap_through_project(pred: Predicate, columns: Sequence[int]) -> Predicate | None:
+    """Rewrite a predicate over a projection's output to its input columns.
+
+    Always possible (every output column is some input column); ``None`` is
+    reserved for predicate kinds the planner does not know how to remap.
+    """
+    if isinstance(pred, ColEq):
+        return ColEq(columns[pred.left], columns[pred.right])
+    if isinstance(pred, ColNeq):
+        return ColNeq(columns[pred.left], columns[pred.right])
+    if isinstance(pred, ColEqConst):
+        return ColEqConst(columns[pred.column], pred.constant)
+    if isinstance(pred, ColNeqConst):
+        return ColNeqConst(columns[pred.column], pred.constant)
+    return None
+
+
+def _shift(pred: Predicate, offset: int) -> Predicate:
+    """Rebase a predicate's columns by ``-offset`` (push to the right side)."""
+    if isinstance(pred, ColEq):
+        return ColEq(pred.left - offset, pred.right - offset)
+    if isinstance(pred, ColNeq):
+        return ColNeq(pred.left - offset, pred.right - offset)
+    if isinstance(pred, ColEqConst):
+        return ColEqConst(pred.column - offset, pred.constant)
+    return ColNeqConst(pred.column - offset, pred.constant)
+
+
+def _push_into_product_like(
+    node: Product | Join, predicates: Sequence[Predicate]
+) -> RAExpression:
+    """Split predicates over a product/join into left, right, join and
+    residual parts, and rebuild as a :class:`Join`."""
+    split = node.left.arity
+    on = list(node.on) if isinstance(node, Join) else []
+    left_preds: list[Predicate] = []
+    right_preds: list[Predicate] = []
+    residual: list[Predicate] = []
+    for pred in predicates:
+        if isinstance(pred, (ColEqConst, ColNeqConst)):
+            if pred.column < split:
+                left_preds.append(pred)
+            else:
+                right_preds.append(_shift(pred, split))
+        elif isinstance(pred, (ColEq, ColNeq)):
+            lo, hi = sorted((pred.left, pred.right))
+            if hi < split:
+                left_preds.append(type(pred)(lo, hi))
+            elif lo >= split:
+                right_preds.append(_shift(type(pred)(lo, hi), split))
+            elif isinstance(pred, ColEq):
+                on.append((lo, hi - split))
+            else:
+                # A cross-side inequality cannot become a hash key; it
+                # stays as a residual filter above the join.
+                residual.append(pred)
+        else:
+            residual.append(pred)
+    left = push_select(node.left, left_preds)
+    right = push_select(node.right, right_preds)
+    return _select(Join(left, right, on), residual)
+
+
+# ---------------------------------------------------------------------------
+# UCQ -> relational algebra
+# ---------------------------------------------------------------------------
+
+
+def ra_of_ucq(query) -> RAExpression:
+    """Compile a safe-range UCQ (:class:`repro.queries.rules.UCQQuery`)
+    into the positional algebra.
+
+    Each rule becomes product-of-scans + selections (repeated variables,
+    body constants, side conditions) + a head projection; rules union
+    together.  Raises :class:`PlanError` for rules outside the compilable
+    fragment: head variables missing from the body, head constants, or
+    side conditions over unbound variables.
+    """
+    heads = {(rule.head.pred, rule.head.arity) for rule in query.rules}
+    if len(heads) != 1:
+        raise PlanError(
+            f"expected one head predicate, got {sorted(h for h, _ in heads)}"
+        )
+    exprs = [_ra_of_rule(rule) for rule in query.rules]
+    out = exprs[0]
+    for expr in exprs[1:]:
+        out = Union(out, expr)
+    return out
+
+
+def _ra_of_rule(rule) -> RAExpression:
+    if not rule.body:
+        raise PlanError(f"rule {rule!r} has an empty body")
+    expr: RAExpression = None  # type: ignore[assignment]
+    columns: list = []  # the term of each positional column, in query terms
+    for body_atom in rule.body:
+        scan = Scan(body_atom.pred, body_atom.arity)
+        expr = scan if expr is None else Product(expr, scan)
+        columns.extend(body_atom.terms)
+
+    predicates: list[Predicate] = []
+    first_seen: dict[Variable, int] = {}
+    for i, term in enumerate(columns):
+        if isinstance(term, Constant):
+            predicates.append(ColEqConst(i, term))
+        else:
+            if term in first_seen:
+                predicates.append(ColEq(first_seen[term], i))
+            else:
+                first_seen[term] = i
+
+    for cond in rule.conditions:
+        predicates.append(_predicate_of_condition(cond, first_seen))
+
+    head_columns = []
+    for term in rule.head.terms:
+        if isinstance(term, Constant):
+            raise PlanError(f"head constant {term} is not range-restricted")
+        if term not in first_seen:
+            raise PlanError(f"head variable {term} does not occur in the body")
+        head_columns.append(first_seen[term])
+
+    return Project(_select(expr, predicates), head_columns)
+
+
+def _predicate_of_condition(cond, first_seen: dict) -> Predicate:
+    from ..core.conditions import Eq
+
+    is_eq = isinstance(cond, Eq)
+    left, right = cond.left, cond.right
+
+    def col(term) -> int:
+        if term not in first_seen:
+            raise PlanError(f"condition variable {term} does not occur in the body")
+        return first_seen[term]
+
+    if isinstance(left, Variable) and isinstance(right, Variable):
+        return ColEq(col(left), col(right)) if is_eq else ColNeq(col(left), col(right))
+    if isinstance(left, Variable):
+        return (
+            ColEqConst(col(left), right) if is_eq else ColNeqConst(col(left), right)
+        )
+    if isinstance(right, Variable):
+        return (
+            ColEqConst(col(right), left) if is_eq else ColNeqConst(col(right), left)
+        )
+    raise PlanError(f"condition {cond} relates two constants")

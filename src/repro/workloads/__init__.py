@@ -2,11 +2,14 @@
 
 from .generators import (
     constant_pool,
+    equijoin_expression,
     random_c_table,
     random_codd_table,
     random_e_table,
     random_g_table,
     random_i_table,
+    random_join_database,
+    random_ra_expression,
     random_subinstance,
     random_table,
     random_valuation,
@@ -26,4 +29,7 @@ __all__ = [
     "random_valuation",
     "random_world",
     "random_subinstance",
+    "random_join_database",
+    "equijoin_expression",
+    "random_ra_expression",
 ]

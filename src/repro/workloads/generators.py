@@ -16,6 +16,20 @@ from ..core.search import witness_valuation
 from ..core.tables import CTable, Row, TableDatabase
 from ..core.terms import Constant, Variable
 from ..core.valuations import Valuation
+from ..relational.algebra import (
+    ColEq,
+    ColEqConst,
+    ColNeq,
+    ColNeqConst,
+    Difference,
+    Intersect,
+    Product,
+    Project,
+    RAExpression,
+    Scan,
+    Select,
+    Union,
+)
 from ..relational.instance import Instance, Relation
 
 __all__ = [
@@ -30,6 +44,9 @@ __all__ = [
     "random_valuation",
     "random_world",
     "random_subinstance",
+    "random_join_database",
+    "equijoin_expression",
+    "random_ra_expression",
 ]
 
 
@@ -264,6 +281,130 @@ def random_valuation(
 def random_world(rng: random.Random, db: TableDatabase, **kwargs) -> Instance:
     """A random member of ``rep(db)``."""
     return random_valuation(rng, db, **kwargs).apply_database(db)
+
+
+def random_join_database(
+    rng: random.Random,
+    rows_per_side: int = 16,
+    arity: int = 2,
+    num_keys: int | None = None,
+    var_probability: float = 0.0,
+    local_probability: float = 0.0,
+    num_variables: int = 4,
+) -> TableDatabase:
+    """A two-table equijoin workload: ``R`` and ``S``, joinable on column 0.
+
+    Column 0 of both tables draws from a shared key pool (``num_keys``
+    constants, default ``rows_per_side // 2`` so matches are plentiful);
+    the remaining columns are row-unique payload constants.  With
+    ``var_probability > 0`` some key cells become variables (exercising the
+    hash join's wild-row fallback) and with ``local_probability > 0`` rows
+    carry simple local conditions.  The scaling sweeps in
+    ``benchmarks/bench_join_planner.py`` and the planner's differential
+    tests both draw from this generator.
+    """
+    if num_keys is None:
+        num_keys = max(1, rows_per_side // 2)
+    keys = constant_pool(num_keys)
+    variables = variable_pool(num_variables, prefix="j")
+
+    def side(name: str, payload_base: int) -> CTable:
+        rows = []
+        for i in range(rows_per_side):
+            if variables and rng.random() < var_probability:
+                key = rng.choice(variables)
+            else:
+                key = rng.choice(keys)
+            payload = [Constant(payload_base + i * (arity - 1) + j) for j in range(arity - 1)]
+            terms = [key] + payload
+            if variables and rng.random() < local_probability:
+                condition = Conjunction([Neq(rng.choice(variables), rng.choice(keys))])
+                rows.append(Row(terms, condition))
+            else:
+                rows.append(Row(terms))
+        return CTable(name, arity, rows)
+
+    return TableDatabase([side("R", 1000), side("S", 2000)])
+
+
+def equijoin_expression(arity: int = 2) -> RAExpression:
+    """``R`` joined with ``S`` on column 0, written naively.
+
+    Returned in the ``Select(Product(...))`` form the planner is expected
+    to fuse into a hash join; pair with :func:`random_join_database`.
+    """
+    prod = Product(Scan("R", arity), Scan("S", arity))
+    return Select(prod, [ColEq(0, arity)])
+
+
+def _random_predicate(rng: random.Random, arity: int, num_constants: int):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return ColEq(rng.randrange(arity), rng.randrange(arity))
+    if kind == 1:
+        return ColNeq(rng.randrange(arity), rng.randrange(arity))
+    if kind == 2:
+        return ColEqConst(rng.randrange(arity), rng.randrange(num_constants))
+    return ColNeqConst(rng.randrange(arity), rng.randrange(num_constants))
+
+
+def random_ra_expression(
+    rng: random.Random,
+    relations: dict[str, int],
+    depth: int = 2,
+    num_constants: int = 4,
+    allow_difference: bool = True,
+) -> RAExpression:
+    """A random relational algebra expression over the given relations.
+
+    Leaves are scans; inner nodes draw from select, project, product,
+    join-shaped select-over-product, union, intersect and (optionally)
+    difference, with set operands projected to a common arity.  Used by the
+    planner's differential property tests, which assert that planning never
+    changes ``rep`` on expressions of every shape.
+    """
+    names = sorted(relations)
+
+    def build(d: int) -> RAExpression:
+        if d <= 0 or rng.random() < 0.25:
+            name = rng.choice(names)
+            return Scan(name, relations[name])
+        choice = rng.random()
+        child = build(d - 1)
+        if choice < 0.25:
+            preds = [
+                _random_predicate(rng, child.arity, num_constants)
+                for _ in range(rng.randint(1, 2))
+            ]
+            return Select(child, preds)
+        if choice < 0.45:
+            width = rng.randint(1, child.arity)
+            cols = [rng.randrange(child.arity) for _ in range(width)]
+            return Project(child, cols)
+        other = build(d - 1)
+        if choice < 0.70:
+            prod = Product(child, other)
+            preds = [
+                ColEq(
+                    rng.randrange(child.arity),
+                    child.arity + rng.randrange(other.arity),
+                )
+            ]
+            if rng.random() < 0.3:
+                preds.append(_random_predicate(rng, prod.arity, num_constants))
+            return Select(prod, preds)
+        if choice < 0.80:
+            return Product(child, other)
+        width = min(child.arity, other.arity)
+        left = Project(child, range(width)) if child.arity != width else child
+        right = Project(other, range(width)) if other.arity != width else other
+        if choice < 0.90:
+            return Union(left, right)
+        if allow_difference and choice < 0.95:
+            return Difference(left, right)
+        return Intersect(left, right)
+
+    return build(depth)
 
 
 def random_subinstance(rng: random.Random, instance: Instance, keep: float = 0.5) -> Instance:

@@ -1,8 +1,7 @@
-"""Shared fixtures and reference (oracle) implementations.
+"""Shared fixtures for the test suite.
 
-The oracle functions decide each problem straight from the enumeration
-semantics of :mod:`repro.core.worlds`; the efficient algorithms are tested
-against them on small inputs.
+The reference (oracle) implementations used by the differential tests live
+in :mod:`oracles` (``tests/oracles.py``); only pytest fixtures belong here.
 """
 
 from __future__ import annotations
@@ -11,65 +10,8 @@ import random
 
 import pytest
 
-from repro.core.tables import TableDatabase
-from repro.core.worlds import iter_worlds
-from repro.relational.instance import Instance
-
 
 @pytest.fixture
 def rng():
     """A deterministic random generator, fresh per test."""
     return random.Random(0xC0DD)
-
-
-def oracle_member(instance: Instance, db: TableDatabase, query=None) -> bool:
-    """MEMB by world enumeration."""
-    return any(
-        world == instance
-        for world in iter_worlds(db, query, extra_constants=instance.constants())
-    )
-
-
-def oracle_unique(instance: Instance, db: TableDatabase, query=None) -> bool:
-    """UNIQ by world enumeration."""
-    worlds = set(iter_worlds(db, query, extra_constants=instance.constants()))
-    return worlds == {instance}
-
-
-def oracle_contains(db0, db, query0=None, query=None) -> bool:
-    """CONT by nested world enumeration."""
-    extra = set(db.constants()) | set(db0.constants())
-    if query is not None:
-        extra |= query.constants()
-    if query0 is not None:
-        extra |= query0.constants()
-    right = set(iter_worlds(db, query, extra_constants=extra))
-    return all(
-        world in right for world in iter_worlds(db0, query0, extra_constants=extra)
-    )
-
-
-def oracle_possible(facts: Instance, db: TableDatabase, query=None) -> bool:
-    """POSS by world enumeration."""
-    for world in iter_worlds(db, query, extra_constants=facts.constants()):
-        if _facts_in(facts, world):
-            return True
-    return False
-
-
-def oracle_certain(facts: Instance, db: TableDatabase, query=None) -> bool:
-    """CERT by world enumeration."""
-    return all(
-        _facts_in(facts, world)
-        for world in iter_worlds(db, query, extra_constants=facts.constants())
-    )
-
-
-def _facts_in(facts: Instance, world: Instance) -> bool:
-    for name in facts.names():
-        wanted = facts[name].facts
-        if not wanted:
-            continue
-        if name not in world or not wanted <= world[name].facts:
-            return False
-    return True

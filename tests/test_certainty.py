@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import oracle_certain
+from oracles import oracle_certain
 from repro.core.certainty import (
     certain_enumerate,
     certain_identity,

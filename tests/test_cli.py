@@ -174,3 +174,52 @@ class TestFileLoading:
 
     def test_no_command(self):
         assert main([]) == EXIT_USAGE
+
+
+class TestEval:
+    def test_eval_literal_query(self, db_file, capsys):
+        assert main(["eval", db_file, "Q(Y) :- R(X, Y)."]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "Q/1" in out
+
+    def test_eval_query_file(self, db_file, tmp_path, capsys):
+        query = tmp_path / "q.dl"
+        query.write_text("Q(X, Z) :- R(X, Y), R(Y, Z).")
+        assert main(["eval", db_file, str(query)]) == EXIT_YES
+        assert "Q/2" in capsys.readouterr().out
+
+    def test_eval_naive_and_planned_agree(self, db_file, capsys):
+        # Row *order* is not part of the contract (the hash path groups by
+        # bucket), so compare the printed rows as sets.
+        rule = "Q(X, Z) :- R(X, Y), R(Y, Z)."
+        assert main(["eval", db_file, rule]) == EXIT_YES
+        planned = capsys.readouterr().out.splitlines()
+        assert main(["eval", db_file, rule, "--naive"]) == EXIT_YES
+        naive = capsys.readouterr().out.splitlines()
+        assert planned[0] == naive[0]  # the header line
+        assert set(planned[1:]) == set(naive[1:])
+
+    def test_eval_prints_plan(self, db_file, capsys):
+        assert main(["eval", db_file, "Q(X, Z) :- R(X, Y), R(Y, Z).", "--plan"]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "-- plan:" in out and "Join(" in out
+
+    def test_eval_bad_query(self, db_file, capsys):
+        assert main(["eval", db_file, "this is not a rule"]) == EXIT_USAGE
+        assert "repro:" in capsys.readouterr().err
+
+    def test_eval_missing_query_file(self, db_file, capsys):
+        assert main(["eval", db_file, "quary.dl"]) == EXIT_USAGE
+        assert "no such file" in capsys.readouterr().err
+
+    def test_eval_empty_query(self, db_file, capsys):
+        assert main(["eval", db_file, ""]) == EXIT_USAGE
+        assert "at least one rule" in capsys.readouterr().err
+
+    def test_eval_unknown_relation(self, db_file, capsys):
+        assert main(["eval", db_file, "Q(X) :- T(X)."]) == EXIT_USAGE
+        assert "unknown relation" in capsys.readouterr().err
+
+    def test_eval_head_constant_rejected(self, db_file, capsys):
+        assert main(["eval", db_file, "Q(0) :- R(X, Y), X = 0."]) == EXIT_USAGE
+        assert "repro:" in capsys.readouterr().err

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import oracle_contains
+from oracles import oracle_contains
 from repro.core.conditions import Conjunction, Eq, Neq
 from repro.core.containment import (
     containment_enumerate,

@@ -1,0 +1,169 @@
+"""Condition interning and memoised satisfiability.
+
+The caches in :mod:`repro.core.conditions` are pure memoisation: every
+cached verdict must equal what a fresh computation returns, including
+after substitution and negation reshape a condition into one already
+seen (or not).  ``solve()`` is used as the cache-free cross-check for
+satisfiability (it re-runs congruence closure every call); DNF emptiness
+cross-checks the trivially-false detector.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.conditions import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BoolAnd,
+    BoolAtom,
+    BoolOr,
+    Conjunction,
+    Eq,
+    Neq,
+    clear_condition_caches,
+    condition_cache_stats,
+    condition_is_trivially_false,
+    conjoin,
+    intern_conjunction,
+)
+from repro.core.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_condition_caches()
+    yield
+    clear_condition_caches()
+
+
+def _random_conjunction(rng: random.Random) -> Conjunction:
+    terms = [x, y, z, Constant(0), Constant(1), Constant(2)]
+    atoms = []
+    for _ in range(rng.randint(0, 4)):
+        cls = Eq if rng.random() < 0.5 else Neq
+        atoms.append(cls(rng.choice(terms), rng.choice(terms)))
+    return Conjunction(atoms)
+
+
+class TestSatisfiabilityCache:
+    def test_cached_verdict_matches_fresh_computation(self):
+        rng = random.Random(0x5A7)
+        for _ in range(300):
+            conj = _random_conjunction(rng)
+            cached = conj.is_satisfiable()
+            # solve() re-derives the closure on every call (no cache): the
+            # two must agree, and a repeat lookup must not flip the verdict.
+            assert cached == (conj.solve() is not None)
+            assert conj.is_satisfiable() == cached
+
+    def test_repeat_queries_hit_the_cache(self):
+        conj = Conjunction([Eq(x, 1), Neq(x, y)])
+        conj.is_satisfiable()
+        before = condition_cache_stats()
+        # A structurally equal conjunction shares the cache entry.
+        Conjunction([Eq(x, 1), Neq(x, y)]).is_satisfiable()
+        after = condition_cache_stats()
+        assert after["sat_hits"] == before["sat_hits"] + 1
+        assert after["sat_misses"] == before["sat_misses"]
+
+    def test_consistency_under_substitution(self):
+        rng = random.Random(0xBEE)
+        values = [Constant(0), Constant(1), x, y]
+        for _ in range(200):
+            conj = _random_conjunction(rng)
+            conj.is_satisfiable()  # prime the cache with the original
+            mapping = {v: rng.choice(values) for v in (x, y, z)}
+            substituted = conj.substitute(mapping)
+            assert substituted.is_satisfiable() == (substituted.solve() is not None)
+
+    def test_consistency_under_negation(self):
+        rng = random.Random(0xD1CE)
+        for _ in range(200):
+            conj = _random_conjunction(rng)
+            conj.is_satisfiable()
+            for atom in conj.atoms:
+                flipped = Conjunction(
+                    [a for a in conj.atoms if a != atom] + [atom.negated()]
+                )
+                assert flipped.is_satisfiable() == (flipped.solve() is not None)
+
+    def test_unsatisfiable_conjunction_stays_unsatisfiable(self):
+        conj = Conjunction([Eq(x, 0), Eq(x, 1)])
+        assert not conj.is_satisfiable()
+        assert not conj.is_satisfiable()
+        assert not Conjunction([Eq(x, 0), Eq(x, 1)]).is_satisfiable()
+
+
+class TestInterning:
+    def test_interning_is_idempotent_and_canonical(self):
+        a = Conjunction([Eq(x, 1), Neq(y, 2)])
+        b = Conjunction([Neq(y, 2), Eq(x, 1)])  # same canonical atom tuple
+        assert intern_conjunction(a) is intern_conjunction(b)
+        assert intern_conjunction(a) is intern_conjunction(a)
+
+    def test_interned_instance_is_semantically_identical(self):
+        a = Conjunction([Eq(x, 1)])
+        canon = intern_conjunction(a)
+        assert canon == a
+        assert canon.is_satisfiable() == a.is_satisfiable()
+
+    def test_conjoin_matches_and_also(self):
+        rng = random.Random(0xF00)
+        for _ in range(100):
+            a, b = _random_conjunction(rng), _random_conjunction(rng)
+            assert conjoin(a, b) == a.and_also(b)
+
+    def test_conjoin_memoises(self):
+        a, b = Conjunction([Eq(x, 1)]), Conjunction([Neq(y, 2)])
+        first = conjoin(a, b)
+        before = condition_cache_stats()["conjoin_hits"]
+        assert conjoin(a, b) is first
+        assert condition_cache_stats()["conjoin_hits"] == before + 1
+
+
+class TestTriviallyFalseCache:
+    def test_sound_against_dnf(self):
+        rng = random.Random(0xFA15E)
+        terms = [x, y, Constant(0), Constant(1)]
+        for _ in range(200):
+            atoms = [
+                BoolAtom((Eq if rng.random() < 0.5 else Neq)(rng.choice(terms), rng.choice(terms)))
+                for _ in range(rng.randint(1, 3))
+            ]
+            tree = (BoolAnd if rng.random() < 0.5 else BoolOr)(tuple(atoms))
+            if condition_is_trivially_false(tree):
+                # Trivially false must imply genuinely unsatisfiable.
+                assert tree.to_dnf() == ()
+            # Memoised verdicts are stable.
+            assert condition_is_trivially_false(tree) == condition_is_trivially_false(tree)
+
+    def test_constants(self):
+        assert not condition_is_trivially_false(BOOL_TRUE)
+        assert condition_is_trivially_false(BOOL_FALSE)
+
+    def test_structural_cases(self):
+        false_atom = BoolAtom(Neq(x, x))
+        true_atom = BoolAtom(Eq(x, x))
+        assert condition_is_trivially_false(false_atom)
+        assert not condition_is_trivially_false(true_atom)
+        assert condition_is_trivially_false(BoolAnd((true_atom, false_atom)))
+        assert not condition_is_trivially_false(BoolOr((true_atom, false_atom)))
+        assert condition_is_trivially_false(BoolOr((false_atom, false_atom)))
+
+    def test_negation_consistency(self):
+        # not(trivially false atom) is trivially true, never trivially false.
+        atom = BoolAtom(Neq(x, x))
+        assert condition_is_trivially_false(atom)
+        assert not condition_is_trivially_false(atom.negated())
+
+    def test_cache_hits_accumulate(self):
+        tree = BoolAnd((BoolAtom(Eq(x, 1)), BoolAtom(Neq(x, x))))
+        condition_is_trivially_false(tree)
+        before = condition_cache_stats()["trivially_false_hits"]
+        condition_is_trivially_false(tree)
+        assert condition_cache_stats()["trivially_false_hits"] == before + 1

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import oracle_member
+from oracles import oracle_member
 from repro.core.conditions import Conjunction, Eq, Neq
 from repro.core.membership import (
     is_member,

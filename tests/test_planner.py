@@ -1,0 +1,306 @@
+"""Differential tests for the join planner and optimized c-table evaluator.
+
+The contract under test (ISSUE 1 / the c-table analogue of classical
+plan-equivalence): for every RA expression ``e`` and c-table database ``D``
+
+    rep(evaluate_ct_optimized(e, D)) == rep(evaluate_ct(e, D))
+
+checked through the world-enumeration oracle on hundreds of randomized
+(expression, database) pairs plus hand-picked edge cases.  Structural
+tests pin down what the rewrite pass is expected to produce.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.conditions import Conjunction, Neq
+from repro.core.tables import CTable, TableDatabase, c_table
+from repro.core.terms import Constant, Variable
+from repro.core.worlds import enumerate_worlds, strong_canonicalize
+from repro.ctalgebra import evaluate_ct, evaluate_ct_optimized, join_ct, product_ct, select_ct
+from repro.relational import (
+    ColEq,
+    ColEqConst,
+    ColNeq,
+    Difference,
+    Join,
+    PlanError,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+    evaluate_to_relation,
+    plan,
+    ra_of_ucq,
+)
+from repro.queries import UCQQuery, atom, cq
+from repro.workloads import (
+    equijoin_expression,
+    random_join_database,
+    random_ra_expression,
+    random_table,
+)
+
+x, y = Variable("x"), Variable("y")
+
+
+def _rep(table, extra):
+    """rep of a single-table database, canonicalised for comparison.
+
+    Strong canonicalisation: the naive and planned evaluators may keep
+    different dead rows (hence different variable sets), so worlds must be
+    compared up to every |Delta|-fixing renaming, not first-appearance
+    renaming.
+    """
+    worlds = enumerate_worlds(TableDatabase.single(table), extra_constants=extra)
+    return {strong_canonicalize(w, extra) for w in worlds}
+
+
+def assert_same_rep(expression, db):
+    naive = evaluate_ct(expression, db, name="V")
+    optimized = evaluate_ct_optimized(expression, db, name="V")
+    assert naive.arity == optimized.arity
+    extra = sorted(db.constants(), key=Constant.sort_key)
+    assert _rep(naive, extra) == _rep(optimized, extra), repr(expression)
+
+
+class TestPlanRewrites:
+    """The rewrite pass produces the expected shapes."""
+
+    def test_select_product_fuses_to_join(self):
+        expr = Select(Product(Scan("R", 2), Scan("S", 2)), [ColEq(0, 2)])
+        planned = plan(expr)
+        assert isinstance(planned, Join)
+        assert planned.on == ((0, 0),)
+
+    def test_single_side_predicates_push_to_leaves(self):
+        expr = Select(
+            Product(Scan("R", 2), Scan("S", 2)),
+            [ColEq(1, 2), ColEqConst(0, 7), ColEqConst(3, 9)],
+        )
+        planned = plan(expr)
+        assert isinstance(planned, Join)
+        assert isinstance(planned.left, Select)
+        assert planned.left.predicates == (ColEqConst(0, 7),)
+        assert isinstance(planned.right, Select)
+        assert planned.right.predicates == (ColEqConst(1, 9),)
+
+    def test_cross_side_inequality_stays_residual(self):
+        expr = Select(Product(Scan("R", 1), Scan("S", 1)), [ColNeq(0, 1)])
+        planned = plan(expr)
+        assert isinstance(planned, Select)
+        assert isinstance(planned.child, Join)
+        assert planned.child.on == ()
+
+    def test_adjacent_selects_fuse(self):
+        expr = Select(Select(Scan("R", 2), [ColEqConst(0, 1)]), [ColEqConst(1, 2)])
+        planned = plan(expr)
+        assert isinstance(planned, Select)
+        assert isinstance(planned.child, Scan)
+        assert set(planned.predicates) == {ColEqConst(0, 1), ColEqConst(1, 2)}
+
+    def test_select_pushes_through_project(self):
+        expr = Select(Project(Scan("R", 3), [2, 0]), [ColEqConst(0, 5)])
+        planned = plan(expr)
+        assert isinstance(planned, Project)
+        assert isinstance(planned.child, Select)
+        assert planned.child.predicates == (ColEqConst(2, 5),)
+
+    def test_select_pushes_left_of_difference_only(self):
+        expr = Select(Difference(Scan("R", 1), Scan("S", 1)), [ColEqConst(0, 1)])
+        planned = plan(expr)
+        assert isinstance(planned, Difference)
+        assert isinstance(planned.left, Select)
+        assert isinstance(planned.right, Scan)
+
+    def test_bare_product_becomes_join_on_nothing(self):
+        planned = plan(Product(Scan("R", 1), Scan("S", 1)))
+        assert isinstance(planned, Join)
+        assert planned.on == ()
+
+    def test_join_validates_columns(self):
+        with pytest.raises(ValueError):
+            Join(Scan("R", 2), Scan("S", 2), [(2, 0)])
+        with pytest.raises(ValueError):
+            Join(Scan("R", 2), Scan("S", 2), [(0, 5)])
+
+
+class TestJoinCtOperator:
+    """join_ct against the select-over-product definition."""
+
+    def _assert_join_matches_product(self, left, right, on):
+        db = TableDatabase([left, right])
+        preds = [ColEq(l, left.arity + r) for l, r in on]
+        reference = select_ct(product_ct(left, right, name="V"), preds, name="V")
+        joined = join_ct(left, right, on, name="V")
+        extra = sorted(db.constants(), key=Constant.sort_key)
+        assert _rep(reference, extra) == _rep(joined, extra)
+
+    def test_ground_rows_hash_partition(self):
+        left = CTable("R", 2, [(1, 10), (2, 20), (3, 30)])
+        right = CTable("S", 2, [(1, 11), (3, 33), (4, 44)])
+        joined = join_ct(left, right, [(0, 0)])
+        assert {row.terms[0].value for row in joined.rows} == {1, 3}
+        self._assert_join_matches_product(left, right, [(0, 0)])
+
+    def test_variable_join_columns_fall_back(self):
+        left = CTable("R", 2, [(x, 10), (2, 20)])
+        right = CTable("S", 2, [(1, 11), (y, 22)])
+        self._assert_join_matches_product(left, right, [(0, 0)])
+
+    def test_all_variable_join_columns(self):
+        left = CTable("R", 1, [(x,)])
+        right = CTable("S", 1, [(y,)])
+        joined = join_ct(left, right, [(0, 0)])
+        assert len(joined.rows) == 1
+        self._assert_join_matches_product(left, right, [(0, 0)])
+
+    def test_empty_left_table(self):
+        left = CTable("R", 2, [])
+        right = CTable("S", 2, [(1, 2)])
+        assert len(join_ct(left, right, [(0, 0)]).rows) == 0
+
+    def test_empty_right_table(self):
+        left = CTable("R", 2, [(1, 2)])
+        right = CTable("S", 2, [])
+        assert len(join_ct(left, right, [(0, 0)]).rows) == 0
+
+    def test_multi_column_join(self):
+        left = CTable("R", 2, [(1, 2), (1, 3)])
+        right = CTable("S", 2, [(1, 2), (1, 9)])
+        joined = join_ct(left, right, [(0, 0), (1, 1)])
+        assert len(joined.rows) == 1
+        self._assert_join_matches_product(left, right, [(0, 0), (1, 1)])
+
+    def test_dead_rows_pruned(self):
+        dead = c_table("R", 1, [((1,), "x != x")])
+        live = CTable("S", 1, [(1,)])
+        assert len(join_ct(dead, live, [(0, 0)]).rows) == 0
+
+    def test_local_conditions_conjoined(self):
+        left = c_table("R", 1, [((1,), "x = 0")])
+        right = c_table("S", 1, [((1,), "y != 1")])
+        self._assert_join_matches_product(left, right, [(0, 0)])
+
+    def test_global_conditions_conjoined(self):
+        left = CTable("R", 1, [(x,)], Conjunction([Neq(x, 0)]))
+        right = CTable("S", 1, [(y,)], Conjunction([Neq(y, 1)]))
+        joined = join_ct(left, right, [(0, 0)])
+        assert joined.global_condition == Conjunction([Neq(x, 0), Neq(y, 1)])
+
+
+class TestDifferentialEdgeCases:
+    def test_empty_tables(self):
+        db = TableDatabase([CTable("R", 2, []), CTable("S", 2, [(1, 2)])])
+        assert_same_rep(equijoin_expression(), db)
+
+    def test_all_variable_join_columns(self):
+        db = TableDatabase(
+            [CTable("R", 2, [(x, 1)]), CTable("S", 2, [(y, 2)])]
+        )
+        assert_same_rep(equijoin_expression(), db)
+
+    def test_trivially_false_global_condition(self):
+        unsat = Conjunction([Neq(x, x)])
+        db = TableDatabase(
+            [CTable("R", 2, [(1, 2)], unsat), CTable("S", 2, [(1, 3)])]
+        )
+        naive = evaluate_ct(equijoin_expression(), db)
+        optimized = evaluate_ct_optimized(equijoin_expression(), db)
+        extra = sorted(db.constants(), key=Constant.sort_key)
+        assert _rep(naive, extra) == _rep(optimized, extra) == set()
+
+    def test_difference_of_joins(self):
+        db = TableDatabase(
+            [CTable("R", 2, [(1, x), (2, 3)]), CTable("S", 2, [(1, 4), (y, 3)])]
+        )
+        join = Project(equijoin_expression(), [0, 1])
+        assert_same_rep(Difference(join, Scan("R", 2)), db)
+
+    def test_union_of_join_and_scan(self):
+        db = TableDatabase(
+            [CTable("R", 2, [(1, x)]), CTable("S", 2, [(x, 2)])]
+        )
+        join = Project(equijoin_expression(), [1, 2])
+        assert_same_rep(Union(join, Scan("S", 2)), db)
+
+
+class TestDifferentialRandomized:
+    """The bulk differential sweep: >= 200 randomized cases in total."""
+
+    def test_random_expressions_over_random_tables(self):
+        # 40 seeds x 3 table kinds = 120 cases of arbitrary expression shape.
+        for seed in range(40):
+            rng = random.Random(seed)
+            for kind in ("codd", "e", "c"):
+                kwargs = {} if kind == "codd" else {"num_variables": 2}
+                db = TableDatabase(
+                    [
+                        random_table(rng, kind, name="R", rows=2, num_constants=2, **kwargs),
+                        random_table(rng, kind, name="S", rows=2, num_constants=2, **kwargs),
+                    ]
+                )
+                expr = random_ra_expression(rng, {"R": 2, "S": 2}, depth=2)
+                assert_same_rep(expr, db)
+
+    def test_random_join_workloads(self):
+        # 60 seeds x (plain + wild/conditioned) = 120 equijoin cases.
+        expr = equijoin_expression()
+        for seed in range(60):
+            rng = random.Random(1000 + seed)
+            plain = random_join_database(rng, rows_per_side=3, num_keys=2)
+            assert_same_rep(expr, plain)
+            wild = random_join_database(
+                rng,
+                rows_per_side=2,
+                num_keys=2,
+                var_probability=0.4,
+                local_probability=0.4,
+                num_variables=2,
+            )
+            assert_same_rep(expr, wild)
+
+    def test_instance_level_join_matches_desugaring(self):
+        # The relational evaluator's hash join vs its select-over-product.
+        for seed in range(20):
+            rng = random.Random(seed)
+            db = random_join_database(rng, rows_per_side=4, var_probability=0.0)
+            world = next(iter(enumerate_worlds(db)))
+            join = Join(Scan("R", 2), Scan("S", 2), [(0, 0)])
+            assert evaluate_to_relation(join, world) == evaluate_to_relation(
+                join.as_select_product(), world
+            )
+
+
+class TestUCQCompilation:
+    def test_chain_query_plans_to_join(self):
+        query = UCQQuery([cq(atom("Q", "X", "Z"), atom("R", "X", "Y"), atom("R", "Y", "Z"))])
+        planned = plan(ra_of_ucq(query))
+        assert isinstance(planned, Project)
+        assert isinstance(planned.child, Join)
+        assert planned.child.on == ((1, 0),)
+
+    def test_compiled_query_matches_apply_ucq_semantics(self):
+        from repro.ctalgebra import apply_ucq
+
+        db = TableDatabase.single(CTable("R", 2, [(1, x), (y, 2), (2, 3)]))
+        query = UCQQuery([cq(atom("Q", "X", "Z"), atom("R", "X", "Y"), atom("R", "Y", "Z"))])
+        folded = apply_ucq(query, db)["Q"]
+        compiled = evaluate_ct_optimized(ra_of_ucq(query), db, name="Q")
+        extra = sorted(db.constants(), key=Constant.sort_key)
+        assert _rep(folded, extra) == _rep(compiled, extra)
+
+    def test_unsafe_head_variable_rejected(self):
+        # UCQQuery itself enforces range restriction at construction; the
+        # compiler never sees unsafe heads (PlanError covers constants).
+        with pytest.raises(ValueError):
+            UCQQuery([cq(atom("Q", "X", "W"), atom("R", "X", "Y"))])
+
+    def test_head_constant_rejected(self):
+        query = UCQQuery([cq(atom("Q", 1), atom("R", "X", "Y"))])
+        with pytest.raises(PlanError):
+            ra_of_ucq(query)

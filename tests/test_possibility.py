@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import oracle_possible
+from oracles import oracle_possible
 from repro.core.conditions import Conjunction, Eq, Neq
 from repro.core.possibility import (
     is_possible,

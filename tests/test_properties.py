@@ -139,12 +139,15 @@ def _canonical_worlds(db, extra):
 
     Dropping a dead row or solving an equality can remove variables, which
     shifts the indices of the fresh constants; rep-equality is equality up
-    to a bijection fixing the genuine constants.
+    to a bijection fixing the genuine constants.  The *strong* canonical
+    form is required here: first-appearance renaming is not invariant, so
+    with it two isomorphic worlds enumerated from differently-sized
+    variable sets can spuriously compare unequal.
     """
-    from repro.core.worlds import canonicalize_instance
+    from repro.core.worlds import strong_canonicalize
 
     return {
-        canonicalize_instance(w, extra)
+        strong_canonicalize(w, extra)
         for w in enumerate_worlds(db, extra_constants=extra)
     }
 

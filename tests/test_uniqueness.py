@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import oracle_unique
+from oracles import oracle_unique
 from repro.core.conditions import Conjunction, Eq, Neq
 from repro.core.tables import CTable, TableDatabase, c_table, codd_table, e_table, g_table
 from repro.core.terms import Variable
