@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``)::
     repro contains sub.pwt super.pwt  # CONT: rep(sub) subset of rep(super)?
     repro convert db.pwt --to json    # text <-> JSON conversion
     repro eval db.pwt query.dl        # evaluate a UCQ view via the planner
+    repro eval db.pwt query.dl --explain   # show stats + chosen join order
 
 Databases use the text notation of :mod:`repro.io.text` (``.pwt`` --
 "possible worlds tables"), instances the ``%instance`` notation
@@ -203,9 +204,10 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_eval(args) -> int:
-    from .ctalgebra.evaluate import evaluate_ct, evaluate_ct_optimized
+    from .ctalgebra.evaluate import evaluate_ct, evaluate_ct_ordered
     from .relational.parser import ParseError, parse_query
     from .relational.planner import PlanError, plan, ra_of_ucq
+    from .relational.stats import Statistics
 
     db = load_database_file(args.database)
     import os
@@ -224,18 +226,32 @@ def _cmd_eval(args) -> int:
     except (ParseError, PlanError, ValueError) as exc:
         raise CliError(f"query: {exc}") from exc
     name = query.rules[0].head.pred
+    stats = None if args.naive else Statistics.collect(db)
+    if args.explain and not args.naive:
+        for table_stats in sorted(stats, key=lambda t: t.name):
+            print(f"-- stats: {table_stats.describe()}")
     if args.plan:
-        # Show what actually executes: the rewritten plan, or with --naive
-        # the expression as compiled (the naive evaluator runs it literally).
-        shown = expression if args.naive else plan(expression)
+        # Show what actually executes: the statistics-ordered plan, or with
+        # --naive the expression as compiled (run literally).
+        shown = expression if args.naive else plan(expression, stats=stats)
         print(f"-- plan: {shown!r}")
+    explain: list[str] | None = [] if args.explain and not args.naive else None
     try:
-        evaluator = evaluate_ct if args.naive else evaluate_ct_optimized
-        view = evaluator(expression, db, name=name)
+        if args.naive:
+            view = evaluate_ct(expression, db, name=name)
+        else:
+            view = evaluate_ct_ordered(
+                expression, db, name=name, stats=stats, explain=explain
+            )
     except KeyError as exc:
         raise CliError(f"evaluation: unknown relation {exc}") from exc
     except ValueError as exc:
         raise CliError(f"evaluation: {exc}") from exc
+    if explain is not None:
+        if not explain:
+            explain.append("join order: unchanged (no 3+-way join chain)")
+        for line in explain:
+            print(f"-- {line}")
     print(f"-- {view.name}/{view.arity} ({view.classify()}-table, {len(view)} rows)")
     print(view)
     return EXIT_YES
@@ -307,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--plan", action="store_true", help="print the planned expression first"
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print table statistics and the cost-chosen join order",
     )
     p.set_defaults(func=_cmd_eval)
 

@@ -197,27 +197,81 @@ class Neq(Atom):
 
 #: Entry cap per cache.  Query evaluation manufactures a unique combined
 #: condition per output row, so uncapped caches would grow with the total
-#: rows ever processed; on overflow a cache is simply dropped and rebuilt,
-#: which keeps the hot (repeated) entries cheap to restore.
+#: rows ever processed; each cache evicts its least-recently-used entry on
+#: overflow, so the hot (repeated) entries survive arbitrarily long runs —
+#: important when a long-running service embeds the library.
 _CACHE_LIMIT = 1 << 18
 
+_MISSING = object()
+
+
+class _LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Exploits dict insertion order: a hit re-inserts the key at the end, so
+    the first key is always the least recently *used* and :meth:`put`
+    evicts it when the cache is full.  ``limit`` is mutable so tests (and
+    embedders with different memory budgets) can resize a cache in place.
+    """
+
+    __slots__ = ("_data", "limit")
+
+    def __init__(self, limit: int = _CACHE_LIMIT) -> None:
+        self._data: dict = {}
+        self.limit = limit
+
+    def get(self, key, default=None):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        # Refresh recency.  Tolerate a concurrent eviction between the read
+        # and the delete: a cache lookup must never raise.
+        try:
+            del self._data[key]
+        except KeyError:
+            pass
+        self._data[key] = value
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            try:
+                del data[key]
+            except KeyError:  # pragma: no cover - concurrent eviction
+                pass
+        else:
+            # A loop (not a single eviction) so that lowering ``limit`` on a
+            # full cache shrinks it, and a non-positive limit cannot trip
+            # ``next`` on an empty dict.
+            while data and len(data) >= self.limit:
+                try:
+                    del data[next(iter(data))]
+                except (KeyError, RuntimeError):  # pragma: no cover - races
+                    break
+        data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
 #: Satisfiability verdicts keyed by a conjunction's canonical atom tuple.
-_SAT_CACHE: dict[tuple, bool] = {}
+_SAT_CACHE = _LRUCache()
 
 #: Canonical (interned) conjunction per atom tuple.
-_INTERN_CACHE: dict[tuple, "Conjunction"] = {}
+_INTERN_CACHE = _LRUCache()
 
 #: Memoised pairwise conjunction results.
-_CONJOIN_CACHE: dict[tuple, "Conjunction"] = {}
+_CONJOIN_CACHE = _LRUCache()
 
 #: Memoised trivially-false verdicts for boolean condition trees.
-_TRIVIALLY_FALSE_CACHE: dict["BoolCondition", bool] = {}
-
-
-def _bounded_insert(cache: dict, key, value) -> None:
-    if len(cache) >= _CACHE_LIMIT:
-        cache.clear()
-    cache[key] = value
+_TRIVIALLY_FALSE_CACHE = _LRUCache()
 
 #: Hit/miss counters, one pair per cache (exposed for tests and tuning).
 _CACHE_STATS = {
@@ -259,7 +313,7 @@ def intern_conjunction(conjunction: "Conjunction") -> "Conjunction":
         _CACHE_STATS["intern_hits"] += 1
         return cached
     _CACHE_STATS["intern_misses"] += 1
-    _bounded_insert(_INTERN_CACHE, conjunction.atoms, conjunction)
+    _INTERN_CACHE.put(conjunction.atoms, conjunction)
     return conjunction
 
 
@@ -272,7 +326,7 @@ def conjoin(left: "Conjunction", right: "Conjunction") -> "Conjunction":
         return cached
     _CACHE_STATS["conjoin_misses"] += 1
     result = intern_conjunction(left.and_also(right))
-    _bounded_insert(_CONJOIN_CACHE, key, result)
+    _CONJOIN_CACHE.put(key, result)
     return result
 
 
@@ -299,7 +353,7 @@ def condition_is_trivially_false(condition: "BoolCondition") -> bool:
         verdict = all(condition_is_trivially_false(c) for c in condition.children)
     else:  # pragma: no cover - future condition kinds default to "unknown"
         verdict = False
-    _bounded_insert(_TRIVIALLY_FALSE_CACHE, condition, verdict)
+    _TRIVIALLY_FALSE_CACHE.put(condition, verdict)
     return verdict
 
 
@@ -499,7 +553,7 @@ class Conjunction:
         verdict = not uf.inconsistent and not any(
             uf.same(a.left, a.right) for a in self.inequalities()
         )
-        _bounded_insert(_SAT_CACHE, self.atoms, verdict)
+        _SAT_CACHE.put(self.atoms, verdict)
         return verdict
 
     def solve(self) -> "tuple[dict[Variable, Term], Conjunction] | None":

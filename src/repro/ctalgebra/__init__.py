@@ -5,7 +5,12 @@ with the difference extension, full relational algebra) applied to c-table
 databases are again representable as c-tables of polynomial size.
 """
 
-from .evaluate import evaluate_ct, evaluate_ct_database, evaluate_ct_optimized
+from .evaluate import (
+    evaluate_ct,
+    evaluate_ct_database,
+    evaluate_ct_optimized,
+    evaluate_ct_ordered,
+)
 from .operators import (
     difference_ct,
     intersect_ct,
@@ -23,6 +28,7 @@ __all__ = [
     "evaluate_ct",
     "evaluate_ct_database",
     "evaluate_ct_optimized",
+    "evaluate_ct_ordered",
     "select_ct",
     "project_ct",
     "product_ct",

@@ -6,7 +6,7 @@ single c-table representing the view; positive expressions stay within the
 paper's positive existential fragment, and :class:`Difference` exercises the
 full-closure extension.
 
-Two entry points share the translation:
+Three entry points share the translation:
 
 * :func:`evaluate_ct` — the naive evaluator: executes the AST literally,
   with :class:`Join` nodes desugared to select-over-product.  Quadratic on
@@ -14,11 +14,17 @@ Two entry points share the translation:
 * :func:`evaluate_ct_optimized` — runs the rewrite planner
   (:func:`repro.relational.planner.plan`) first, then executes
   :class:`Join` nodes with the hash-partitioning :func:`join_ct`.
+* :func:`evaluate_ct_ordered` — additionally collects table statistics
+  from the database (:class:`repro.relational.stats.Statistics`) and lets
+  the cost model re-order n-way join chains before execution; pass an
+  ``explain`` list to capture the ordering decisions.
 
 ``rep(evaluate_ct(e, D)) == { e(I) : I in rep(D) }`` is validated by the
 integration tests against both the instance-level evaluator and the world
-enumeration, and ``rep(evaluate_ct_optimized(e, D)) == rep(evaluate_ct(e,
-D))`` by the planner's differential property tests.
+enumeration; ``rep(evaluate_ct_optimized(e, D)) == rep(evaluate_ct(e,
+D))`` by the planner's differential property tests; and the three-way
+agreement (naive / rewrite-planned / cost-ordered) by the randomized
+harness in ``tests/test_plan_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from ..relational.algebra import (
     Union,
 )
 from ..relational.planner import plan
+from ..relational.stats import Statistics
 from .operators import (
     difference_ct,
     intersect_ct,
@@ -46,7 +53,12 @@ from .operators import (
     union_ct,
 )
 
-__all__ = ["evaluate_ct", "evaluate_ct_database", "evaluate_ct_optimized"]
+__all__ = [
+    "evaluate_ct",
+    "evaluate_ct_database",
+    "evaluate_ct_optimized",
+    "evaluate_ct_ordered",
+]
 
 
 def evaluate_ct(expression: RAExpression, db: TableDatabase, name: str = "view") -> CTable:
@@ -72,6 +84,29 @@ def evaluate_ct_optimized(
     ``rep`` of the result equals ``rep`` of the naive result.
     """
     table = _eval(plan(expression), db, optimized=True)
+    return CTable(name, table.arity, table.rows, table.global_condition)
+
+
+def evaluate_ct_ordered(
+    expression: RAExpression,
+    db: TableDatabase,
+    name: str = "view",
+    stats: Statistics | None = None,
+    explain: list[str] | None = None,
+) -> CTable:
+    """Plan with statistics, re-order joins by cost, then evaluate.
+
+    ``stats`` defaults to a fresh collection over ``db``; pass a
+    pre-collected :class:`~repro.relational.stats.Statistics` to amortise
+    collection across many queries.  ``explain``, if given, accumulates
+    one line per re-ordered join chain describing the chosen order and
+    the estimated intermediate cardinalities.  Semantics are unchanged:
+    ``rep`` of the result equals ``rep`` of the naive result.
+    """
+    if stats is None:
+        stats = Statistics.collect(db)
+    planned = plan(expression, stats=stats, explain=explain)
+    table = _eval(planned, db, optimized=True)
     return CTable(name, table.arity, table.rows, table.global_condition)
 
 

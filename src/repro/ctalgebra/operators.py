@@ -13,10 +13,19 @@ by the paper in the proofs of Theorems 3.2(2), 4.2(3) and 5.2(1)):
   :func:`repro.ctalgebra.evaluate.evaluate_ct_optimized` and
   ``benchmarks/bench_join_planner.py``);
 * **union** concatenates the row lists;
+* **intersect** keeps a left row under the disjunction of its match
+  conditions against the right side;
 * **difference** (the extension beyond positive existential) keeps a left
   row under the additional condition that no right row *both* matches it
   and is itself present — expressible because conditions negate cleanly
   into conditions (atoms flip between ``=`` and ``!=``).
+
+Like :func:`join_ct`, the binary tuple-matching operators
+(:func:`intersect_ct`, :func:`difference_ct`) hash-partition
+constant-ground rows by their full term tuple and pair only
+variable-bearing rows against the whole other side, so the planner's cost
+estimates hold for all binary operators; the pairwise originals survive
+as ``*_ct_pairwise`` differential oracles.
 
 Positive operators never grow conditions beyond polynomial size for a
 fixed expression; difference multiplies condition size by the right-hand
@@ -264,8 +273,151 @@ def _match_condition(lrow: Row, rrow: Row) -> BoolCondition | None:
     return BoolAnd(tuple(atoms)).flattened()
 
 
+class _SetOpPartition:
+    """Right-side partition for the tuple-matching set operators.
+
+    Rows whose *every* term is a constant go into ``buckets`` keyed by the
+    full term tuple: two such rows can only denote the same tuple when
+    their keys are identical.  Rows with any variable go into ``wild``;
+    they may match anything.  ``alive`` is every surviving row in input
+    order (the pairing set for variable-bearing left rows).  Bucket and
+    wild entries carry their original index so ground left rows can merge
+    the two streams back into input order (keeping conditions shaped the
+    same way the pairwise implementation shaped them).  Rows with a
+    trivially-false local condition are dropped: they denote no tuple in
+    any world, so they neither survive nor suppress anything.
+    """
+
+    __slots__ = ("buckets", "wild", "wild_rows", "alive")
+
+    def __init__(self, rows: Sequence[Row], arity: int) -> None:
+        columns = range(arity)
+        self.buckets: dict[tuple, list[tuple[int, Row]]] = {}
+        self.wild: list[tuple[int, Row]] = []
+        self.alive: list[Row] = []
+        for index, row in enumerate(rows):
+            if condition_is_trivially_false(row.condition):
+                continue
+            self.alive.append(row)
+            if all(isinstance(row.terms[c], Constant) for c in columns):
+                self.buckets.setdefault(row.terms, []).append((index, row))
+            else:
+                self.wild.append((index, row))
+        #: The wild rows without indices, shared by every bucket-miss probe.
+        self.wild_rows: list[Row] = [row for _, row in self.wild]
+
+    def matching_rows(self, lrow: Row) -> Iterable[Row]:
+        """Right rows that could match ``lrow``, in input order.
+
+        A constant-ground left row can only match its own bucket plus the
+        variable-bearing remainder (two index-sorted streams, merged); a
+        variable-bearing left row must be paired with every live row.
+        """
+        if not all(isinstance(t, Constant) for t in lrow.terms):
+            return self.alive
+        bucket = self.buckets.get(lrow.terms, ())
+        if not bucket:
+            return self.wild_rows
+        wild = self.wild
+        if not wild:
+            return [row for _, row in bucket]
+        merged: list[Row] = []
+        i = j = 0
+        while i < len(bucket) and j < len(wild):
+            if bucket[i][0] < wild[j][0]:
+                merged.append(bucket[i][1])
+                i += 1
+            else:
+                merged.append(wild[j][1])
+                j += 1
+        merged.extend(row for _, row in bucket[i:])
+        merged.extend(row for _, row in wild[j:])
+        return merged
+
+
 def intersect_ct(left: CTable, right: CTable, name: str = "intersect") -> CTable:
-    """Intersection: a left row survives iff some right row matches it."""
+    """Intersection: a left row survives iff some right row matches it.
+
+    Hash-partitioned like :func:`join_ct`: constant-ground right rows are
+    bucketed by their full term tuple, so a constant-ground left row is
+    compared only against identical tuples plus the variable-bearing
+    remainder — O(|L| + |R| + matches) on ground tables instead of the
+    pairwise O(|L| x |R|).  Variable-bearing rows on either side fall back
+    to examining the whole other side, exactly as the pairwise definition
+    does.
+    """
+    if left.arity != right.arity:
+        raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
+    partition = _SetOpPartition(right.rows, right.arity)
+    rows = []
+    for lrow in left.rows:
+        if condition_is_trivially_false(lrow.condition):
+            continue
+        matches = [
+            cond
+            for rrow in partition.matching_rows(lrow)
+            if (cond := _match_condition(lrow, rrow)) is not None
+        ]
+        if not matches:
+            continue
+        disjunction: BoolCondition = (
+            matches[0] if len(matches) == 1 else BoolOr(tuple(matches)).flattened()
+        )
+        built = _with_condition(lrow.terms, [lrow.condition, disjunction])
+        if built is not None:
+            rows.append(built)
+    return CTable(
+        name,
+        left.arity,
+        rows,
+        conjoin(left.global_condition, right.global_condition),
+    )
+
+
+def difference_ct(left: CTable, right: CTable, name: str = "difference") -> CTable:
+    """Difference: a left row survives iff *no* right row matches it.
+
+    This is the Imielinski-Lipski extension that closes c-tables under the
+    full relational algebra; negation normal form keeps the condition a
+    positive and/or tree of atoms.  Hash-partitioned like
+    :func:`intersect_ct`: a constant-ground left row can only be
+    suppressed by right rows holding the identical term tuple or bearing
+    variables, so only those contribute negated match conditions — the
+    pairwise scan over the whole right side is reserved for
+    variable-bearing left rows.
+    """
+    if left.arity != right.arity:
+        raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
+    partition = _SetOpPartition(right.rows, right.arity)
+    rows = []
+    for lrow in left.rows:
+        if condition_is_trivially_false(lrow.condition):
+            continue
+        parts: list[BoolCondition] = [lrow.condition]
+        for rrow in partition.matching_rows(lrow):
+            cond = _match_condition(lrow, rrow)
+            if cond is None:
+                continue
+            if cond == BOOL_TRUE:
+                parts = None  # type: ignore[assignment]
+                break
+            parts.append(cond.negated())
+        if parts is None:
+            continue
+        built = _with_condition(lrow.terms, parts)
+        if built is not None:
+            rows.append(built)
+    return CTable(
+        name,
+        left.arity,
+        rows,
+        conjoin(left.global_condition, right.global_condition),
+    )
+
+
+def intersect_ct_pairwise(left: CTable, right: CTable, name: str = "intersect") -> CTable:
+    """The pairwise O(|L| x |R|) intersection: the differential oracle for
+    :func:`intersect_ct` (see ``tests/test_setops_partition.py``)."""
     if left.arity != right.arity:
         raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
     rows = []
@@ -291,13 +443,9 @@ def intersect_ct(left: CTable, right: CTable, name: str = "intersect") -> CTable
     )
 
 
-def difference_ct(left: CTable, right: CTable, name: str = "difference") -> CTable:
-    """Difference: a left row survives iff *no* right row matches it.
-
-    This is the Imielinski-Lipski extension that closes c-tables under the
-    full relational algebra; negation normal form keeps the condition a
-    positive and/or tree of atoms.
-    """
+def difference_ct_pairwise(left: CTable, right: CTable, name: str = "difference") -> CTable:
+    """The pairwise O(|L| x |R|) difference: the differential oracle for
+    :func:`difference_ct`."""
     if left.arity != right.arity:
         raise ValueError(f"arity mismatch: {left.arity} vs {right.arity}")
     rows = []

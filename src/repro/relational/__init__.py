@@ -18,8 +18,9 @@ from .algebra import (
 )
 from .evaluator import evaluate, evaluate_to_relation
 from .instance import Fact, Instance, Relation
-from .planner import PlanError, plan, ra_of_ucq
+from .planner import PlanError, order_joins, plan, ra_of_ucq
 from .schema import DatabaseSchema, RelationSchema
+from .stats import CardEstimate, ColumnStats, Statistics, TableStats, estimate
 
 __all__ = [
     "RelationSchema",
@@ -44,6 +45,12 @@ __all__ = [
     "evaluate",
     "evaluate_to_relation",
     "plan",
+    "order_joins",
     "ra_of_ucq",
     "PlanError",
+    "Statistics",
+    "TableStats",
+    "ColumnStats",
+    "CardEstimate",
+    "estimate",
 ]

@@ -5,7 +5,9 @@ set of facts.  Data complexity is polynomial for a fixed expression, which
 is the QPTIME guarantee the paper requires of all query programs.  The
 planner's :class:`Join` nodes execute as genuine hash joins (bucket the
 right side by join key, probe with the left), so planned expressions are
-faster here too, not only over c-tables.
+faster here too, not only over c-tables.  With ``optimize=True`` the
+evaluator first plans the expression with statistics collected from the
+instance, so n-way joins run in a cost-chosen order.
 """
 
 from __future__ import annotations
@@ -26,18 +28,50 @@ from .instance import Fact, Instance, Relation
 __all__ = ["evaluate", "evaluate_to_relation"]
 
 
-def evaluate_to_relation(expression: RAExpression, instance: Instance) -> Relation:
-    """Evaluate ``expression`` over ``instance`` and return a relation."""
+def evaluate_to_relation(
+    expression: RAExpression,
+    instance: Instance,
+    optimize: bool = False,
+    stats=None,
+) -> Relation:
+    """Evaluate ``expression`` over ``instance`` and return a relation.
+
+    ``optimize=True`` runs the rewrite planner plus the statistics-driven
+    join-ordering pass (:mod:`repro.relational.planner`) before executing;
+    the result is identical, joins just associate in a cheaper order.
+    ``stats`` takes a pre-collected
+    :class:`~repro.relational.stats.Statistics` to avoid re-scanning the
+    instance per expression.
+    """
+    if optimize:
+        from .planner import plan
+        from .stats import Statistics
+
+        if stats is None:
+            stats = Statistics.collect(instance)
+        expression = plan(expression, stats=stats)
     facts = _eval(expression, instance)
     return Relation(expression.arity, facts)
 
 
 def evaluate(
-    expressions: dict[str, RAExpression], instance: Instance
+    expressions: dict[str, RAExpression], instance: Instance, optimize: bool = False
 ) -> Instance:
-    """Evaluate a named vector of expressions: the query's output instance."""
+    """Evaluate a named vector of expressions: the query's output instance.
+
+    With ``optimize=True`` statistics are collected once and shared by
+    every expression's planning pass.
+    """
+    stats = None
+    if optimize:
+        from .stats import Statistics
+
+        stats = Statistics.collect(instance)
     return Instance(
-        {name: evaluate_to_relation(expr, instance) for name, expr in expressions.items()}
+        {
+            name: evaluate_to_relation(expr, instance, optimize=optimize, stats=stats)
+            for name, expr in expressions.items()
+        }
     )
 
 

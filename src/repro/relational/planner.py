@@ -1,4 +1,5 @@
-"""A rewrite-based query planner for relational algebra expressions.
+"""A query planner for relational algebra expressions: rewrites plus
+statistics-driven join ordering.
 
 The naive evaluators execute the AST literally, so ``Select(Product(L, R))``
 materialises the full |L|x|R| product before filtering.  :func:`plan`
@@ -14,15 +15,30 @@ evaluators execute asymptotically faster:
   (both branches), and into the left side of a difference;
 * **selection fusion** — adjacent selections merge into one.
 
-The rewrites are purely syntactic equivalences of the classical algebra,
-so they are valid both over complete instances and over c-tables (where
-each operator is the lifted version and ``rep`` commutes with it); the
-differential tests in ``tests/test_planner.py`` check the latter against
-the world-enumeration oracle.
+When a :class:`~repro.relational.stats.Statistics` object is supplied,
+:func:`plan` additionally runs the **cost-based join-ordering** pass
+(:func:`order_joins`): every maximal fused ``Join``/``Product`` chain is
+flattened into a join graph (leaves plus cross-leaf equality edges), the
+leaves are re-ordered greedily — start from the smallest estimated leaf,
+then repeatedly adjoin the *connected* leaf minimising the estimated
+intermediate cardinality (cartesian growth only when nothing connects) —
+and the chain is rebuilt left-deep in that order, with a final projection
+restoring the original column order.  Estimates come from the textbook
+cost model in :mod:`repro.relational.stats`, which tracks ground/variable
+cell counts so that rows the c-table hash operators cannot partition are
+charged their true pair-everything cost.
+
+The rewrites and the re-ordering are purely syntactic/algebraic
+equivalences, so they are valid both over complete instances and over
+c-tables (where each operator is the lifted version and ``rep`` commutes
+with it); the differential tests in ``tests/test_planner.py`` and the
+three-way harness in ``tests/test_plan_equivalence.py`` check the latter
+against the world-enumeration oracle.
 
 :func:`ra_of_ucq` additionally compiles a (safe-range) UCQ into the
 algebra so that rule-syntax queries can ride the same planner — that is
-the path the CLI's ``eval`` subcommand uses.
+the path the CLI's ``eval`` subcommand uses (``repro eval --explain``
+prints the statistics and the chosen join order).
 """
 
 from __future__ import annotations
@@ -46,17 +62,31 @@ from .algebra import (
     Select,
     Union,
 )
+from .stats import CardEstimate, Statistics, estimate, join_estimate
 
-__all__ = ["plan", "push_select", "ra_of_ucq", "PlanError"]
+__all__ = ["plan", "push_select", "order_joins", "ra_of_ucq", "PlanError"]
 
 
 class PlanError(ValueError):
     """Raised when a query cannot be compiled to the planned algebra."""
 
 
-def plan(expression: RAExpression) -> RAExpression:
-    """Rewrite ``expression`` into an equivalent, join-aware form."""
-    return _plan(expression)
+def plan(
+    expression: RAExpression,
+    stats: Statistics | None = None,
+    explain: list[str] | None = None,
+) -> RAExpression:
+    """Rewrite ``expression`` into an equivalent, join-aware form.
+
+    With ``stats``, n-way join chains are additionally re-ordered by the
+    cost model (see :func:`order_joins`).  ``explain``, if given, is a
+    list that accumulates human-readable lines describing each ordering
+    decision.
+    """
+    planned = _plan(expression)
+    if stats is not None:
+        planned = order_joins(planned, stats, explain)
+    return planned
 
 
 def _plan(node: RAExpression) -> RAExpression:
@@ -187,6 +217,202 @@ def _push_into_product_like(
     left = push_select(node.left, left_preds)
     right = push_select(node.right, right_preds)
     return _select(Join(left, right, on), residual)
+
+
+# ---------------------------------------------------------------------------
+# Cost-based join ordering
+# ---------------------------------------------------------------------------
+
+
+def order_joins(
+    node: RAExpression,
+    stats: Statistics,
+    explain: list[str] | None = None,
+) -> RAExpression:
+    """Re-order every n-way (n >= 3) join chain of a planned expression.
+
+    The transformation is an equivalence: the same leaves are joined on
+    the same column equalities, only the association order changes, and a
+    final :class:`Project` restores the original column order.
+    """
+    if isinstance(node, (Join, Product)):
+        leaves, edges = _flatten_join_chain(node)
+        if len(leaves) >= 3:
+            ordered_leaves = [order_joins(leaf, stats, explain) for leaf, _ in leaves]
+            return _rebuild_ordered(
+                [(leaf, base) for leaf, (_, base) in zip(ordered_leaves, leaves)],
+                edges,
+                stats,
+                explain,
+            )
+        if isinstance(node, Join):
+            return Join(
+                order_joins(node.left, stats, explain),
+                order_joins(node.right, stats, explain),
+                node.on,
+            )
+        return Product(
+            order_joins(node.left, stats, explain),
+            order_joins(node.right, stats, explain),
+        )
+    if isinstance(node, Scan):
+        return node
+    if isinstance(node, Select):
+        return Select(order_joins(node.child, stats, explain), node.predicates)
+    if isinstance(node, Project):
+        return Project(order_joins(node.child, stats, explain), node.columns)
+    if isinstance(node, (Union, Intersect, Difference)):
+        return type(node)(
+            order_joins(node.left, stats, explain),
+            order_joins(node.right, stats, explain),
+        )
+    raise TypeError(f"unknown RA node: {node!r}")
+
+
+def _flatten_join_chain(
+    node: RAExpression,
+) -> tuple[list[tuple[RAExpression, int]], list[tuple[int, int]]]:
+    """Flatten a maximal ``Join``/``Product`` chain.
+
+    Returns ``(leaves, edges)``: leaves as ``(expression, base_column)``
+    pairs in left-to-right order, and every join equality as a pair of
+    *global* column indices into the chain's concatenated output.
+    """
+    leaves: list[tuple[RAExpression, int]] = []
+    edges: list[tuple[int, int]] = []
+
+    def walk(n: RAExpression, base: int) -> None:
+        if isinstance(n, (Join, Product)):
+            walk(n.left, base)
+            walk(n.right, base + n.left.arity)
+            if isinstance(n, Join):
+                for l, r in n.on:
+                    edges.append((base + l, base + n.left.arity + r))
+        else:
+            leaves.append((n, base))
+
+    walk(node, 0)
+    return leaves, edges
+
+
+def _leaf_label(leaf: RAExpression) -> str:
+    """A short name for a join-graph leaf, for explain output."""
+    if isinstance(leaf, Scan):
+        return leaf.name
+    names = sorted(leaf.relation_names())
+    return f"{type(leaf).__name__.lower()}({', '.join(names)})"
+
+
+def _rebuild_ordered(
+    leaves: list[tuple[RAExpression, int]],
+    edges: list[tuple[int, int]],
+    stats: Statistics,
+    explain: list[str] | None,
+) -> RAExpression:
+    """Greedily order the join graph and rebuild a left-deep chain."""
+    total_arity = sum(leaf.arity for leaf, _ in leaves)
+
+    # Map a global column of the *original* chain to (leaf index, local col).
+    owner: dict[int, tuple[int, int]] = {}
+    for i, (leaf, base) in enumerate(leaves):
+        for c in range(leaf.arity):
+            owner[base + c] = (i, c)
+
+    # Edges as ((leaf, col), (leaf, col)); an edge is applied when its
+    # second endpoint joins the placed set.
+    local_edges = [(owner[a], owner[b]) for a, b in edges]
+    estimates = [estimate(leaf, stats) for leaf, _ in leaves]
+
+    remaining = set(range(len(leaves)))
+    start = min(remaining, key=lambda i: (estimates[i].rows, i))
+    order = [start]
+    remaining.discard(start)
+    running = estimates[start]
+    steps: list[float] = [running.rows]
+
+    def edges_to(candidate: int, placed: set[int]) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """Edges connecting ``candidate`` to the placed set, oriented
+        (placed endpoint, candidate endpoint)."""
+        out = []
+        for (li, lc), (ri, rc) in local_edges:
+            if li == candidate and ri in placed:
+                out.append(((ri, rc), (li, lc)))
+            elif ri == candidate and li in placed:
+                out.append(((li, lc), (ri, rc)))
+        return out
+
+    while remaining:
+        placed = set(order)
+        connected = [i for i in remaining if edges_to(i, placed)]
+        pool = connected or sorted(remaining)
+
+        best = None
+        best_est: CardEstimate | None = None
+        for i in pool:
+            pairs = [
+                (_placed_column(order, leaves, pi, pc), cc)
+                for (pi, pc), (_, cc) in edges_to(i, placed)
+            ]
+            cand = join_estimate(running, estimates[i], pairs)
+            if best_est is None or (cand.rows, i) < (best_est.rows, best):
+                best, best_est = i, cand
+        order.append(best)
+        remaining.discard(best)
+        running = best_est
+        steps.append(best_est.rows)
+
+    if explain is not None:
+        labels = " >< ".join(
+            f"{_leaf_label(leaves[i][0])}"
+            + (f" (~{steps[k]:.0f})" if k == 0 else f" -> ~{steps[k]:.0f} rows")
+            for k, i in enumerate(order)
+        )
+        explain.append(f"join order: {labels}")
+
+    # Rebuild left-deep in the chosen order.
+    new_base: dict[int, int] = {}
+    tree: RAExpression | None = None
+    width = 0
+    for i in order:
+        leaf, _ = leaves[i]
+        if tree is None:
+            tree = leaf
+            new_base[i] = 0
+            width = leaf.arity
+            continue
+        placed = set(new_base)
+        pairs = [
+            (new_base[pi] + pc, cc)
+            for (pi, pc), (_, cc) in edges_to(i, placed)
+        ]
+        tree = Join(tree, leaf, pairs)
+        new_base[i] = width
+        width += leaf.arity
+
+    # Restore the original column order.
+    restore = [
+        new_base[owner[g][0]] + owner[g][1] for g in sorted(owner)
+    ]
+    assert len(restore) == total_arity
+    if restore == list(range(total_arity)):
+        return tree
+    return Project(tree, restore)
+
+
+def _placed_column(
+    order: list[int],
+    leaves: list[tuple[RAExpression, int]],
+    leaf_index: int,
+    local_col: int,
+) -> int:
+    """The column of ``(leaf_index, local_col)`` inside the running
+    left-deep intermediate built in ``order``."""
+    offset = 0
+    for i in order:
+        if i == leaf_index:
+            return offset + local_col
+        offset += leaves[i][0].arity
+    raise ValueError(f"leaf {leaf_index} not yet placed")  # pragma: no cover
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,359 @@
+"""Table statistics and cardinality estimation for the cost-based planner.
+
+The rewrite planner (:mod:`repro.relational.planner`) turns syntax into
+joins; this module supplies the *numbers* that let it pick a join order.
+Statistics are collected in one pass over a database — either a c-table
+:class:`~repro.core.tables.TableDatabase` or a complete
+:class:`~repro.relational.instance.Instance` — and record, per table:
+
+* the row count;
+* per column, how many cells are ground constants vs variables and how
+  many *distinct* ground constants appear.
+
+On top of the raw counts sits a small textbook cardinality model
+(:func:`estimate`): equality selections keep ``1/distinct`` of the rows,
+equi-joins keep ``1/max(distinct_l, distinct_r)`` of each pair, and
+variable-bearing ("wild") cells are tracked separately because the
+c-table hash operators cannot partition them — a wild row meets *every*
+row on the other side, so wild fractions inflate join estimates exactly
+as they inflate real cost.  The estimates only need to *rank* candidate
+join orders; they are deliberately crude and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..core.terms import Constant
+from .algebra import (
+    ColEq,
+    ColEqConst,
+    ColNeq,
+    ColNeqConst,
+    Difference,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    RAExpression,
+    Scan,
+    Select,
+    Union,
+)
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "Statistics",
+    "CardEstimate",
+    "estimate",
+    "join_estimate",
+    "DEFAULT_ROWS",
+    "DEFAULT_DISTINCT",
+]
+
+#: Fallback cardinalities for relations with no collected statistics.
+DEFAULT_ROWS = 100.0
+DEFAULT_DISTINCT = 10.0
+
+#: Selectivity assumed for inequality predicates (they filter little).
+_NEQ_SELECTIVITY = 0.9
+
+
+class ColumnStats:
+    """Per-column counts: ground cells, variable cells, distinct constants."""
+
+    __slots__ = ("ground", "wild", "distinct")
+
+    def __init__(self, ground: int, wild: int, distinct: int) -> None:
+        object.__setattr__(self, "ground", int(ground))
+        object.__setattr__(self, "wild", int(wild))
+        object.__setattr__(self, "distinct", int(distinct))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("ColumnStats is immutable")
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnStats(ground={self.ground}, wild={self.wild}, "
+            f"distinct={self.distinct})"
+        )
+
+
+class TableStats:
+    """Statistics for one table: a row count plus per-column counts."""
+
+    __slots__ = ("name", "arity", "rows", "columns")
+
+    def __init__(
+        self, name: str, arity: int, rows: int, columns: Sequence[ColumnStats]
+    ) -> None:
+        if len(columns) != arity:
+            raise ValueError(f"expected {arity} column stats, got {len(columns)}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arity", int(arity))
+        object.__setattr__(self, "rows", int(rows))
+        object.__setattr__(self, "columns", tuple(columns))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("TableStats is immutable")
+
+    def __repr__(self) -> str:
+        return f"TableStats({self.name!r}, rows={self.rows}, arity={self.arity})"
+
+    def describe(self) -> str:
+        """One human-readable line, used by ``repro eval --explain``."""
+        cols = ", ".join(
+            f"${i}: {c.distinct} distinct"
+            + (f", {c.wild} wild" if c.wild else "")
+            for i, c in enumerate(self.columns)
+        )
+        return f"{self.name}/{self.arity}: {self.rows} rows ({cols})"
+
+    @staticmethod
+    def from_rows(name: str, arity: int, rows: Iterable[Sequence]) -> "TableStats":
+        """Collect stats from an iterable of term sequences."""
+        ground = [0] * arity
+        wild = [0] * arity
+        distinct: list[set] = [set() for _ in range(arity)]
+        count = 0
+        for terms in rows:
+            count += 1
+            for i in range(arity):
+                term = terms[i]
+                if isinstance(term, Constant):
+                    ground[i] += 1
+                    distinct[i].add(term)
+                else:
+                    wild[i] += 1
+        columns = [
+            ColumnStats(ground[i], wild[i], len(distinct[i])) for i in range(arity)
+        ]
+        return TableStats(name, arity, count, columns)
+
+
+class Statistics:
+    """Per-table statistics for a whole database.
+
+    :meth:`collect` accepts either a c-table database (rows are
+    :class:`~repro.core.tables.Row` objects whose cells may be variables)
+    or a complete instance (rows are fact tuples, all ground).  Lookup by
+    name returns ``None`` for unknown relations, for which the estimator
+    falls back to :data:`DEFAULT_ROWS` / :data:`DEFAULT_DISTINCT`.
+    """
+
+    __slots__ = ("_tables",)
+
+    def __init__(self, tables: Mapping[str, TableStats] | Iterable[TableStats] = ()) -> None:
+        if isinstance(tables, Mapping):
+            built = dict(tables)
+        else:
+            built = {t.name: t for t in tables}
+        object.__setattr__(self, "_tables", built)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Statistics is immutable")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def get(self, name: str) -> TableStats | None:
+        return self._tables.get(name)
+
+    def __repr__(self) -> str:
+        return f"Statistics({sorted(self._tables)})"
+
+    @staticmethod
+    def collect(source) -> "Statistics":
+        """Collect statistics from a ``TableDatabase`` or an ``Instance``.
+
+        Duck-typed to avoid import cycles: c-table databases iterate as
+        tables carrying ``.rows`` of term tuples; instances iterate as
+        relation names with fact sets behind ``[]``.
+        """
+        tables: list[TableStats] = []
+        for item in source:
+            if isinstance(item, str):  # Instance: iterates relation names
+                relation = source[item]
+                tables.append(
+                    TableStats.from_rows(item, relation.arity, relation.facts)
+                )
+            else:  # TableDatabase: iterates CTables
+                tables.append(
+                    TableStats.from_rows(
+                        item.name, item.arity, (row.terms for row in item.rows)
+                    )
+                )
+        return Statistics(tables)
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimation
+# ---------------------------------------------------------------------------
+
+
+class CardEstimate:
+    """Estimated output shape of an RA (sub)expression.
+
+    ``rows`` is the estimated cardinality; ``distinct[i]`` the estimated
+    number of distinct ground constants in column ``i``; ``wild[i]`` the
+    estimated number of rows whose column ``i`` holds a variable (those
+    rows defeat hash partitioning downstream).
+    """
+
+    __slots__ = ("rows", "distinct", "wild")
+
+    def __init__(self, rows: float, distinct: Sequence[float], wild: Sequence[float]) -> None:
+        object.__setattr__(self, "rows", max(0.0, float(rows)))
+        object.__setattr__(self, "distinct", tuple(float(d) for d in distinct))
+        object.__setattr__(self, "wild", tuple(float(w) for w in wild))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("CardEstimate is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.distinct)
+
+    def __repr__(self) -> str:
+        return f"CardEstimate(rows={self.rows:.1f}, arity={self.arity})"
+
+    def scaled(self, factor: float) -> "CardEstimate":
+        """Uniformly keep a ``factor`` fraction of the rows."""
+        factor = min(max(factor, 0.0), 1.0)
+        rows = self.rows * factor
+        return CardEstimate(
+            rows,
+            [min(d, rows) for d in self.distinct],
+            [w * factor for w in self.wild],
+        )
+
+
+def _scan_estimate(node: Scan, stats: Statistics) -> CardEstimate:
+    table = stats.get(node.name)
+    if table is None:
+        return CardEstimate(
+            DEFAULT_ROWS,
+            [DEFAULT_DISTINCT] * node.arity,
+            [0.0] * node.arity,
+        )
+    return CardEstimate(
+        table.rows,
+        [max(1.0, c.distinct) if table.rows else 0.0 for c in table.columns],
+        [float(c.wild) for c in table.columns],
+    )
+
+
+def _select_estimate(est: CardEstimate, predicates) -> CardEstimate:
+    for pred in predicates:
+        if est.rows <= 0:
+            break
+        if isinstance(pred, ColEqConst):
+            col = pred.column
+            ground = est.rows - est.wild[col]
+            # Ground cells match 1/distinct of the time; wild cells *may*
+            # match any constant, so they survive the selection as rows
+            # whose condition carries the equality.
+            matching = ground / max(est.distinct[col], 1.0) + est.wild[col]
+            est = est.scaled(matching / est.rows)
+            distinct = list(est.distinct)
+            distinct[col] = min(1.0, distinct[col])
+            est = CardEstimate(est.rows, distinct, est.wild)
+        elif isinstance(pred, ColEq):
+            sel = 1.0 / max(est.distinct[pred.left], est.distinct[pred.right], 1.0)
+            est = est.scaled(sel)
+            distinct = list(est.distinct)
+            low = min(distinct[pred.left], distinct[pred.right])
+            distinct[pred.left] = distinct[pred.right] = low
+            est = CardEstimate(est.rows, distinct, est.wild)
+        elif isinstance(pred, (ColNeq, ColNeqConst)):
+            est = est.scaled(_NEQ_SELECTIVITY)
+    return est
+
+
+def join_estimate(
+    left: CardEstimate,
+    right: CardEstimate,
+    on: Sequence[tuple[int, int]],
+) -> CardEstimate:
+    """Estimate ``Join(left, right, on)``.
+
+    Ground rows meet ``1/max(distinct)`` of the other side's ground rows
+    per join column; rows with a variable in any join column cannot be
+    hash partitioned and meet *every* row on the other side.  With no
+    ``on`` pairs this degenerates to the product estimate.
+    """
+    wild_l = max((left.wild[l] for l, _ in on), default=0.0)
+    wild_r = max((right.wild[r] for _, r in on), default=0.0)
+    wild_l = min(wild_l, left.rows)
+    wild_r = min(wild_r, right.rows)
+    ground_l = left.rows - wild_l
+    ground_r = right.rows - wild_r
+
+    selectivity = 1.0
+    for l, r in on:
+        selectivity /= max(left.distinct[l], right.distinct[r], 1.0)
+
+    rows = (
+        ground_l * ground_r * selectivity
+        + wild_l * right.rows
+        + wild_r * left.rows
+        - wild_l * wild_r  # wild-wild pairs counted once, not twice
+    )
+    rows = max(rows, 0.0)
+
+    distinct = [min(d, rows) for d in left.distinct] + [
+        min(d, rows) for d in right.distinct
+    ]
+    total_pairs = max(left.rows * right.rows, 1.0)
+    keep = min(rows / total_pairs, 1.0)
+    wild = [w * right.rows * keep for w in left.wild] + [
+        w * left.rows * keep for w in right.wild
+    ]
+    return CardEstimate(rows, distinct, wild)
+
+
+def estimate(node: RAExpression, stats: Statistics) -> CardEstimate:
+    """Estimate the output cardinality of an RA expression bottom-up."""
+    if isinstance(node, Scan):
+        return _scan_estimate(node, stats)
+    if isinstance(node, Select):
+        return _select_estimate(estimate(node.child, stats), node.predicates)
+    if isinstance(node, Project):
+        child = estimate(node.child, stats)
+        return CardEstimate(
+            child.rows,
+            [child.distinct[c] for c in node.columns],
+            [child.wild[c] for c in node.columns],
+        )
+    if isinstance(node, Join):
+        return join_estimate(
+            estimate(node.left, stats), estimate(node.right, stats), node.on
+        )
+    if isinstance(node, Product):
+        return join_estimate(estimate(node.left, stats), estimate(node.right, stats), ())
+    if isinstance(node, Union):
+        left, right = estimate(node.left, stats), estimate(node.right, stats)
+        rows = left.rows + right.rows
+        return CardEstimate(
+            rows,
+            [min(l + r, rows) for l, r in zip(left.distinct, right.distinct)],
+            [l + r for l, r in zip(left.wild, right.wild)],
+        )
+    if isinstance(node, Intersect):
+        left, right = estimate(node.left, stats), estimate(node.right, stats)
+        return CardEstimate(
+            min(left.rows, right.rows),
+            [min(l, r) for l, r in zip(left.distinct, right.distinct)],
+            [min(l, r) for l, r in zip(left.wild, right.wild)],
+        )
+    if isinstance(node, Difference):
+        # Upper bound: the right side only removes rows.
+        return estimate(node.left, stats)
+    raise TypeError(f"unknown RA node: {node!r}")

@@ -47,6 +47,10 @@ __all__ = [
     "random_join_database",
     "equijoin_expression",
     "random_ra_expression",
+    "random_nway_join_database",
+    "random_join_query",
+    "star_join_database",
+    "star_join_expression",
 ]
 
 
@@ -335,6 +339,140 @@ def equijoin_expression(arity: int = 2) -> RAExpression:
     """
     prod = Product(Scan("R", arity), Scan("S", arity))
     return Select(prod, [ColEq(0, arity)])
+
+
+def random_nway_join_database(
+    rng: random.Random,
+    num_tables: int,
+    rows_per_table: int = 2,
+    arity: int = 2,
+    num_constants: int = 3,
+    var_probability: float = 0.0,
+    local_probability: float = 0.0,
+    num_variables: int = 2,
+) -> TableDatabase:
+    """Tables ``R0..R{n-1}`` whose cells share one small constant pool.
+
+    Because every column draws from the same pool, equalities between any
+    two columns of any two tables have matches — the raw material for the
+    n-way join expressions of :func:`random_join_query`.  With
+    ``var_probability > 0`` some cells become variables (drawn from a pool
+    shared across tables, so joins can also unify variables) and with
+    ``local_probability > 0`` rows carry simple local conditions.
+    """
+    constants = constant_pool(num_constants)
+    variables = variable_pool(num_variables, prefix="n")
+    tables = []
+    for t in range(num_tables):
+        rows = []
+        for _ in range(rows_per_table):
+            terms = [
+                rng.choice(variables)
+                if variables and rng.random() < var_probability
+                else rng.choice(constants)
+                for _ in range(arity)
+            ]
+            if variables and rng.random() < local_probability:
+                condition = Conjunction(
+                    [Neq(rng.choice(variables), rng.choice(constants))]
+                )
+                rows.append(Row(terms, condition))
+            else:
+                rows.append(Row(terms))
+        tables.append(CTable(f"R{t}", arity, rows))
+    return TableDatabase(tables)
+
+
+def random_join_query(
+    rng: random.Random,
+    num_tables: int,
+    arity: int = 2,
+    extra_predicate_probability: float = 0.3,
+) -> RAExpression:
+    """A random connected n-way equijoin in naive ``Select(Product(...))``
+    form over ``R0..R{n-1}`` (as built by :func:`random_nway_join_database`).
+
+    The join graph is connected (each table links to a random earlier
+    table on random columns) but the *input order* is arbitrary, so the
+    left-deep rewrite plan may multiply big tables early — exactly the
+    situation the cost-based orderer is supposed to repair.  Extra random
+    cross-table equalities create cyclic join graphs some of the time.
+    """
+    order = list(range(num_tables))
+    rng.shuffle(order)
+    expr: RAExpression = Scan(f"R{order[0]}", arity)
+    base_of = {order[0]: 0}
+    predicates = []
+    for position, table in enumerate(order[1:], start=1):
+        expr = Product(expr, Scan(f"R{table}", arity))
+        base_of[table] = position * arity
+        partner = rng.choice(order[:position])
+        predicates.append(
+            ColEq(
+                base_of[partner] + rng.randrange(arity),
+                base_of[table] + rng.randrange(arity),
+            )
+        )
+    while num_tables >= 2 and rng.random() < extra_predicate_probability:
+        a, b = rng.sample(order, 2)
+        predicates.append(
+            ColEq(
+                base_of[a] + rng.randrange(arity),
+                base_of[b] + rng.randrange(arity),
+            )
+        )
+    return Select(expr, predicates)
+
+
+def star_join_database(
+    rng: random.Random,
+    num_dims: int = 4,
+    dim_rows: int = 12,
+    fact_rows: int = 256,
+) -> TableDatabase:
+    """A star schema: fact table ``F`` plus dimensions ``D0..D{k-1}``.
+
+    ``F`` has one key column per dimension; dimension ``Di`` is a
+    two-column key/payload table whose key column enumerates ``0..dim_rows
+    - 1`` exactly once (a key).  Pair with :func:`star_join_expression`;
+    ``benchmarks/bench_join_ordering.py`` uses the pair to show the
+    cost-based orderer repairing a pessimal input order.
+    """
+    dims = [
+        CTable(
+            f"D{i}",
+            2,
+            [(k, 1000 * (i + 1) + k) for k in range(dim_rows)],
+        )
+        for i in range(num_dims)
+    ]
+    fact_matrix = [
+        [rng.randrange(dim_rows) for _ in range(num_dims)] for _ in range(fact_rows)
+    ]
+    fact = CTable("F", num_dims, fact_matrix)
+    return TableDatabase(dims + [fact])
+
+
+def star_join_expression(num_dims: int = 4) -> RAExpression:
+    """The star join written in its *pessimal* input order.
+
+    ``(((D0 x D1) x ...) x F)`` with the selection equating each
+    dimension's key to the matching fact column: every prefix of the
+    left-deep input order is a pure cartesian product of dimensions, so a
+    planner that keeps input order materialises ``dim_rows^k`` rows before
+    the fact table prunes them.  A cost-based orderer instead joins ``F``
+    against a dimension immediately and never leaves the fact table's
+    cardinality.
+    """
+    if num_dims < 1:
+        raise ValueError("need at least one dimension")
+    expr: RAExpression = Scan("D0", 2)
+    for i in range(1, num_dims):
+        expr = Product(expr, Scan(f"D{i}", 2))
+    expr = Product(expr, Scan("F", num_dims))
+    fact_base = 2 * num_dims
+    predicates = [ColEq(2 * i, fact_base + i) for i in range(num_dims)]
+    return Select(expr, predicates)
 
 
 def _random_predicate(rng: random.Random, arity: int, num_constants: int):

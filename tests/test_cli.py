@@ -223,3 +223,33 @@ class TestEval:
     def test_eval_head_constant_rejected(self, db_file, capsys):
         assert main(["eval", db_file, "Q(0) :- R(X, Y), X = 0."]) == EXIT_USAGE
         assert "repro:" in capsys.readouterr().err
+
+
+class TestEvalExplain:
+    def test_explain_prints_stats_and_join_order(self, db_file, capsys):
+        rule = "Q(X) :- R(X, Y), R(Y, Z), R(Z, W)."
+        assert main(["eval", db_file, rule, "--explain"]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "-- stats: R/2: 2 rows" in out
+        assert "-- join order:" in out
+
+    def test_explain_two_way_join_reports_unchanged(self, db_file, capsys):
+        rule = "Q(X, Z) :- R(X, Y), R(Y, Z)."
+        assert main(["eval", db_file, rule, "--explain"]) == EXIT_YES
+        assert "join order: unchanged" in capsys.readouterr().out
+
+    def test_explain_does_not_change_the_answer(self, db_file, capsys):
+        rule = "Q(X) :- R(X, Y), R(Y, Z), R(Z, W)."
+        assert main(["eval", db_file, rule]) == EXIT_YES
+        plain = [l for l in capsys.readouterr().out.splitlines() if not l.startswith("--")]
+        assert main(["eval", db_file, rule, "--explain"]) == EXIT_YES
+        explained = [
+            l for l in capsys.readouterr().out.splitlines() if not l.startswith("--")
+        ]
+        assert set(plain) == set(explained)
+
+    def test_explain_with_naive_is_silent(self, db_file, capsys):
+        rule = "Q(X, Z) :- R(X, Y), R(Y, Z)."
+        assert main(["eval", db_file, rule, "--naive", "--explain"]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "join order" not in out and "-- stats" not in out

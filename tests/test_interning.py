@@ -167,3 +167,98 @@ class TestTriviallyFalseCache:
         before = condition_cache_stats()["trivially_false_hits"]
         condition_is_trivially_false(tree)
         assert condition_cache_stats()["trivially_false_hits"] == before + 1
+
+
+class TestLRUCacheEviction:
+    """The bounded caches evict least-recently-used, not wholesale.
+
+    The previous clear-on-overflow policy dropped hot entries with the
+    cold; the LRU keeps entries that are continually re-used alive across
+    arbitrarily many insertions of one-shot conditions (ROADMAP follow-up
+    from PR 1).
+    """
+
+    def test_lru_unit_behaviour(self):
+        from repro.core.conditions import _LRUCache
+
+        cache = _LRUCache(limit=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a": "b" is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        from repro.core.conditions import _LRUCache
+
+        cache = _LRUCache(limit=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite refreshes recency, keeps size
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_hot_sat_entries_survive_overflow(self):
+        from repro.core import conditions as cond_mod
+
+        cache = cond_mod._SAT_CACHE
+        old_limit = cache.limit
+        cache.limit = 8
+        try:
+            hot = Conjunction([Eq(x, 1), Neq(y, 0)])
+            hot.is_satisfiable()  # prime
+            # Flood with 5x the capacity of one-shot conjunctions, touching
+            # the hot entry between insertions so it stays recent.
+            for i in range(40):
+                Conjunction([Eq(x, i), Neq(y, i + 1), Neq(z, i)]).is_satisfiable()
+                assert hot.is_satisfiable()
+            assert len(cache) <= 8
+            before = condition_cache_stats()
+            hot.is_satisfiable()
+            after = condition_cache_stats()
+            assert after["sat_hits"] == before["sat_hits"] + 1
+            assert after["sat_misses"] == before["sat_misses"]
+        finally:
+            cache.limit = old_limit
+
+    def test_cold_entries_are_evicted_not_everything(self):
+        from repro.core import conditions as cond_mod
+
+        cache = cond_mod._SAT_CACHE
+        old_limit = cache.limit
+        cache.limit = 4
+        try:
+            cold = Conjunction([Eq(x, 99)])
+            cold.is_satisfiable()
+            for i in range(10):
+                Conjunction([Eq(x, i), Neq(y, i)]).is_satisfiable()
+            before = condition_cache_stats()
+            cold.is_satisfiable()  # evicted long ago: a fresh miss
+            after = condition_cache_stats()
+            assert after["sat_misses"] == before["sat_misses"] + 1
+            # ...but the cache still holds the newest entries.
+            newest = Conjunction([Eq(x, 9), Neq(y, 9)])
+            mid = condition_cache_stats()
+            newest.is_satisfiable()
+            assert condition_cache_stats()["sat_hits"] == mid["sat_hits"] + 1
+        finally:
+            cache.limit = old_limit
+
+    def test_limit_resize_shrinks_and_zero_never_raises(self):
+        from repro.core.conditions import _LRUCache
+
+        cache = _LRUCache(limit=8)
+        for i in range(8):
+            cache.put(i, i)
+        cache.limit = 3
+        cache.put("new", 1)  # shrinks past the stale overhang
+        assert len(cache) <= 3
+        assert cache.get("new") == 1
+        cache.limit = 0
+        cache.put("again", 2)  # a non-positive limit must not raise
+        assert cache.get("again") == 2

@@ -1,0 +1,117 @@
+"""Unit tests for the statistics subsystem and cardinality model.
+
+Collection is checked against hand-countable tables (both c-table and
+complete-instance sources); the estimator is checked for the *ordinal*
+properties the greedy join orderer relies on — selections shrink, joins
+with keys beat products, wild join columns cost more than ground ones —
+not for absolute accuracy, which the model does not promise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.tables import CTable, TableDatabase
+from repro.core.terms import Variable
+from repro.relational import (
+    ColEq,
+    ColEqConst,
+    Instance,
+    Join,
+    Product,
+    Scan,
+    Select,
+    Statistics,
+    estimate,
+    evaluate_to_relation,
+)
+from repro.relational.stats import DEFAULT_ROWS, join_estimate
+from repro.workloads import random_nway_join_database, star_join_database
+
+x = Variable("x")
+
+
+class TestCollection:
+    def test_ctable_counts(self):
+        table = CTable("R", 2, [(1, 2), (1, x), (3, 2)])
+        stats = Statistics.collect(TableDatabase([table]))
+        ts = stats.get("R")
+        assert ts.rows == 3
+        col0, col1 = ts.columns
+        assert (col0.ground, col0.wild, col0.distinct) == (3, 0, 2)
+        assert (col1.ground, col1.wild, col1.distinct) == (2, 1, 1)
+
+    def test_instance_counts(self):
+        instance = Instance({"R": [(1, 2), (3, 4), (3, 2)], "S": [(0,)]})
+        stats = Statistics.collect(instance)
+        ts = stats.get("R")
+        assert ts.rows == 3
+        assert ts.columns[0].distinct == 2
+        assert ts.columns[0].wild == 0
+        assert stats.get("S").rows == 1
+
+    def test_unknown_relation_falls_back_to_defaults(self):
+        stats = Statistics()
+        est = estimate(Scan("missing", 2), stats)
+        assert est.rows == DEFAULT_ROWS
+
+    def test_describe_mentions_wild_columns(self):
+        table = CTable("R", 1, [(x,), (1,)])
+        stats = Statistics.collect(TableDatabase([table]))
+        assert "wild" in stats.get("R").describe()
+
+
+class TestEstimatorOrdinalProperties:
+    def _stats(self):
+        rng = random.Random(0)
+        return Statistics.collect(star_join_database(rng, num_dims=2, dim_rows=8, fact_rows=64))
+
+    def test_equality_selection_shrinks(self):
+        stats = self._stats()
+        scan = Scan("F", 2)
+        selected = Select(scan, [ColEqConst(0, 3)])
+        assert estimate(selected, stats).rows < estimate(scan, stats).rows
+
+    def test_keyed_join_beats_product(self):
+        stats = self._stats()
+        product = Product(Scan("D0", 2), Scan("F", 2))
+        keyed = Join(Scan("D0", 2), Scan("F", 2), [(0, 0)])
+        assert estimate(keyed, stats).rows < estimate(product, stats).rows
+
+    def test_wild_join_columns_cost_more(self):
+        ground = CTable("G", 1, [(i,) for i in range(8)])
+        wild = CTable("W", 1, [(Variable(f"w{i}"),) for i in range(4)] + [(i,) for i in range(4)])
+        probe = CTable("P", 1, [(i,) for i in range(8)])
+        stats = Statistics.collect(TableDatabase([ground, wild, probe]))
+        ground_est = estimate(Join(Scan("G", 1), Scan("P", 1), [(0, 0)]), stats)
+        wild_est = estimate(Join(Scan("W", 1), Scan("P", 1), [(0, 0)]), stats)
+        assert wild_est.rows > ground_est.rows
+
+    def test_join_estimate_is_roughly_calibrated_on_keys(self):
+        # D0 keys are unique and F draws from them uniformly: the keyed
+        # join really has |F| rows and the estimate should land near it.
+        rng = random.Random(1)
+        db = star_join_database(rng, num_dims=2, dim_rows=8, fact_rows=64)
+        stats = Statistics.collect(db)
+        est = join_estimate(
+            estimate(Scan("D0", 2), stats), estimate(Scan("F", 2), stats), [(0, 0)]
+        )
+        world = Instance(
+            {t.name: [[c.value for c in row.terms] for row in t.rows] for t in db}
+        )
+        actual = len(evaluate_to_relation(Join(Scan("D0", 2), Scan("F", 2), [(0, 0)]), world))
+        assert actual / 4 <= est.rows <= actual * 4
+
+    def test_instance_evaluator_optimize_flag_is_equivalent(self):
+        rng = random.Random(9)
+        db = random_nway_join_database(rng, 3, rows_per_table=4, num_constants=2)
+        world = Instance(
+            {t.name: [[c.value for c in row.terms] for row in t.rows] for t in db}
+        )
+        expr = Select(
+            Product(Product(Scan("R0", 2), Scan("R1", 2)), Scan("R2", 2)),
+            [ColEq(0, 2), ColEq(3, 4)],
+        )
+        plain = evaluate_to_relation(expr, world)
+        optimized = evaluate_to_relation(expr, world, optimize=True)
+        assert plain == optimized
