@@ -11,7 +11,9 @@ Usage (also via ``python -m repro``)::
     repro contains sub.pwt super.pwt  # CONT: rep(sub) subset of rep(super)?
     repro convert db.pwt --to json    # text <-> JSON conversion
     repro eval db.pwt query.dl        # evaluate a UCQ view via the planner
-    repro eval db.pwt query.dl --explain   # show stats + chosen join order
+    repro eval db.pwt q1.dl q2.dl     # many queries, one stats collection
+    repro eval db.pwt query.dl --explain   # show stats + chosen join shape
+    repro eval db.pwt query.dl --ordering greedy   # left-deep greedy orderer
 
 Databases use the text notation of :mod:`repro.io.text` (``.pwt`` --
 "possible worlds tables"), instances the ``%instance`` notation
@@ -203,57 +205,87 @@ def _cmd_convert(args) -> int:
     return EXIT_YES
 
 
+def _read_query_argument(query_arg: str) -> str:
+    import os
+
+    if os.path.exists(query_arg):
+        return _read_text(query_arg)
+    if query_arg.strip() and "(" not in query_arg:
+        # Every rule contains parentheses; a paren-free argument is almost
+        # certainly a mistyped file path, so fail as one.
+        raise CliError(f"cannot read {query_arg}: no such file")
+    return query_arg
+
+
 def _cmd_eval(args) -> int:
     from .ctalgebra.evaluate import evaluate_ct, evaluate_ct_ordered
     from .relational.parser import ParseError, parse_query
     from .relational.planner import PlanError, plan, ra_of_ucq
-    from .relational.stats import Statistics
+    from .relational.stats import StatsStore
 
     db = load_database_file(args.database)
-    import os
-
-    if os.path.exists(args.query):
-        query_text = _read_text(args.query)
-    elif args.query.strip() and "(" not in args.query:
-        # Every rule contains parentheses; a paren-free argument is almost
-        # certainly a mistyped file path, so fail as one.
-        raise CliError(f"cannot read {args.query}: no such file")
-    else:
-        query_text = args.query
-    try:
-        query = parse_query(query_text)
-        expression = ra_of_ucq(query)
-    except (ParseError, PlanError, ValueError) as exc:
-        raise CliError(f"query: {exc}") from exc
-    name = query.rules[0].head.pred
-    stats = None if args.naive else Statistics.collect(db)
-    if args.explain and not args.naive:
-        for table_stats in sorted(stats, key=lambda t: t.name):
-            print(f"-- stats: {table_stats.describe()}")
-    if args.plan:
-        # Show what actually executes: the statistics-ordered plan, or with
-        # --naive the expression as compiled (run literally).
-        shown = expression if args.naive else plan(expression, stats=stats)
-        print(f"-- plan: {shown!r}")
-    explain: list[str] | None = [] if args.explain and not args.naive else None
-    try:
-        if args.naive:
-            view = evaluate_ct(expression, db, name=name)
-        else:
-            view = evaluate_ct_ordered(
-                expression, db, name=name, stats=stats, explain=explain
+    # One statistics store for the whole invocation: the first query
+    # collects, every later query (and every re-planned view) hits the
+    # cache, so multi-query invocations amortise collection.
+    store = None if args.naive else StatsStore(db)
+    if args.explain and args.naive:
+        print(
+            "repro: --explain has no effect with --naive (nothing is planned); "
+            "showing the compiled expression instead",
+            file=sys.stderr,
+        )
+    for position, query_arg in enumerate(args.query):
+        query_text = _read_query_argument(query_arg)
+        try:
+            query = parse_query(query_text)
+            expression = ra_of_ucq(query)
+        except (ParseError, PlanError, ValueError) as exc:
+            raise CliError(f"query: {exc}") from exc
+        name = query.rules[0].head.pred
+        if position:
+            print()
+        if len(args.query) > 1:
+            print(f"-- query {position + 1}: {name}")
+        stats = None if args.naive else store.snapshot()
+        if args.explain and not args.naive and position == 0:
+            for table_stats in sorted(stats, key=lambda t: t.name):
+                print(f"-- stats: {table_stats.describe()}")
+        if args.explain and args.naive and not args.plan:
+            # (--plan prints the same compiled expression already.)
+            print(f"-- expression: {expression!r}")
+        if args.plan:
+            # Show what actually executes: the statistics-ordered plan, or
+            # with --naive the expression as compiled (run literally).
+            shown = (
+                expression
+                if args.naive
+                else plan(expression, stats=stats, ordering=args.ordering)
             )
-    except KeyError as exc:
-        raise CliError(f"evaluation: unknown relation {exc}") from exc
-    except ValueError as exc:
-        raise CliError(f"evaluation: {exc}") from exc
-    if explain is not None:
-        if not explain:
-            explain.append("join order: unchanged (no 3+-way join chain)")
-        for line in explain:
-            print(f"-- {line}")
-    print(f"-- {view.name}/{view.arity} ({view.classify()}-table, {len(view)} rows)")
-    print(view)
+            print(f"-- plan: {shown!r}")
+        explain: list[str] | None = [] if args.explain and not args.naive else None
+        try:
+            if args.naive:
+                view = evaluate_ct(expression, db, name=name)
+            else:
+                view = evaluate_ct_ordered(
+                    expression,
+                    db,
+                    name=name,
+                    stats=stats,
+                    explain=explain,
+                    ordering=args.ordering,
+                )
+        except KeyError as exc:
+            raise CliError(f"evaluation: unknown relation {exc}") from exc
+        except ValueError as exc:
+            raise CliError(f"evaluation: {exc}") from exc
+        if explain is not None:
+            if not explain:
+                explain.append("join order: unchanged (no 3+-way join chain)")
+            for line in explain:
+                print(f"-- {line}")
+        print(f"-- {view.name}/{view.arity} ({view.classify()}-table, {len(view)} rows)")
+        print(view)
     return EXIT_YES
 
 
@@ -312,10 +344,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_convert)
 
     p = sub.add_parser(
-        "eval", help="evaluate a UCQ view over the database (planned by default)"
+        "eval", help="evaluate UCQ views over the database (planned by default)"
     )
     p.add_argument("database")
-    p.add_argument("query", help="rule file, or literal rule text")
+    p.add_argument(
+        "query",
+        nargs="+",
+        help="rule file(s) or literal rule text; several queries share one "
+        "statistics collection",
+    )
     p.add_argument(
         "--naive",
         action="store_true",
@@ -327,7 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--explain",
         action="store_true",
-        help="print table statistics and the cost-chosen join order",
+        help="print table statistics and the cost-chosen join shape",
+    )
+    p.add_argument(
+        "--ordering",
+        choices=("dp", "greedy"),
+        default="dp",
+        help="join orderer: Selinger DP with bushy plans (default) or the "
+        "greedy left-deep orderer",
     )
     p.set_defaults(func=_cmd_eval)
 

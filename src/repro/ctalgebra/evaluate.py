@@ -16,8 +16,12 @@ Three entry points share the translation:
   :class:`Join` nodes with the hash-partitioning :func:`join_ct`.
 * :func:`evaluate_ct_ordered` — additionally collects table statistics
   from the database (:class:`repro.relational.stats.Statistics`) and lets
-  the cost model re-order n-way join chains before execution; pass an
-  ``explain`` list to capture the ordering decisions.
+  the cost model re-order n-way join chains before execution — the
+  Selinger DP (bushy plans) by default, the greedy left-deep orderer via
+  ``ordering="greedy"``.  ``stats`` accepts a pre-collected snapshot or a
+  :class:`repro.relational.stats.StatsStore` cache to amortise collection
+  across queries; pass an ``explain`` list to capture the ordering
+  decisions.
 
 ``rep(evaluate_ct(e, D)) == { e(I) : I in rep(D) }`` is validated by the
 integration tests against both the instance-level evaluator and the world
@@ -42,7 +46,7 @@ from ..relational.algebra import (
     Union,
 )
 from ..relational.planner import plan
-from ..relational.stats import Statistics
+from ..relational.stats import Statistics, resolve_stats
 from .operators import (
     difference_ct,
     intersect_ct,
@@ -93,29 +97,50 @@ def evaluate_ct_ordered(
     name: str = "view",
     stats: Statistics | None = None,
     explain: list[str] | None = None,
+    ordering: str = "dp",
 ) -> CTable:
     """Plan with statistics, re-order joins by cost, then evaluate.
 
     ``stats`` defaults to a fresh collection over ``db``; pass a
-    pre-collected :class:`~repro.relational.stats.Statistics` to amortise
-    collection across many queries.  ``explain``, if given, accumulates
-    one line per re-ordered join chain describing the chosen order and
-    the estimated intermediate cardinalities.  Semantics are unchanged:
-    ``rep`` of the result equals ``rep`` of the naive result.
+    pre-collected :class:`~repro.relational.stats.Statistics` or a
+    :class:`~repro.relational.stats.StatsStore` to amortise collection
+    across many queries.  ``ordering`` selects the Selinger DP (``"dp"``,
+    the default, bushy plans) or the greedy left-deep orderer
+    (``"greedy"``).  ``explain``, if given, accumulates one line per
+    re-ordered join chain describing the chosen shape and the estimated
+    intermediate cardinalities.  Semantics are unchanged: ``rep`` of the
+    result equals ``rep`` of the naive result.
     """
-    if stats is None:
-        stats = Statistics.collect(db)
-    planned = plan(expression, stats=stats, explain=explain)
+    snapshot = resolve_stats(stats, db)
+    planned = plan(expression, stats=snapshot, explain=explain, ordering=ordering)
     table = _eval(planned, db, optimized=True)
     return CTable(name, table.arity, table.rows, table.global_condition)
 
 
 def evaluate_ct_database(
-    expressions: dict[str, RAExpression], db: TableDatabase, optimize: bool = False
+    expressions: dict[str, RAExpression],
+    db: TableDatabase,
+    optimize: bool = False,
+    stats: Statistics | None = None,
+    ordering: str = "dp",
 ) -> TableDatabase:
-    """Evaluate a named vector of RA expressions into a view database."""
-    evaluator = evaluate_ct_optimized if optimize else evaluate_ct
-    tables = [evaluator(expr, db, name) for name, expr in expressions.items()]
+    """Evaluate a named vector of RA expressions into a view database.
+
+    With ``optimize=True`` every view runs through the cost-ordered path
+    (:func:`evaluate_ct_ordered`) and statistics are collected **once**
+    and shared by all view expressions; ``stats`` accepts a pre-collected
+    snapshot or a :class:`~repro.relational.stats.StatsStore` to reuse a
+    cache across invocations.  ``stats`` and ``ordering`` only apply to
+    the optimized path — the naive evaluator plans nothing.
+    """
+    if optimize:
+        snapshot = resolve_stats(stats, db)
+        tables = [
+            evaluate_ct_ordered(expr, db, name, stats=snapshot, ordering=ordering)
+            for name, expr in expressions.items()
+        ]
+    else:
+        tables = [evaluate_ct(expr, db, name) for name, expr in expressions.items()]
     return TableDatabase(tables, db.global_condition())
 
 

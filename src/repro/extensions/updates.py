@@ -22,6 +22,12 @@ are the "right" representation, and e-/i-/g-tables are not):
 
 Both operations are per-row syntactic rewrites — constant work per row,
 so updates are PTIME in the table size, matching [1].
+
+Each operation accepts an optional ``stats``
+(:class:`repro.relational.stats.StatsStore`): the touched relation's
+cached statistics are invalidated and the store is rebound to the
+returned database, so a long-lived store stays consistent across updates
+while untouched tables keep their cached statistics.
 """
 
 from __future__ import annotations
@@ -59,23 +65,34 @@ def _unification_atoms(row: Row, target: tuple[Constant, ...]) -> list | None:
     return atoms
 
 
-def insert_fact(db: TableDatabase, relation: str, fact: Iterable) -> TableDatabase:
-    """Insert a (ground) fact into every possible world.
-
-    Idempotent on the representation: the new row is unconditional, so
-    every world of the result contains the fact exactly once.
-    """
+def _ground_target(db: TableDatabase, relation: str, fact: Iterable):
+    """Coerce ``fact`` to constants and check it against the relation's
+    arity; returns ``(table, target)`` without touching the database."""
     table = db[relation]
     target = tuple(as_constant(v) for v in fact)
     if len(target) != table.arity:
         raise ValueError(
             f"fact has arity {len(target)}, relation {relation!r} expects {table.arity}"
         )
+    return table, target
+
+
+def insert_fact(
+    db: TableDatabase, relation: str, fact: Iterable, stats=None
+) -> TableDatabase:
+    """Insert a (ground) fact into every possible world.
+
+    Idempotent on the representation: the new row is unconditional, so
+    every world of the result contains the fact exactly once.
+    """
+    table, target = _ground_target(db, relation, fact)
     updated = table.with_rows(tuple(table.rows) + (Row(target),))
-    return _replace(db, updated)
+    return _replace(db, updated, stats)
 
 
-def delete_fact(db: TableDatabase, relation: str, fact: Iterable) -> TableDatabase:
+def delete_fact(
+    db: TableDatabase, relation: str, fact: Iterable, stats=None
+) -> TableDatabase:
     """Delete a fact from every possible world.
 
     Every row able to unify with the fact has its local condition
@@ -84,12 +101,7 @@ def delete_fact(db: TableDatabase, relation: str, fact: Iterable) -> TableDataba
     Rows equal to the fact outright (ground match, empty unification)
     are dropped.
     """
-    table = db[relation]
-    target = tuple(as_constant(v) for v in fact)
-    if len(target) != table.arity:
-        raise ValueError(
-            f"fact has arity {len(target)}, relation {relation!r} expects {table.arity}"
-        )
+    table, target = _ground_target(db, relation, fact)
     rows: list[Row] = []
     for row in table.rows:
         atoms = _unification_atoms(row, target)
@@ -109,16 +121,23 @@ def delete_fact(db: TableDatabase, relation: str, fact: Iterable) -> TableDataba
         if condition == BOOL_FALSE:
             continue
         rows.append(Row(row.terms, condition))
-    return _replace(db, table.with_rows(rows))
+    return _replace(db, table.with_rows(rows), stats)
 
 
 def modify_fact(
-    db: TableDatabase, relation: str, old: Iterable, new: Iterable
+    db: TableDatabase, relation: str, old: Iterable, new: Iterable, stats=None
 ) -> TableDatabase:
     """Replace ``old`` by ``new`` in every possible world (delete + insert)."""
-    return insert_fact(delete_fact(db, relation, old), relation, new)
+    # Validate ``new`` before any rewrite: if the insert would fail, the
+    # stats store must not be rebound to the half-updated intermediate.
+    _, new_target = _ground_target(db, relation, new)
+    return insert_fact(delete_fact(db, relation, old, stats), relation, new_target, stats)
 
 
-def _replace(db: TableDatabase, table: CTable) -> TableDatabase:
+def _replace(db: TableDatabase, table: CTable, stats) -> TableDatabase:
     tables = [table if t.name == table.name else t for t in db.tables()]
-    return TableDatabase(tables, db.extra_condition())
+    updated = TableDatabase(tables, db.extra_condition())
+    if stats is not None:
+        stats.invalidate(table.name)
+        stats.rebind(updated)
+    return updated

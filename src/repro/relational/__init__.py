@@ -18,9 +18,9 @@ from .algebra import (
 )
 from .evaluator import evaluate, evaluate_to_relation
 from .instance import Fact, Instance, Relation
-from .planner import PlanError, order_joins, plan, ra_of_ucq
+from .planner import DP_LEAF_THRESHOLD, PlanError, order_joins, order_joins_dp, plan, ra_of_ucq
 from .schema import DatabaseSchema, RelationSchema
-from .stats import CardEstimate, ColumnStats, Statistics, TableStats, estimate
+from .stats import CardEstimate, ColumnStats, Statistics, StatsStore, TableStats, estimate
 
 __all__ = [
     "RelationSchema",
@@ -46,9 +46,12 @@ __all__ = [
     "evaluate_to_relation",
     "plan",
     "order_joins",
+    "order_joins_dp",
+    "DP_LEAF_THRESHOLD",
     "ra_of_ucq",
     "PlanError",
     "Statistics",
+    "StatsStore",
     "TableStats",
     "ColumnStats",
     "CardEstimate",

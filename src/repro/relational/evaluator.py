@@ -33,6 +33,7 @@ def evaluate_to_relation(
     instance: Instance,
     optimize: bool = False,
     stats=None,
+    ordering: str = "dp",
 ) -> Relation:
     """Evaluate ``expression`` over ``instance`` and return a relation.
 
@@ -40,22 +41,26 @@ def evaluate_to_relation(
     join-ordering pass (:mod:`repro.relational.planner`) before executing;
     the result is identical, joins just associate in a cheaper order.
     ``stats`` takes a pre-collected
-    :class:`~repro.relational.stats.Statistics` to avoid re-scanning the
-    instance per expression.
+    :class:`~repro.relational.stats.Statistics` (or a
+    :class:`~repro.relational.stats.StatsStore` cache) to avoid
+    re-scanning the instance per expression; ``ordering`` selects the
+    Selinger DP (``"dp"``, default) or the greedy orderer (``"greedy"``).
     """
     if optimize:
         from .planner import plan
-        from .stats import Statistics
+        from .stats import resolve_stats
 
-        if stats is None:
-            stats = Statistics.collect(instance)
-        expression = plan(expression, stats=stats)
+        stats = resolve_stats(stats, instance)
+        expression = plan(expression, stats=stats, ordering=ordering)
     facts = _eval(expression, instance)
     return Relation(expression.arity, facts)
 
 
 def evaluate(
-    expressions: dict[str, RAExpression], instance: Instance, optimize: bool = False
+    expressions: dict[str, RAExpression],
+    instance: Instance,
+    optimize: bool = False,
+    ordering: str = "dp",
 ) -> Instance:
     """Evaluate a named vector of expressions: the query's output instance.
 
@@ -69,7 +74,9 @@ def evaluate(
         stats = Statistics.collect(instance)
     return Instance(
         {
-            name: evaluate_to_relation(expr, instance, optimize=optimize, stats=stats)
+            name: evaluate_to_relation(
+                expr, instance, optimize=optimize, stats=stats, ordering=ordering
+            )
             for name, expr in expressions.items()
         }
     )

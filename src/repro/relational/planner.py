@@ -16,17 +16,34 @@ evaluators execute asymptotically faster:
 * **selection fusion** — adjacent selections merge into one.
 
 When a :class:`~repro.relational.stats.Statistics` object is supplied,
-:func:`plan` additionally runs the **cost-based join-ordering** pass
-(:func:`order_joins`): every maximal fused ``Join``/``Product`` chain is
-flattened into a join graph (leaves plus cross-leaf equality edges), the
-leaves are re-ordered greedily — start from the smallest estimated leaf,
-then repeatedly adjoin the *connected* leaf minimising the estimated
-intermediate cardinality (cartesian growth only when nothing connects) —
-and the chain is rebuilt left-deep in that order, with a final projection
-restoring the original column order.  Estimates come from the textbook
-cost model in :mod:`repro.relational.stats`, which tracks ground/variable
-cell counts so that rows the c-table hash operators cannot partition are
-charged their true pair-everything cost.
+:func:`plan` additionally runs a **cost-based join-ordering** pass: every
+maximal fused ``Join``/``Product`` chain is flattened into a join graph
+(leaves plus cross-leaf equality edges) and rebuilt in a cheaper
+association order, with a final projection restoring the original column
+order.  Two orderers are available via ``plan(..., ordering=...)``:
+
+* ``"dp"`` (the default) — :func:`order_joins_dp`, a Selinger-style
+  dynamic program.  It enumerates the *connected* subsets of the join
+  graph bottom-up, memoising the best ``(cost, plan)`` per subset, where
+  cost is the cumulative estimated cardinality of every intermediate
+  result.  Because a subset's best plan may join two composite subplans,
+  the result is a **bushy** tree, not just a left-deep chain — on
+  snowflake-shaped graphs (two selective arms meeting on a many-many
+  edge) bushy plans beat every left-deep order.  Disconnected join
+  graphs are handled by planning each connected component and joining
+  the components smallest-first.  Above
+  :data:`DP_LEAF_THRESHOLD` leaves the subset enumeration is no longer
+  worth its exponential cost and the pass falls back to the greedy
+  orderer.
+* ``"greedy"`` — :func:`order_joins`: start from the smallest estimated
+  leaf, then repeatedly adjoin the *connected* leaf minimising the
+  estimated intermediate cardinality (cartesian growth only when nothing
+  connects), rebuilding the chain left-deep.
+
+Estimates come from the textbook cost model in
+:mod:`repro.relational.stats`, which tracks ground/variable cell counts
+so that rows the c-table hash operators cannot partition are charged
+their true pair-everything cost.
 
 The rewrites and the re-ordering are purely syntactic/algebraic
 equivalences, so they are valid both over complete instances and over
@@ -62,9 +79,21 @@ from .algebra import (
     Select,
     Union,
 )
-from .stats import CardEstimate, Statistics, estimate, join_estimate
+from .stats import CardEstimate, Statistics, estimate, join_estimate, resolve_stats
 
-__all__ = ["plan", "push_select", "order_joins", "ra_of_ucq", "PlanError"]
+__all__ = [
+    "plan",
+    "push_select",
+    "order_joins",
+    "order_joins_dp",
+    "ra_of_ucq",
+    "PlanError",
+    "DP_LEAF_THRESHOLD",
+]
+
+#: Above this many join-graph leaves the Selinger enumeration (exponential
+#: in the leaf count) falls back to the greedy left-deep orderer.
+DP_LEAF_THRESHOLD = 10
 
 
 class PlanError(ValueError):
@@ -75,17 +104,28 @@ def plan(
     expression: RAExpression,
     stats: Statistics | None = None,
     explain: list[str] | None = None,
+    ordering: str = "dp",
 ) -> RAExpression:
     """Rewrite ``expression`` into an equivalent, join-aware form.
 
     With ``stats``, n-way join chains are additionally re-ordered by the
-    cost model (see :func:`order_joins`).  ``explain``, if given, is a
-    list that accumulates human-readable lines describing each ordering
-    decision.
+    cost model: ``ordering="dp"`` (the default) runs the Selinger-style
+    bushy dynamic program (:func:`order_joins_dp`), ``ordering="greedy"``
+    the left-deep greedy orderer (:func:`order_joins`).  ``stats`` may be
+    a :class:`~repro.relational.stats.Statistics` snapshot or a
+    :class:`~repro.relational.stats.StatsStore` (snapshotted here).
+    ``explain``, if given, is a list that accumulates human-readable
+    lines describing each ordering decision.
     """
+    if ordering not in ("greedy", "dp"):
+        raise PlanError(f"unknown join ordering {ordering!r} (use 'greedy' or 'dp')")
     planned = _plan(expression)
+    stats = resolve_stats(stats)
     if stats is not None:
-        planned = order_joins(planned, stats, explain)
+        if ordering == "dp":
+            planned = order_joins_dp(planned, stats, explain)
+        else:
+            planned = order_joins(planned, stats, explain)
     return planned
 
 
@@ -229,17 +269,61 @@ def order_joins(
     stats: Statistics,
     explain: list[str] | None = None,
 ) -> RAExpression:
-    """Re-order every n-way (n >= 3) join chain of a planned expression.
+    """Greedily re-order every n-way (n >= 3) join chain of a planned
+    expression into a left-deep chain, smallest estimated intermediate
+    first.
 
     The transformation is an equivalence: the same leaves are joined on
     the same column equalities, only the association order changes, and a
     final :class:`Project` restores the original column order.
     """
+    return _order_chains(node, stats, explain, _rebuild_ordered)
+
+
+def order_joins_dp(
+    node: RAExpression,
+    stats: Statistics,
+    explain: list[str] | None = None,
+    max_dp_leaves: int = DP_LEAF_THRESHOLD,
+) -> RAExpression:
+    """Selinger-style re-ordering of every n-way (n >= 3) join chain.
+
+    Enumerates connected subsets of each chain's join graph bottom-up,
+    memoising the best (cumulative estimated intermediate cardinality,
+    plan) per subset; the chosen tree may be **bushy**.  Chains with more
+    than ``max_dp_leaves`` leaves fall back to the greedy orderer — the
+    subset enumeration is exponential in the leaf count.  Like
+    :func:`order_joins` this is a pure reassociation with the original
+    column order restored.
+    """
+
+    def rebuild(leaves, edges, stats_, explain_):
+        if len(leaves) > max_dp_leaves:
+            if explain_ is not None:
+                explain_.append(
+                    f"dp fallback: {len(leaves)} leaves > {max_dp_leaves}, using greedy"
+                )
+            return _rebuild_ordered(leaves, edges, stats_, explain_)
+        return _rebuild_dp(leaves, edges, stats_, explain_)
+
+    return _order_chains(node, stats, explain, rebuild)
+
+
+def _order_chains(
+    node: RAExpression,
+    stats: Statistics,
+    explain: list[str] | None,
+    rebuild,
+) -> RAExpression:
+    """Walk the expression, handing every maximal 3+-leaf join chain to
+    ``rebuild(leaves, edges, stats, explain)``."""
     if isinstance(node, (Join, Product)):
         leaves, edges = _flatten_join_chain(node)
         if len(leaves) >= 3:
-            ordered_leaves = [order_joins(leaf, stats, explain) for leaf, _ in leaves]
-            return _rebuild_ordered(
+            ordered_leaves = [
+                _order_chains(leaf, stats, explain, rebuild) for leaf, _ in leaves
+            ]
+            return rebuild(
                 [(leaf, base) for leaf, (_, base) in zip(ordered_leaves, leaves)],
                 edges,
                 stats,
@@ -247,24 +331,24 @@ def order_joins(
             )
         if isinstance(node, Join):
             return Join(
-                order_joins(node.left, stats, explain),
-                order_joins(node.right, stats, explain),
+                _order_chains(node.left, stats, explain, rebuild),
+                _order_chains(node.right, stats, explain, rebuild),
                 node.on,
             )
         return Product(
-            order_joins(node.left, stats, explain),
-            order_joins(node.right, stats, explain),
+            _order_chains(node.left, stats, explain, rebuild),
+            _order_chains(node.right, stats, explain, rebuild),
         )
     if isinstance(node, Scan):
         return node
     if isinstance(node, Select):
-        return Select(order_joins(node.child, stats, explain), node.predicates)
+        return Select(_order_chains(node.child, stats, explain, rebuild), node.predicates)
     if isinstance(node, Project):
-        return Project(order_joins(node.child, stats, explain), node.columns)
+        return Project(_order_chains(node.child, stats, explain, rebuild), node.columns)
     if isinstance(node, (Union, Intersect, Difference)):
         return type(node)(
-            order_joins(node.left, stats, explain),
-            order_joins(node.right, stats, explain),
+            _order_chains(node.left, stats, explain, rebuild),
+            _order_chains(node.right, stats, explain, rebuild),
         )
     raise TypeError(f"unknown RA node: {node!r}")
 
@@ -303,6 +387,32 @@ def _leaf_label(leaf: RAExpression) -> str:
     return f"{type(leaf).__name__.lower()}({', '.join(names)})"
 
 
+def _chain_layout(leaves, edges, stats):
+    """Shared rebuild prologue: map each global column of the original
+    chain to ``(leaf index, local col)``, localise the join edges to those
+    pairs, and estimate every leaf."""
+    owner: dict[int, tuple[int, int]] = {}
+    for i, (leaf, base) in enumerate(leaves):
+        for c in range(leaf.arity):
+            owner[base + c] = (i, c)
+    local_edges = [(owner[a], owner[b]) for a, b in edges]
+    estimates = [estimate(leaf, stats) for leaf, _ in leaves]
+    return owner, local_edges, estimates
+
+
+def _restore_columns(
+    tree: RAExpression, owner: dict[int, tuple[int, int]], base_of: dict[int, int]
+) -> RAExpression:
+    """Shared rebuild epilogue: project the reassociated ``tree`` back to
+    the chain's original column order (``base_of`` maps each leaf index to
+    its base column inside ``tree``)."""
+    restore = [base_of[owner[g][0]] + owner[g][1] for g in sorted(owner)]
+    assert len(restore) == tree.arity
+    if restore == list(range(len(restore))):
+        return tree
+    return Project(tree, restore)
+
+
 def _rebuild_ordered(
     leaves: list[tuple[RAExpression, int]],
     edges: list[tuple[int, int]],
@@ -310,18 +420,9 @@ def _rebuild_ordered(
     explain: list[str] | None,
 ) -> RAExpression:
     """Greedily order the join graph and rebuild a left-deep chain."""
-    total_arity = sum(leaf.arity for leaf, _ in leaves)
-
-    # Map a global column of the *original* chain to (leaf index, local col).
-    owner: dict[int, tuple[int, int]] = {}
-    for i, (leaf, base) in enumerate(leaves):
-        for c in range(leaf.arity):
-            owner[base + c] = (i, c)
-
     # Edges as ((leaf, col), (leaf, col)); an edge is applied when its
     # second endpoint joins the placed set.
-    local_edges = [(owner[a], owner[b]) for a, b in edges]
-    estimates = [estimate(leaf, stats) for leaf, _ in leaves]
+    owner, local_edges, estimates = _chain_layout(leaves, edges, stats)
 
     remaining = set(range(len(leaves)))
     start = min(remaining, key=lambda i: (estimates[i].rows, i))
@@ -389,14 +490,7 @@ def _rebuild_ordered(
         new_base[i] = width
         width += leaf.arity
 
-    # Restore the original column order.
-    restore = [
-        new_base[owner[g][0]] + owner[g][1] for g in sorted(owner)
-    ]
-    assert len(restore) == total_arity
-    if restore == list(range(total_arity)):
-        return tree
-    return Project(tree, restore)
+    return _restore_columns(tree, owner, new_base)
 
 
 def _placed_column(
@@ -413,6 +507,152 @@ def _placed_column(
             return offset + local_col
         offset += leaves[i][0].arity
     raise ValueError(f"leaf {leaf_index} not yet placed")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Selinger-style dynamic programming (bushy plans)
+# ---------------------------------------------------------------------------
+
+
+class _SubPlan:
+    """A memoised DP entry: the best plan found for one leaf subset.
+
+    ``offsets`` maps each member leaf's index to the base column of that
+    leaf inside ``tree``'s output; ``label`` is the human-readable shape
+    (with per-subplan row estimates) used by explain output.
+    """
+
+    __slots__ = ("cost", "est", "tree", "offsets", "label")
+
+    def __init__(
+        self,
+        cost: float,
+        est: CardEstimate,
+        tree: RAExpression,
+        offsets: dict[int, int],
+        label: str,
+    ) -> None:
+        self.cost = cost
+        self.est = est
+        self.tree = tree
+        self.offsets = offsets
+        self.label = label
+
+
+def _join_graph_components(n: int, local_edges) -> list[list[int]]:
+    """Connected components of the join graph, each sorted ascending."""
+    adjacency: dict[int, set[int]] = {i: set() for i in range(n)}
+    for (li, _), (ri, _) in local_edges:
+        adjacency[li].add(ri)
+        adjacency[ri].add(li)
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for i in range(n):
+        if i in seen:
+            continue
+        stack, members = [i], []
+        seen.add(i)
+        while stack:
+            j = stack.pop()
+            members.append(j)
+            for k in adjacency[j]:
+                if k not in seen:
+                    seen.add(k)
+                    stack.append(k)
+        components.append(sorted(members))
+    return components
+
+
+def _rebuild_dp(
+    leaves: list[tuple[RAExpression, int]],
+    edges: list[tuple[int, int]],
+    stats: Statistics,
+    explain: list[str] | None,
+) -> RAExpression:
+    """Find the cheapest (possibly bushy) join tree by dynamic programming.
+
+    Classic Selinger enumeration over leaf subsets, as bitmasks: a
+    subset's best plan is the cheapest way of joining two disjoint
+    *connected* sub-subsets with at least one join edge between them,
+    where cost is the cumulative estimated cardinality of every
+    intermediate result (leaves are free — every plan scans them once).
+    Cross products are only introduced between connected components,
+    smallest estimated component first.
+    """
+    owner, local_edges, estimates = _chain_layout(leaves, edges, stats)
+
+    def cross_pairs(left: _SubPlan, right: _SubPlan) -> list[tuple[int, int]]:
+        """Join-edge column pairs crossing from ``left``'s to ``right``'s
+        leaves, as (left tree column, right tree column)."""
+        pairs = []
+        for (li, lc), (ri, rc) in local_edges:
+            if li in left.offsets and ri in right.offsets:
+                pairs.append((left.offsets[li] + lc, right.offsets[ri] + rc))
+            elif ri in left.offsets and li in right.offsets:
+                pairs.append((left.offsets[ri] + rc, right.offsets[li] + lc))
+        return pairs
+
+    def combine(left: _SubPlan, right: _SubPlan, pairs) -> _SubPlan:
+        est = join_estimate(left.est, right.est, pairs)
+        shift = left.tree.arity
+        offsets = dict(left.offsets)
+        for leaf, offset in right.offsets.items():
+            offsets[leaf] = offset + shift
+        separator = " >< " if pairs else " x "
+        label = f"({left.label}{separator}{right.label} ~{est.rows:.0f})"
+        return _SubPlan(
+            left.cost + right.cost + est.rows,
+            est,
+            Join(left.tree, right.tree, pairs),
+            offsets,
+            label,
+        )
+
+    def best_component_plan(members: list[int]) -> _SubPlan:
+        best: dict[int, _SubPlan] = {
+            1 << i: _SubPlan(0.0, estimates[i], leaves[i][0], {i: 0}, _leaf_label(leaves[i][0]))
+            for i in members
+        }
+        component_mask = 0
+        for i in members:
+            component_mask |= 1 << i
+        masks = []
+        sub = component_mask
+        while sub:
+            if sub.bit_count() >= 2:
+                masks.append(sub)
+            sub = (sub - 1) & component_mask
+        masks.sort(key=lambda m: (m.bit_count(), m))
+        for mask in masks:
+            low = mask & -mask
+            winner: _SubPlan | None = None
+            s1 = (mask - 1) & mask
+            while s1:
+                # Each unordered split once: keep the lowest leaf on the left.
+                if s1 & low:
+                    p1, p2 = best.get(s1), best.get(mask ^ s1)
+                    if p1 is not None and p2 is not None:
+                        pairs = cross_pairs(p1, p2)
+                        if pairs:
+                            candidate = combine(p1, p2, pairs)
+                            if winner is None or candidate.cost < winner.cost:
+                                winner = candidate
+                s1 = (s1 - 1) & mask
+            if winner is not None:
+                best[mask] = winner
+        return best[component_mask]
+
+    components = _join_graph_components(len(leaves), local_edges)
+    plans = [best_component_plan(members) for members in components]
+    plans.sort(key=lambda p: (p.est.rows, min(p.offsets)))
+    total = plans[0]
+    for nxt in plans[1:]:
+        total = combine(total, nxt, [])
+
+    if explain is not None:
+        explain.append(f"join order: {total.label}")
+
+    return _restore_columns(total.tree, owner, total.offsets)
 
 
 # ---------------------------------------------------------------------------

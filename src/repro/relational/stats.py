@@ -18,6 +18,16 @@ c-table hash operators cannot partition them — a wild row meets *every*
 row on the other side, so wild fractions inflate join estimates exactly
 as they inflate real cost.  The estimates only need to *rank* candidate
 join orders; they are deliberately crude and cheap.
+
+:class:`Statistics` snapshots are immutable; :class:`StatsStore` is the
+mutable cache that sits in front of them.  A store collects each table's
+statistics at most once, serves :class:`Statistics` snapshots to many
+queries, and drops a single table's entry on mutation
+(:meth:`StatsStore.invalidate`) so the next snapshot recollects only
+what changed.  The update operators in :mod:`repro.extensions.updates`
+and the multi-query paths (``repro eval`` with several queries,
+:func:`repro.ctalgebra.evaluate.evaluate_ct_database`) are wired through
+a store so repeated queries amortise collection.
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ __all__ = [
     "ColumnStats",
     "TableStats",
     "Statistics",
+    "StatsStore",
+    "resolve_stats",
     "CardEstimate",
     "estimate",
     "join_estimate",
@@ -171,26 +183,119 @@ class Statistics:
 
     @staticmethod
     def collect(source) -> "Statistics":
-        """Collect statistics from a ``TableDatabase`` or an ``Instance``.
+        """Collect statistics from a ``TableDatabase`` or an ``Instance``."""
+        return Statistics(
+            TableStats.from_rows(name, arity, rows)
+            for name, arity, rows in _iter_source_tables(source)
+        )
 
-        Duck-typed to avoid import cycles: c-table databases iterate as
-        tables carrying ``.rows`` of term tuples; instances iterate as
-        relation names with fact sets behind ``[]``.
+
+def _iter_source_tables(source):
+    """Yield ``(name, arity, rows)`` for every table of a data source.
+
+    Duck-typed to avoid import cycles: c-table databases iterate as tables
+    carrying ``.rows`` of term tuples; instances iterate as relation names
+    with fact sets behind ``[]``.  The row iterables are lazy, so a caller
+    that skips a cached table pays nothing for it.
+    """
+    for item in source:
+        if isinstance(item, str):  # Instance: iterates relation names
+            relation = source[item]
+            yield item, relation.arity, relation.facts
+        else:  # TableDatabase: iterates CTables
+            yield item.name, item.arity, (row.terms for row in item.rows)
+
+
+class StatsStore:
+    """A mutable, per-database statistics cache.
+
+    Where :meth:`Statistics.collect` rescans every table on every call, a
+    store bound to a database collects each table **once** and serves the
+    cached :class:`TableStats` to every subsequent :meth:`snapshot`.
+    Mutating code (see :mod:`repro.extensions.updates`) calls
+    :meth:`invalidate` with the touched relation and :meth:`rebind` with
+    the updated database, so the next snapshot recollects only that
+    relation; untouched tables keep their cached statistics.
+
+    ``table_collections`` counts per-table collection passes — the
+    benchmarks use it to prove amortisation (N queries over a k-table
+    database should show k collections, not N*k).
+    """
+
+    __slots__ = ("_source", "_cache", "table_collections")
+
+    def __init__(self, source=None) -> None:
+        self._source = source
+        self._cache: dict[str, TableStats] = {}
+        self.table_collections = 0
+
+    def __repr__(self) -> str:
+        return f"StatsStore(cached={sorted(self._cache)})"
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def source(self):
+        return self._source
+
+    def rebind(self, source) -> None:
+        """Point the store at a new version of the database.
+
+        Cached per-table statistics are kept — pair with
+        :meth:`invalidate` for the relations that actually changed.
         """
-        tables: list[TableStats] = []
-        for item in source:
-            if isinstance(item, str):  # Instance: iterates relation names
-                relation = source[item]
-                tables.append(
-                    TableStats.from_rows(item, relation.arity, relation.facts)
-                )
-            else:  # TableDatabase: iterates CTables
-                tables.append(
-                    TableStats.from_rows(
-                        item.name, item.arity, (row.terms for row in item.rows)
-                    )
-                )
+        self._source = source
+
+    def invalidate(self, *names: str) -> None:
+        """Drop the cached statistics of the named tables."""
+        for name in names:
+            self._cache.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop every cached table (full recollection on next snapshot)."""
+        self._cache.clear()
+
+    def snapshot(self, source=None) -> Statistics:
+        """An immutable :class:`Statistics` snapshot of the bound source.
+
+        Serves cached tables and collects only the missing (or
+        arity-changed) ones.  Passing ``source`` rebinds the store first;
+        with no source at all the snapshot contains whatever is cached.
+        """
+        if source is not None:
+            self._source = source
+        if self._source is None:
+            return Statistics(dict(self._cache))
+        tables: dict[str, TableStats] = {}
+        for name, arity, rows in _iter_source_tables(self._source):
+            cached = self._cache.get(name)
+            if cached is None or cached.arity != arity:
+                cached = TableStats.from_rows(name, arity, rows)
+                self._cache[name] = cached
+                self.table_collections += 1
+            tables[name] = cached
         return Statistics(tables)
+
+
+def resolve_stats(stats, source=None) -> "Statistics | None":
+    """Normalise a ``stats`` argument to a :class:`Statistics` snapshot.
+
+    The planning entry points accept ``None``, a ready snapshot, or a
+    :class:`StatsStore`; this is the single place that resolves the
+    three.  ``None`` collects from ``source`` when one is given (and
+    stays ``None`` otherwise — the planner treats that as "skip the
+    ordering pass"); a store snapshots against ``source`` when given,
+    else against whatever the store is bound to.
+    """
+    if stats is None:
+        return Statistics.collect(source) if source is not None else None
+    if isinstance(stats, StatsStore):
+        return stats.snapshot(source)
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -237,7 +342,9 @@ class CardEstimate:
 
 def _scan_estimate(node: Scan, stats: Statistics) -> CardEstimate:
     table = stats.get(node.name)
-    if table is None:
+    # An arity mismatch means the statistics are stale (collected before a
+    # schema change); trusting them would index past the column list.
+    if table is None or table.arity != node.arity:
         return CardEstimate(
             DEFAULT_ROWS,
             [DEFAULT_DISTINCT] * node.arity,

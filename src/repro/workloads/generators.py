@@ -51,6 +51,8 @@ __all__ = [
     "random_join_query",
     "star_join_database",
     "star_join_expression",
+    "snowflake_join_database",
+    "snowflake_join_expression",
 ]
 
 
@@ -473,6 +475,77 @@ def star_join_expression(num_dims: int = 4) -> RAExpression:
     fact_base = 2 * num_dims
     predicates = [ColEq(2 * i, fact_base + i) for i in range(num_dims)]
     return Select(expr, predicates)
+
+
+def snowflake_join_database(
+    rng: random.Random,
+    fact_rows: int = 400,
+    dim_rows: int = 400,
+    filter_rows: int = 200,
+    key_spread: int = 10,
+    bridge_keys: int = 4,
+) -> TableDatabase:
+    """A snowflake arm on which bushy plans beat every left-deep order.
+
+    Four tables chained ``S - F - D - O`` (all binary):
+
+    * ``F`` (fact): column 0 a fact key, column 1 a coarse *bridge* key
+      with only ``bridge_keys`` distinct values;
+    * ``S`` (selective dimension): ``filter_rows`` unique fact keys drawn
+      from a domain ``key_spread`` times larger, so ``S >< F`` keeps
+      roughly ``1/key_spread`` of the fact rows;
+    * ``D`` (bridge dimension): column 0 the bridge key — duplicated, so
+      the ``F - D`` edge is many-to-many with fanout
+      ``dim_rows/bridge_keys`` — and column 1 an outrigger key;
+    * ``O`` (outrigger): ``filter_rows`` unique outrigger keys from the
+      same enlarged domain, filtering ``D`` like ``S`` filters ``F``.
+
+    ``S >< F`` and ``D >< O`` are both small, but crossing the many-many
+    ``F - D`` edge with either side unfiltered explodes.  The bushy plan
+    ``(S >< F) >< (D >< O)`` filters both sides first and keeps every
+    intermediate at the filtered size; every left-deep order must either
+    cross ``F - D`` half-filtered or pay a cartesian product of the two
+    filter tables.  Pair with :func:`snowflake_join_expression`;
+    ``benchmarks/bench_dp_ordering.py`` uses the pair to show the
+    Selinger DP orderer beating the best left-deep plan.
+    """
+    key_domain = filter_rows * key_spread
+    s_keys = rng.sample(range(key_domain), filter_rows)
+    o_keys = rng.sample(range(key_domain), filter_rows)
+    s = CTable("S", 2, [(k, 5_000_000 + i) for i, k in enumerate(s_keys)])
+    f = CTable(
+        "F",
+        2,
+        [
+            (rng.randrange(key_domain), rng.randrange(bridge_keys))
+            for _ in range(fact_rows)
+        ],
+    )
+    d = CTable(
+        "D",
+        2,
+        [
+            (rng.randrange(bridge_keys), rng.randrange(key_domain))
+            for _ in range(dim_rows)
+        ],
+    )
+    o = CTable("O", 2, [(k, 6_000_000 + i) for i, k in enumerate(o_keys)])
+    return TableDatabase([s, f, d, o])
+
+
+def snowflake_join_expression() -> RAExpression:
+    """The snowflake chain ``S >< F >< D >< O`` in naive
+    ``Select(Product(...))`` form, leaves in chain order.
+
+    Join edges: ``S.0 = F.0``, ``F.1 = D.0``, ``D.1 = O.0``.  Written
+    left-deep in chain order this is already one of the *better* left-deep
+    plans — the benchmark's point is that even the best left-deep order
+    loses to the bushy shape the DP orderer picks.
+    """
+    expr: RAExpression = Scan("S", 2)
+    for name in ("F", "D", "O"):
+        expr = Product(expr, Scan(name, 2))
+    return Select(expr, [ColEq(0, 2), ColEq(3, 4), ColEq(5, 6)])
 
 
 def _random_predicate(rng: random.Random, arity: int, num_constants: int):

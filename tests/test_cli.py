@@ -248,8 +248,37 @@ class TestEvalExplain:
         ]
         assert set(plain) == set(explained)
 
-    def test_explain_with_naive_is_silent(self, db_file, capsys):
+    def test_explain_with_naive_warns_and_shows_the_expression(self, db_file, capsys):
+        # --explain cannot describe a plan the naive evaluator never builds,
+        # but it must not be a silent no-op either.
         rule = "Q(X, Z) :- R(X, Y), R(Y, Z)."
         assert main(["eval", db_file, rule, "--naive", "--explain"]) == EXIT_YES
+        captured = capsys.readouterr()
+        assert "join order" not in captured.out and "-- stats" not in captured.out
+        assert "--explain has no effect with --naive" in captured.err
+        assert "-- expression:" in captured.out
+
+    def test_explain_prints_bushy_dp_shape(self, db_file, capsys):
+        rule = "Q(X) :- R(X, Y), R(Y, Z), R(Z, W), R(W, V)."
+        assert main(["eval", db_file, rule, "--explain"]) == EXIT_YES
         out = capsys.readouterr().out
-        assert "join order" not in out and "-- stats" not in out
+        order_lines = [l for l in out.splitlines() if l.startswith("-- join order:")]
+        assert len(order_lines) == 1
+        assert "><" in order_lines[0] and "~" in order_lines[0]
+
+    def test_ordering_greedy_agrees_with_dp(self, db_file, capsys):
+        rule = "Q(X) :- R(X, Y), R(Y, Z), R(Z, W)."
+        assert main(["eval", db_file, rule, "--ordering", "dp"]) == EXIT_YES
+        dp = capsys.readouterr().out.splitlines()
+        assert main(["eval", db_file, rule, "--ordering", "greedy"]) == EXIT_YES
+        greedy = capsys.readouterr().out.splitlines()
+        assert dp[0] == greedy[0]  # the header line
+        assert set(dp[1:]) == set(greedy[1:])
+
+    def test_eval_multiple_queries_share_one_invocation(self, db_file, capsys):
+        first = "Q(X) :- R(X, Y)."
+        second = "P(Y) :- R(X, Y)."
+        assert main(["eval", db_file, first, second]) == EXIT_YES
+        out = capsys.readouterr().out
+        assert "-- query 1: Q" in out and "-- query 2: P" in out
+        assert "Q/1" in out and "P/1" in out

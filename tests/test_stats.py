@@ -2,9 +2,11 @@
 
 Collection is checked against hand-countable tables (both c-table and
 complete-instance sources); the estimator is checked for the *ordinal*
-properties the greedy join orderer relies on — selections shrink, joins
-with keys beat products, wild join columns cost more than ground ones —
-not for absolute accuracy, which the model does not promise.
+properties the join orderers rely on — selections shrink, joins with
+keys beat products, wild join columns cost more than ground ones — not
+for absolute accuracy, which the model does not promise.  The
+``StatsStore`` cache is checked for its amortisation contract: collect
+once, serve snapshots, recollect only what an update invalidated.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ import random
 
 from repro.core.tables import CTable, TableDatabase
 from repro.core.terms import Variable
+from repro.ctalgebra import evaluate_ct_database
+from repro.extensions.updates import delete_fact, insert_fact, modify_fact
 from repro.relational import (
     ColEq,
     ColEqConst,
@@ -22,10 +26,12 @@ from repro.relational import (
     Scan,
     Select,
     Statistics,
+    StatsStore,
     estimate,
     evaluate_to_relation,
+    plan,
 )
-from repro.relational.stats import DEFAULT_ROWS, join_estimate
+from repro.relational.stats import DEFAULT_DISTINCT, DEFAULT_ROWS, join_estimate
 from repro.workloads import random_nway_join_database, star_join_database
 
 x = Variable("x")
@@ -54,6 +60,19 @@ class TestCollection:
         stats = Statistics()
         est = estimate(Scan("missing", 2), stats)
         assert est.rows == DEFAULT_ROWS
+
+    def test_arity_mismatch_falls_back_to_defaults(self):
+        # Regression: statistics collected before a schema change carry an
+        # arity-2 TableStats for R; estimating a scan of R at arity 3 used
+        # to raise IndexError when a predicate touched column 2.
+        table = CTable("R", 2, [(1, 2), (3, 4)])
+        stats = Statistics.collect(TableDatabase([table]))
+        est = estimate(Select(Scan("R", 3), [ColEqConst(2, 7)]), stats)
+        assert est.arity == 3
+        assert est.rows == DEFAULT_ROWS / DEFAULT_DISTINCT
+        bare = estimate(Scan("R", 3), stats)
+        assert bare.rows == DEFAULT_ROWS
+        assert bare.distinct == (DEFAULT_DISTINCT,) * 3
 
     def test_describe_mentions_wild_columns(self):
         table = CTable("R", 1, [(x,), (1,)])
@@ -113,5 +132,119 @@ class TestEstimatorOrdinalProperties:
             [ColEq(0, 2), ColEq(3, 4)],
         )
         plain = evaluate_to_relation(expr, world)
-        optimized = evaluate_to_relation(expr, world, optimize=True)
-        assert plain == optimized
+        for ordering in ("greedy", "dp"):
+            optimized = evaluate_to_relation(
+                expr, world, optimize=True, ordering=ordering
+            )
+            assert plain == optimized
+
+
+class TestStatsStore:
+    def _db(self):
+        return TableDatabase(
+            [
+                CTable("R", 2, [(1, 2), (3, 4), (5, 6)]),
+                CTable("S", 1, [(0,), (1,)]),
+            ]
+        )
+
+    def test_snapshot_collects_each_table_once(self):
+        store = StatsStore(self._db())
+        first = store.snapshot()
+        second = store.snapshot()
+        assert store.table_collections == 2
+        assert second.get("R") is first.get("R")
+        assert second.get("S") is first.get("S")
+        assert first.get("R").rows == 3
+
+    def test_invalidate_recollects_only_that_table(self):
+        store = StatsStore(self._db())
+        first = store.snapshot()
+        store.invalidate("R")
+        second = store.snapshot()
+        assert store.table_collections == 3  # R twice, S once
+        assert second.get("R") is not first.get("R")
+        assert second.get("S") is first.get("S")
+
+    def test_update_operators_invalidate_and_rebind(self):
+        db = self._db()
+        store = StatsStore(db)
+        before = store.snapshot()
+        assert before.get("R").rows == 3
+
+        updated = insert_fact(db, "R", (7, 8), stats=store)
+        assert store.source is updated
+        after = store.snapshot()
+        assert after.get("R").rows == 4  # fresh statistics for R...
+        assert after.get("S") is before.get("S")  # ...cached ones for S
+
+        updated = delete_fact(updated, "R", (1, 2), stats=store)
+        assert store.snapshot().get("R").rows == 3
+
+        updated = modify_fact(updated, "S", (0,), (9,), stats=store)
+        snap = store.snapshot()
+        assert snap.get("S").rows == 2
+        assert 9 in {c.value for row in updated["S"].rows for c in row.terms}
+
+    def test_failed_modify_leaves_the_store_untouched(self):
+        # Regression: a modify whose insert half would fail must not
+        # rebind the store to the half-updated intermediate database.
+        import pytest
+
+        db = self._db()
+        store = StatsStore(db)
+        store.snapshot()
+        with pytest.raises(ValueError):
+            modify_fact(db, "R", (1, 2), (1, 2, 3), stats=store)
+        assert store.source is db
+        assert store.snapshot().get("R").rows == 3
+        assert store.table_collections == 2  # nothing was invalidated
+
+    def test_snapshot_without_source_serves_the_cache(self):
+        store = StatsStore(self._db())
+        store.snapshot()
+        unbound = StatsStore()
+        assert len(unbound.snapshot()) == 0
+        store.rebind(None)
+        assert sorted(t.name for t in store.snapshot()) == ["R", "S"]
+        assert store.table_collections == 2
+
+    def test_arity_change_forces_recollection(self):
+        store = StatsStore(self._db())
+        store.snapshot()
+        widened = TableDatabase(
+            [CTable("R", 3, [(1, 2, 3)]), CTable("S", 1, [(0,), (1,)])]
+        )
+        snap = store.snapshot(widened)
+        assert snap.get("R").arity == 3 and snap.get("R").rows == 1
+        assert store.table_collections == 3  # only R was recollected
+
+    def test_plan_accepts_a_store(self):
+        rng = random.Random(2)
+        db = star_join_database(rng, num_dims=3, dim_rows=4, fact_rows=16)
+        store = StatsStore(db)
+        from repro.workloads import star_join_expression
+
+        explain: list[str] = []
+        store.snapshot()  # prime the cache; plan() snapshots without a source
+        planned = plan(star_join_expression(3), stats=store, explain=explain)
+        assert planned.arity == star_join_expression(3).arity
+        assert explain and explain[0].startswith("join order: ")
+
+    def test_evaluate_ct_database_optimize_shares_one_collection(self):
+        rng = random.Random(5)
+        db = star_join_database(rng, num_dims=3, dim_rows=3, fact_rows=8)
+        from repro.workloads import star_join_expression
+
+        expressions = {
+            "V1": star_join_expression(3),
+            "V2": star_join_expression(3),
+            "V3": Scan("F", 3),
+        }
+        store = StatsStore(db)
+        optimized = evaluate_ct_database(expressions, db, optimize=True, stats=store)
+        # One collection pass for all three views, not one per view.
+        assert store.table_collections == len(db)
+        naive = evaluate_ct_database(expressions, db)
+        for name in expressions:
+            assert set(optimized[name].rows) == set(naive[name].rows), name
