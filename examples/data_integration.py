@@ -14,6 +14,11 @@ decides it with the freeze/homomorphism technique of Theorem 4.1 instead of
 enumerating worlds.
 
 Run:  python examples/data_integration.py
+
+Expected output: the warehouse feed and both storefront specs rendered
+as tables, the containment verdict for each spec (spec A accepts the
+feed, spec B rejects it with a counterexample world), and sample worlds
+of the feed.  Exit status 0.
 """
 
 from repro import TableDatabase, contains, enumerate_worlds

@@ -14,6 +14,10 @@ The scenario: a supply-chain snapshot where one shipment's destination is
 unknown and another is known only to differ from the first.
 
 Run:  python examples/files_and_cli.py
+
+Expected output: the ``.pwt`` file as written to disk, each CLI command's
+stdout (membership/certainty verdicts and exit statuses), and the first
+lines of the JSON conversion.  Exit status 0.
 """
 
 import tempfile

@@ -7,6 +7,11 @@ the three table encodings agreeing with a direct backtracking solver —
 the library's reductions are executable, not just proofs on paper.
 
 Run:  python examples/graph_coloring.py
+
+Expected output: a verdict table (one row per graph, the backtracking
+solver agreeing with the e-table MEMB, i-table MEMB and view UNIQ
+encodings — ``K4`` is the non-colorable row), followed by one rendered
+encoding table.  Exit status 0.
 """
 
 from repro.harness import render_table

@@ -11,6 +11,11 @@ what the administration does know (Dr. Shaw's ward is not pediatrics; the
 two unknown wards differ).
 
 Run:  python examples/hospital_records.py
+
+Expected output: the rendered admissions/staffing g-tables, the
+certain answers and possible answers of a "patient meets doctor" join
+query, and a short explanation of why each borderline pair is
+possible/impossible/certain.  Exit status 0.
 """
 
 from repro import (

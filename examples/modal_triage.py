@@ -13,6 +13,11 @@ worlds, then an ordinary difference query runs on the collapsed, complete
 relations -- the Section 6 "modal operators" extension.
 
 Run:  python examples/modal_triage.py
+
+Expected output: the encoded alerts table (guard variables marking
+maybe-rows), the CERTAIN and POSSIBLE views, the services needing triage
+(possibly-but-not-certainly affected), and the complexity regime the
+modal analyser assigns each view.  Exit status 0.
 """
 
 from repro import TableDatabase, UCQQuery, atom, cq

@@ -1,10 +1,16 @@
 """Quickstart: tables with nulls, possible worlds, and the five problems.
 
-Builds the paper's Figure 1 c-table, walks through its possible worlds, and
-asks every decision problem the library implements: membership, uniqueness,
-containment, possibility and certainty.
+Demonstrates the core of the library: builds the paper's Figure 1
+c-table, walks through its possible worlds, and asks every decision
+problem the library implements: membership (MEMB), uniqueness (UNIQ),
+containment (CONT), possibility (POSS) and certainty (CERT).
 
 Run:  python examples/quickstart.py
+
+Expected output: the rendered Figure 1 c-table, a handful of enumerated
+possible worlds, and a yes/no verdict for each decision problem (ending
+with ``CONT pinned <= free: True`` / ``CONT free <= pinned: False``).
+Exit status 0.
 """
 
 from repro import (

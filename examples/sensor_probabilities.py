@@ -12,6 +12,10 @@ pc-tables (the basis of MayBMS and Trio) are exactly c-tables plus
 per-variable distributions.
 
 Run:  python examples/sensor_probabilities.py
+
+Expected output: the rendered pc-table, per-fact marginal
+probabilities, the alert query's firing probability, the distribution
+over joint outcomes, and three sampled worlds.  Exit status 0.
 """
 
 import random

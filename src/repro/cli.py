@@ -12,8 +12,9 @@ Usage (also via ``python -m repro``)::
     repro convert db.pwt --to json    # text <-> JSON conversion
     repro eval db.pwt query.dl        # evaluate a UCQ view via the planner
     repro eval db.pwt q1.dl q2.dl     # many queries, one stats collection
-    repro eval db.pwt query.dl --explain   # show stats + chosen join shape
+    repro eval db.pwt query.dl --explain   # stats, histograms, selectivities
     repro eval db.pwt query.dl --ordering greedy   # left-deep greedy orderer
+    repro eval db.pwt query.dl --histogram-buckets 0   # uniform cost model
 
 Databases use the text notation of :mod:`repro.io.text` (``.pwt`` --
 "possible worlds tables"), instances the ``%instance`` notation
@@ -226,12 +227,24 @@ def _cmd_eval(args) -> int:
     db = load_database_file(args.database)
     # One statistics store for the whole invocation: the first query
     # collects, every later query (and every re-planned view) hits the
-    # cache, so multi-query invocations amortise collection.
-    store = None if args.naive else StatsStore(db)
+    # cache, so multi-query invocations amortise collection.  A None
+    # --histogram-buckets means the store's default bucket count.
+    if args.naive:
+        store = None
+    elif args.histogram_buckets is None:
+        store = StatsStore(db)
+    else:
+        store = StatsStore(db, buckets=args.histogram_buckets)
     if args.explain and args.naive:
         print(
             "repro: --explain has no effect with --naive (nothing is planned); "
             "showing the compiled expression instead",
+            file=sys.stderr,
+        )
+    if args.histogram_buckets is not None and args.naive:
+        print(
+            "repro: --histogram-buckets has no effect with --naive "
+            "(no statistics are collected)",
             file=sys.stderr,
         )
     for position, query_arg in enumerate(args.query):
@@ -250,6 +263,8 @@ def _cmd_eval(args) -> int:
         if args.explain and not args.naive and position == 0:
             for table_stats in sorted(stats, key=lambda t: t.name):
                 print(f"-- stats: {table_stats.describe()}")
+                for line in table_stats.histogram_lines():
+                    print(f"-- stats:   {line}")
         if args.explain and args.naive and not args.plan:
             # (--plan prints the same compiled expression already.)
             print(f"-- expression: {expression!r}")
@@ -364,7 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--explain",
         action="store_true",
-        help="print table statistics and the cost-chosen join shape",
+        help="print table statistics (with per-column histogram summaries), "
+        "the selectivity charged to each predicate, and the cost-chosen "
+        "join shape",
     )
     p.add_argument(
         "--ordering",
@@ -372,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="dp",
         help="join orderer: Selinger DP with bushy plans (default) or the "
         "greedy left-deep orderer",
+    )
+    p.add_argument(
+        "--histogram-buckets",
+        type=int,
+        default=None,
+        metavar="N",
+        help="equi-depth histogram buckets per column for the cost model "
+        "(default: the statistics store's DEFAULT_HISTOGRAM_BUCKETS; "
+        "0 disables histograms and reverts to the uniform 1/distinct model)",
     )
     p.set_defaults(func=_cmd_eval)
 

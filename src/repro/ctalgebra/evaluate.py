@@ -15,13 +15,16 @@ Three entry points share the translation:
   (:func:`repro.relational.planner.plan`) first, then executes
   :class:`Join` nodes with the hash-partitioning :func:`join_ct`.
 * :func:`evaluate_ct_ordered` — additionally collects table statistics
-  from the database (:class:`repro.relational.stats.Statistics`) and lets
-  the cost model re-order n-way join chains before execution — the
-  Selinger DP (bushy plans) by default, the greedy left-deep orderer via
-  ``ordering="greedy"``.  ``stats`` accepts a pre-collected snapshot or a
+  from the database (:class:`repro.relational.stats.Statistics`: row
+  counts, ground/wild/pinned cell counts, and per-column equi-depth
+  histograms with most-common-value tracking) and lets the
+  histogram-aware cost model re-order n-way join chains before
+  execution — the Selinger DP (bushy plans) by default, the greedy
+  left-deep orderer via ``ordering="greedy"``.  ``stats`` accepts a
+  pre-collected snapshot or a
   :class:`repro.relational.stats.StatsStore` cache to amortise collection
   across queries; pass an ``explain`` list to capture the ordering
-  decisions.
+  decisions and per-predicate selectivities.
 
 ``rep(evaluate_ct(e, D)) == { e(I) : I in rep(D) }`` is validated by the
 integration tests against both the instance-level evaluator and the world
@@ -101,15 +104,17 @@ def evaluate_ct_ordered(
 ) -> CTable:
     """Plan with statistics, re-order joins by cost, then evaluate.
 
-    ``stats`` defaults to a fresh collection over ``db``; pass a
+    ``stats`` defaults to a fresh collection over ``db`` (histograms
+    included; collect with ``buckets=0`` for the uniform model); pass a
     pre-collected :class:`~repro.relational.stats.Statistics` or a
     :class:`~repro.relational.stats.StatsStore` to amortise collection
     across many queries.  ``ordering`` selects the Selinger DP (``"dp"``,
     the default, bushy plans) or the greedy left-deep orderer
     (``"greedy"``).  ``explain``, if given, accumulates one line per
     re-ordered join chain describing the chosen shape and the estimated
-    intermediate cardinalities.  Semantics are unchanged: ``rep`` of the
-    result equals ``rep`` of the naive result.
+    intermediate cardinalities, plus the selectivity charged to each leaf
+    selection predicate.  Semantics are unchanged: ``rep`` of the result
+    equals ``rep`` of the naive result.
     """
     snapshot = resolve_stats(stats, db)
     planned = plan(expression, stats=snapshot, explain=explain, ordering=ordering)

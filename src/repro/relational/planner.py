@@ -40,10 +40,15 @@ order.  Two orderers are available via ``plan(..., ordering=...)``:
   estimated intermediate cardinality (cartesian growth only when nothing
   connects), rebuilding the chain left-deep.
 
-Estimates come from the textbook cost model in
-:mod:`repro.relational.stats`, which tracks ground/variable cell counts
-so that rows the c-table hash operators cannot partition are charged
-their true pair-everything cost.
+Estimates come from the histogram-backed cost model in
+:mod:`repro.relational.stats`: per-column equi-depth histograms with
+most-common-value tracking price equality/inequality selections and join
+columns by their *actual* value frequencies (falling back to the uniform
+``1/distinct`` textbook rule when histograms are disabled or missing),
+and ground/variable cell counts are tracked so that rows the c-table
+hash operators cannot partition are charged their true pair-everything
+cost — variable cells whose local condition pins them to a constant
+count as ground, not wild.
 
 The rewrites and the re-ordering are purely syntactic/algebraic
 equivalences, so they are valid both over complete instances and over
@@ -115,7 +120,9 @@ def plan(
     a :class:`~repro.relational.stats.Statistics` snapshot or a
     :class:`~repro.relational.stats.StatsStore` (snapshotted here).
     ``explain``, if given, is a list that accumulates human-readable
-    lines describing each ordering decision.
+    lines describing each ordering decision, including the selectivity
+    each leaf selection predicate was charged (and whether it came from
+    an MCV, a histogram bucket, or the uniform fallback).
     """
     if ordering not in ("greedy", "dp"):
         raise PlanError(f"unknown join ordering {ordering!r} (use 'greedy' or 'dp')")
@@ -387,16 +394,17 @@ def _leaf_label(leaf: RAExpression) -> str:
     return f"{type(leaf).__name__.lower()}({', '.join(names)})"
 
 
-def _chain_layout(leaves, edges, stats):
+def _chain_layout(leaves, edges, stats, explain=None):
     """Shared rebuild prologue: map each global column of the original
     chain to ``(leaf index, local col)``, localise the join edges to those
-    pairs, and estimate every leaf."""
+    pairs, and estimate every leaf (logging per-predicate selectivities
+    to ``explain``)."""
     owner: dict[int, tuple[int, int]] = {}
     for i, (leaf, base) in enumerate(leaves):
         for c in range(leaf.arity):
             owner[base + c] = (i, c)
     local_edges = [(owner[a], owner[b]) for a, b in edges]
-    estimates = [estimate(leaf, stats) for leaf, _ in leaves]
+    estimates = [estimate(leaf, stats, explain) for leaf, _ in leaves]
     return owner, local_edges, estimates
 
 
@@ -422,7 +430,7 @@ def _rebuild_ordered(
     """Greedily order the join graph and rebuild a left-deep chain."""
     # Edges as ((leaf, col), (leaf, col)); an edge is applied when its
     # second endpoint joins the placed set.
-    owner, local_edges, estimates = _chain_layout(leaves, edges, stats)
+    owner, local_edges, estimates = _chain_layout(leaves, edges, stats, explain)
 
     remaining = set(range(len(leaves)))
     start = min(remaining, key=lambda i: (estimates[i].rows, i))
@@ -579,7 +587,7 @@ def _rebuild_dp(
     Cross products are only introduced between connected components,
     smallest estimated component first.
     """
-    owner, local_edges, estimates = _chain_layout(leaves, edges, stats)
+    owner, local_edges, estimates = _chain_layout(leaves, edges, stats, explain)
 
     def cross_pairs(left: _SubPlan, right: _SubPlan) -> list[tuple[int, int]]:
         """Join-edge column pairs crossing from ``left``'s to ``right``'s

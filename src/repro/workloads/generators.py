@@ -8,6 +8,7 @@ explicit :class:`random.Random` so that workloads are reproducible.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Sequence
 
@@ -53,6 +54,9 @@ __all__ = [
     "star_join_expression",
     "snowflake_join_database",
     "snowflake_join_expression",
+    "zipf_choices",
+    "skewed_star_join_database",
+    "skewed_star_join_expression",
 ]
 
 
@@ -546,6 +550,108 @@ def snowflake_join_expression() -> RAExpression:
     for name in ("F", "D", "O"):
         expr = Product(expr, Scan(name, 2))
     return Select(expr, [ColEq(0, 2), ColEq(3, 4), ColEq(5, 6)])
+
+
+def zipf_choices(
+    rng: random.Random, num_values: int, count: int, exponent: float = 2.0
+) -> list[int]:
+    """``count`` draws from ``0..num_values-1`` with Zipf(``exponent``)
+    probabilities: value ``i`` is drawn proportionally to ``1/(i+1)**s``.
+
+    Value ``0`` is always the hottest (with ``s=2`` over dozens of values
+    it carries roughly 60% of the mass), which lets workload expressions
+    reference the hot value deterministically.
+    """
+    cumulative = list(
+        itertools.accumulate(1.0 / (i + 1) ** exponent for i in range(num_values))
+    )
+    return rng.choices(range(num_values), cum_weights=cumulative, k=count)
+
+
+def skewed_star_join_database(
+    rng: random.Random,
+    num_skewed: int = 3,
+    dim_rows: int = 400,
+    fact_rows: int = 4000,
+    zipf_exponent: float = 2.0,
+    fact_key_exponent: float = 0.5,
+    payload_values: int | None = None,
+) -> TableDatabase:
+    """A star schema whose dimension payloads are Zipf-skewed: the shape
+    on which histogram costing beats the uniform-frequency model.
+
+    Fact table ``F`` has one key column per dimension; every dimension is
+    a two-column key/payload table whose key column enumerates
+    ``0..dim_rows-1`` exactly once.
+
+    * ``D0`` (the *selective* dimension) has a uniform payload cycling
+      through ``payload_values`` constants (default ``dim_rows // 20``),
+      so ``payload = 0`` keeps an accurately-small fraction under any
+      cost model.
+    * ``D1..D{num_skewed}`` (the *skewed* dimensions) draw payloads from
+      :func:`zipf_choices`: payload ``0`` is red-hot (~60% of rows at the
+      default exponent) while the tail values are near-unique.  Uniform
+      ``1/distinct`` costing therefore estimates ``payload = 0`` to keep
+      a handful of rows when it really keeps most of the dimension —
+      exactly the error most-common-value tracking repairs.
+    * ``F``'s key columns for the skewed dimensions are also
+      Zipf-distributed (hot dimension keys, milder ``fact_key_exponent``
+      so the key columns keep a wide distinct count), its ``D0`` key
+      uniform.
+
+    Pair with :func:`skewed_star_join_expression`;
+    ``benchmarks/bench_histogram_selectivity.py`` uses the pair to show
+    histogram-costed DP ordering beating constant-selectivity DP.
+    """
+    if payload_values is None:
+        payload_values = max(2, dim_rows // 20)
+    d0 = CTable(
+        "D0", 2, [(k, 100_000 + (k % payload_values)) for k in range(dim_rows)]
+    )
+    dims = [d0]
+    for d in range(1, num_skewed + 1):
+        payloads = zipf_choices(rng, dim_rows, dim_rows, zipf_exponent)
+        dims.append(
+            CTable(f"D{d}", 2, [(k, payloads[k]) for k in range(dim_rows)])
+        )
+    fact_columns = [
+        [rng.randrange(dim_rows) for _ in range(fact_rows)]  # D0 key: uniform
+    ] + [
+        zipf_choices(rng, dim_rows, fact_rows, fact_key_exponent)
+        for _ in range(num_skewed)
+    ]
+    fact = CTable(
+        "F",
+        num_skewed + 1,
+        [[fact_columns[c][i] for c in range(num_skewed + 1)] for i in range(fact_rows)],
+    )
+    return TableDatabase(dims + [fact])
+
+
+def skewed_star_join_expression(num_skewed: int = 3) -> RAExpression:
+    """The skewed star join with every dimension filtered on its payload.
+
+    ``(((D0 x D1) x ...) x F)`` in naive ``Select(Product(...))`` form
+    with each dimension's key equated to the matching fact column, plus
+    ``D0.payload = 100000`` (selective: one uniform payload value) and
+    ``Di.payload = 0`` for the skewed dimensions (the red-hot Zipf head).
+    A uniform-frequency cost model prices every payload filter at
+    ``1/distinct`` and joins the "tiny" skewed dimensions first; the
+    histogram model knows ``payload = 0`` keeps most of each skewed
+    dimension and filters through ``D0`` instead.  Pair with
+    :func:`skewed_star_join_database`.
+    """
+    num_dims = num_skewed + 1
+    expr: RAExpression = Scan("D0", 2)
+    for i in range(1, num_dims):
+        expr = Product(expr, Scan(f"D{i}", 2))
+    expr = Product(expr, Scan("F", num_dims))
+    fact_base = 2 * num_dims
+    predicates: list = [ColEq(2 * i, fact_base + i) for i in range(num_dims)]
+    predicates.append(ColEqConst(1, 100_000))  # D0 payload: selective
+    for i in range(1, num_dims):
+        predicates.append(ColEqConst(2 * i + 1, 0))  # Di payload: Zipf head
+    return Select(expr, predicates)
 
 
 def _random_predicate(rng: random.Random, arity: int, num_constants: int):

@@ -1,25 +1,33 @@
 """Unit tests for the statistics subsystem and cardinality model.
 
 Collection is checked against hand-countable tables (both c-table and
-complete-instance sources); the estimator is checked for the *ordinal*
-properties the join orderers rely on — selections shrink, joins with
-keys beat products, wild join columns cost more than ground ones — not
-for absolute accuracy, which the model does not promise.  The
-``StatsStore`` cache is checked for its amortisation contract: collect
-once, serve snapshots, recollect only what an update invalidated.
+complete-instance sources), including the condition-aware treatment of
+variable cells (local/global equalities pin a variable to a constant or
+small domain, reclassifying the cell from "wild" to ground); histograms
+are checked for their MCV/bucket lookup contract and the degenerate
+shapes (empty tables, all-variable columns, single buckets, ties at the
+MCV cut).  The estimator is checked for the *ordinal* properties the
+join orderers rely on — selections shrink, joins with keys beat
+products, wild join columns cost more than ground ones, skew flips the
+DP plan — not for absolute accuracy, which the model does not promise.
+The ``StatsStore`` cache is checked for its amortisation contract:
+collect once, serve snapshots, recollect only what an update
+invalidated.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.core.tables import CTable, TableDatabase
-from repro.core.terms import Variable
-from repro.ctalgebra import evaluate_ct_database
+from repro.core.conditions import BoolAtom, BoolOr, Conjunction, Eq, Neq
+from repro.core.tables import CTable, Row, TableDatabase
+from repro.core.terms import Constant, Variable
+from repro.ctalgebra import evaluate_ct_database, evaluate_ct_ordered
 from repro.extensions.updates import delete_fact, insert_fact, modify_fact
 from repro.relational import (
     ColEq,
     ColEqConst,
+    ColNeqConst,
     Instance,
     Join,
     Product,
@@ -32,7 +40,12 @@ from repro.relational import (
     plan,
 )
 from repro.relational.stats import DEFAULT_DISTINCT, DEFAULT_ROWS, join_estimate
-from repro.workloads import random_nway_join_database, star_join_database
+from repro.workloads import (
+    random_nway_join_database,
+    skewed_star_join_database,
+    skewed_star_join_expression,
+    star_join_database,
+)
 
 x = Variable("x")
 
@@ -248,3 +261,224 @@ class TestStatsStore:
         naive = evaluate_ct_database(expressions, db)
         for name in expressions:
             assert set(optimized[name].rows) == set(naive[name].rows), name
+
+
+class TestHistograms:
+    def _skewed_stats(self, buckets=8):
+        # Column 0: value 0 sixty times, value 1 twenty times, 100..119 once.
+        rows = (
+            [(0, i) for i in range(60)]
+            + [(1, 200 + i) for i in range(20)]
+            + [(100 + i, 300 + i) for i in range(20)]
+        )
+        db = TableDatabase([CTable("R", 2, rows)])
+        return Statistics.collect(db, buckets=buckets)
+
+    def test_mcv_frequencies_are_exact(self):
+        hist = self._skewed_stats().get("R").columns[0].hist
+        assert hist.eq_fraction(Constant(0)) == 0.6
+        assert hist.eq_fraction(Constant(1)) == 0.2
+        assert hist.neq_fraction(Constant(0)) == 0.4
+
+    def test_tail_values_use_bucket_average(self):
+        hist = self._skewed_stats().get("R").columns[0].hist
+        # Tail values each appear once among 100 rows.
+        assert abs(hist.eq_fraction(Constant(105)) - 0.01) < 1e-9
+
+    def test_absent_values_estimate_zero(self):
+        hist = self._skewed_stats().get("R").columns[0].hist
+        assert hist.eq_fraction(Constant(999)) == 0.0
+        assert hist.neq_fraction(Constant(999)) == 1.0
+
+    def test_range_fraction(self):
+        hist = self._skewed_stats().get("R").columns[0].hist
+        assert abs(hist.range_fraction(Constant(100), Constant(119)) - 0.2) < 0.05
+        assert hist.range_fraction(Constant(0), Constant(1)) == 0.8
+        assert hist.range_fraction() == 1.0
+        assert hist.range_fraction(Constant(500), Constant(600)) == 0.0
+
+    def test_selection_estimate_uses_mcv(self):
+        stats = self._skewed_stats()
+        hot = estimate(Select(Scan("R", 2), [ColEqConst(0, 0)]), stats)
+        rare = estimate(Select(Scan("R", 2), [ColEqConst(0, 105)]), stats)
+        assert abs(hot.rows - 60.0) < 1e-6
+        assert rare.rows <= 2.0
+
+    def test_neq_selection_estimate_uses_histogram(self):
+        stats = self._skewed_stats()
+        est = estimate(Select(Scan("R", 2), [ColNeqConst(0, 0)]), stats)
+        assert abs(est.rows - 40.0) < 1e-6
+
+    def test_buckets_zero_reproduces_constant_model(self):
+        stats = self._skewed_stats(buckets=0)
+        assert stats.get("R").columns[0].hist is None
+        est = estimate(Select(Scan("R", 2), [ColEqConst(0, 0)]), stats)
+        assert abs(est.rows - 100.0 / 22.0) < 1e-9  # 22 distinct values
+        neq = estimate(Select(Scan("R", 2), [ColNeqConst(0, 0)]), stats)
+        assert abs(neq.rows - 90.0) < 1e-9  # the 0.9 constant
+
+    def test_empty_table(self):
+        db = TableDatabase([CTable("E", 2, [])])
+        stats = Statistics.collect(db)
+        ts = stats.get("E")
+        assert ts.rows == 0
+        assert ts.columns[0].hist is None
+        est = estimate(Select(Scan("E", 2), [ColEqConst(0, 1)]), stats)
+        assert est.rows == 0.0
+
+    def test_all_variable_column(self):
+        table = CTable("W", 1, [(Variable(f"w{i}"),) for i in range(5)])
+        stats = Statistics.collect(TableDatabase([table]))
+        col = stats.get("W").columns[0]
+        assert (col.ground, col.wild, col.distinct, col.pinned) == (0, 5, 0, 0)
+        assert col.hist is None
+        est = estimate(Select(Scan("W", 1), [ColEqConst(0, 3)]), stats)
+        # Every row is wild: all of them may satisfy the selection.
+        assert est.rows == 5.0
+
+    def test_single_bucket_degenerate(self):
+        stats = self._skewed_stats(buckets=1)
+        hist = stats.get("R").columns[0].hist
+        assert len(hist.buckets) == 1
+        assert hist.eq_fraction(Constant(0)) == 0.6  # MCVs unaffected
+        assert abs(hist.eq_fraction(Constant(105)) - 0.01) < 1e-9
+
+    def test_mcv_ties_are_deterministic(self):
+        # 14 values tied at count 3 with an mcv limit of 10: the cut must
+        # fall deterministically (value order) and repeated collections
+        # must agree exactly.  (Payload column keeps the rows distinct —
+        # c-tables are row *sets*.)
+        rows = [(v, 1000 + 3 * v + j) for v in range(14) for j in range(3)] + [
+            (100 + i, 2000 + i) for i in range(60)
+        ]
+        db = TableDatabase([CTable("T", 2, rows)])
+        first = Statistics.collect(db).get("T").columns[0].hist
+        second = Statistics.collect(db).get("T").columns[0].hist
+        assert list(first.mcvs) == list(second.mcvs)
+        assert len(first.mcvs) == 10
+        kept = sorted(v.value for v in first.mcvs)
+        # Ties break by term sort key (textual), deterministically.
+        assert kept == sorted(sorted(range(14), key=str)[:10])
+        # A tied value dropped from the MCV list estimates via its bucket
+        # at roughly the same frequency.
+        assert first.eq_fraction(Constant(12)) > 0.0
+
+    def test_stale_arity_mismatch_falls_back(self):
+        # Histograms collected before a schema change must not be consulted
+        # for a scan of a different arity.
+        rows = [(0, i) for i in range(10)]
+        stats = Statistics.collect(TableDatabase([CTable("R", 2, rows)]))
+        est = estimate(Select(Scan("R", 3), [ColEqConst(2, 7)]), stats)
+        assert est.arity == 3
+        assert est.rows == DEFAULT_ROWS / DEFAULT_DISTINCT
+
+    def test_uniform_columns_carry_no_mcvs(self):
+        rows = [(i % 10,) for i in range(100)]
+        hist = Statistics.collect(TableDatabase([CTable("U", 1, rows)])).get(
+            "U"
+        ).columns[0].hist
+        assert hist.mcvs == {}
+        assert abs(hist.eq_fraction(Constant(3)) - 0.1) < 1e-9
+
+    def test_explain_reports_selectivity_source(self):
+        stats = self._skewed_stats()
+        lines: list[str] = []
+        estimate(Select(Scan("R", 2), [ColEqConst(0, 0)]), stats, lines)
+        assert lines and "selectivity" in lines[0] and "mcv" in lines[0]
+
+    def test_describe_and_histogram_lines(self):
+        ts = self._skewed_stats().get("R")
+        assert "distinct" in ts.describe()
+        lines = ts.histogram_lines()
+        assert any("R.$0" in line and "mcv" in line for line in lines)
+
+
+class TestConditionPinning:
+    def test_local_equality_pins_a_variable(self):
+        v = Variable("v")
+        table = CTable(
+            "R", 2, [Row((v, 10), BoolAtom(Eq(v, Constant(3)))), ((3, 11))]
+        )
+        col = Statistics.collect(TableDatabase([table])).get("R").columns[0]
+        assert (col.ground, col.pinned, col.wild) == (1, 1, 0)
+        assert col.distinct == 1  # both rows hold 3
+        assert col.hist.eq_fraction(Constant(3)) == 1.0
+
+    def test_global_condition_pins_a_variable(self):
+        v = Variable("v")
+        table = CTable("G", 1, [Row((v,))], Conjunction([Eq(v, Constant(5))]))
+        col = Statistics.collect(TableDatabase([table])).get("G").columns[0]
+        assert (col.pinned, col.wild) == (1, 0)
+        assert col.hist.eq_fraction(Constant(5)) == 1.0
+
+    def test_small_or_domain_pins_fractionally(self):
+        v = Variable("v")
+        condition = BoolOr(
+            (BoolAtom(Eq(v, Constant(1))), BoolAtom(Eq(v, Constant(2))))
+        )
+        table = CTable("D", 1, [Row((v,), condition)])
+        col = Statistics.collect(TableDatabase([table])).get("D").columns[0]
+        assert (col.pinned, col.wild) == (1, 0)
+        assert abs(col.hist.eq_fraction(Constant(1)) - 0.5) < 1e-9
+        assert abs(col.hist.eq_fraction(Constant(2)) - 0.5) < 1e-9
+
+    def test_large_or_domain_stays_wild(self):
+        v = Variable("v")
+        condition = BoolOr(
+            tuple(BoolAtom(Eq(v, Constant(i))) for i in range(10))
+        )
+        table = CTable("D", 1, [Row((v,), condition)])
+        col = Statistics.collect(TableDatabase([table])).get("D").columns[0]
+        assert (col.pinned, col.wild) == (0, 1)
+
+    def test_inequality_condition_stays_wild(self):
+        v = Variable("v")
+        table = CTable("N", 1, [Row((v,), BoolAtom(Neq(v, Constant(3))))])
+        col = Statistics.collect(TableDatabase([table])).get("N").columns[0]
+        assert (col.pinned, col.wild) == (0, 1)
+
+    def test_pinned_join_column_estimates_like_ground(self):
+        v = [Variable(f"p{i}") for i in range(4)]
+        ground = CTable("G", 1, [(i,) for i in range(8)])
+        pinned = CTable(
+            "P",
+            1,
+            [Row((v[i],), BoolAtom(Eq(v[i], Constant(i)))) for i in range(4)]
+            + [(i,) for i in range(4, 8)],
+        )
+        wild = CTable(
+            "W",
+            1,
+            [(Variable(f"w{i}"),) for i in range(4)] + [(i,) for i in range(4, 8)],
+        )
+        probe = CTable("Q", 1, [(i,) for i in range(8)])
+        stats = Statistics.collect(TableDatabase([ground, pinned, wild, probe]))
+        ground_est = estimate(Join(Scan("G", 1), Scan("Q", 1), [(0, 0)]), stats)
+        pinned_est = estimate(Join(Scan("P", 1), Scan("Q", 1), [(0, 0)]), stats)
+        wild_est = estimate(Join(Scan("W", 1), Scan("Q", 1), [(0, 0)]), stats)
+        assert pinned_est.rows < wild_est.rows
+        assert abs(pinned_est.rows - ground_est.rows) < 1e-6
+
+    def test_describe_mentions_pinned_columns(self):
+        v = Variable("v")
+        table = CTable("R", 1, [Row((v,), BoolAtom(Eq(v, Constant(3))))])
+        stats = Statistics.collect(TableDatabase([table]))
+        assert "pinned" in stats.get("R").describe()
+
+
+class TestSkewFlipsPlanChoice:
+    def test_histogram_costing_changes_the_dp_plan(self):
+        rng = random.Random(0xAB1987)
+        db = skewed_star_join_database(
+            rng, num_skewed=2, dim_rows=60, fact_rows=400
+        )
+        expr = skewed_star_join_expression(2)
+        hist_stats = Statistics.collect(db)
+        const_stats = Statistics.collect(db, buckets=0)
+        hist_plan = plan(expr, stats=hist_stats)
+        const_plan = plan(expr, stats=const_stats)
+        assert repr(hist_plan) != repr(const_plan)
+        # The differently-shaped plans stay equivalent.
+        hist_view = evaluate_ct_ordered(expr, db, stats=hist_stats)
+        const_view = evaluate_ct_ordered(expr, db, stats=const_stats)
+        assert set(hist_view.rows) == set(const_view.rows)
