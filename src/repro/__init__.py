@@ -94,6 +94,7 @@ from .queries import (
 )
 from .relational import DatabaseSchema, Instance, Relation, RelationSchema
 from .relational.parser import parse_datalog, parse_query, parse_table
+from .views import ViewError, ViewManager
 
 __version__ = "1.0.0"
 
@@ -163,4 +164,7 @@ __all__ = [
     # algebra
     "apply_ucq",
     "evaluate_ct",
+    # materialized views
+    "ViewManager",
+    "ViewError",
 ]

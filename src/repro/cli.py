@@ -15,6 +15,19 @@ Usage (also via ``python -m repro``)::
     repro eval db.pwt query.dl --explain   # stats, histograms, selectivities
     repro eval db.pwt query.dl --ordering greedy   # left-deep greedy orderer
     repro eval db.pwt query.dl --histogram-buckets 0   # uniform cost model
+    repro view define db.pwt 'V(X) :- R(X, Y).'   # register + materialize
+    repro view list db.pwt            # registered views + freshness
+    repro view refresh db.pwt         # re-materialize stale views
+    repro view drop db.pwt V          # forget a view
+    repro eval db.pwt query.dl --use-views   # answer from a fresh view if one matches
+
+Materialized views are persisted in a JSON sidecar next to the database
+(``<database>.views.json``) holding each view's rule text, its
+materialized c-table, and a digest of the database file it was computed
+against; ``eval --use-views`` only answers from a view whose digest
+still matches (``--explain`` says which view answered, or why none
+did).  In-process updates maintain views incrementally instead — see
+:class:`repro.views.ViewManager` and ``docs/architecture.md``.
 
 Databases use the text notation of :mod:`repro.io.text` (``.pwt`` --
 "possible worlds tables"), instances the ``%instance`` notation
@@ -206,6 +219,210 @@ def _cmd_convert(args) -> int:
     return EXIT_YES
 
 
+# ---------------------------------------------------------------------------
+# The materialized-view registry (a JSON sidecar next to the database)
+# ---------------------------------------------------------------------------
+
+
+def _registry_path(db_path: str) -> str:
+    return db_path + ".views.json"
+
+
+def _db_digest(db_path: str) -> str:
+    import hashlib
+
+    try:
+        with open(db_path, "rb") as fp:
+            return hashlib.sha256(fp.read()).hexdigest()
+    except OSError as exc:
+        raise CliError(f"cannot read {db_path}: {exc.strerror or exc}") from exc
+
+
+def _load_registry(db_path: str) -> dict:
+    import os
+
+    path = _registry_path(db_path)
+    if not os.path.exists(path):
+        return {"kind": "view-registry", "views": {}}
+    try:
+        data = json.loads(_read_text(path))
+    except ValueError as exc:
+        raise CliError(f"{path}: malformed registry: {exc}") from exc
+    if data.get("kind") != "view-registry" or not isinstance(data.get("views"), dict):
+        raise CliError(f"{path}: not a view registry")
+    return data
+
+
+def _save_registry(db_path: str, registry: dict) -> None:
+    path = _registry_path(db_path)
+    try:
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(registry, fp, indent=2)
+            fp.write("\n")
+    except OSError as exc:
+        raise CliError(f"cannot write {path}: {exc.strerror or exc}") from exc
+
+
+def _view_name_of(query_text: str) -> str:
+    """The head predicate naming a view, with parse errors as CLI errors."""
+    from .relational.parser import ParseError, parse_query
+
+    try:
+        return parse_query(query_text).rules[0].head.pred
+    except (ParseError, ValueError) as exc:
+        raise CliError(f"view: cannot compile view query: {exc}") from exc
+
+
+def _materialize_view(manager, name: str, query_text: str):
+    """Plan and evaluate one view in ``manager``, mapping every
+    evaluation failure (bad query, unknown relation, arity mismatch) to
+    a clean CLI error."""
+    from .views import ViewError
+
+    try:
+        return manager.define(name, query_text)
+    except KeyError as exc:
+        raise CliError(f"view: unknown relation {exc}") from exc
+    except (ViewError, ValueError) as exc:
+        raise CliError(f"view: {exc}") from exc
+
+
+def _cmd_view_define(args) -> int:
+    from .io.jsonio import table_to_json
+
+    query_text = _read_query_argument(args.query)
+    registry = _load_registry(args.database)
+    name = _view_name_of(query_text)
+    if name in registry["views"]:
+        raise CliError(f"view {name!r} is already defined (repro view drop it first)")
+    from .views import ViewManager
+
+    db = load_database_file(args.database)
+    table = _materialize_view(ViewManager(db), name, query_text)
+    registry["views"][name] = {
+        "query": query_text,
+        "digest": _db_digest(args.database),
+        "table": table_to_json(table),
+    }
+    _save_registry(args.database, registry)
+    print(f"defined view {name}/{table.arity} ({len(table)} rows, materialized)")
+    return EXIT_YES
+
+
+def _cmd_view_list(args) -> int:
+    registry = _load_registry(args.database)
+    views = registry["views"]
+    if not views:
+        print(f"(no views registered for {args.database})")
+        return EXIT_YES
+    digest = _db_digest(args.database)
+    for name, entry in sorted(views.items()):
+        table = entry.get("table", {})
+        state = "fresh" if entry.get("digest") == digest else "stale"
+        query = " ".join(entry.get("query", "").split())
+        print(
+            f"{name}/{table.get('arity', '?')}: {len(table.get('rows', ()))} rows, "
+            f"{state} -- {query}"
+        )
+    return EXIT_YES
+
+
+def _cmd_view_refresh(args) -> int:
+    from .io.jsonio import table_to_json
+
+    registry = _load_registry(args.database)
+    views = registry["views"]
+    if not views:
+        print(f"(no views registered for {args.database})")
+        return EXIT_YES
+    if args.name is not None and args.name not in views:
+        print(f"no view named {args.name!r}", file=sys.stderr)
+        return EXIT_NO
+    from .views import ViewManager
+
+    db = load_database_file(args.database)
+    digest = _db_digest(args.database)
+    names = [args.name] if args.name is not None else sorted(views)
+    # One manager for the whole refresh: statistics are collected once
+    # and views sharing planned subtrees share the cached intermediates.
+    manager = ViewManager(db)
+    for name in names:
+        entry = views[name]
+        if args.name is None and entry.get("digest") == digest:
+            print(f"view {name}: fresh, skipped")
+            continue
+        query_text = entry.get("query")
+        if not query_text:
+            raise CliError(
+                f"{_registry_path(args.database)}: view {name!r} has no stored "
+                "query (registry edited by hand?); repro view drop it"
+            )
+        table = _materialize_view(manager, name, query_text)
+        entry["digest"] = digest
+        entry["table"] = table_to_json(table)
+        print(f"refreshed view {name}/{table.arity} ({len(table)} rows)")
+    _save_registry(args.database, registry)
+    return EXIT_YES
+
+
+def _cmd_view_drop(args) -> int:
+    registry = _load_registry(args.database)
+    if args.name not in registry["views"]:
+        print(f"no view named {args.name!r}", file=sys.stderr)
+        return EXIT_NO
+    del registry["views"][args.name]
+    _save_registry(args.database, registry)
+    print(f"dropped view {args.name}")
+    return EXIT_YES
+
+
+def _answer_from_views(views: dict, digest: str, expression, explain: bool):
+    """A fresh registered view matching ``expression``, if any.
+
+    ``views``/``digest`` are loaded once per invocation by ``_cmd_eval``
+    (neither can change mid-run).  Returns ``(view_name, table)`` or
+    ``None``; with ``explain`` prints why each candidate was passed over
+    (stale digest) or that nothing matched.
+    """
+    from .io.jsonio import table_from_json
+    from .relational.parser import ParseError, parse_query
+    from .relational.planner import PlanError, plan_fingerprint, ra_of_ucq
+
+    if not views:
+        if explain:
+            print("-- view: no views registered; evaluating from base tables")
+        return None
+    wanted = plan_fingerprint(expression)
+    stale = []
+    for name, entry in sorted(views.items()):
+        try:
+            candidate = ra_of_ucq(parse_query(entry.get("query", "")))
+        except (ParseError, PlanError, ValueError):
+            continue  # a registry edited by hand; never fatal for eval
+        if plan_fingerprint(candidate) != wanted:
+            continue
+        if entry.get("digest") != digest:
+            stale.append(name)
+            continue
+        try:
+            table = table_from_json(entry.get("table") or {})
+        except (KeyError, ValueError):
+            continue  # stored materialization mangled by hand: fall through
+        if explain:
+            print(f"-- view: answered by materialized view {name!r} (fresh)")
+        return name, table
+    if explain:
+        if stale:
+            print(
+                f"-- view: {', '.join(repr(s) for s in stale)} match(es) but "
+                "the database changed since materialization (stale); "
+                "evaluating from base tables (repro view refresh to update)"
+            )
+        else:
+            print("-- view: no registered view matches; evaluating from base tables")
+    return None
+
+
 def _read_query_argument(query_arg: str) -> str:
     import os
 
@@ -247,6 +464,20 @@ def _cmd_eval(args) -> int:
             "(no statistics are collected)",
             file=sys.stderr,
         )
+    if args.use_views and args.naive:
+        print(
+            "repro: --use-views has no effect with --naive "
+            "(the oracle path never answers from materializations)",
+            file=sys.stderr,
+        )
+    view_registry = None
+    if args.use_views and not args.naive:
+        # Loaded once: neither the sidecar nor the database file can
+        # change mid-invocation, and hashing the database is O(file).
+        view_registry = (
+            _load_registry(args.database)["views"],
+            _db_digest(args.database),
+        )
     for position, query_arg in enumerate(args.query):
         query_text = _read_query_argument(query_arg)
         try:
@@ -259,6 +490,21 @@ def _cmd_eval(args) -> int:
             print()
         if len(args.query) > 1:
             print(f"-- query {position + 1}: {name}")
+        if view_registry is not None:
+            answered = _answer_from_views(*view_registry, expression, args.explain)
+            if answered is not None:
+                from .core.tables import CTable
+
+                if args.plan:
+                    print("-- plan: skipped (answered from a materialized view)")
+                _, table = answered
+                view = CTable(name, table.arity, table.rows, table.global_condition)
+                print(
+                    f"-- {view.name}/{view.arity} "
+                    f"({view.classify()}-table, {len(view)} rows)"
+                )
+                print(view)
+                continue
         stats = None if args.naive else store.snapshot()
         if args.explain and not args.naive and position == 0:
             for table_stats in sorted(stats, key=lambda t: t.name):
@@ -399,7 +645,39 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the statistics store's DEFAULT_HISTOGRAM_BUCKETS; "
         "0 disables histograms and reverts to the uniform 1/distinct model)",
     )
+    p.add_argument(
+        "--use-views",
+        action="store_true",
+        help="answer from a fresh materialized view (repro view define) when "
+        "one matches the query; --explain says which view answered",
+    )
     p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser(
+        "view", help="materialized views over a database (JSON sidecar registry)"
+    )
+    vsub = p.add_subparsers(dest="view_command", required=True)
+
+    vp = vsub.add_parser("define", help="register a view and materialize it")
+    vp.add_argument("database")
+    vp.add_argument("query", help="rule file or literal rule text")
+    vp.set_defaults(func=_cmd_view_define)
+
+    vp = vsub.add_parser("list", help="registered views and their freshness")
+    vp.add_argument("database")
+    vp.set_defaults(func=_cmd_view_list)
+
+    vp = vsub.add_parser(
+        "refresh", help="re-materialize stale views (or one named view)"
+    )
+    vp.add_argument("database")
+    vp.add_argument("name", nargs="?", help="refresh only this view")
+    vp.set_defaults(func=_cmd_view_refresh)
+
+    vp = vsub.add_parser("drop", help="forget a registered view")
+    vp.add_argument("database")
+    vp.add_argument("name")
+    vp.set_defaults(func=_cmd_view_drop)
 
     return parser
 

@@ -218,6 +218,45 @@ class CTable:
     def with_rows(self, rows: Iterable[Row]) -> "CTable":
         return CTable(self.name, self.arity, rows, self.global_condition)
 
+    @classmethod
+    def _trusted(
+        cls,
+        name: str,
+        arity: int,
+        rows: "tuple[Row, ...]",
+        global_condition: Conjunction,
+    ) -> "CTable":
+        """Construct without validation or deduplication.
+
+        The single audited escape hatch from the constructor's
+        invariants: the caller guarantees ``rows`` is a tuple of
+        pairwise-distinct :class:`Row` objects of arity ``arity``.  Used
+        by :meth:`extended` and the view-maintenance layer
+        (:mod:`repro.views`), whose caches track row sets explicitly and
+        would otherwise pay an O(table) re-validation per O(delta)
+        change.
+        """
+        table = cls.__new__(cls)
+        object.__setattr__(table, "name", name)
+        object.__setattr__(table, "arity", arity)
+        object.__setattr__(table, "rows", rows)
+        object.__setattr__(table, "global_condition", global_condition)
+        return table
+
+    def extended(self, new_rows: Sequence[Row]) -> "CTable":
+        """This table plus ``new_rows`` — the view-maintenance append path.
+
+        The caller guarantees ``new_rows`` are :class:`Row` objects of the
+        right arity, already deduplicated and absent from :attr:`rows`
+        (the view layer tracks a seen-set per cached table).  This skips
+        the constructor's per-row re-validation, re-hashing and
+        re-deduplication of the existing rows; the tuple concatenation
+        itself is still O(table), but a plain pointer copy.
+        """
+        return CTable._trusted(
+            self.name, self.arity, self.rows + tuple(new_rows), self.global_condition
+        )
+
     def with_global_condition(self, condition: Conjunction) -> "CTable":
         return CTable(self.name, self.arity, self.rows, condition)
 

@@ -5,6 +5,15 @@ with the difference extension, full relational algebra) applied to c-table
 databases are again representable as c-tables of polynomial size.
 """
 
+from .delta import (
+    delta_difference,
+    delta_intersect,
+    delta_join,
+    delta_product,
+    delta_project,
+    delta_select,
+    delta_union,
+)
 from .evaluate import (
     evaluate_ct,
     evaluate_ct_database,
@@ -36,4 +45,11 @@ __all__ = [
     "union_ct",
     "intersect_ct",
     "difference_ct",
+    "delta_select",
+    "delta_project",
+    "delta_join",
+    "delta_product",
+    "delta_union",
+    "delta_intersect",
+    "delta_difference",
 ]

@@ -152,26 +152,56 @@ def product_ct(left: CTable, right: CTable, name: str = "product") -> CTable:
 
 
 def _join_partition(
-    rows: Sequence[Row], columns: Sequence[int]
+    table: CTable, columns: Sequence[int]
 ) -> tuple[dict[tuple, list[Row]], list[Row], list[Row]]:
-    """Split live rows into hash buckets (all join terms constant) and the
-    variable-bearing remainder.
+    """Split live rows into hash buckets (all join terms constant **or
+    condition-pinned to a constant**) and the wild remainder.
 
-    Returns ``(buckets, wild, alive)``: ``buckets`` maps constant join-key
-    tuples to rows, ``wild`` holds rows with a variable in some join
-    column, ``alive`` is every surviving row (dead rows — local condition
-    trivially false — are pruned here and contribute to nothing).
+    Returns ``(buckets, wild, alive)``: ``buckets`` maps join-key tuples
+    to rows, ``wild`` holds rows with an unconstrained variable in some
+    join column, ``alive`` is every surviving row (dead rows — local
+    condition trivially false — are pruned here and contribute to
+    nothing).
+
+    A variable join term whose row condition *pins* it to a constant
+    (``Eq(x, c)`` entailed by the local condition, or by the table's
+    global condition — the same :func:`~repro.relational.stats.
+    condition_pins` mining the cost model uses) hashes under the pinned
+    constant: in every world where the row exists the variable equals
+    that constant, so pairs outside the bucket would only ever conjoin a
+    trivially-false join equality.  This makes execution match the cost
+    model, which already charges pinned rows ground-row cost; before,
+    pinned rows paid the wild pair-with-everything path (the pinned-key
+    section of ``benchmarks/bench_join_planner.py`` guards the gap).
+    Domain pins (a small ``Or`` of constants) stay wild: they would need
+    one bucket per alternative.
     """
+    from ..relational.stats import condition_pins
+
+    base_equalities = tuple(table.global_condition.equalities())
+    base_pins: dict | None = None
     buckets: dict[tuple, list[Row]] = {}
     wild: list[Row] = []
     alive: list[Row] = []
-    for row in rows:
+    for row in table.rows:
         if condition_is_trivially_false(row.condition):
             continue
         alive.append(row)
         key = tuple(row.terms[c] for c in columns)
         if all(isinstance(t, Constant) for t in key):
             buckets.setdefault(key, []).append(row)
+            continue
+        if row.has_local_condition():
+            pins = condition_pins(row.condition, base_equalities)
+        else:
+            if base_pins is None:
+                base_pins = condition_pins(None, base_equalities)
+            pins = base_pins
+        resolved = tuple(
+            t if isinstance(t, Constant) else pins.get(t) for t in key
+        )
+        if all(isinstance(t, Constant) for t in resolved):
+            buckets.setdefault(resolved, []).append(row)
         else:
             wild.append(row)
     return buckets, wild, alive
@@ -193,10 +223,16 @@ def join_ct(
     * rows whose join terms are **all constants** are hash-partitioned;
       only equal-key bucket pairs meet, so the ground-ground part costs
       O(|L| + |R| + output) instead of O(|L| x |R|);
-    * rows with a **variable** in a join column cannot be hashed (the
-      variable may equal anything), so they fall back to pairing with
-      every live row on the other side, conjoining the join equalities
-      into the local condition — exactly what the product path does;
+    * rows whose variable join terms are **pinned** to a constant by
+      their local (or the table's global) condition hash under the
+      pinned constant — in every world where such a row exists the
+      variable equals the pin, so cross-bucket pairs would only conjoin
+      trivially-false equalities (see :func:`_join_partition`);
+    * rows with an **unconstrained variable** in a join column cannot be
+      hashed (the variable may equal anything), so they fall back to
+      pairing with every live row on the other side, conjoining the join
+      equalities into the local condition — exactly what the product
+      path does;
     * rows whose local condition is trivially false are dropped up front
       (they contribute nothing to any world), as are pairs whose join
       equality is between distinct constants.
@@ -208,8 +244,8 @@ def join_ct(
     lcols = [l for l, _ in pairs]
     rcols = [r for _, r in pairs]
 
-    lbuckets, lwild, _ = _join_partition(left.rows, lcols)
-    rbuckets, rwild, ralive = _join_partition(right.rows, rcols)
+    lbuckets, lwild, _ = _join_partition(left, lcols)
+    rbuckets, rwild, ralive = _join_partition(right, rcols)
 
     rows: list[Row] = []
 

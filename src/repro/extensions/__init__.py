@@ -17,7 +17,7 @@ this paper's formalism, live in :mod:`repro.prob`.)
 """
 
 from .maybe import MaybeRow, MaybeTable, maybe_database, maybe_table
-from .updates import delete_fact, insert_fact, modify_fact
+from .updates import apply_update, delete_fact, insert_fact, modify_fact
 
 __all__ = [
     "MaybeRow",
@@ -27,4 +27,5 @@ __all__ = [
     "insert_fact",
     "delete_fact",
     "modify_fact",
+    "apply_update",
 ]

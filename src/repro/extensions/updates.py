@@ -27,7 +27,11 @@ Each operation accepts an optional ``stats``
 (:class:`repro.relational.stats.StatsStore`): the touched relation's
 cached statistics are invalidated and the store is rebound to the
 returned database, so a long-lived store stays consistent across updates
-while untouched tables keep their cached statistics.
+while untouched tables keep their cached statistics.  An optional
+``views`` (:class:`repro.views.ViewManager`) is notified the same way —
+after the update is validated and applied — so materialized views are
+maintained incrementally alongside the statistics invalidation; a
+raising update leaves both the store and the views untouched.
 """
 
 from __future__ import annotations
@@ -46,7 +50,7 @@ from ..core.conditions import (
 from ..core.tables import CTable, Row, TableDatabase
 from ..core.terms import Constant, as_constant
 
-__all__ = ["insert_fact", "delete_fact", "modify_fact"]
+__all__ = ["insert_fact", "delete_fact", "modify_fact", "apply_update"]
 
 
 def _unification_atoms(row: Row, target: tuple[Constant, ...]) -> list | None:
@@ -78,7 +82,7 @@ def _ground_target(db: TableDatabase, relation: str, fact: Iterable):
 
 
 def insert_fact(
-    db: TableDatabase, relation: str, fact: Iterable, stats=None
+    db: TableDatabase, relation: str, fact: Iterable, stats=None, views=None
 ) -> TableDatabase:
     """Insert a (ground) fact into every possible world.
 
@@ -87,11 +91,11 @@ def insert_fact(
     """
     table, target = _ground_target(db, relation, fact)
     updated = table.with_rows(tuple(table.rows) + (Row(target),))
-    return _replace(db, updated, stats)
+    return _replace(db, updated, stats, views, ("insert", target))
 
 
 def delete_fact(
-    db: TableDatabase, relation: str, fact: Iterable, stats=None
+    db: TableDatabase, relation: str, fact: Iterable, stats=None, views=None
 ) -> TableDatabase:
     """Delete a fact from every possible world.
 
@@ -121,23 +125,46 @@ def delete_fact(
         if condition == BOOL_FALSE:
             continue
         rows.append(Row(row.terms, condition))
-    return _replace(db, table.with_rows(rows), stats)
+    return _replace(db, table.with_rows(rows), stats, views, ("delete", target))
 
 
 def modify_fact(
-    db: TableDatabase, relation: str, old: Iterable, new: Iterable, stats=None
+    db: TableDatabase, relation: str, old: Iterable, new: Iterable, stats=None, views=None
 ) -> TableDatabase:
     """Replace ``old`` by ``new`` in every possible world (delete + insert)."""
     # Validate ``new`` before any rewrite: if the insert would fail, the
-    # stats store must not be rebound to the half-updated intermediate.
+    # stats store (and view manager) must not see the half-updated
+    # intermediate.
     _, new_target = _ground_target(db, relation, new)
-    return insert_fact(delete_fact(db, relation, old, stats), relation, new_target, stats)
+    return insert_fact(
+        delete_fact(db, relation, old, stats, views), relation, new_target, stats, views
+    )
 
 
-def _replace(db: TableDatabase, table: CTable, stats) -> TableDatabase:
+def apply_update(db: TableDatabase, op, stats=None, views=None) -> TableDatabase:
+    """Apply one update-stream operation (see
+    :func:`repro.workloads.update_stream`): ``("insert", rel, fact)``,
+    ``("delete", rel, fact)`` or ``("modify", rel, old, new)``."""
+    kind = op[0]
+    if kind == "insert":
+        return insert_fact(db, op[1], op[2], stats, views)
+    if kind == "delete":
+        return delete_fact(db, op[1], op[2], stats, views)
+    if kind == "modify":
+        return modify_fact(db, op[1], op[2], op[3], stats, views)
+    raise ValueError(f"unknown update operation {kind!r}")
+
+
+def _replace(db: TableDatabase, table: CTable, stats, views=None, change=None) -> TableDatabase:
     tables = [table if t.name == table.name else t for t in db.tables()]
     updated = TableDatabase(tables, db.extra_condition())
     if stats is not None:
         stats.invalidate(table.name)
         stats.rebind(updated)
+    if views is not None and change is not None:
+        kind, target = change
+        if kind == "insert":
+            views.notify_insert(table.name, target, updated)
+        else:
+            views.notify_delete(table.name, target, updated)
     return updated

@@ -91,6 +91,7 @@ __all__ = [
     "push_select",
     "order_joins",
     "order_joins_dp",
+    "plan_fingerprint",
     "ra_of_ucq",
     "PlanError",
     "DP_LEAF_THRESHOLD",
@@ -264,6 +265,55 @@ def _push_into_product_like(
     left = push_select(node.left, left_preds)
     right = push_select(node.right, right_preds)
     return _select(Join(left, right, on), residual)
+
+
+# ---------------------------------------------------------------------------
+# Subplan fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def _predicate_fingerprint(pred: Predicate) -> str:
+    if isinstance(pred, ColEq):
+        return f"eq:{pred.left}:{pred.right}"
+    if isinstance(pred, ColNeq):
+        return f"neq:{pred.left}:{pred.right}"
+    if isinstance(pred, ColEqConst):
+        return f"eqc:{pred.column}:{pred.constant.sort_key()!r}"
+    if isinstance(pred, ColNeqConst):
+        return f"neqc:{pred.column}:{pred.constant.sort_key()!r}"
+    raise TypeError(f"unknown predicate {pred!r}")
+
+
+def plan_fingerprint(node: RAExpression) -> str:
+    """A canonical structural fingerprint of an RA expression.
+
+    Two expressions share a fingerprint iff they are the same tree up to
+    the order of predicates inside one ``Select`` conjunction and of the
+    ``on`` pairs of one ``Join`` (both are conjunctions, so order is
+    irrelevant).  The fingerprint is what the view layer
+    (:mod:`repro.views`) keys its caches on: a registered view answers a
+    query when their compiled expressions match, and two views'
+    *planned* trees share cached subplan results exactly where their
+    subtree fingerprints coincide.  Purely syntactic by design — no
+    semantic equivalence reasoning, so a match is always sound.
+    """
+    if isinstance(node, Scan):
+        return f"scan:{node.name}/{node.arity}"
+    if isinstance(node, Select):
+        preds = ",".join(sorted(_predicate_fingerprint(p) for p in node.predicates))
+        return f"select[{preds}]({plan_fingerprint(node.child)})"
+    if isinstance(node, Project):
+        cols = ",".join(str(c) for c in node.columns)
+        return f"project[{cols}]({plan_fingerprint(node.child)})"
+    if isinstance(node, Join):
+        on = ",".join(f"{l}={r}" for l, r in sorted(node.on))
+        return (
+            f"join[{on}]({plan_fingerprint(node.left)},{plan_fingerprint(node.right)})"
+        )
+    if isinstance(node, (Product, Union, Intersect, Difference)):
+        tag = type(node).__name__.lower()
+        return f"{tag}({plan_fingerprint(node.left)},{plan_fingerprint(node.right)})"
+    raise TypeError(f"unknown RA node: {node!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -90,6 +90,7 @@ __all__ = [
     "Statistics",
     "StatsStore",
     "resolve_stats",
+    "condition_pins",
     "CardEstimate",
     "estimate",
     "join_estimate",
@@ -513,7 +514,7 @@ class TableStats:
         )
         # The global condition's pins are identical for every row; rows
         # without a local condition share this one closure.
-        base_pins = _condition_pins(None, base_equalities)
+        base_pins = condition_pins(None, base_equalities)
         count = 0
         for item in rows:
             count += 1
@@ -534,7 +535,7 @@ class TableStats:
                     pins = (
                         base_pins
                         if condition is None
-                        else _condition_pins(condition, base_equalities)
+                        else condition_pins(condition, base_equalities)
                     )
                 pin = pins.get(term)
                 if isinstance(pin, Constant):
@@ -560,7 +561,7 @@ class TableStats:
         return TableStats(name, arity, count, columns)
 
 
-def _condition_pins(condition, base_equalities: tuple[Eq, ...]) -> dict:
+def condition_pins(condition, base_equalities: tuple[Eq, ...]) -> dict:
     """Variables a row's condition fixes: ``{var: Constant}`` for hard pins,
     ``{var: (Constant, ...)}`` for small ``Or``-of-equalities domains.
 
@@ -569,7 +570,9 @@ def _condition_pins(condition, base_equalities: tuple[Eq, ...]) -> dict:
     and only a pure ``Or`` of equalities on one variable yields a domain.
     Anything fancier keeps the cell wild, never the other way round —
     over-reporting wildness only costs estimate sharpness, not
-    correctness.
+    correctness.  Shared with :func:`repro.ctalgebra.operators.join_ct`,
+    which resolves hard-pinned variables into hash buckets so execution
+    matches what this model charges pinned rows.
     """
     equalities = list(base_equalities)
     domain_source = None

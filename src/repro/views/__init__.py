@@ -1,0 +1,18 @@
+"""Materialized c-table views with incremental delta maintenance.
+
+The query side of the system (:mod:`repro.ctalgebra`) folds queries into
+representations; this package keeps those folded results **warm** under
+updates.  :class:`ViewManager` registers RA expressions as materialized
+views, evaluates them once through the cost-based planner, and maintains
+them incrementally as the update operators of
+:mod:`repro.extensions.updates` mutate the database — insert deltas
+propagate through cached plan trees via the rules in
+:mod:`repro.ctalgebra.delta`; deletes/modifies (and inserts under a
+difference's right side) trigger targeted recomputation of just the
+affected subtree.  See :mod:`repro.views.manager` for the full contract
+and ``docs/architecture.md`` for the lifecycle.
+"""
+
+from .manager import ViewError, ViewManager
+
+__all__ = ["ViewManager", "ViewError"]

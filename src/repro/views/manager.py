@@ -1,0 +1,720 @@
+"""Materialized c-table views with incremental delta maintenance.
+
+A :class:`ViewManager` registers relational algebra expressions (parsed
+rule text or programmatic ASTs) as **materialized views** over a c-table
+database: each view is evaluated once through the cost-based planner
+(:func:`repro.relational.planner.plan`, Selinger DP ordering) and its
+result — plus every intermediate of the planned tree — is cached.
+Thereafter the manager keeps the materializations consistent with the
+database *incrementally*:
+
+* **inserts** propagate through the planned tree as small delta
+  c-tables, combined with the cached subplan results by the per-operator
+  delta rules of :mod:`repro.ctalgebra.delta` (a one-row insert into a
+  star fact table touches each join once, against the cached dimension
+  tables, instead of re-running the whole view);
+* **deletes** whose c-table semantics purely *remove* rows (the deleted
+  fact matched ground rows only — no local condition was rewritten)
+  propagate as **removal deltas**: the output rows each operator derived
+  from the removed inputs are reconstructed exactly (same operator, same
+  cached siblings — construction is deterministic) and subtracted from
+  the caches, guarded by per-node soundness conditions (see
+  :meth:`ViewManager._removal_delta`);
+* all other deletes and modifications — the deleted fact unified with a
+  variable-bearing row, so base-row *conditions* were rewritten in
+  place, or a guard above fails — trigger *targeted recomputation*:
+  only the plan nodes whose subtree reads the touched relation are
+  re-executed, against the cached results of their untouched siblings,
+  never the whole view from cold;
+* an insert reaching the **right side of a difference** also falls back
+  to recomputation of that node (and its ancestors): new right rows
+  strengthen existing output conditions, which no additive delta can
+  express.
+
+Plan subtrees are shared **across views** by structural fingerprint
+(:func:`repro.relational.planner.plan_fingerprint`): two views whose
+planned trees contain the same join subtree share one cached
+intermediate, maintained once per update.  Per-view dependency tracking
+(the set of relations a view reads) makes updates to unrelated relations
+free.
+
+The manager plugs into the mutation path of
+:mod:`repro.extensions.updates`: ``insert_fact(db, ..., views=manager)``
+notifies the manager alongside the ``StatsStore`` invalidation.
+Correctness is *representation-level*: after any update sequence, each
+maintained view ``rep``-equals a full re-evaluation of its expression
+over the updated database (the maintained rows may differ syntactically
+— e.g. an intersection delta re-emits a row instead of growing its match
+disjunction — which is why the differential harness in
+``tests/test_views.py`` compares ``strong_canonicalize``d world sets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import as_constant
+from ..ctalgebra.delta import (
+    delta_difference,
+    delta_intersect,
+    delta_join,
+    delta_product,
+    delta_project,
+    delta_select,
+    delta_union,
+)
+from ..ctalgebra.operators import (
+    difference_ct,
+    intersect_ct,
+    join_ct,
+    product_ct,
+    project_ct,
+    select_ct,
+    union_ct,
+)
+from ..relational.algebra import (
+    Difference,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    RAExpression,
+    Scan,
+    Select,
+    Union,
+)
+from ..relational.planner import plan, plan_fingerprint, ra_of_ucq
+from ..relational.stats import StatsStore
+
+__all__ = ["ViewManager", "ViewError"]
+
+#: Per-epoch walk results: nothing changed / rows appended / node rebuilt.
+_NONE = ("none", ())
+_RECOMPUTE = ("recompute", ())
+
+
+class ViewError(ValueError):
+    """Raised for bad view registrations (duplicate names, unknown views,
+    uncompilable queries)."""
+
+
+class _PlanNode:
+    """One node of a planned view tree, with its cached materialization.
+
+    Nodes are interned per manager by :func:`plan_fingerprint`, so views
+    whose planned trees overlap share both the node and its cache.
+    ``seen`` mirrors ``cache.rows`` as a set, making delta appends and
+    removals O(delta); ``plain`` counts the rows without a local
+    condition (when it equals the row count, rows are pairwise distinct
+    on their terms — the soundness guard of the join removal delta);
+    ``epoch``/``result`` memoise the per-update walk so a shared node
+    does maintenance work once per update, not once per dependent view.
+    """
+
+    __slots__ = (
+        "expr", "fingerprint", "children", "relations",
+        "cache", "seen", "plain", "epoch", "result",
+    )
+
+    def __init__(self, expr: RAExpression, fingerprint: str, children: list["_PlanNode"]) -> None:
+        self.expr = expr
+        self.fingerprint = fingerprint
+        self.children = children
+        self.relations = frozenset(expr.relation_names())
+        self.cache: CTable | None = None
+        self.seen: set[Row] = set()
+        self.plain = 0
+        self.epoch = -1
+        self.result = _NONE
+
+
+class _View:
+    __slots__ = ("name", "query_text", "source", "source_fingerprint", "planned", "root")
+
+    def __init__(self, name, query_text, source, planned, root) -> None:
+        self.name = name
+        self.query_text = query_text
+        self.source = source
+        self.source_fingerprint = plan_fingerprint(source)
+        self.planned = planned
+        self.root = root
+
+    @property
+    def relations(self) -> frozenset:
+        return self.root.relations
+
+
+class ViewManager:
+    """Registry + incremental maintainer of materialized c-table views.
+
+    ``stats`` accepts a :class:`~repro.relational.stats.StatsStore` to
+    share with the caller's update path (the manager creates a private
+    one otherwise); it is used to cost-order each view's joins at
+    ``define``/``refresh`` time and is invalidated/rebound on every
+    notification, mirroring the updates contract.
+
+    ``counters`` exposes the maintenance telemetry the benchmarks and
+    ``--explain`` surface: ``delta_rows``/``removed_rows``/
+    ``delta_nodes`` (additive maintenance), ``recomputed_nodes``
+    (targeted fallback), ``difference_fallbacks``, and
+    ``skipped_updates`` (no dependent view).  ``last_maintenance`` is a
+    bounded rolling log of human-readable lines, one per notification,
+    most recent last — a modify therefore contributes both its delete
+    and its insert line.
+    """
+
+    #: How many maintenance-log lines are retained.
+    LOG_LIMIT = 50
+
+    def __init__(self, db: TableDatabase, stats: StatsStore | None = None, ordering: str = "dp") -> None:
+        self._db = db
+        self._store = stats if stats is not None else StatsStore(db)
+        self._ordering = ordering
+        self._views: dict[str, _View] = {}
+        self._nodes: dict[str, _PlanNode] = {}
+        self._epoch = 0
+        self.last_maintenance: list[str] = []
+        self.counters = {
+            "delta_rows": 0,
+            "removed_rows": 0,
+            "delta_nodes": 0,
+            "recomputed_nodes": 0,
+            "difference_fallbacks": 0,
+            "skipped_updates": 0,
+        }
+
+    # -- registry ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    @property
+    def database(self) -> TableDatabase:
+        return self._db
+
+    @property
+    def subplan_count(self) -> int:
+        """How many distinct plan nodes (cached subplans) are live —
+        views sharing subtrees share nodes, so this is less than the sum
+        of per-view tree sizes when sharing happens."""
+        return len(self._nodes)
+
+    def define(self, name: str, query: "str | RAExpression") -> CTable:
+        """Register and materialize a view; returns the materialization.
+
+        ``query`` is either an :class:`RAExpression` or rule text (a UCQ
+        in the ``repro eval`` syntax, compiled via
+        :func:`~repro.relational.planner.ra_of_ucq`).
+        """
+        if name in self._views:
+            raise ViewError(f"view {name!r} is already defined (drop it first)")
+        query_text = None
+        if isinstance(query, str):
+            query_text = query
+            source = self._compile(query)
+        else:
+            source = query
+        snapshot = self._store.snapshot(self._db)
+        planned = plan(source, stats=snapshot, ordering=self._ordering)
+        # Transactional: a failure while materializing (unknown relation,
+        # arity mismatch) must not leave freshly-interned, partially
+        # cached nodes behind — no view would own them, so notifications
+        # would never maintain them and a later define() sharing a
+        # fingerprint would silently reuse the stale cache.
+        nodes_before = dict(self._nodes)
+        root = self._intern(planned)
+        try:
+            self._materialize(root)
+        except Exception:
+            self._nodes = nodes_before
+            raise
+        view = _View(name, query_text, source, planned, root)
+        self._views[name] = view
+        return self.get(name)
+
+    def drop(self, name: str) -> None:
+        """Forget a view; subplan caches no other view uses are released."""
+        if name not in self._views:
+            raise ViewError(f"no view named {name!r}")
+        del self._views[name]
+        live: dict[str, _PlanNode] = {}
+        for view in self._views.values():
+            live.update(self._collect(view.root))
+        self._nodes = live
+
+    def get(self, name: str) -> CTable:
+        """The current materialization of a view, as a c-table bearing the
+        view's name.  O(1): the cached rows are already validated and
+        deduplicated, so this is a rename, not a copy."""
+        view = self._view(name)
+        cache = view.root.cache
+        return CTable._trusted(
+            view.name, cache.arity, cache.rows, cache.global_condition
+        )
+
+    def relations(self, name: str) -> frozenset:
+        """The base relations a view reads (its dependency set)."""
+        return self._view(name).relations
+
+    def readers(self, relation: str) -> tuple[str, ...]:
+        """The views that depend on ``relation``, in definition order."""
+        return tuple(
+            name for name, view in self._views.items() if relation in view.relations
+        )
+
+    def lookup(self, expression: RAExpression) -> "tuple[str, CTable] | None":
+        """A registered view answering ``expression``, if any.
+
+        Matching is syntactic (:func:`plan_fingerprint` of the *source*
+        expressions), so a hit is always sound: the cached
+        materialization is the expression's value over the current
+        database.
+        """
+        fingerprint = plan_fingerprint(expression)
+        for name, view in self._views.items():
+            if view.source_fingerprint == fingerprint:
+                return name, self.get(name)
+        return None
+
+    def refresh(self, name: str | None = None, db: TableDatabase | None = None) -> None:
+        """Recompute one view (or all) from the current database.
+
+        Never needed for consistency — the notifications keep caches
+        fresh — but it is how a caller rebinds the manager after
+        replacing the database *outside* the update operators (pass the
+        new ``db``), and the CLI's explicit re-materialization command.
+        A replaced database invalidates **every** cache, so ``db`` and
+        ``name`` cannot be combined: refreshing one view against a new
+        database would leave the others permanently inconsistent.
+        """
+        if db is not None:
+            if name is not None:
+                raise ViewError(
+                    "refresh(name=..., db=...) would leave every other view "
+                    "stale against the new database; rebind with db= alone"
+                )
+            self._db = db
+            self._store.clear()
+            self._store.rebind(db)
+        self._epoch += 1
+        views = [self._view(name)] if name is not None else list(self._views.values())
+        for view in views:
+            self._refresh_walk(view.root)
+
+    # -- mutation notifications ----------------------------------------------
+
+    def notify_insert(self, relation: str, fact: Iterable, db: TableDatabase) -> None:
+        """A ground fact was inserted into ``relation``; ``db`` is the
+        updated database.  Dependent views are maintained by delta rules,
+        falling back to targeted recomputation under difference."""
+        affected = self._begin(relation, db, "insert into")
+        if not affected:
+            return
+        row = Row(tuple(as_constant(v) for v in fact))
+        before = dict(self.counters)
+        for view in affected:
+            self._insert_walk(view.root, relation, row)
+        self._log_delta(relation, "insert into", affected, before)
+
+    def notify_delete(self, relation: str, fact: Iterable, db: TableDatabase) -> None:
+        """A ground fact was deleted from ``relation``.  Pure row
+        removals propagate as removal deltas; condition-rewriting
+        deletions (the fact unified with a null) recompute dependent
+        subtrees against cached siblings — targeted, never the whole
+        tree when any subtree avoids the relation."""
+        affected = self._begin(relation, db, "delete from")
+        if not affected:
+            return
+        before = dict(self.counters)
+        for view in affected:
+            self._delete_walk(view.root, relation)
+        removed = self.counters["removed_rows"] - before["removed_rows"]
+        recomputed = self.counters["recomputed_nodes"] - before["recomputed_nodes"]
+        line = f"delete from {relation}: {len(affected)} view(s), -{removed} row(s)"
+        if recomputed:
+            # Only priced when something recomputed: collect the distinct
+            # nodes of every affected tree (shared ones once) and report
+            # how many kept their caches.
+            nodes: dict[str, _PlanNode] = {}
+            for view in affected:
+                nodes.update(self._collect(view.root))
+            line += (
+                f", {recomputed} node(s) recomputed, "
+                f"{max(len(nodes) - recomputed, 0)} cached subplan(s) reused"
+            )
+        self._log(line)
+
+    def notify_modify(
+        self, relation: str, old: Iterable, new: Iterable, db: TableDatabase
+    ) -> None:
+        """A fact was modified.  The update path implements modify as
+        delete-then-insert and notifies each half separately; this entry
+        point exists for callers applying a modification atomically."""
+        self.notify_delete(relation, old, db)
+        self.notify_insert(relation, new, db)
+
+    # -- internals -----------------------------------------------------------
+
+    def _view(self, name: str) -> _View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"no view named {name!r}") from None
+
+    @staticmethod
+    def _compile(query_text: str) -> RAExpression:
+        from ..relational.parser import ParseError, parse_query
+
+        try:
+            return ra_of_ucq(parse_query(query_text))
+        except (ParseError, ValueError) as exc:
+            raise ViewError(f"cannot compile view query: {exc}") from exc
+
+    def _intern(self, expr: RAExpression) -> _PlanNode:
+        fingerprint = plan_fingerprint(expr)
+        node = self._nodes.get(fingerprint)
+        if node is not None:
+            return node
+        children = [self._intern(child) for child in expr.children()]
+        node = _PlanNode(expr, fingerprint, children)
+        self._nodes[fingerprint] = node
+        return node
+
+    def _collect(self, root: _PlanNode) -> dict[str, _PlanNode]:
+        out: dict[str, _PlanNode] = {}
+
+        def walk(node: _PlanNode) -> None:
+            if node.fingerprint in out:
+                return
+            out[node.fingerprint] = node
+            for child in node.children:
+                walk(child)
+
+        walk(root)
+        return out
+
+    def _materialize(self, node: _PlanNode) -> None:
+        if node.cache is not None:
+            return
+        for child in node.children:
+            self._materialize(child)
+        self._rebuild(node)
+
+    def _rebuild(self, node: _PlanNode) -> None:
+        """(Re)compute a node from the database / its children's caches."""
+        node.cache = self._apply(node)
+        node.seen = set(node.cache.rows)
+        node.plain = sum(
+            1 for row in node.cache.rows if not row.has_local_condition()
+        )
+
+    def _apply(self, node: _PlanNode) -> CTable:
+        expr = node.expr
+        if isinstance(expr, Scan):
+            table = self._db[expr.name]
+            if table.arity != expr.arity:
+                raise ValueError(
+                    f"scan of {expr.name!r} expects arity {expr.arity}, "
+                    f"table has {table.arity}"
+                )
+            return table
+        tables = [child.cache for child in node.children]
+        if isinstance(expr, Select):
+            return select_ct(tables[0], expr.predicates, name="subplan")
+        if isinstance(expr, Project):
+            return project_ct(tables[0], expr.columns, name="subplan")
+        if isinstance(expr, Join):
+            return join_ct(tables[0], tables[1], expr.on, name="subplan")
+        if isinstance(expr, Product):
+            return product_ct(tables[0], tables[1], name="subplan")
+        if isinstance(expr, Union):
+            return union_ct(tables[0], tables[1], name="subplan")
+        if isinstance(expr, Intersect):
+            return intersect_ct(tables[0], tables[1], name="subplan")
+        if isinstance(expr, Difference):
+            return difference_ct(tables[0], tables[1], name="subplan")
+        raise TypeError(f"unknown RA node: {expr!r}")
+
+    def _begin(self, relation: str, db: TableDatabase, verb: str) -> list[_View]:
+        """Shared notification prologue: rebind the database and stats
+        store, bump the epoch, and find the dependent views."""
+        self._db = db
+        self._store.invalidate(relation)
+        self._store.rebind(db)
+        self._epoch += 1
+        affected = [v for v in self._views.values() if relation in v.relations]
+        if not affected:
+            self.counters["skipped_updates"] += 1
+            self._log(f"{verb} {relation}: no dependent views")
+        return affected
+
+    def _log(self, line: str) -> None:
+        self.last_maintenance.append(line)
+        del self.last_maintenance[: -self.LOG_LIMIT]
+
+    def _log_delta(self, relation: str, verb: str, affected, before) -> None:
+        rows = self.counters["delta_rows"] - before["delta_rows"]
+        nodes = self.counters["delta_nodes"] - before["delta_nodes"]
+        recomputed = self.counters["recomputed_nodes"] - before["recomputed_nodes"]
+        line = (
+            f"{verb} {relation}: {len(affected)} view(s), "
+            f"+{rows} row(s) via {nodes} delta node(s)"
+        )
+        if recomputed:
+            line += f", {recomputed} node(s) recomputed (difference fallback)"
+        self._log(line)
+
+    def _append(self, node: _PlanNode, rows) -> tuple:
+        """Add genuinely-new delta rows to a node's cache; returns them."""
+        new = tuple(row for row in rows if row not in node.seen)
+        if new:
+            node.seen.update(new)
+            node.cache = node.cache.extended(new)
+            node.plain += sum(1 for row in new if not row.has_local_condition())
+            self.counters["delta_rows"] += len(new)
+            self.counters["delta_nodes"] += 1
+        return new
+
+    def _subtract(self, node: _PlanNode, removed: tuple) -> None:
+        """Drop reconstructed removal-delta rows from a node's cache."""
+        gone = set(removed)
+        table = node.cache
+        rows = tuple(row for row in table.rows if row not in gone)
+        node.cache = CTable._trusted(
+            table.name, table.arity, rows, table.global_condition
+        )
+        node.seen -= gone
+        node.plain -= sum(1 for row in gone if not row.has_local_condition())
+        self.counters["removed_rows"] += len(gone)
+        self.counters["delta_nodes"] += 1
+
+    def _recompute_node(self, node: _PlanNode):
+        """Targeted fallback: rebuild one node from its (already updated)
+        children caches and poison the additive path upward."""
+        self._rebuild(node)
+        self.counters["recomputed_nodes"] += 1
+        node.result = _RECOMPUTE
+        return node.result
+
+    def _insert_walk(self, node: _PlanNode, relation: str, row: Row):
+        """Propagate an insert delta through one node.
+
+        Returns ``("none", ())`` (nothing changed), ``("delta", rows)``
+        (rows were appended to the cache), or ``("recompute", ())`` (the
+        node was rebuilt — ancestors must rebuild too).  Memoised per
+        epoch so shared subplans do the work once per update.
+        """
+        if node.epoch == self._epoch:
+            return node.result
+        node.epoch = self._epoch
+        if relation not in node.relations:
+            node.result = _NONE
+            return _NONE
+        expr = node.expr
+
+        if isinstance(expr, Scan):
+            node.cache = self._db[expr.name]
+            if row in node.seen:
+                node.result = _NONE  # idempotent re-insert: rep unchanged
+            else:
+                node.seen.add(row)
+                node.result = ("delta", (row,))
+            return node.result
+
+        if isinstance(expr, (Select, Project)):
+            child = node.children[0]
+            child_result = self._insert_walk(child, relation, row)
+            if child_result[0] == "recompute":
+                return self._recompute_node(node)
+            if child_result[0] == "none":
+                node.result = _NONE
+                return _NONE
+            delta_in = CTable("delta", child.cache.arity, child_result[1])
+            if isinstance(expr, Select):
+                delta = delta_select(delta_in, expr.predicates)
+            else:
+                delta = delta_project(delta_in, expr.columns)
+            new = self._append(node, delta.rows)
+            node.result = ("delta", new) if new else _NONE
+            return node.result
+
+        left, right = node.children
+        left_before = left.cache  # the pre-update cache unless already walked
+        right_result = self._insert_walk(right, relation, row)
+        left_result = self._insert_walk(left, relation, row)
+        if left_result[0] == "recompute" or right_result[0] == "recompute":
+            return self._recompute_node(node)
+        if left_result[0] == "none" and right_result[0] == "none":
+            node.result = _NONE
+            return _NONE
+        left_delta = (
+            CTable("delta", left.cache.arity, left_result[1])
+            if left_result[0] == "delta"
+            else None
+        )
+        right_delta = (
+            CTable("delta", right.cache.arity, right_result[1])
+            if right_result[0] == "delta"
+            else None
+        )
+
+        if isinstance(expr, Join):
+            delta = delta_join(left_before, left_delta, right.cache, right_delta, expr.on)
+        elif isinstance(expr, Product):
+            delta = delta_product(left_before, left_delta, right.cache, right_delta)
+        elif isinstance(expr, Union):
+            delta = delta_union(expr.arity, left_delta, right_delta)
+        elif isinstance(expr, Intersect):
+            delta = delta_intersect(left_before, left_delta, right.cache, right_delta)
+        elif isinstance(expr, Difference):
+            if right_delta is not None:
+                # New right rows strengthen existing output conditions:
+                # no additive delta exists.  Rebuild from updated children.
+                self.counters["difference_fallbacks"] += 1
+                return self._recompute_node(node)
+            delta = delta_difference(left_delta, right.cache)
+        else:  # pragma: no cover - _apply already rejects unknown nodes
+            raise TypeError(f"unknown RA node: {expr!r}")
+
+        new = self._append(node, delta.rows)
+        node.result = ("delta", new) if new else _NONE
+        return node.result
+
+    def _delete_walk(self, node: _PlanNode, relation: str):
+        """Propagate a deletion through one node.
+
+        Like :meth:`_insert_walk` but for removals: when the base delete
+        purely removed rows (and the per-operator guards of
+        :meth:`_removal_delta` hold), the rows each node derived from the
+        removed inputs are reconstructed and subtracted — O(delta + cache
+        scan) instead of a join.  Returns ``("none", ())``,
+        ``("removed", rows)`` or ``("recompute", ())``; any failure
+        degrades to targeted recomputation of this node (children are
+        already up to date), never the whole tree.
+        """
+        if node.epoch == self._epoch:
+            return node.result
+        node.epoch = self._epoch
+        if relation not in node.relations:
+            node.result = _NONE
+            return _NONE
+        if isinstance(node.expr, Scan):
+            table = self._db[node.expr.name]
+            if table.rows == node.cache.rows:
+                node.result = _NONE  # the deletion matched nothing
+                return _NONE
+            # Rows present now but unseen before are *rewrites*: the fact
+            # unified with a variable-bearing row and its condition was
+            # strengthened.  No removal delta exists for those.
+            new_seen = set(table.rows)
+            rewritten = any(row not in node.seen for row in table.rows)
+            removed = tuple(row for row in node.cache.rows if row not in new_seen)
+            node.cache = table
+            node.seen = new_seen
+            node.plain = sum(1 for row in table.rows if not row.has_local_condition())
+            # A scan refresh is a cache swap, not a recomputation — the
+            # ancestors that now rebuild are what the counter reports.
+            node.result = _RECOMPUTE if rewritten else ("removed", removed)
+            return node.result
+        results = [self._delete_walk(child, relation) for child in node.children]
+        if all(result[0] == "none" for result in results):
+            node.result = _NONE
+            return _NONE
+        if any(result[0] == "recompute" for result in results):
+            return self._recompute_node(node)
+        removal = self._removal_delta(node, results)
+        if removal is None:
+            return self._recompute_node(node)
+        if not removal:
+            # The removed inputs derived nothing here: the cache is
+            # unchanged and ancestors can skip their guard checks.
+            node.result = _NONE
+            return _NONE
+        self._subtract(node, removal)
+        node.result = ("removed", removal)
+        return node.result
+
+    def _removal_delta(self, node: _PlanNode, results) -> "tuple | None":
+        """Reconstruct the output rows a node loses when its children
+        lost ``results``'s removal rows; ``None`` when no sound delta
+        exists and the node must recompute.
+
+        Soundness rests on two facts.  First, **construction identity**:
+        every cached row was built by the same deterministic operator
+        from the same inputs, so re-running the operator on just the
+        removed child rows (against the unchanged sibling cache)
+        reproduces the affected cached rows *exactly* — for operators
+        whose per-row output depends only on that row and the sibling
+        (select, project, join, product, union).  Intersection and
+        difference fail this: a cached row's match disjunction reflects
+        the right side *as of when the row was (re)emitted*, so they
+        always recompute.  Second, **no shared derivations**: a
+        subtracted row must not be derivable from surviving inputs.
+        Select and intersect-like shapes are injective per input row;
+        projections qualify only when they keep every input column (no
+        merging); joins/products embed the affected child's terms
+        verbatim, so they qualify when that child's rows are pairwise
+        distinct on terms — guaranteed when every row is
+        condition-free (``plain == len(rows)``: the constructor dedups);
+        unions check the sibling's seen-set row by row.
+        """
+        expr = node.expr
+        if isinstance(expr, Select):
+            child = node.children[0]
+            removed = CTable("delta", child.cache.arity, results[0][1])
+            return tuple(select_ct(removed, expr.predicates, name="delta").rows)
+        if isinstance(expr, Project):
+            child = node.children[0]
+            if set(expr.columns) != set(range(child.cache.arity)):
+                return None  # a merging projection: derivations may collide
+            removed = CTable("delta", child.cache.arity, results[0][1])
+            return tuple(project_ct(removed, expr.columns, name="delta").rows)
+        if isinstance(expr, (Join, Product)):
+            (left, right), (lres, rres) = node.children, results
+            if lres[0] == "removed" and rres[0] == "removed":
+                return None  # a self-join on the touched relation
+            affected, sibling = (left, right) if lres[0] == "removed" else (right, left)
+            removed_rows = (lres if lres[0] == "removed" else rres)[1]
+            if affected.plain != len(affected.cache.rows):
+                return None  # terms may repeat: derivations may collide
+            if any(row.has_local_condition() for row in removed_rows):
+                return None
+            removed = CTable("delta", affected.cache.arity, removed_rows)
+            on = expr.on if isinstance(expr, Join) else ()
+            if affected is left:
+                out = join_ct(removed, sibling.cache, on, name="delta")
+            else:
+                out = join_ct(sibling.cache, removed, on, name="delta")
+            return tuple(out.rows)
+        if isinstance(expr, Union):
+            left, right = node.children
+            candidates = []
+            if results[0][0] == "removed":
+                candidates.extend(results[0][1])
+            if results[1][0] == "removed":
+                candidates.extend(results[1][1])
+            # A row still derivable from either branch survives.
+            return tuple(
+                row
+                for row in dict.fromkeys(candidates)
+                if row not in left.seen and row not in right.seen
+            )
+        # Intersect/Difference: cached match conditions are
+        # history-dependent (see docstring) — recompute.
+        return None
+
+    def _refresh_walk(self, node: _PlanNode) -> None:
+        if node.epoch == self._epoch:
+            return
+        node.epoch = self._epoch
+        for child in node.children:
+            self._refresh_walk(child)
+        self._rebuild(node)
+        node.result = _RECOMPUTE

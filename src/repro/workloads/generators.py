@@ -57,6 +57,7 @@ __all__ = [
     "zipf_choices",
     "skewed_star_join_database",
     "skewed_star_join_expression",
+    "update_stream",
 ]
 
 
@@ -301,6 +302,7 @@ def random_join_database(
     var_probability: float = 0.0,
     local_probability: float = 0.0,
     num_variables: int = 4,
+    pinned_probability: float = 0.0,
 ) -> TableDatabase:
     """A two-table equijoin workload: ``R`` and ``S``, joinable on column 0.
 
@@ -309,9 +311,13 @@ def random_join_database(
     the remaining columns are row-unique payload constants.  With
     ``var_probability > 0`` some key cells become variables (exercising the
     hash join's wild-row fallback) and with ``local_probability > 0`` rows
-    carry simple local conditions.  The scaling sweeps in
-    ``benchmarks/bench_join_planner.py`` and the planner's differential
-    tests both draw from this generator.
+    carry simple local conditions.  With ``pinned_probability > 0`` some
+    key cells become *pinned* variables — a fresh variable whose local
+    condition fixes it to a key constant (``p = k``): semantically a
+    ground row, but one only the pin-aware hash path of
+    :func:`repro.ctalgebra.operators.join_ct` can partition.  The scaling
+    sweeps in ``benchmarks/bench_join_planner.py`` and the planner's
+    differential tests both draw from this generator.
     """
     if num_keys is None:
         num_keys = max(1, rows_per_side // 2)
@@ -321,14 +327,19 @@ def random_join_database(
     def side(name: str, payload_base: int) -> CTable:
         rows = []
         for i in range(rows_per_side):
+            condition = None
             if variables and rng.random() < var_probability:
                 key = rng.choice(variables)
+            elif pinned_probability and rng.random() < pinned_probability:
+                key = Variable(f"@pin_{name}{i}")
+                condition = Conjunction([Eq(key, rng.choice(keys))])
             else:
                 key = rng.choice(keys)
             payload = [Constant(payload_base + i * (arity - 1) + j) for j in range(arity - 1)]
             terms = [key] + payload
-            if variables and rng.random() < local_probability:
+            if condition is None and variables and rng.random() < local_probability:
                 condition = Conjunction([Neq(rng.choice(variables), rng.choice(keys))])
+            if condition is not None:
                 rows.append(Row(terms, condition))
             else:
                 rows.append(Row(terms))
@@ -652,6 +663,112 @@ def skewed_star_join_expression(num_skewed: int = 3) -> RAExpression:
     for i in range(1, num_dims):
         predicates.append(ColEqConst(2 * i + 1, 0))  # Di payload: Zipf head
     return Select(expr, predicates)
+
+
+def update_stream(
+    rng: random.Random,
+    db: TableDatabase,
+    length: int,
+    insert_weight: float = 0.6,
+    delete_weight: float = 0.25,
+    modify_weight: float = 0.15,
+    relations: Sequence[str] | None = None,
+    fresh_probability: float = 0.15,
+) -> list[tuple]:
+    """A reproducible mixed insert/delete/modify sequence over ``db``.
+
+    Returns a list of operations in the shape
+    :func:`repro.extensions.updates.apply_update` consumes:
+    ``("insert", rel, fact)``, ``("delete", rel, fact)`` and
+    ``("modify", rel, old, new)``, with facts as tuples of
+    :class:`~repro.core.terms.Constant`.  Relative frequencies follow the
+    three weights (renormalised); ``relations`` restricts which tables
+    are touched (default: all of them).
+
+    Facts are drawn to be *interesting* against the starting database:
+    each column samples from the constants observed in that column (so
+    inserts create join partners and deletes/modifies mostly hit existing
+    rows or unify with variable-bearing ones), with a ``fresh_probability``
+    chance of a never-seen constant per cell.  A pool of live ground
+    facts is tracked across the stream so deletes and modifies usually
+    target something present — including facts inserted earlier in the
+    same stream.  Works over any database; the view benchmark and the
+    differential tests in ``tests/test_views.py`` run it over the star /
+    snowflake / skewed-star join workloads.
+    """
+    names = list(relations) if relations is not None else list(db.names())
+    if not names:
+        raise ValueError("update_stream needs at least one relation")
+    weights = [max(insert_weight, 0.0), max(delete_weight, 0.0), max(modify_weight, 0.0)]
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("update_stream needs a positive weight")
+    cumulative = [sum(weights[: i + 1]) / total_weight for i in range(3)]
+
+    column_values: dict[str, list[list[Constant]]] = {}
+    live: dict[str, list[tuple[Constant, ...]]] = {}
+    fresh_counter = 0
+    top = max(
+        (c.value for c in db.constants() if isinstance(c.value, int)), default=0
+    )
+    for name in names:
+        table = db[name]
+        pools: list[list[Constant]] = [[] for _ in range(table.arity)]
+        facts = []
+        for row in table.rows:
+            ground = True
+            for i, term in enumerate(row.terms):
+                if isinstance(term, Constant):
+                    pools[i].append(term)
+                else:
+                    ground = False
+            if ground and not row.has_local_condition():
+                facts.append(row.terms)
+        column_values[name] = [pool or [Constant(0)] for pool in pools]
+        live[name] = facts
+
+    def fresh() -> Constant:
+        nonlocal fresh_counter
+        fresh_counter += 1
+        return Constant(top + fresh_counter)
+
+    def make_fact(name: str) -> tuple[Constant, ...]:
+        fact = []
+        for pool in column_values[name]:
+            if rng.random() < fresh_probability:
+                fact.append(fresh())
+            else:
+                fact.append(rng.choice(pool))
+        return tuple(fact)
+
+    ops: list[tuple] = []
+    for _ in range(length):
+        name = rng.choice(names)
+        draw = rng.random()
+        kind = "insert" if draw < cumulative[0] else (
+            "delete" if draw < cumulative[1] else "modify"
+        )
+        if kind != "insert" and not live[name]:
+            kind = "insert"
+        if kind == "insert":
+            fact = make_fact(name)
+            ops.append(("insert", name, fact))
+            live[name].append(fact)
+            for i, value in enumerate(fact):
+                column_values[name][i].append(value)
+        elif kind == "delete":
+            if rng.random() < 0.8:
+                fact = live[name].pop(rng.randrange(len(live[name])))
+            else:
+                fact = make_fact(name)  # may miss, or unify with a null row
+            ops.append(("delete", name, fact))
+        else:
+            index = rng.randrange(len(live[name]))
+            old = live[name][index]
+            new = make_fact(name)
+            live[name][index] = new
+            ops.append(("modify", name, old, new))
+    return ops
 
 
 def _random_predicate(rng: random.Random, arity: int, num_constants: int):
