@@ -20,6 +20,8 @@ Usage (also via ``python -m repro``)::
     repro view refresh db.pwt         # re-materialize stale views
     repro view drop db.pwt V          # forget a view
     repro eval db.pwt query.dl --use-views   # answer from a fresh view if one matches
+    repro serve --db mydb=db.pwt      # long-lived HTTP/JSON query server
+    repro client URL query mydb 'Q(X) :- R(X, Y).'   # talk to a running server
 
 Materialized views are persisted in a JSON sidecar next to the database
 (``<database>.views.json``) holding each view's rule text, its
@@ -28,6 +30,14 @@ against; ``eval --use-views`` only answers from a view whose digest
 still matches (``--explain`` says which view answered, or why none
 did).  In-process updates maintain views incrementally instead — see
 :class:`repro.views.ViewManager` and ``docs/architecture.md``.
+
+``repro serve`` hosts named databases in one resident process (stdlib
+HTTP, JSON bodies) with snapshot-isolated reads: every query is
+evaluated against an immutable snapshot and its response names the
+update-stream ``version`` it reflects — see
+:mod:`repro.server` and the serving-layer section of
+``docs/architecture.md``.  ``repro client`` is the matching
+``urllib``-only command line client.
 
 Databases use the text notation of :mod:`repro.io.text` (``.pwt`` --
 "possible worlds tables"), instances the ``%instance`` notation
@@ -222,45 +232,47 @@ def _cmd_convert(args) -> int:
 # ---------------------------------------------------------------------------
 # The materialized-view registry (a JSON sidecar next to the database)
 # ---------------------------------------------------------------------------
+#
+# One format, one module: :mod:`repro.views.persist` owns the sidecar so
+# the CLI and a ``repro serve`` process read and write the same registry
+# instead of silently diverging.  These thin wrappers only convert its
+# :class:`~repro.views.ViewError`s into user-facing :class:`CliError`s.
 
 
 def _registry_path(db_path: str) -> str:
-    return db_path + ".views.json"
+    from .views.persist import registry_path
+
+    return registry_path(db_path)
 
 
 def _db_digest(db_path: str) -> str:
-    import hashlib
+    from .views import ViewError
+    from .views.persist import file_digest
 
     try:
-        with open(db_path, "rb") as fp:
-            return hashlib.sha256(fp.read()).hexdigest()
-    except OSError as exc:
-        raise CliError(f"cannot read {db_path}: {exc.strerror or exc}") from exc
+        return file_digest(db_path)
+    except ViewError as exc:
+        raise CliError(str(exc)) from exc
 
 
 def _load_registry(db_path: str) -> dict:
-    import os
+    from .views import ViewError
+    from .views.persist import load_registry
 
-    path = _registry_path(db_path)
-    if not os.path.exists(path):
-        return {"kind": "view-registry", "views": {}}
     try:
-        data = json.loads(_read_text(path))
-    except ValueError as exc:
-        raise CliError(f"{path}: malformed registry: {exc}") from exc
-    if data.get("kind") != "view-registry" or not isinstance(data.get("views"), dict):
-        raise CliError(f"{path}: not a view registry")
-    return data
+        return load_registry(db_path)
+    except ViewError as exc:
+        raise CliError(str(exc)) from exc
 
 
 def _save_registry(db_path: str, registry: dict) -> None:
-    path = _registry_path(db_path)
+    from .views import ViewError
+    from .views.persist import save_registry
+
     try:
-        with open(path, "w", encoding="utf-8") as fp:
-            json.dump(registry, fp, indent=2)
-            fp.write("\n")
-    except OSError as exc:
-        raise CliError(f"cannot write {path}: {exc.strerror or exc}") from exc
+        save_registry(db_path, registry)
+    except ViewError as exc:
+        raise CliError(str(exc)) from exc
 
 
 def _view_name_of(query_text: str) -> str:
@@ -551,6 +563,135 @@ def _cmd_eval(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# The query server and its command line client
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    from .server import SessionRegistry, make_server, run_server
+    from .server.session import SessionError
+
+    registry = SessionRegistry(ordering=args.ordering)
+    for spec in args.db:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise CliError(f"--db wants NAME=PATH, got {spec!r}")
+        try:
+            _, stale = registry.open_file(name, path, on_stale=args.on_stale)
+        except SessionError as exc:
+            raise CliError(str(exc)) from exc
+        suffix = ""
+        if stale:
+            suffix = f" (re-materialized stale views: {', '.join(stale)})"
+        print(f"loaded {name} from {path}{suffix}")
+    try:
+        server = make_server(args.host, args.port, registry, verbose=args.verbose)
+    except OSError as exc:
+        raise CliError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    host, port = server.server_address[:2]
+    print(f"serving {len(registry)} database(s) on http://{host}:{port} (Ctrl-C stops)")
+    run_server(server)
+    return EXIT_YES
+
+
+def _print_query_response(response: dict, explain: bool) -> None:
+    """Render a server query response the way ``repro eval`` renders."""
+    from .io.jsonio import table_from_json
+
+    if explain:
+        for line in response.get("explain", ()):
+            print(f"-- {line}")
+    answered_by = response.get("answered_by_view")
+    if answered_by is not None:
+        print(f"-- view: answered by materialized view {answered_by!r}")
+    table = table_from_json(response["table"])
+    print(
+        f"-- {table.name}/{table.arity} ({table.classify()}-table, "
+        f"{len(table)} rows) @ version {response['version']}"
+    )
+    print(table)
+
+
+def _cmd_client(args) -> int:
+    from .server import ServerClient, ServerError
+
+    client = ServerClient(args.url)
+    try:
+        return _run_client_action(client, args)
+    except ServerError as exc:
+        print(f"repro: server: {exc}", file=sys.stderr)
+        return EXIT_USAGE if exc.status in (None, 400) else EXIT_NO
+
+
+def _parse_update_op(text: str) -> list:
+    """An update op from the command line: a JSON array like
+    ``'["insert", "R", ["a", "b"]]'``."""
+    try:
+        op = json.loads(text)
+    except ValueError as exc:
+        raise CliError(f"update op is not valid JSON: {text!r} ({exc})") from exc
+    if not isinstance(op, list):
+        raise CliError(f'update op must be a JSON array, got {text!r}')
+    return op
+
+
+def _run_client_action(client, args) -> int:
+    action = args.action
+    if action == "health":
+        print(json.dumps(client.health()))
+    elif action == "list":
+        for entry in client.databases():
+            print(
+                f"{entry['name']}: version {entry['version']}, "
+                f"{entry['tables']} table(s), {entry['views']} view(s)"
+            )
+    elif action == "create":
+        db = load_database_file(args.path)
+        created = client.create_database(args.name, database_to_json(db))
+        print(f"created {created['name']} at version {created['version']}")
+    elif action == "info":
+        print(json.dumps(client.database_info(args.name), indent=2))
+    elif action == "query":
+        query_text = _read_query_argument(args.query)
+        response = client.query(
+            args.name,
+            query_text,
+            ordering=args.ordering,
+            naive=args.naive,
+            use_views=args.use_views,
+            explain=args.explain,
+        )
+        _print_query_response(response, args.explain)
+    elif action == "update":
+        ops = [_parse_update_op(text) for text in args.op]
+        applied = client.update(args.name, *ops)
+        print(f"applied {applied['applied']} op(s), now at version {applied['version']}")
+    elif action == "view-define":
+        query_text = _read_query_argument(args.query)
+        view = client.define_view(args.name, query_text)
+        print(f"defined view {view['name']}/{view['arity']} ({view['rows']} rows)")
+    elif action == "view-list":
+        views = client.views(args.name)
+        if not views:
+            print(f"(no views registered for {args.name})")
+        for entry in views:
+            query = " ".join(entry.get("query", "").split())
+            print(f"{entry['name']}/{entry['arity']}: {entry['rows']} rows -- {query}")
+    elif action == "view-drop":
+        client.drop_view(args.name, args.view)
+        print(f"dropped view {args.view}")
+    elif action == "persist":
+        persisted = client.persist(args.name)
+        print(f"persisted to {persisted['persisted']}")
+    elif action == "drop":
+        client.drop_database(args.name)
+        print(f"dropped {args.name}")
+    else:  # pragma: no cover - argparse restricts choices
+        raise CliError(f"unknown client action {action!r}")
+    return EXIT_YES
+
+
+# ---------------------------------------------------------------------------
 # Parser / entry point
 # ---------------------------------------------------------------------------
 
@@ -678,6 +819,76 @@ def build_parser() -> argparse.ArgumentParser:
     vp.add_argument("database")
     vp.add_argument("name")
     vp.set_defaults(func=_cmd_view_drop)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve databases over HTTP/JSON with snapshot-isolated queries",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument(
+        "--port", type=int, default=8177, help="port (default 8177; 0 picks a free one)"
+    )
+    p.add_argument(
+        "--db",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="preload a database file under NAME (repeatable); its view "
+        "sidecar is loaded too",
+    )
+    p.add_argument(
+        "--ordering",
+        choices=("dp", "greedy"),
+        default="dp",
+        help="default join orderer for served queries (default dp)",
+    )
+    p.add_argument(
+        "--on-stale",
+        choices=("error", "refresh", "skip"),
+        default="error",
+        help="what to do when a preloaded view sidecar's digest does not "
+        "match the database file: refuse to start (default), re-materialize, "
+        "or drop the stale views",
+    )
+    p.add_argument("--verbose", action="store_true", help="log every request")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running repro serve process")
+    p.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8177")
+    csub = p.add_subparsers(dest="action", required=True)
+
+    cp = csub.add_parser("health", help="server liveness")
+    cp = csub.add_parser("list", help="list served databases")
+    cp = csub.add_parser("create", help="upload a database file under a name")
+    cp.add_argument("name")
+    cp.add_argument("path")
+    cp = csub.add_parser("info", help="database info (tables, views, version)")
+    cp.add_argument("name")
+    cp = csub.add_parser("query", help="evaluate a UCQ against a snapshot")
+    cp.add_argument("name")
+    cp.add_argument("query", help="rule file or literal rule text")
+    cp.add_argument("--ordering", choices=("dp", "greedy"), default=None)
+    cp.add_argument("--naive", action="store_true")
+    cp.add_argument("--use-views", action="store_true")
+    cp.add_argument("--explain", action="store_true")
+    cp = csub.add_parser(
+        "update", help="apply update ops, e.g. '[\"insert\", \"R\", [\"a\", \"b\"]]'"
+    )
+    cp.add_argument("name")
+    cp.add_argument("op", nargs="+", help="JSON-array op (repeatable, one batch)")
+    cp = csub.add_parser("view-define", help="define + materialize a server view")
+    cp.add_argument("name")
+    cp.add_argument("query")
+    cp = csub.add_parser("view-list", help="views of a served database")
+    cp.add_argument("name")
+    cp = csub.add_parser("view-drop", help="drop a server view")
+    cp.add_argument("name")
+    cp.add_argument("view")
+    cp = csub.add_parser("persist", help="write the database + sidecar back to disk")
+    cp.add_argument("name")
+    cp = csub.add_parser("drop", help="remove a database from the server")
+    cp.add_argument("name")
+    p.set_defaults(func=_cmd_client)
 
     return parser
 

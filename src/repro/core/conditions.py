@@ -24,6 +24,8 @@ further checking is needed.
 
 from __future__ import annotations
 
+import threading
+
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .terms import Constant, Term, TermLike, Variable, as_term
@@ -212,53 +214,57 @@ class _LRUCache:
     the first key is always the least recently *used* and :meth:`put`
     evicts it when the cache is full.  ``limit`` is mutable so tests (and
     embedders with different memory budgets) can resize a cache in place.
+
+    Every operation holds the cache's lock: the module-level caches are
+    shared by all threads of a process (the ``repro serve`` request
+    handlers in particular), and the delete-then-reinsert recency dance
+    would otherwise tear under interleaving — two hits on the same key
+    can both delete, one raises; a put racing an eviction can walk a
+    dict mutated mid-iteration.  Cached *values* are immutable condition
+    objects, so the lock only needs to cover the dict surgery.
     """
 
-    __slots__ = ("_data", "limit")
+    __slots__ = ("_data", "_lock", "limit")
 
     def __init__(self, limit: int = _CACHE_LIMIT) -> None:
         self._data: dict = {}
+        self._lock = threading.Lock()
         self.limit = limit
 
     def get(self, key, default=None):
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            return default
-        # Refresh recency.  Tolerate a concurrent eviction between the read
-        # and the delete: a cache lookup must never raise.
-        try:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                return default
+            # Refresh recency: move the key to the (most-recent) end.
             del self._data[key]
-        except KeyError:
-            pass
-        self._data[key] = value
-        return value
+            self._data[key] = value
+            return value
 
     def put(self, key, value) -> None:
-        data = self._data
-        if key in data:
-            try:
+        with self._lock:
+            data = self._data
+            if key in data:
                 del data[key]
-            except KeyError:  # pragma: no cover - concurrent eviction
-                pass
-        else:
-            # A loop (not a single eviction) so that lowering ``limit`` on a
-            # full cache shrinks it, and a non-positive limit cannot trip
-            # ``next`` on an empty dict.
-            while data and len(data) >= self.limit:
-                try:
+            else:
+                # A loop (not a single eviction) so that lowering ``limit``
+                # on a full cache shrinks it, and a non-positive limit
+                # cannot trip ``next`` on an empty dict.
+                while data and len(data) >= self.limit:
                     del data[next(iter(data))]
-                except (KeyError, RuntimeError):  # pragma: no cover - races
-                    break
-        data[key] = value
+            data[key] = value
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 #: Satisfiability verdicts keyed by a conjunction's canonical atom tuple.
@@ -274,6 +280,9 @@ _CONJOIN_CACHE = _LRUCache()
 _TRIVIALLY_FALSE_CACHE = _LRUCache()
 
 #: Hit/miss counters, one pair per cache (exposed for tests and tuning).
+#: Advisory only: increments are not synchronised, so a concurrent run may
+#: under-count — tolerable for tuning telemetry, and it keeps the hot
+#: lookup paths lock-free outside the cache's own dict surgery.
 _CACHE_STATS = {
     "sat_hits": 0,
     "sat_misses": 0,

@@ -420,6 +420,49 @@ class TableDatabase:
             self._extra_condition.substitute(mapping),
         )
 
+    # -- snapshots / copy-on-write ----------------------------------------------------
+
+    def replacing(self, *tables: CTable) -> "TableDatabase":
+        """A new database with the given member tables swapped in.
+
+        The copy-on-write primitive behind updates and the serving
+        layer's snapshot isolation: the result shares every unchanged
+        :class:`CTable` (and every :class:`Row` inside the replaced
+        ones) with this database, so producing a new version is O(number
+        of tables), not O(total rows).  Both versions are immutable and
+        stay valid forever — a reader holding the old database never
+        observes the change.  Each replacement must name an existing
+        member table.
+        """
+        replacements = {t.name: t for t in tables}
+        unknown = [name for name in replacements if name not in self._tables]
+        if unknown:
+            raise KeyError(f"no such table(s) to replace: {sorted(unknown)}")
+        merged = {
+            name: replacements.get(name, table) for name, table in self._tables.items()
+        }
+        out = TableDatabase.__new__(TableDatabase)
+        object.__setattr__(out, "_tables", merged)
+        object.__setattr__(out, "_extra_condition", self._extra_condition)
+        return out
+
+    def digest(self) -> str:
+        """A stable content digest of this database (sha256 hex).
+
+        Computed over the canonical JSON encoding, so two databases with
+        equal tables, row order and conditions share a digest across
+        processes and runs — the serving layer and the view sidecar
+        registry use it to detect divergence between an in-memory
+        database and its on-disk source.
+        """
+        import hashlib
+        import json
+
+        from ..io.jsonio import database_to_json
+
+        payload = json.dumps(database_to_json(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     # -- classification -----------------------------------------------------------------
 
     def classify(self) -> str:

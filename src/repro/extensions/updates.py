@@ -32,10 +32,15 @@ while untouched tables keep their cached statistics.  An optional
 after the update is validated and applied — so materialized views are
 maintained incrementally alongside the statistics invalidation; a
 raising update leaves both the store and the views untouched.
+Invalidation, view maintenance and store rebind happen inside one
+critical section under the store's lock, so a thread snapshotting the
+store concurrently can never observe the half-applied state between
+them (see :func:`_replace`).
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterable
 
 from ..core.conditions import (
@@ -156,15 +161,35 @@ def apply_update(db: TableDatabase, op, stats=None, views=None) -> TableDatabase
 
 
 def _replace(db: TableDatabase, table: CTable, stats, views=None, change=None) -> TableDatabase:
-    tables = [table if t.name == table.name else t for t in db.tables()]
-    updated = TableDatabase(tables, db.extra_condition())
-    if stats is not None:
-        stats.invalidate(table.name)
-        stats.rebind(updated)
-    if views is not None and change is not None:
-        kind, target = change
-        if kind == "insert":
-            views.notify_insert(table.name, target, updated)
-        else:
-            views.notify_delete(table.name, target, updated)
+    updated = db.replacing(table)
+    # Invalidation, view maintenance and rebind form ONE critical section
+    # under the stats store's lock: a concurrent reader snapshotting
+    # between the invalidation and the rebind would recollect the touched
+    # table from the *outgoing* database and poison the cache with
+    # statistics for a version that no longer exists.  The lock is
+    # reentrant and the view manager's own notifications re-acquire it
+    # (shared store) or its private store's lock (separate stores).
+    with _mutation_lock(stats, views):
+        if stats is not None:
+            stats.invalidate(table.name)
+            stats.rebind(updated)
+        if views is not None and change is not None:
+            kind, target = change
+            if kind == "insert":
+                views.notify_insert(table.name, target, updated)
+            else:
+                views.notify_delete(table.name, target, updated)
     return updated
+
+
+def _mutation_lock(stats, views):
+    """The lock covering a stats/view mutation, or a no-op stand-in.
+
+    Prefers the stats store's lock; falls back to the view manager's
+    (which is its own store's) when only views ride along.
+    """
+    if stats is not None:
+        return stats.lock
+    if views is not None:
+        return views.lock
+    return nullcontext()

@@ -61,6 +61,8 @@ a store so repeated queries amortise collection.
 
 from __future__ import annotations
 
+import threading
+
 from bisect import bisect_right
 from typing import Iterable, Mapping, Sequence
 
@@ -721,9 +723,17 @@ class StatsStore:
     ``table_collections`` counts per-table collection passes — the
     benchmarks use it to prove amortisation (N queries over a k-table
     database should show k collections, not N*k).
+
+    A store is safe to share across threads: every operation holds
+    :attr:`lock` (a reentrant lock, also exported so the update path can
+    make *invalidate → view maintenance → rebind* one critical section —
+    see :func:`repro.extensions.updates` — and readers can never snapshot
+    between the invalidation and the rebind, which would collect the
+    invalidated table from the outgoing database and poison the cache
+    with statistics for a version that no longer exists).
     """
 
-    __slots__ = ("_source", "_cache", "table_collections", "buckets", "mcv_limit")
+    __slots__ = ("_source", "_cache", "lock", "table_collections", "buckets", "mcv_limit")
 
     def __init__(
         self,
@@ -733,18 +743,25 @@ class StatsStore:
     ) -> None:
         self._source = source
         self._cache: dict[str, TableStats] = {}
+        #: Guards the cache and binding; reentrant so a holder can call
+        #: back into the store (snapshot inside an update's critical
+        #: section, view maintenance sharing the store, ...).
+        self.lock = threading.RLock()
         self.table_collections = 0
         self.buckets = int(buckets)
         self.mcv_limit = int(mcv_limit)
 
     def __repr__(self) -> str:
-        return f"StatsStore(cached={sorted(self._cache)})"
+        with self.lock:
+            return f"StatsStore(cached={sorted(self._cache)})"
 
     def __contains__(self, name: str) -> bool:
-        return name in self._cache
+        with self.lock:
+            return name in self._cache
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self.lock:
+            return len(self._cache)
 
     @property
     def source(self):
@@ -754,18 +771,23 @@ class StatsStore:
         """Point the store at a new version of the database.
 
         Cached per-table statistics are kept — pair with
-        :meth:`invalidate` for the relations that actually changed.
+        :meth:`invalidate` for the relations that actually changed, and
+        hold :attr:`lock` across the pair so no concurrent snapshot can
+        interleave between them.
         """
-        self._source = source
+        with self.lock:
+            self._source = source
 
     def invalidate(self, *names: str) -> None:
         """Drop the cached statistics of the named tables."""
-        for name in names:
-            self._cache.pop(name, None)
+        with self.lock:
+            for name in names:
+                self._cache.pop(name, None)
 
     def clear(self) -> None:
         """Drop every cached table (full recollection on next snapshot)."""
-        self._cache.clear()
+        with self.lock:
+            self._cache.clear()
 
     def snapshot(self, source=None) -> Statistics:
         """An immutable :class:`Statistics` snapshot of the bound source.
@@ -774,21 +796,22 @@ class StatsStore:
         arity-changed) ones.  Passing ``source`` rebinds the store first;
         with no source at all the snapshot contains whatever is cached.
         """
-        if source is not None:
-            self._source = source
-        if self._source is None:
-            return Statistics(dict(self._cache))
-        tables: dict[str, TableStats] = {}
-        for name, arity, rows, global_condition in _iter_source_tables(self._source):
-            cached = self._cache.get(name)
-            if cached is None or cached.arity != arity:
-                cached = TableStats.from_rows(
-                    name, arity, rows, global_condition, self.buckets, self.mcv_limit
-                )
-                self._cache[name] = cached
-                self.table_collections += 1
-            tables[name] = cached
-        return Statistics(tables)
+        with self.lock:
+            if source is not None:
+                self._source = source
+            if self._source is None:
+                return Statistics(dict(self._cache))
+            tables: dict[str, TableStats] = {}
+            for name, arity, rows, global_condition in _iter_source_tables(self._source):
+                cached = self._cache.get(name)
+                if cached is None or cached.arity != arity:
+                    cached = TableStats.from_rows(
+                        name, arity, rows, global_condition, self.buckets, self.mcv_limit
+                    )
+                    self._cache[name] = cached
+                    self.table_collections += 1
+                tables[name] = cached
+            return Statistics(tables)
 
 
 def resolve_stats(stats, source=None) -> "Statistics | None":

@@ -1,0 +1,303 @@
+"""The HTTP/JSON front door of ``repro serve``.
+
+A deliberately dependency-free serving layer: stdlib
+:class:`~http.server.ThreadingHTTPServer` (one thread per in-flight
+request) over the :class:`~repro.server.registry.SessionRegistry`.
+Handlers never touch shared mutable state outside a session's public
+API, so the concurrency story is exactly the session's: reads are
+lock-free over published snapshots, writes serialize on the per-database
+write lock.
+
+Routes (all bodies and responses JSON)::
+
+    GET    /health                         liveness + database count
+    GET    /dbs                            list databases (name, version, ...)
+    POST   /dbs/{db}                       create: body {"database": <db json>}
+    GET    /dbs/{db}                       info (tables, views, version)
+    DELETE /dbs/{db}                       drop the database
+    GET    /dbs/{db}/database              full database JSON + version
+    POST   /dbs/{db}/query                 {"query": "V(X) :- R(X, Y).",
+                                            "ordering"?, "naive"?,
+                                            "use_views"?, "explain"?}
+    POST   /dbs/{db}/update                {"op": [...]} or {"ops": [[...], ...]}
+                                           ops: ["insert", rel, fact],
+                                           ["delete", rel, fact],
+                                           ["modify", rel, old, new]
+    GET    /dbs/{db}/views                 registered views
+    POST   /dbs/{db}/views                 {"query": "V(X) :- R(X, Y)."}
+    DELETE /dbs/{db}/views/{view}          drop a view
+    POST   /dbs/{db}/persist               write db + view sidecar back to disk
+
+Errors are ``{"error": message}`` with 400 (bad request), 404 (unknown
+database/view) or 409 (conflict: duplicate database, stale sidecar).
+Every query response carries the ``version`` it was evaluated against —
+the update-stream prefix the snapshot-isolation invariant refers to.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import threading
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..io.jsonio import database_from_json, database_to_json, table_to_json
+from .registry import SessionRegistry
+from .session import SessionError
+
+__all__ = ["ReproServer", "make_server", "run_server"]
+
+#: Largest accepted request body (a whole database as JSON can be big,
+#: but a bound keeps a stray client from ballooning the process).
+MAX_BODY = 64 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_ROUTES = [
+    (re.compile(r"^/health$"), "health"),
+    (re.compile(r"^/dbs$"), "dbs"),
+    (re.compile(r"^/dbs/(?P<db>[^/]+)$"), "db"),
+    (re.compile(r"^/dbs/(?P<db>[^/]+)/database$"), "database"),
+    (re.compile(r"^/dbs/(?P<db>[^/]+)/query$"), "query"),
+    (re.compile(r"^/dbs/(?P<db>[^/]+)/update$"), "update"),
+    (re.compile(r"^/dbs/(?P<db>[^/]+)/views$"), "views"),
+    (re.compile(r"^/dbs/(?P<db>[^/]+)/views/(?P<view>[^/]+)$"), "view"),
+    (re.compile(r"^/dbs/(?P<db>[^/]+)/persist$"), "persist"),
+]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def registry(self) -> SessionRegistry:
+        return self.server.registry
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            sys.stderr.write(
+                "repro-serve: %s - %s\n" % (self.address_string(), format % args)
+            )
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            raise _HttpError(400, f"request body over {MAX_BODY} bytes")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            raise _HttpError(400, f"malformed JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return data
+
+    def _reply(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        for pattern, route in _ROUTES:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            handler = getattr(self, f"_{method}_{route}", None)
+            if handler is None:
+                raise _HttpError(405, f"{method.upper()} not supported on {path}")
+            handler(**match.groupdict())
+            return
+        raise _HttpError(404, f"no such route: {path}")
+
+    def _run(self, method: str) -> None:
+        try:
+            self._dispatch(method)
+        except _HttpError as exc:
+            self._reply({"error": str(exc)}, exc.status)
+        except SessionError as exc:
+            message = str(exc)
+            status = 404 if message.startswith("no database named") else 400
+            if "already exists" in message:
+                status = 409
+            self._reply({"error": message}, status)
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._reply({"error": f"internal error: {exc}"}, 500)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._run("get")
+
+    def do_POST(self):  # noqa: N802
+        self._run("post")
+
+    def do_DELETE(self):  # noqa: N802
+        self._run("delete")
+
+    # -- routes --------------------------------------------------------------
+
+    def _get_health(self):
+        self._reply({"ok": True, "databases": len(self.registry)})
+
+    def _get_dbs(self):
+        self._reply(
+            {
+                "databases": [
+                    {
+                        "name": session.name,
+                        "version": session.version,
+                        "tables": len(session.snapshot().db),
+                        "views": len(session.snapshot().views),
+                    }
+                    for session in self.registry.sessions()
+                ]
+            }
+        )
+
+    def _post_db(self, db: str):
+        body = self._body()
+        payload = body.get("database")
+        if payload is None:
+            raise _HttpError(400, 'create needs a {"database": <database json>} body')
+        try:
+            database = database_from_json(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad database payload: {exc}") from exc
+        session = self.registry.add(db, database)
+        self._reply({"name": db, "version": session.version}, 201)
+
+    def _get_db(self, db: str):
+        self._reply(self.registry.get(db).info())
+
+    def _delete_db(self, db: str):
+        self.registry.drop(db)
+        self._reply({"dropped": db})
+
+    def _get_database(self, db: str):
+        snap = self.registry.get(db).snapshot()
+        self._reply({"version": snap.version, "database": database_to_json(snap.db)})
+
+    def _post_query(self, db: str):
+        body = self._body()
+        query_text = body.get("query")
+        if not isinstance(query_text, str) or not query_text.strip():
+            raise _HttpError(400, 'query needs a {"query": "V(X) :- R(X, Y)."} body')
+        ordering = body.get("ordering")
+        if ordering not in (None, "dp", "greedy"):
+            raise _HttpError(400, f"unknown ordering {ordering!r}")
+        result = self.registry.get(db).query(
+            query_text,
+            ordering=ordering,
+            naive=bool(body.get("naive", False)),
+            use_views=bool(body.get("use_views", False)),
+            explain=bool(body.get("explain", False)),
+        )
+        payload = {
+            "version": result.version,
+            "rows": len(result.table),
+            "classification": result.table.classify(),
+            "table": table_to_json(result.table),
+        }
+        if result.answered_by_view is not None:
+            payload["answered_by_view"] = result.answered_by_view
+        if result.explain is not None:
+            payload["explain"] = result.explain
+        self._reply(payload)
+
+    def _post_update(self, db: str):
+        body = self._body()
+        if "ops" in body:
+            ops = body["ops"]
+            if not isinstance(ops, list):
+                raise _HttpError(400, '"ops" must be a list of operations')
+        elif "op" in body:
+            ops = [body["op"]]
+        else:
+            raise _HttpError(400, 'update needs an {"op": [...]} or {"ops": [[...]]} body')
+        version = self.registry.get(db).apply(ops)
+        self._reply({"version": version, "applied": len(ops)})
+
+    def _get_views(self, db: str):
+        self._reply({"views": self.registry.get(db).info()["views"]})
+
+    def _post_views(self, db: str):
+        body = self._body()
+        query_text = body.get("query")
+        if not isinstance(query_text, str) or not query_text.strip():
+            raise _HttpError(400, 'view define needs a {"query": "..."} body')
+        session = self.registry.get(db)
+        table = session.define_view(query_text)
+        self._reply(
+            {
+                "name": table.name,
+                "arity": table.arity,
+                "rows": len(table),
+                "version": session.version,
+            },
+            201,
+        )
+
+    def _delete_view(self, db: str, view: str):
+        self.registry.get(db).drop_view(view)
+        self._reply({"dropped": view})
+
+    def _post_persist(self, db: str):
+        path = self.registry.get(db).persist()
+        self._reply({"persisted": path})
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to a session registry.
+
+    ``daemon_threads`` so in-flight request threads never block process
+    exit; ``block_on_close=False`` keeps shutdown prompt in tests.
+    """
+
+    daemon_threads = True
+    block_on_close = False
+
+    def __init__(self, address, registry: SessionRegistry, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.registry = registry
+        self.verbose = verbose
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: "SessionRegistry | None" = None,
+    verbose: bool = False,
+) -> ReproServer:
+    """Build (but don't start) a server; ``port=0`` picks a free port."""
+    return ReproServer((host, port), registry or SessionRegistry(), verbose=verbose)
+
+
+def run_server(server: ReproServer) -> None:
+    """Serve forever in the calling thread (KeyboardInterrupt stops it)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+
+
+def start_in_thread(server: ReproServer) -> threading.Thread:
+    """Serve from a daemon thread (tests and embedders); returns it."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,391 @@
+"""One served database: a write-locked session handing out immutable snapshots.
+
+The concurrency design exploits what the paper already gives us: the
+c-table algebra is a *closed representation system*, so a query over a
+fixed ``TableDatabase`` is well-defined no matter what happens to other
+versions of that database — and the core value types (:class:`Row`,
+:class:`CTable`, :class:`TableDatabase`) are immutable, so "fixing" a
+database is just holding a reference.  A :class:`DatabaseSession`
+therefore needs only two disciplines:
+
+* **one writer at a time** — mutations run under the session's write
+  lock, flowing through :func:`repro.extensions.updates.apply_update`
+  with the session's shared :class:`~repro.relational.stats.StatsStore`
+  and :class:`~repro.views.ViewManager` attached (each update is
+  copy-on-write: :meth:`TableDatabase.replacing` shares every untouched
+  c-table with the previous version);
+* **publish-then-read** — after every update the writer *publishes* a
+  new :class:`Snapshot`: the database version, an immutable
+  :class:`~repro.relational.stats.Statistics` cut (recollected only for
+  the touched table, via the store), and an immutable cut of every view
+  materialization.  Readers grab the published snapshot in one atomic
+  reference read and never touch mutable state again — no read lock, no
+  torn statistics, no half-maintained views, and a query that started
+  before an update finishes against exactly the version it started on.
+
+The snapshot-isolation invariant (enforced by the concurrent stress
+tests and ``benchmarks/bench_server_throughput.py``): every response is
+``strong_canonicalize``-equal to evaluating the query against the
+database produced by *some prefix* of the update stream — namely the
+prefix of length ``snapshot.version``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from typing import Sequence
+
+from ..core.tables import CTable, TableDatabase
+from ..ctalgebra.evaluate import evaluate_ct, evaluate_ct_ordered
+from ..extensions.updates import apply_update
+from ..relational.stats import Statistics, StatsStore
+from ..views import ViewManager
+
+__all__ = ["SessionError", "Snapshot", "QueryResult", "DatabaseSession"]
+
+#: The update-op kinds a session accepts, with their payload arity.
+_OP_SHAPES = {"insert": 3, "delete": 3, "modify": 4}
+
+
+class SessionError(ValueError):
+    """A user-level session error: bad query, bad op, unknown view."""
+
+
+class Snapshot:
+    """An immutable view of a served database at one version.
+
+    ``db`` is the c-table database, ``stats`` the matching
+    :class:`Statistics` cut (what the planner costs against), ``views``
+    the matching view materializations as ``(name, query_text,
+    source_fingerprint, table)`` tuples.  Everything reachable from a
+    snapshot is immutable, so it may be read from any thread, forever;
+    holding an old snapshot simply pins that version's structurally
+    shared tables in memory.
+    """
+
+    __slots__ = ("name", "version", "db", "stats", "views")
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        db: TableDatabase,
+        stats: Statistics,
+        views: tuple,
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "version", version)
+        object.__setattr__(self, "db", db)
+        object.__setattr__(self, "stats", stats)
+        object.__setattr__(self, "views", views)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Snapshot is immutable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot({self.name!r}, version={self.version}, "
+            f"tables={len(self.db)}, views={len(self.views)})"
+        )
+
+    def view_table(self, name: str) -> CTable:
+        """The materialization of a view in this snapshot."""
+        for view_name, _query, _fingerprint, table in self.views:
+            if view_name == name:
+                return table
+        raise SessionError(f"no view named {name!r}")
+
+
+class QueryResult:
+    """What one query evaluation returned: the result table, the version
+    it was evaluated against, and how it was answered."""
+
+    __slots__ = ("table", "version", "answered_by_view", "explain")
+
+    def __init__(self, table, version, answered_by_view=None, explain=None) -> None:
+        self.table = table
+        self.version = version
+        self.answered_by_view = answered_by_view
+        self.explain = explain
+
+
+class DatabaseSession:
+    """A named database served to concurrent readers and writers.
+
+    Lock discipline (see the module docstring): ``_write_lock``
+    serializes mutations (updates, view define/drop/refresh, persist);
+    the stats store's own lock — shared with the view manager — makes
+    each update's *invalidate → maintain views → rebind* atomic against
+    statistics readers; and readers take **no** lock at all: they read
+    the ``_snapshot`` reference once (a single atomic reference load)
+    and work on immutable data from then on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        db: TableDatabase,
+        ordering: str = "dp",
+        source_path: "str | None" = None,
+        source_format: str = "json",
+    ) -> None:
+        self.name = name
+        self.source_path = source_path
+        self.source_format = source_format
+        self._ordering = ordering
+        self._write_lock = threading.RLock()
+        self._store = StatsStore(db)
+        self._views = ViewManager(db, stats=self._store, ordering=ordering)
+        self._snapshot: Snapshot | None = None
+        self._publish(db, 0)
+
+    def __repr__(self) -> str:
+        snap = self._snapshot
+        return f"DatabaseSession({self.name!r}, version={snap.version})"
+
+    # -- snapshots -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    @property
+    def store(self) -> StatsStore:
+        return self._store
+
+    @property
+    def views(self) -> ViewManager:
+        return self._views
+
+    def snapshot(self) -> Snapshot:
+        """The current published snapshot — an atomic reference read."""
+        return self._snapshot
+
+    def _publish(self, db: TableDatabase, version: int) -> Snapshot:
+        """Build and publish the snapshot for a new version.
+
+        Called with the write lock held (or from ``__init__``).  The
+        store recollects only invalidated tables, and the view cut is
+        O(number of views); the reference swap at the end is the single
+        point where readers move to the new version.
+        """
+        stats = self._store.snapshot(db)
+        views = self._views.materializations()
+        snapshot = Snapshot(self.name, version, db, stats, views)
+        self._snapshot = snapshot
+        return snapshot
+
+    # -- reads ---------------------------------------------------------------
+
+    def query(
+        self,
+        query_text: str,
+        ordering: "str | None" = None,
+        naive: bool = False,
+        use_views: bool = False,
+        explain: bool = False,
+    ) -> QueryResult:
+        """Evaluate a UCQ over the current snapshot.
+
+        Entirely lock-free: planning and evaluation run against the
+        snapshot's database and statistics, so a concurrent writer can
+        publish any number of new versions mid-query without this
+        reader observing them.
+        """
+        name, expression = self._compile(query_text)
+        snap = self._snapshot
+        if use_views:
+            from ..relational.planner import plan_fingerprint
+
+            wanted = plan_fingerprint(expression)
+            for view_name, _query, fingerprint, table in snap.views:
+                if fingerprint == wanted:
+                    result = CTable(name, table.arity, table.rows, table.global_condition)
+                    return QueryResult(result, snap.version, answered_by_view=view_name)
+        explain_lines: "list[str] | None" = [] if explain and not naive else None
+        try:
+            if naive:
+                table = evaluate_ct(expression, snap.db, name=name)
+            else:
+                table = evaluate_ct_ordered(
+                    expression,
+                    snap.db,
+                    name=name,
+                    stats=snap.stats,
+                    explain=explain_lines,
+                    ordering=ordering or self._ordering,
+                )
+        except KeyError as exc:
+            raise SessionError(f"evaluation: unknown relation {exc}") from exc
+        except ValueError as exc:
+            raise SessionError(f"evaluation: {exc}") from exc
+        return QueryResult(table, snap.version, explain=explain_lines)
+
+    @staticmethod
+    def _compile(query_text: str):
+        from ..relational.parser import ParseError, parse_query
+        from ..relational.planner import PlanError, ra_of_ucq
+
+        try:
+            query = parse_query(query_text)
+            return query.rules[0].head.pred, ra_of_ucq(query)
+        except (ParseError, PlanError, ValueError) as exc:
+            raise SessionError(f"query: {exc}") from exc
+
+    # -- writes --------------------------------------------------------------
+
+    def apply(self, ops: Sequence) -> int:
+        """Apply update-stream operations; returns the new version.
+
+        Each op is ``["insert", rel, fact]``, ``["delete", rel, fact]``
+        or ``["modify", rel, old, new]``.  Ops are applied and published
+        one at a time (each op is validated before any state changes, so
+        an op either fully applies or fully doesn't); a failing op in a
+        batch raises after the earlier ops have already been published —
+        batches are a convenience, not a transaction.
+        """
+        ops = [self._check_op(op) for op in ops]
+        with self._write_lock:
+            snap = self._snapshot
+            db = snap.db
+            version = snap.version
+            for op in ops:
+                try:
+                    db = apply_update(db, op, stats=self._store, views=self._views)
+                except KeyError as exc:
+                    raise SessionError(f"update: unknown relation {exc}") from exc
+                except ValueError as exc:
+                    raise SessionError(f"update: {exc}") from exc
+                version += 1
+                self._publish(db, version)
+            return version
+
+    @staticmethod
+    def _check_op(op) -> tuple:
+        if not isinstance(op, (list, tuple)) or not op:
+            raise SessionError(f"update: not an operation: {op!r}")
+        kind = op[0]
+        expected = _OP_SHAPES.get(kind)
+        if expected is None:
+            raise SessionError(f"update: unknown operation kind {kind!r}")
+        if len(op) != expected:
+            raise SessionError(
+                f"update: {kind!r} takes {expected - 1} argument(s), got {len(op) - 1}"
+            )
+        for fact in op[2:]:
+            if not isinstance(fact, (list, tuple)):
+                raise SessionError(f"update: fact must be a list of values: {fact!r}")
+        return tuple(op)
+
+    # -- views ---------------------------------------------------------------
+
+    def define_view(self, query_text: str) -> CTable:
+        """Register and materialize a view named by the rule head."""
+        from ..relational.parser import ParseError, parse_query
+        from ..views import ViewError
+
+        try:
+            name = parse_query(query_text).rules[0].head.pred
+        except (ParseError, ValueError) as exc:
+            raise SessionError(f"view: {exc}") from exc
+        with self._write_lock:
+            try:
+                self._views.define(name, query_text)
+            except KeyError as exc:
+                raise SessionError(f"view: unknown relation {exc}") from exc
+            except (ViewError, ValueError) as exc:
+                raise SessionError(f"view: {exc}") from exc
+            snap = self._publish(self._snapshot.db, self._snapshot.version)
+            return snap.view_table(name)
+
+    def drop_view(self, name: str) -> None:
+        from ..views import ViewError
+
+        with self._write_lock:
+            try:
+                self._views.drop(name)
+            except ViewError as exc:
+                raise SessionError(str(exc)) from exc
+            self._publish(self._snapshot.db, self._snapshot.version)
+
+    def adopt_views(self, registry: dict, digest: "str | None", on_stale: str = "error"):
+        """Load a sidecar view registry into this session.
+
+        Delegates to :func:`repro.views.persist.manager_from_registry`
+        (re-materializing every stored view over the current database;
+        digest mismatches follow ``on_stale``) and republishes.  Returns
+        the stale view names for the caller to report.
+        """
+        from ..views.persist import manager_from_registry
+
+        with self._write_lock:
+            snap = self._snapshot
+            manager, stale = manager_from_registry(
+                registry, snap.db, digest, on_stale=on_stale, stats=self._store
+            )
+            self._views = manager
+            self._publish(snap.db, snap.version)
+            return stale
+
+    # -- persistence ---------------------------------------------------------
+
+    def persist(self) -> str:
+        """Write the current database and view sidecar back to disk.
+
+        Only for file-backed sessions.  The database file is rewritten
+        in its original notation (text or JSON), then the view registry
+        sidecar is stamped with the new file's digest — afterwards the
+        file, the sidecar and this session agree, and `repro view
+        list`/`repro eval --use-views` against the file see exactly the
+        served state.  Returns the path written.
+        """
+        if self.source_path is None:
+            raise SessionError(
+                f"database {self.name!r} is not file-backed; nothing to persist to"
+            )
+        from ..io.jsonio import json_dumps
+        from ..io.text import dumps_database
+        from ..views.persist import file_digest, manager_to_registry, save_registry
+
+        with self._write_lock:
+            snap = self._snapshot
+            if self.source_format == "text":
+                payload = dumps_database(snap.db)
+            else:
+                payload = json_dumps(snap.db) + "\n"
+            try:
+                with open(self.source_path, "w", encoding="utf-8") as fp:
+                    fp.write(payload)
+            except OSError as exc:
+                raise SessionError(
+                    f"cannot write {self.source_path}: {exc.strerror or exc}"
+                ) from exc
+            digest = file_digest(self.source_path)
+            save_registry(self.source_path, manager_to_registry(self._views, digest))
+            return self.source_path
+
+    # -- introspection -------------------------------------------------------
+
+    def info(self) -> dict:
+        """A JSON-ready description of the session's current snapshot."""
+        snap = self._snapshot
+        return {
+            "name": self.name,
+            "version": snap.version,
+            "source": self.source_path,
+            "classification": snap.db.classify(),
+            "tables": [
+                {"name": t.name, "arity": t.arity, "rows": len(t)}
+                for t in snap.db
+            ],
+            "views": [
+                {
+                    "name": view_name,
+                    "query": query_text,
+                    "arity": table.arity,
+                    "rows": len(table),
+                }
+                for view_name, query_text, _fingerprint, table in snap.views
+            ],
+        }

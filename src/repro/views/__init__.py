@@ -11,8 +11,30 @@ propagate through cached plan trees via the rules in
 difference's right side) trigger targeted recomputation of just the
 affected subtree.  See :mod:`repro.views.manager` for the full contract
 and ``docs/architecture.md`` for the lifecycle.
+
+:mod:`repro.views.persist` is the sidecar registry shared by the CLI
+(``repro view ...``) and the server (``repro serve``): one on-disk
+format, loaded and saved through one module, with digest mismatches an
+explicit :class:`StaleViewRegistryError` rather than a stale read.
 """
 
 from .manager import ViewError, ViewManager
+from .persist import (
+    RegistryFormatError,
+    StaleViewRegistryError,
+    load_registry,
+    manager_from_registry,
+    manager_to_registry,
+    save_registry,
+)
 
-__all__ = ["ViewManager", "ViewError"]
+__all__ = [
+    "ViewManager",
+    "ViewError",
+    "RegistryFormatError",
+    "StaleViewRegistryError",
+    "load_registry",
+    "save_registry",
+    "manager_to_registry",
+    "manager_from_registry",
+]

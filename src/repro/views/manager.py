@@ -170,6 +170,12 @@ class ViewManager:
     def __init__(self, db: TableDatabase, stats: StatsStore | None = None, ordering: str = "dp") -> None:
         self._db = db
         self._store = stats if stats is not None else StatsStore(db)
+        #: The manager's critical-section lock — the stats store's
+        #: reentrant lock, shared so *invalidate stats → maintain views →
+        #: rebind store* is one atomic step from any concurrent reader's
+        #: point of view (see :mod:`repro.extensions.updates`).  Every
+        #: public entry point below acquires it.
+        self.lock = self._store.lock
         self._ordering = ordering
         self._views: dict[str, _View] = {}
         self._nodes: dict[str, _PlanNode] = {}
@@ -213,51 +219,74 @@ class ViewManager:
         in the ``repro eval`` syntax, compiled via
         :func:`~repro.relational.planner.ra_of_ucq`).
         """
-        if name in self._views:
-            raise ViewError(f"view {name!r} is already defined (drop it first)")
-        query_text = None
-        if isinstance(query, str):
-            query_text = query
-            source = self._compile(query)
-        else:
-            source = query
-        snapshot = self._store.snapshot(self._db)
-        planned = plan(source, stats=snapshot, ordering=self._ordering)
-        # Transactional: a failure while materializing (unknown relation,
-        # arity mismatch) must not leave freshly-interned, partially
-        # cached nodes behind — no view would own them, so notifications
-        # would never maintain them and a later define() sharing a
-        # fingerprint would silently reuse the stale cache.
-        nodes_before = dict(self._nodes)
-        root = self._intern(planned)
-        try:
-            self._materialize(root)
-        except Exception:
-            self._nodes = nodes_before
-            raise
-        view = _View(name, query_text, source, planned, root)
-        self._views[name] = view
-        return self.get(name)
+        with self.lock:
+            if name in self._views:
+                raise ViewError(f"view {name!r} is already defined (drop it first)")
+            query_text = None
+            if isinstance(query, str):
+                query_text = query
+                source = self._compile(query)
+            else:
+                source = query
+            snapshot = self._store.snapshot(self._db)
+            planned = plan(source, stats=snapshot, ordering=self._ordering)
+            # Transactional: a failure while materializing (unknown relation,
+            # arity mismatch) must not leave freshly-interned, partially
+            # cached nodes behind — no view would own them, so notifications
+            # would never maintain them and a later define() sharing a
+            # fingerprint would silently reuse the stale cache.
+            nodes_before = dict(self._nodes)
+            root = self._intern(planned)
+            try:
+                self._materialize(root)
+            except Exception:
+                self._nodes = nodes_before
+                raise
+            view = _View(name, query_text, source, planned, root)
+            self._views[name] = view
+            return self.get(name)
 
     def drop(self, name: str) -> None:
         """Forget a view; subplan caches no other view uses are released."""
-        if name not in self._views:
-            raise ViewError(f"no view named {name!r}")
-        del self._views[name]
-        live: dict[str, _PlanNode] = {}
-        for view in self._views.values():
-            live.update(self._collect(view.root))
-        self._nodes = live
+        with self.lock:
+            if name not in self._views:
+                raise ViewError(f"no view named {name!r}")
+            del self._views[name]
+            live: dict[str, _PlanNode] = {}
+            for view in self._views.values():
+                live.update(self._collect(view.root))
+            self._nodes = live
 
     def get(self, name: str) -> CTable:
         """The current materialization of a view, as a c-table bearing the
         view's name.  O(1): the cached rows are already validated and
         deduplicated, so this is a rename, not a copy."""
-        view = self._view(name)
-        cache = view.root.cache
-        return CTable._trusted(
-            view.name, cache.arity, cache.rows, cache.global_condition
-        )
+        with self.lock:
+            view = self._view(name)
+            cache = view.root.cache
+            return CTable._trusted(
+                view.name, cache.arity, cache.rows, cache.global_condition
+            )
+
+    def query_text(self, name: str) -> "str | None":
+        """The rule text a view was registered from (``None`` when the
+        view was registered as a programmatic expression)."""
+        return self._view(name).query_text
+
+    def materializations(self) -> tuple:
+        """Every view as ``(name, query_text, source_fingerprint, table)``.
+
+        One consistent cut across all views, taken under :attr:`lock` —
+        the serving layer publishes this alongside each database version
+        so a reader's snapshot can answer ``--use-views`` queries without
+        ever touching the (mutable) manager again.  The tables are the
+        O(1) renamed caches of :meth:`get`.
+        """
+        with self.lock:
+            return tuple(
+                (view.name, view.query_text, view.source_fingerprint, self.get(name))
+                for name, view in self._views.items()
+            )
 
     def relations(self, name: str) -> frozenset:
         """The base relations a view reads (its dependency set)."""
@@ -277,11 +306,12 @@ class ViewManager:
         materialization is the expression's value over the current
         database.
         """
-        fingerprint = plan_fingerprint(expression)
-        for name, view in self._views.items():
-            if view.source_fingerprint == fingerprint:
-                return name, self.get(name)
-        return None
+        with self.lock:
+            fingerprint = plan_fingerprint(expression)
+            for name, view in self._views.items():
+                if view.source_fingerprint == fingerprint:
+                    return name, self.get(name)
+            return None
 
     def refresh(self, name: str | None = None, db: TableDatabase | None = None) -> None:
         """Recompute one view (or all) from the current database.
@@ -294,19 +324,20 @@ class ViewManager:
         ``name`` cannot be combined: refreshing one view against a new
         database would leave the others permanently inconsistent.
         """
-        if db is not None:
-            if name is not None:
-                raise ViewError(
-                    "refresh(name=..., db=...) would leave every other view "
-                    "stale against the new database; rebind with db= alone"
-                )
-            self._db = db
-            self._store.clear()
-            self._store.rebind(db)
-        self._epoch += 1
-        views = [self._view(name)] if name is not None else list(self._views.values())
-        for view in views:
-            self._refresh_walk(view.root)
+        with self.lock:
+            if db is not None:
+                if name is not None:
+                    raise ViewError(
+                        "refresh(name=..., db=...) would leave every other view "
+                        "stale against the new database; rebind with db= alone"
+                    )
+                self._db = db
+                self._store.clear()
+                self._store.rebind(db)
+            self._epoch += 1
+            views = [self._view(name)] if name is not None else list(self._views.values())
+            for view in views:
+                self._refresh_walk(view.root)
 
     # -- mutation notifications ----------------------------------------------
 
@@ -314,14 +345,15 @@ class ViewManager:
         """A ground fact was inserted into ``relation``; ``db`` is the
         updated database.  Dependent views are maintained by delta rules,
         falling back to targeted recomputation under difference."""
-        affected = self._begin(relation, db, "insert into")
-        if not affected:
-            return
-        row = Row(tuple(as_constant(v) for v in fact))
-        before = dict(self.counters)
-        for view in affected:
-            self._insert_walk(view.root, relation, row)
-        self._log_delta(relation, "insert into", affected, before)
+        with self.lock:
+            affected = self._begin(relation, db, "insert into")
+            if not affected:
+                return
+            row = Row(tuple(as_constant(v) for v in fact))
+            before = dict(self.counters)
+            for view in affected:
+                self._insert_walk(view.root, relation, row)
+            self._log_delta(relation, "insert into", affected, before)
 
     def notify_delete(self, relation: str, fact: Iterable, db: TableDatabase) -> None:
         """A ground fact was deleted from ``relation``.  Pure row
@@ -329,36 +361,39 @@ class ViewManager:
         deletions (the fact unified with a null) recompute dependent
         subtrees against cached siblings — targeted, never the whole
         tree when any subtree avoids the relation."""
-        affected = self._begin(relation, db, "delete from")
-        if not affected:
-            return
-        before = dict(self.counters)
-        for view in affected:
-            self._delete_walk(view.root, relation)
-        removed = self.counters["removed_rows"] - before["removed_rows"]
-        recomputed = self.counters["recomputed_nodes"] - before["recomputed_nodes"]
-        line = f"delete from {relation}: {len(affected)} view(s), -{removed} row(s)"
-        if recomputed:
-            # Only priced when something recomputed: collect the distinct
-            # nodes of every affected tree (shared ones once) and report
-            # how many kept their caches.
-            nodes: dict[str, _PlanNode] = {}
+        with self.lock:
+            affected = self._begin(relation, db, "delete from")
+            if not affected:
+                return
+            before = dict(self.counters)
             for view in affected:
-                nodes.update(self._collect(view.root))
-            line += (
-                f", {recomputed} node(s) recomputed, "
-                f"{max(len(nodes) - recomputed, 0)} cached subplan(s) reused"
-            )
-        self._log(line)
+                self._delete_walk(view.root, relation)
+            removed = self.counters["removed_rows"] - before["removed_rows"]
+            recomputed = self.counters["recomputed_nodes"] - before["recomputed_nodes"]
+            line = f"delete from {relation}: {len(affected)} view(s), -{removed} row(s)"
+            if recomputed:
+                # Only priced when something recomputed: collect the distinct
+                # nodes of every affected tree (shared ones once) and report
+                # how many kept their caches.
+                nodes: dict[str, _PlanNode] = {}
+                for view in affected:
+                    nodes.update(self._collect(view.root))
+                line += (
+                    f", {recomputed} node(s) recomputed, "
+                    f"{max(len(nodes) - recomputed, 0)} cached subplan(s) reused"
+                )
+            self._log(line)
 
     def notify_modify(
         self, relation: str, old: Iterable, new: Iterable, db: TableDatabase
     ) -> None:
         """A fact was modified.  The update path implements modify as
         delete-then-insert and notifies each half separately; this entry
-        point exists for callers applying a modification atomically."""
-        self.notify_delete(relation, old, db)
-        self.notify_insert(relation, new, db)
+        point exists for callers applying a modification atomically (both
+        halves run under one acquisition of :attr:`lock`)."""
+        with self.lock:
+            self.notify_delete(relation, old, db)
+            self.notify_insert(relation, new, db)
 
     # -- internals -----------------------------------------------------------
 

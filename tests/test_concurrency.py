@@ -1,0 +1,410 @@
+"""Concurrency tests: shared-mutable-state regressions and snapshot isolation.
+
+Three families:
+
+* hammer tests for the module-level LRU condition caches
+  (``repro.core.conditions``), which used to be bare dicts with a
+  check-then-act eviction race;
+* a regression test pinning the *invalidate → rebind* critical section
+  of :class:`~repro.relational.stats.StatsStore` (a reader snapshotting
+  between the two used to recollect the touched table from the outgoing
+  database and poison the cache);
+* reader/writer stress over :class:`~repro.server.session.DatabaseSession`
+  asserting the snapshot-isolation invariant — every response equals
+  evaluating the query against the database produced by the
+  update-stream prefix of length ``response.version`` — with no
+  mid-mutation exceptions, for ground workloads (row-set equality) and
+  a non-ground c-table workload (``strong_canonicalize`` world-set
+  equality).
+
+The thread counts and iteration counts are sized for CI: enough to make
+the old races fail reliably (verified against the unlocked
+implementations), small enough to finish in seconds.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.conditions import (
+    _LRUCache,
+    conjoin,
+    intern_conjunction,
+    parse_conjunction,
+)
+from repro.core.tables import CTable, TableDatabase, c_table, codd_table
+from repro.core.worlds import enumerate_worlds, strong_canonicalize
+from repro.ctalgebra.evaluate import evaluate_ct
+from repro.extensions.updates import insert_fact
+from repro.relational.parser import parse_query
+from repro.relational.planner import ra_of_ucq
+from repro.relational.stats import StatsStore
+from repro.server import DatabaseSession
+
+
+def run_threads(workers, timeout=60.0):
+    """Run the worker callables to completion, re-raising their errors."""
+    errors = []
+
+    def wrap(fn):
+        try:
+            fn()
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(fn,)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        assert not t.is_alive(), "worker thread hung (deadlock?)"
+    if errors:
+        raise errors[0]
+
+
+def row_values(table):
+    return {tuple(t.value for t in row.terms) for row in table.rows}
+
+
+# ---------------------------------------------------------------------------
+# The condition caches
+# ---------------------------------------------------------------------------
+
+
+class TestLRUCacheHammer:
+    def test_concurrent_put_get_evict(self):
+        # Small limit so every thread constantly crosses the eviction
+        # path; the old dict-based cache raised KeyError/RuntimeError
+        # here (concurrent del of the same key, dict resize mid-iteration).
+        cache = _LRUCache(limit=32)
+
+        def worker(seed):
+            rng = random.Random(seed)
+
+            def go():
+                for i in range(3000):
+                    key = rng.randrange(100)
+                    if rng.random() < 0.5:
+                        cache.put(key, key * 2)
+                    else:
+                        value = cache.get(key)
+                        assert value is None or value == key * 2
+                    if i % 500 == 0:
+                        assert len(cache) <= 32
+
+            return go
+
+        run_threads([worker(s) for s in range(8)])
+        assert len(cache) <= 32
+
+    def test_concurrent_clear_is_safe(self):
+        cache = _LRUCache(limit=64)
+        stop = threading.Event()
+
+        def putter():
+            i = 0
+            while not stop.is_set():
+                cache.put(i % 200, i)
+                cache.get((i * 7) % 200)
+                i += 1
+
+        def clearer():
+            for _ in range(50):
+                cache.clear()
+                time.sleep(0.001)
+            stop.set()
+
+        run_threads([putter, putter, clearer])
+        assert len(cache) <= 64
+
+    def test_public_condition_api_under_contention(self):
+        # The real module-level caches, through their public entry
+        # points: interning, conjunction, satisfiability.  Any torn
+        # cache state surfaces as an exception or a wrong verdict.
+        conjunctions = [
+            parse_conjunction(text)
+            for text in (
+                "?x = ?y",
+                "?x != ?y",
+                "?x = a, ?y != b",
+                "?x = ?y, ?y = ?z",
+                "?x != a, ?x != b, ?x != c",
+                "?u = v, ?w != v",
+            )
+        ]
+
+        def worker(seed):
+            rng = random.Random(seed)
+
+            def go():
+                for _ in range(400):
+                    a = rng.choice(conjunctions)
+                    b = rng.choice(conjunctions)
+                    merged = conjoin(a, b)
+                    assert intern_conjunction(merged).atoms == merged.atoms
+                    # Satisfiability must be deterministic under contention.
+                    assert merged.is_satisfiable() == merged.is_satisfiable()
+
+            return go
+
+        run_threads([worker(s) for s in range(6)])
+
+
+# ---------------------------------------------------------------------------
+# StatsStore: invalidate → rebind is one critical section
+# ---------------------------------------------------------------------------
+
+
+class TestStatsAtomicity:
+    def test_snapshot_cannot_interleave_invalidate_and_rebind(self, monkeypatch):
+        """A reader snapshotting during an update must see the update
+        fully applied, never the invalidated-but-not-rebound limbo.
+
+        We widen the race window by making ``invalidate`` linger: the
+        update path holds the store lock across *invalidate → rebind*
+        (see ``repro.extensions.updates._replace``), so the concurrent
+        snapshot must block and then observe the new version.  Without
+        the critical section the snapshot runs in the window, recollects
+        the touched table from the *outgoing* database (2 rows) and
+        poisons the cache with statistics for a version that no longer
+        exists.
+        """
+        db = TableDatabase.single(codd_table("R", 2, [("a", "b"), ("b", "c")]))
+        store = StatsStore(db)
+        store.snapshot()  # warm the cache
+        invalidated = threading.Event()
+
+        original = StatsStore.invalidate
+
+        def lingering_invalidate(self, *names):
+            original(self, *names)
+            invalidated.set()
+            time.sleep(0.25)  # hold the race window open (lock still held)
+
+        monkeypatch.setattr(StatsStore, "invalidate", lingering_invalidate)
+
+        observed = {}
+
+        def writer():
+            insert_fact(db, "R", ("c", "d"), stats=store)
+
+        def reader():
+            assert invalidated.wait(5.0)
+            observed["rows"] = store.snapshot().get("R").rows
+
+        run_threads([writer, reader])
+        assert observed["rows"] == 3.0
+
+    def test_store_survives_concurrent_snapshots_and_updates(self):
+        db = TableDatabase.single(
+            codd_table("R", 2, [(f"a{i}", f"b{i}") for i in range(10)])
+        )
+        store = StatsStore(db)
+        state = {"db": db}
+        stop = threading.Event()
+
+        def writer():
+            current = state["db"]
+            for i in range(40):
+                current = insert_fact(current, "R", (f"c{i}", f"d{i}"), stats=store)
+                state["db"] = current
+            stop.set()
+
+        def reader():
+            while not stop.is_set():
+                stats = store.snapshot()
+                table = stats.get("R")
+                if table is not None:
+                    # Whatever version we hit, its stats are internally
+                    # consistent: a whole-table collection, never torn.
+                    assert 10.0 <= table.rows <= 50.0
+                    assert len(table.columns) == 2
+
+        run_threads([writer, reader, reader, reader])
+
+
+# ---------------------------------------------------------------------------
+# Snapshot isolation under reader/writer stress
+# ---------------------------------------------------------------------------
+
+
+PATH_QUERY = "Q(X, Z) :- R(X, Y), R(Y, Z)."
+
+
+class TestSnapshotIsolationStress:
+    def test_ground_stress_every_answer_matches_a_prefix(self):
+        """Randomized update stream vs concurrent readers.
+
+        The writer applies ops one at a time, recording the database
+        each version corresponds to.  Readers query concurrently and
+        record ``(version, answer)`` pairs.  Afterwards every recorded
+        answer must equal the naive evaluation of the query against the
+        recorded database of exactly that version — i.e. against a
+        *prefix* of the update stream, never a half-applied op.
+        """
+        rng = random.Random(0xAB17)
+        edges = [(f"n{rng.randrange(8)}", f"n{rng.randrange(8)}") for _ in range(12)]
+        session = DatabaseSession("g", TableDatabase.single(codd_table("R", 2, set(edges))))
+        dbs = {0: session.snapshot().db}
+        observations = []
+        obs_lock = threading.Lock()
+
+        def writer():
+            present = set(row_values(session.snapshot().db["R"]))
+            for _ in range(50):
+                if present and rng.random() < 0.4:
+                    fact = rng.choice(sorted(present))
+                    present.discard(fact)
+                    op = ("delete", "R", fact)
+                else:
+                    fact = (f"n{rng.randrange(8)}", f"n{rng.randrange(8)}")
+                    present.add(fact)
+                    op = ("insert", "R", fact)
+                version = session.apply([op])
+                dbs[version] = session.snapshot().db
+
+        def reader(use_views=False):
+            def go():
+                for _ in range(40):
+                    result = session.query(PATH_QUERY, use_views=use_views)
+                    with obs_lock:
+                        observations.append((result.version, row_values(result.table)))
+
+            return go
+
+        run_threads([writer, reader(), reader(), reader(True)])
+
+        expression = ra_of_ucq(parse_query(PATH_QUERY))
+        assert observations, "readers never ran"
+        checked = {}
+        for version, answer in observations:
+            assert version in dbs, f"answer at unpublished version {version}"
+            if version not in checked:
+                reference = evaluate_ct(expression, dbs[version], name="Q")
+                checked[version] = row_values(reference)
+            assert answer == checked[version], (
+                f"answer at version {version} matches no prefix of the "
+                f"update stream"
+            )
+
+    def test_ground_stress_with_view_maintenance(self):
+        """Same invariant while the writer also defines/drops views and
+        readers answer through them: a view answer must agree with base
+        evaluation at the *same* version (the snapshot's view cut and
+        database advance together or not at all)."""
+        session = DatabaseSession(
+            "g",
+            TableDatabase.single(
+                codd_table("R", 2, [("a", "b"), ("b", "c"), ("c", "d")])
+            ),
+        )
+        dbs = {0: session.snapshot().db}
+        observations = []
+        obs_lock = threading.Lock()
+
+        def writer():
+            session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+            for i in range(30):
+                version = session.apply([("insert", "R", (f"x{i}", f"y{i}"))])
+                dbs[version] = session.snapshot().db
+                if i % 10 == 5:
+                    session.drop_view("V")
+                    session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+
+        def reader():
+            for _ in range(30):
+                result = session.query(PATH_QUERY, use_views=True)
+                with obs_lock:
+                    observations.append(
+                        (result.version, row_values(result.table))
+                    )
+
+        run_threads([writer, reader, reader])
+
+        expression = ra_of_ucq(parse_query(PATH_QUERY))
+        checked = {}
+        for version, answer in observations:
+            if version not in checked:
+                reference = evaluate_ct(expression, dbs[version], name="Q")
+                checked[version] = row_values(reference)
+            assert answer == checked[version]
+
+    def test_non_ground_stress_rep_equality(self):
+        """The invariant in full possible-worlds form: with variables in
+        the database, a response is correct when its *represented world
+        set* equals the reference's — ``strong_canonicalize``-equality
+        over enumerated worlds, exactly the paper's notion of equivalent
+        representations."""
+        table = c_table(
+            "R",
+            2,
+            [
+                (("a", "?x"),),
+                ((("?x", "c")), "?x != a"),
+                (("b", "c"),),
+            ],
+        )
+        session = DatabaseSession("g", TableDatabase.single(table))
+        dbs = {0: session.snapshot().db}
+        observations = []
+        obs_lock = threading.Lock()
+        query_text = "Q(X, Y) :- R(X, Y)."
+
+        def writer():
+            for i in range(6):
+                version = session.apply([("insert", "R", (f"w{i}", f"w{i}"))])
+                dbs[version] = session.snapshot().db
+
+        def reader():
+            for _ in range(8):
+                result = session.query(query_text)
+                with obs_lock:
+                    observations.append((result.version, result.table))
+
+        run_threads([writer, reader, reader])
+
+        expression = ra_of_ucq(parse_query(query_text))
+
+        def canonical_worlds(answer):
+            db = TableDatabase.single(
+                CTable("Q", answer.arity, answer.rows, answer.global_condition)
+            )
+            protected = {c for w in enumerate_worlds(db) for c in w.constants()}
+            # Protect the named constants; only invented nulls may rename.
+            named = {c for c in protected if not c.value.startswith("@")}
+            return {
+                strong_canonicalize(w, named) for w in enumerate_worlds(db)
+            }
+
+        checked = {}
+        for version, answer in observations:
+            if version not in checked:
+                reference = evaluate_ct(expression, dbs[version], name="Q")
+                checked[version] = canonical_worlds(reference)
+            assert canonical_worlds(answer) == checked[version], (
+                f"rep() at version {version} differs from the prefix database"
+            )
+
+    def test_concurrent_writers_serialize(self):
+        """Two writers racing on one session: every op lands exactly
+        once and the final database reflects all of them."""
+        session = DatabaseSession(
+            "g", TableDatabase.single(codd_table("R", 2, [("seed", "seed")]))
+        )
+
+        def writer(tag):
+            def go():
+                for i in range(20):
+                    session.apply([("insert", "R", (f"{tag}{i}", tag))])
+
+            return go
+
+        run_threads([writer("a"), writer("b")])
+        assert session.version == 40
+        values = row_values(session.snapshot().db["R"])
+        assert {(f"a{i}", "a") for i in range(20)} <= values
+        assert {(f"b{i}", "b") for i in range(20)} <= values

@@ -1,0 +1,456 @@
+"""Tests for repro.server: sessions, the registry, the HTTP API, the client.
+
+The concurrency-specific tests (stress, lock discipline, snapshot
+isolation under contention) live in ``tests/test_concurrency.py``; this
+file covers the serving layer's *functional* contract — versioned
+snapshots, update semantics, view handling, sidecar round trips and the
+HTTP surface — mostly single-threaded so failures localize well.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.tables import TableDatabase, c_table, codd_table
+from repro.core.terms import Constant
+from repro.io.jsonio import database_to_json, table_from_json
+from repro.io.text import dumps_database
+from repro.server import (
+    DatabaseSession,
+    ServerClient,
+    ServerError,
+    SessionError,
+    SessionRegistry,
+    load_database_file,
+    make_server,
+    start_in_thread,
+)
+
+
+def graph_db(*edges):
+    return TableDatabase.single(codd_table("R", 2, list(edges)))
+
+
+def row_values(table):
+    """The ground rows of a table as a set of value tuples."""
+    return {tuple(t.value for t in row.terms) for row in table.rows}
+
+
+PATH_QUERY = "Q(X, Z) :- R(X, Y), R(Y, Z)."
+
+
+# ---------------------------------------------------------------------------
+# DatabaseSession
+# ---------------------------------------------------------------------------
+
+
+class TestDatabaseSession:
+    def test_query_answers_at_version_zero(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        result = session.query(PATH_QUERY)
+        assert result.version == 0
+        assert row_values(result.table) == {("a", "c")}
+        assert result.answered_by_view is None
+
+    def test_apply_bumps_version_and_new_queries_see_it(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        version = session.apply([("insert", "R", ("c", "d"))])
+        assert version == 1
+        result = session.query(PATH_QUERY)
+        assert result.version == 1
+        assert row_values(result.table) == {("a", "c"), ("b", "d")}
+
+    def test_old_snapshot_is_pinned_across_updates(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        old = session.snapshot()
+        session.apply([("insert", "R", ("c", "d"))])
+        # The old snapshot still holds the version-0 database unchanged.
+        assert old.version == 0
+        assert row_values(old.db["R"]) == {("a", "b"), ("b", "c")}
+        assert session.snapshot().version == 1
+
+    def test_batch_applies_one_version_per_op(self):
+        session = DatabaseSession("g", graph_db(("a", "b")))
+        version = session.apply(
+            [
+                ("insert", "R", ("b", "c")),
+                ("insert", "R", ("c", "d")),
+                ("delete", "R", ("a", "b")),
+            ]
+        )
+        assert version == 3
+        assert row_values(session.snapshot().db["R"]) == {("b", "c"), ("c", "d")}
+
+    def test_modify_op(self):
+        session = DatabaseSession("g", graph_db(("a", "b")))
+        session.apply([("modify", "R", ("a", "b"), ("a", "z"))])
+        assert row_values(session.snapshot().db["R"]) == {("a", "z")}
+
+    def test_bad_op_shapes_are_rejected_before_any_state_change(self):
+        session = DatabaseSession("g", graph_db(("a", "b")))
+        for bad in (
+            ("upsert", "R", ("a", "b")),          # unknown kind
+            ("insert", "R"),                        # missing fact
+            ("insert", "R", ("a", "b"), ("c",)),  # too many args
+            ("modify", "R", ("a", "b")),           # modify wants old and new
+            ("insert", "R", "ab"),                 # fact not a sequence
+            "insert",                                # not an op at all
+        ):
+            with pytest.raises(SessionError):
+                session.apply([("insert", "R", ("x", "y")), bad])
+            # Validation happens before application: nothing was applied.
+            assert session.version == 0
+
+    def test_unknown_relation_fails_after_earlier_ops_published(self):
+        # Batches are a convenience, not a transaction (documented): the
+        # shape-valid prefix lands, the failing op raises.
+        session = DatabaseSession("g", graph_db(("a", "b")))
+        with pytest.raises(SessionError, match="unknown relation"):
+            session.apply(
+                [("insert", "R", ("b", "c")), ("insert", "Nope", ("x", "y"))]
+            )
+        assert session.version == 1
+        assert row_values(session.snapshot().db["R"]) == {("a", "b"), ("b", "c")}
+
+    def test_bad_query_raises_session_error(self):
+        session = DatabaseSession("g", graph_db(("a", "b")))
+        with pytest.raises(SessionError, match="query"):
+            session.query("garbage((")
+        with pytest.raises(SessionError, match="unknown relation"):
+            session.query("Q(X) :- Missing(X, Y).")
+
+    def test_naive_and_ordered_agree(self):
+        session = DatabaseSession(
+            "g", graph_db(("a", "b"), ("b", "c"), ("c", "d"), ("b", "d"))
+        )
+        planned = session.query(PATH_QUERY)
+        naive = session.query(PATH_QUERY, naive=True)
+        greedy = session.query(PATH_QUERY, ordering="greedy")
+        assert row_values(planned.table) == row_values(naive.table)
+        assert row_values(planned.table) == row_values(greedy.table)
+
+    def test_explain_lines_present(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        result = session.query(PATH_QUERY, explain=True)
+        assert isinstance(result.explain, list)
+
+    def test_non_ground_database_is_served_too(self):
+        table = c_table("R", 2, [(("a", "?x"),), ((("?x", "c")), "?x != b")])
+        session = DatabaseSession("g", TableDatabase.single(table))
+        result = session.query(PATH_QUERY)
+        assert result.table.arity == 2
+
+    def test_info_shape(self):
+        session = DatabaseSession("g", graph_db(("a", "b")))
+        info = session.info()
+        assert info["name"] == "g"
+        assert info["version"] == 0
+        assert info["tables"] == [{"name": "R", "arity": 2, "rows": 1}]
+        assert info["views"] == []
+        # info() is JSON-ready by contract.
+        json.dumps(info)
+
+
+class TestSessionViews:
+    def test_define_view_and_answer_from_it(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        table = session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        assert row_values(table) == {("a", "c")}
+        result = session.query("W(X, Z) :- R(X, Y), R(Y, Z).", use_views=True)
+        assert result.answered_by_view == "V"
+        assert result.table.name == "W"
+        assert row_values(result.table) == {("a", "c")}
+
+    def test_views_are_maintained_through_updates(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        session.apply([("insert", "R", ("c", "d"))])
+        result = session.query("W(X, Z) :- R(X, Y), R(Y, Z).", use_views=True)
+        assert result.answered_by_view == "V"
+        assert row_values(result.table) == {("a", "c"), ("b", "d")}
+
+    def test_snapshot_view_cut_is_pinned(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        old = session.snapshot()
+        session.apply([("insert", "R", ("c", "d"))])
+        assert row_values(old.view_table("V")) == {("a", "c")}
+        assert row_values(session.snapshot().view_table("V")) == {
+            ("a", "c"),
+            ("b", "d"),
+        }
+
+    def test_drop_view(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        session.drop_view("V")
+        result = session.query("W(X, Z) :- R(X, Y), R(Y, Z).", use_views=True)
+        assert result.answered_by_view is None
+        with pytest.raises(SessionError):
+            session.drop_view("V")
+
+    def test_use_views_without_a_match_evaluates_from_base(self):
+        session = DatabaseSession("g", graph_db(("a", "b"), ("b", "c")))
+        session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        result = session.query("W(X) :- R(X, Y).", use_views=True)
+        assert result.answered_by_view is None
+        assert row_values(result.table) == {("a",), ("b",)}
+
+
+class TestSessionPersistence:
+    def make_file(self, tmp_path, text=True):
+        db = graph_db(("a", "b"), ("b", "c"))
+        path = tmp_path / ("db.pwt" if text else "db.json")
+        if text:
+            path.write_text(dumps_database(db), encoding="utf-8")
+        else:
+            path.write_text(json.dumps(database_to_json(db)), encoding="utf-8")
+        return str(path)
+
+    def test_persist_requires_file_backing(self):
+        session = DatabaseSession("g", graph_db(("a", "b")))
+        with pytest.raises(SessionError, match="not file-backed"):
+            session.persist()
+
+    @pytest.mark.parametrize("text", [True, False], ids=["text", "json"])
+    def test_persist_round_trips_in_original_notation(self, tmp_path, text):
+        registry = SessionRegistry()
+        path = self.make_file(tmp_path, text=text)
+        session, stale = registry.open_file("g", path)
+        assert stale == ()
+        session.apply([("insert", "R", ("c", "d"))])
+        session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        assert session.persist() == path
+
+        # A fresh process (registry) sees the served state, views fresh.
+        other = SessionRegistry()
+        reloaded, stale = other.open_file("g2", path)
+        assert stale == ()
+        assert row_values(reloaded.snapshot().db["R"]) == {
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "d"),
+        }
+        result = reloaded.query("W(X, Z) :- R(X, Y), R(Y, Z).", use_views=True)
+        assert result.answered_by_view == "V"
+
+    def test_stale_sidecar_is_an_explicit_error(self, tmp_path):
+        registry = SessionRegistry()
+        path = self.make_file(tmp_path)
+        session, _ = registry.open_file("g", path)
+        session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        session.persist()
+        # The database file changes behind the sidecar's back.
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write('"c" "d"\n')
+        with pytest.raises(SessionError, match="digest mismatch"):
+            SessionRegistry().open_file("g", path)
+
+    def test_stale_sidecar_refresh_policy_rematerializes(self, tmp_path):
+        registry = SessionRegistry()
+        path = self.make_file(tmp_path)
+        session, _ = registry.open_file("g", path)
+        session.define_view("V(X, Z) :- R(X, Y), R(Y, Z).")
+        session.persist()
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write('"c" "d"\n')
+        reloaded, stale = SessionRegistry().open_file("g", path, on_stale="refresh")
+        assert stale == ("V",)
+        # Re-materialized over the *current* file, not the stale table.
+        assert row_values(reloaded.snapshot().view_table("V")) == {
+            ("a", "c"),
+            ("b", "d"),
+        }
+        skipped, stale = SessionRegistry().open_file("g2", path, on_stale="skip")
+        assert stale == ("V",)
+        assert skipped.info()["views"] == []
+
+
+class TestSessionRegistry:
+    def test_add_get_drop(self):
+        registry = SessionRegistry()
+        registry.add("a", graph_db(("a", "b")))
+        assert "a" in registry
+        assert registry.names() == ("a",)
+        assert registry.get("a").name == "a"
+        registry.drop("a")
+        assert len(registry) == 0
+
+    def test_duplicate_and_missing_names(self):
+        registry = SessionRegistry()
+        registry.add("a", graph_db(("a", "b")))
+        with pytest.raises(SessionError, match="already exists"):
+            registry.add("a", graph_db(("x", "y")))
+        with pytest.raises(SessionError, match="no database named"):
+            registry.get("b")
+        with pytest.raises(SessionError, match="no database named"):
+            registry.drop("b")
+
+    def test_load_database_file_autodetects(self, tmp_path):
+        db = graph_db(("a", "b"))
+        text_path = tmp_path / "db.pwt"
+        text_path.write_text(dumps_database(db), encoding="utf-8")
+        json_path = tmp_path / "db.json"
+        json_path.write_text(json.dumps(database_to_json(db)), encoding="utf-8")
+        loaded, fmt = load_database_file(str(text_path))
+        assert fmt == "text" and row_values(loaded["R"]) == {("a", "b")}
+        loaded, fmt = load_database_file(str(json_path))
+        assert fmt == "json" and row_values(loaded["R"]) == {("a", "b")}
+        with pytest.raises(SessionError, match="cannot read"):
+            load_database_file(str(tmp_path / "missing.pwt"))
+
+
+# ---------------------------------------------------------------------------
+# The HTTP API and its client
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def server_client():
+    server = make_server(port=0)
+    start_in_thread(server)
+    host, port = server.server_address[:2]
+    client = ServerClient(f"http://{host}:{port}")
+    try:
+        yield server, client
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def create_graph(client, name="g", *extra_edges):
+    edges = [("a", "b"), ("b", "c"), *extra_edges]
+    return client.create_database(name, database_to_json(graph_db(*edges)))
+
+
+class TestHttpApi:
+    def test_health_and_listing(self, server_client):
+        _, client = server_client
+        assert client.health() == {"ok": True, "databases": 0}
+        create_graph(client)
+        listing = client.databases()
+        assert listing == [{"name": "g", "version": 0, "tables": 1, "views": 0}]
+
+    def test_create_conflict_is_409(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        with pytest.raises(ServerError) as excinfo:
+            create_graph(client)
+        assert excinfo.value.status == 409
+
+    def test_missing_database_is_404(self, server_client):
+        _, client = server_client
+        with pytest.raises(ServerError) as excinfo:
+            client.query("nope", PATH_QUERY)
+        assert excinfo.value.status == 404
+
+    def test_query_update_roundtrip(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        response = client.query("g", PATH_QUERY)
+        assert response["version"] == 0
+        assert response["rows"] == 1
+        assert row_values(table_from_json(response["table"])) == {("a", "c")}
+
+        applied = client.update("g", ["insert", "R", ["c", "d"]])
+        assert applied == {"version": 1, "applied": 1}
+        response = client.query("g", PATH_QUERY)
+        assert response["version"] == 1
+        assert row_values(table_from_json(response["table"])) == {
+            ("a", "c"),
+            ("b", "d"),
+        }
+
+    def test_update_batch_and_bad_ops(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        applied = client.update(
+            "g", ["insert", "R", ["c", "d"]], ["delete", "R", ["a", "b"]]
+        )
+        assert applied == {"version": 2, "applied": 2}
+        with pytest.raises(ServerError) as excinfo:
+            client.update("g", ["upsert", "R", ["a", "b"]])
+        assert excinfo.value.status == 400
+
+    def test_views_over_http(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        defined = client.define_view("g", "V(X, Z) :- R(X, Y), R(Y, Z).")
+        assert defined["name"] == "V" and defined["rows"] == 1
+        response = client.query("g", "W(X, Z) :- R(X, Y), R(Y, Z).", use_views=True)
+        assert response["answered_by_view"] == "V"
+        assert [v["name"] for v in client.views("g")] == ["V"]
+        client.drop_view("g", "V")
+        assert client.views("g") == []
+
+    def test_explain_and_snapshot_download(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        response = client.query("g", PATH_QUERY, explain=True, ordering="greedy")
+        assert "explain" in response
+        snap = client.snapshot("g")
+        assert snap["version"] == 0
+        assert [t["name"] for t in snap["database"]["tables"]] == ["R"]
+
+    def test_persist_without_file_backing_is_400(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        with pytest.raises(ServerError) as excinfo:
+            client.persist("g")
+        assert excinfo.value.status == 400
+
+    def test_drop_database(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        assert client.drop_database("g") == {"dropped": "g"}
+        assert client.health()["databases"] == 0
+
+    def test_bad_route_and_bad_json(self, server_client):
+        _, client = server_client
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServerError) as excinfo:
+            client._request("PUT", "/health")
+        assert excinfo.value.status in (405, 501)
+        import urllib.request
+
+        req = urllib.request.Request(
+            client.base_url + "/dbs/g/query",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req)
+        assert excinfo.value.code == 400
+
+    def test_unreachable_server(self):
+        client = ServerClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServerError, match="cannot reach"):
+            client.health()
+
+    def test_many_clients_share_one_server(self, server_client):
+        # A light concurrency smoke (the real stress lives in
+        # test_concurrency.py): parallel creates and queries all land.
+        _, client = server_client
+        create_graph(client)
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(5):
+                    response = client.query("g", PATH_QUERY)
+                    assert response["rows"] >= 1
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
