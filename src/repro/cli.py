@@ -585,11 +585,22 @@ def _cmd_serve(args) -> int:
             suffix = f" (re-materialized stale views: {', '.join(stale)})"
         print(f"loaded {name} from {path}{suffix}")
     try:
-        server = make_server(args.host, args.port, registry, verbose=args.verbose)
+        server = make_server(
+            args.host,
+            args.port,
+            registry,
+            verbose=args.verbose,
+            workers=args.workers,
+            cache_size=args.cache_size,
+        )
     except OSError as exc:
         raise CliError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
     host, port = server.server_address[:2]
-    print(f"serving {len(registry)} database(s) on http://{host}:{port} (Ctrl-C stops)")
+    pool_note = f", {args.workers} read worker(s)" if args.workers else ""
+    print(
+        f"serving {len(registry)} database(s) on http://{host}:{port}"
+        f"{pool_note} (Ctrl-C stops)"
+    )
     run_server(server)
     return EXIT_YES
 
@@ -639,6 +650,8 @@ def _run_client_action(client, args) -> int:
     action = args.action
     if action == "health":
         print(json.dumps(client.health()))
+    elif action == "stats":
+        print(json.dumps(client.stats(), indent=2))
     elif action == "list":
         for entry in client.databases():
             print(
@@ -850,6 +863,23 @@ def build_parser() -> argparse.ArgumentParser:
         "match the database file: refuse to start (default), re-materialize, "
         "or drop the stale views",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="read-worker processes for query evaluation (default 0: "
+        "evaluate in-process); queries degrade to in-process when the "
+        "pool cannot serve them",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="request-cache entries keyed by (version, plan) (default "
+        "256; 0 disables caching)",
+    )
     p.add_argument("--verbose", action="store_true", help="log every request")
     p.set_defaults(func=_cmd_serve)
 
@@ -858,6 +888,9 @@ def build_parser() -> argparse.ArgumentParser:
     csub = p.add_subparsers(dest="action", required=True)
 
     cp = csub.add_parser("health", help="server liveness")
+    cp = csub.add_parser(
+        "stats", help="serving stats: dispatch counters, cache, pool, p50/p99"
+    )
     cp = csub.add_parser("list", help="list served databases")
     cp = csub.add_parser("create", help="upload a database file under a name")
     cp.add_argument("name")

@@ -28,6 +28,7 @@ import threading
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from .pickling import pickles_by_slots
 from .terms import Constant, Term, TermLike, Variable, as_term
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
+@pickles_by_slots
 class Atom:
     """An equality or inequality between two terms.
 
@@ -455,6 +457,7 @@ def _prefer(a: Term, b: Term) -> bool:
 # ---------------------------------------------------------------------------
 
 
+@pickles_by_slots
 class Conjunction:
     """A conjunction of equality/inequality atoms.
 
@@ -698,6 +701,7 @@ class BoolCondition:
         return BoolAnd(tuple(BoolAtom(a) for a in conj.atoms)).flattened()
 
 
+@pickles_by_slots
 class BoolAtom(BoolCondition):
     """A single atom leaf."""
 
@@ -743,6 +747,7 @@ class BoolAtom(BoolCondition):
         return self.atom.constants()
 
 
+@pickles_by_slots
 class _BoolNary(BoolCondition):
     """Shared machinery for n-ary And / Or nodes."""
 

@@ -1,0 +1,66 @@
+"""Pickle support for the immutable, ``__slots__``-only value classes.
+
+Every value class in the representation layer (terms, conditions, rows,
+tables, statistics) is immutable: ``__slots__`` storage, attributes set
+once via ``object.__setattr__`` in ``__init__``, and a ``__setattr__``
+guard that raises afterwards.  That guard breaks pickle's default slot
+protocol — unpickling restores slot state with ``setattr``, which the
+guard rejects — so none of these objects survived a round trip.
+
+The serving layer's worker pool (:mod:`repro.server.pool`) ships
+snapshot databases and statistics to reader processes over
+``multiprocessing`` pipes, which makes round-tripping a requirement.
+:func:`pickles_by_slots` is the shared fix: a class decorator installing
+``__getstate__``/``__setstate__`` that collect every *set* slot across
+the MRO and restore them with ``object.__setattr__``, bypassing the
+guard exactly the way ``__init__`` does.
+
+Unset slots (lazily populated caches such as a memoised digest) are
+skipped on save and simply stay unset on load.  ``__init__`` is never
+re-run, so no validation or interning is repeated; all of these classes
+compare structurally, which makes unpickled duplicates of module-level
+singletons (``TRUE``, ``BOOL_TRUE``) behave identically to the
+originals.
+"""
+
+from __future__ import annotations
+
+__all__ = ["pickles_by_slots"]
+
+
+def _slot_names(cls) -> tuple[str, ...]:
+    names: list[str] = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for slot in slots:
+            if slot not in ("__dict__", "__weakref__") and slot not in names:
+                names.append(slot)
+    return tuple(names)
+
+
+def _getstate(self) -> dict:
+    state = {}
+    for slot in _slot_names(type(self)):
+        try:
+            state[slot] = getattr(self, slot)
+        except AttributeError:
+            pass  # lazily-populated slot that was never set
+    return state
+
+
+def _setstate(self, state: dict) -> None:
+    for slot, value in state.items():
+        object.__setattr__(self, slot, value)
+
+
+def pickles_by_slots(cls):
+    """Class decorator: make a guarded ``__slots__`` class picklable.
+
+    Subclasses inherit the behaviour, so decorating a base class (e.g.
+    ``Atom``) covers its whole hierarchy (``Eq``, ``Neq``).
+    """
+    cls.__getstate__ = _getstate
+    cls.__setstate__ = _setstate
+    return cls

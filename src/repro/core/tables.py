@@ -41,6 +41,7 @@ from .conditions import (
     Neq,
     TRUE,
 )
+from .pickling import pickles_by_slots
 from .terms import Constant, Term, Variable, as_term, variables_in
 
 __all__ = ["Row", "CTable", "TableDatabase", "codd_table", "e_table", "i_table", "g_table", "c_table"]
@@ -56,6 +57,7 @@ def _as_bool_condition(condition) -> BoolCondition:
     raise TypeError(f"not a condition: {condition!r}")
 
 
+@pickles_by_slots
 class Row:
     """One tuple of a c-table: terms plus a local condition."""
 
@@ -113,10 +115,11 @@ class Row:
         return self.condition.to_dnf()
 
 
+@pickles_by_slots
 class CTable:
     """A conditioned table: rows, local conditions and a global condition."""
 
-    __slots__ = ("name", "arity", "rows", "global_condition")
+    __slots__ = ("name", "arity", "rows", "global_condition", "_digest")
 
     def __init__(
         self,
@@ -260,6 +263,30 @@ class CTable:
     def with_global_condition(self, condition: Conjunction) -> "CTable":
         return CTable(self.name, self.arity, self.rows, condition)
 
+    def digest(self) -> str:
+        """A stable content digest of this table (sha256 hex), memoised.
+
+        Computed over the canonical JSON encoding, like
+        :meth:`TableDatabase.digest` but per table — the unit of change
+        detection for structural-sharing deltas: two versions of a
+        database share a table exactly when the digests agree.  The
+        memo lives in a lazily-set slot, so immutability is preserved
+        and the cost is paid once per table object.
+        """
+        try:
+            return self._digest
+        except AttributeError:
+            pass
+        import hashlib
+        import json
+
+        from ..io.jsonio import table_to_json
+
+        payload = json.dumps(table_to_json(self), sort_keys=True, separators=(",", ":"))
+        value = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_digest", value)
+        return value
+
     # -- classification ------------------------------------------------------------
 
     def has_local_conditions(self) -> bool:
@@ -310,6 +337,7 @@ class CTable:
         return self.classify() in ("codd", "e", "i", "g")
 
 
+@pickles_by_slots
 class TableDatabase:
     """An n-vector of c-tables: the input representation of every problem.
 
@@ -462,6 +490,41 @@ class TableDatabase:
 
         payload = json.dumps(database_to_json(self), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def table_digests(self) -> dict[str, str]:
+        """Per-table content digests, keyed by table name."""
+        return {name: table.digest() for name, table in self._tables.items()}
+
+    def delta_from(self, previous: "TableDatabase") -> "tuple[CTable, ...] | None":
+        """The member tables of this database that differ from ``previous``.
+
+        The structural-sharing delta the worker pool ships instead of a
+        whole database: ``previous.replacing(*delta)`` reconstructs this
+        database (up to the memo slots).  Detection is two-tier — object
+        identity first (``replacing`` shares unchanged tables, so
+        consecutive versions resolve in O(number of tables) with no
+        hashing), then per-table :meth:`CTable.digest` for tables that
+        were rebuilt without changing.
+
+        Returns ``None`` when no delta exists — the table-name sets or
+        the extra database-level conditions differ — in which case the
+        caller must ship the full database.
+        """
+        if previous is self:
+            return ()
+        if self._tables.keys() != previous._tables.keys():
+            return None
+        if self._extra_condition != previous._extra_condition:
+            return None
+        changed = []
+        for name, table in self._tables.items():
+            old = previous._tables[name]
+            if table is old:
+                continue
+            if table.digest() == old.digest():
+                continue
+            changed.append(table)
+        return tuple(changed)
 
     # -- classification -----------------------------------------------------------------
 

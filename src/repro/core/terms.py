@@ -22,6 +22,8 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Union
 
+from .pickling import pickles_by_slots
+
 __all__ = [
     "Term",
     "Constant",
@@ -63,6 +65,7 @@ class Term:
         return isinstance(self, Variable)
 
 
+@pickles_by_slots
 class Constant(Term):
     """A known database constant.
 
@@ -103,6 +106,7 @@ class Constant(Term):
         return (self._rank, type(self.value).__name__, str(self.value))
 
 
+@pickles_by_slots
 class Variable(Term):
     """A null: a value that is present but unknown.
 

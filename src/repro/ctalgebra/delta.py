@@ -86,18 +86,35 @@ def delta_join(
     right_new: CTable,
     right_delta: CTable | None,
     on: Sequence[tuple[int, int]],
+    *,
+    left_partition=None,
+    right_partition=None,
 ) -> CTable:
     """Insert delta of an equi-join: ``(L >< dR) ∪ (dL >< R')``.
 
     ``left`` may be the old or the updated left cache (see the module
     docstring); ``right_new`` must be the updated right cache.  ``None``
     deltas mean "that side gained nothing".
+
+    ``left_partition`` / ``right_partition`` optionally supply
+    maintained :class:`~repro.ctalgebra.operators.JoinPartition` objects
+    for the two *cached* operands (never the deltas), so a small delta
+    skips re-partitioning the big side it joins against.  A supplied
+    partition must mirror the corresponding operand's **updated** row
+    set — which is why ``left`` with a partition means the updated left
+    cache, the sound choice per the module docstring.
     """
     parts = []
     if right_delta is not None and right_delta.rows:
-        parts.extend(join_ct(left, right_delta, on, name="delta").rows)
+        parts.extend(
+            join_ct(left, right_delta, on, name="delta", left_partition=left_partition).rows
+        )
     if left_delta is not None and left_delta.rows:
-        parts.extend(join_ct(left_delta, right_new, on, name="delta").rows)
+        parts.extend(
+            join_ct(
+                left_delta, right_new, on, name="delta", right_partition=right_partition
+            ).rows
+        )
     return CTable("delta", left.arity + right_new.arity, parts)
 
 
@@ -106,10 +123,21 @@ def delta_product(
     left_delta: CTable | None,
     right_new: CTable,
     right_delta: CTable | None,
+    *,
+    left_partition=None,
+    right_partition=None,
 ) -> CTable:
     """Insert delta of a product: the join rule with no columns (a join
     on no pairs puts every row in one bucket — exactly the product)."""
-    return delta_join(left, left_delta, right_new, right_delta, ())
+    return delta_join(
+        left,
+        left_delta,
+        right_new,
+        right_delta,
+        (),
+        left_partition=left_partition,
+        right_partition=right_partition,
+    )
 
 
 def delta_union(

@@ -64,6 +64,7 @@ __all__ = [
     "project_ct",
     "product_ct",
     "join_ct",
+    "JoinPartition",
     "union_ct",
     "intersect_ct",
     "difference_ct",
@@ -207,11 +208,111 @@ def _join_partition(
     return buckets, wild, alive
 
 
+#: Sentinel for rows whose local condition is trivially false — they
+#: belong to no bucket and no world.
+_DEAD = object()
+
+
+class JoinPartition:
+    """A maintained hash partition of one join operand for fixed columns.
+
+    :func:`_join_partition` rebuilds its buckets from scratch on every
+    call — fine for one-shot evaluation, wasteful for incremental view
+    maintenance, where a one-row dimension-side insert re-partitions the
+    big cached side on every update.  ``JoinPartition`` is the
+    persistent counterpart: built once from a table, then kept in sync
+    with :meth:`add_rows` / :meth:`remove_rows` as the cached operand
+    gains or loses rows, and passed back into :func:`join_ct` via its
+    ``left_partition`` / ``right_partition`` parameters.
+
+    Classification (bucket key, wild, or dead) matches
+    :func:`_join_partition` exactly, including condition-pinned
+    variables hashing under their pinned constants.  Classification is
+    deterministic per row, so a removal finds the row in exactly the
+    collection an insertion put it in.
+
+    The holder is responsible for keeping the partition's row set equal
+    to the operand's row set; :func:`join_ct` trusts a supplied
+    partition and never looks at the operand's rows.
+    """
+
+    __slots__ = ("columns", "buckets", "wild", "alive", "_base_equalities", "_base_pins")
+
+    def __init__(self, table: CTable, columns: Sequence[int]) -> None:
+        self.columns = tuple(int(c) for c in columns)
+        self._base_equalities = tuple(table.global_condition.equalities())
+        self._base_pins: dict | None = None
+        self.buckets: dict[tuple, list[Row]] = {}
+        self.wild: list[Row] = []
+        self.alive: list[Row] = []
+        self.add_rows(table.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinPartition(columns={self.columns}, buckets={len(self.buckets)}, "
+            f"wild={len(self.wild)}, alive={len(self.alive)})"
+        )
+
+    def _classify(self, row: Row):
+        """The bucket key for ``row``, ``None`` for wild, ``_DEAD`` for dead."""
+        from ..relational.stats import condition_pins
+
+        if condition_is_trivially_false(row.condition):
+            return _DEAD
+        key = tuple(row.terms[c] for c in self.columns)
+        if all(isinstance(t, Constant) for t in key):
+            return key
+        if row.has_local_condition():
+            pins = condition_pins(row.condition, self._base_equalities)
+        else:
+            if self._base_pins is None:
+                self._base_pins = condition_pins(None, self._base_equalities)
+            pins = self._base_pins
+        resolved = tuple(t if isinstance(t, Constant) else pins.get(t) for t in key)
+        if all(isinstance(t, Constant) for t in resolved):
+            return resolved
+        return None
+
+    def add_rows(self, rows: Iterable[Row]) -> None:
+        for row in rows:
+            key = self._classify(row)
+            if key is _DEAD:
+                continue
+            self.alive.append(row)
+            if key is None:
+                self.wild.append(row)
+            else:
+                self.buckets.setdefault(key, []).append(row)
+
+    def remove_rows(self, rows: Iterable[Row]) -> None:
+        """Remove rows previously added; unknown rows are ignored (a dead
+        row was never stored, so its removal is a no-op by design)."""
+        for row in rows:
+            key = self._classify(row)
+            if key is _DEAD:
+                continue
+            try:
+                self.alive.remove(row)
+            except ValueError:
+                continue
+            if key is None:
+                self.wild.remove(row)
+            else:
+                bucket = self.buckets.get(key)
+                if bucket is not None:
+                    bucket.remove(row)
+                    if not bucket:
+                        del self.buckets[key]
+
+
 def join_ct(
     left: CTable,
     right: CTable,
     on: Iterable[tuple[int, int]],
     name: str = "join",
+    *,
+    left_partition: JoinPartition | None = None,
+    right_partition: JoinPartition | None = None,
 ) -> CTable:
     """Equi-join by hash partitioning on constant-ground join columns.
 
@@ -239,13 +340,41 @@ def join_ct(
 
     For the fully-ground c-tables produced by typical workloads the wild
     lists are short and the hash path dominates.
+
+    ``left_partition`` / ``right_partition`` supply a pre-built
+    :class:`JoinPartition` for the corresponding side (its ``columns``
+    must equal that side's join columns); the side's rows are then taken
+    from the partition — which the caller keeps in sync with the operand
+    — and the O(side) re-partitioning is skipped.  The view-maintenance
+    layer uses this so a small delta against a big cached operand costs
+    O(delta + matches), not O(cached operand).
     """
     pairs = validate_join_columns(on, left.arity, right.arity)
     lcols = [l for l, _ in pairs]
     rcols = [r for _, r in pairs]
 
-    lbuckets, lwild, _ = _join_partition(left, lcols)
-    rbuckets, rwild, ralive = _join_partition(right, rcols)
+    if left_partition is not None:
+        if left_partition.columns != tuple(lcols):
+            raise ValueError(
+                f"left partition is over columns {left_partition.columns}, "
+                f"join needs {tuple(lcols)}"
+            )
+        lbuckets, lwild = left_partition.buckets, left_partition.wild
+    else:
+        lbuckets, lwild, _ = _join_partition(left, lcols)
+    if right_partition is not None:
+        if right_partition.columns != tuple(rcols):
+            raise ValueError(
+                f"right partition is over columns {right_partition.columns}, "
+                f"join needs {tuple(rcols)}"
+            )
+        rbuckets, rwild, ralive = (
+            right_partition.buckets,
+            right_partition.wild,
+            right_partition.alive,
+        )
+    else:
+        rbuckets, rwild, ralive = _join_partition(right, rcols)
 
     rows: list[Row] = []
 

@@ -1,0 +1,48 @@
+"""Crash-safe file writing shared by every persistence path.
+
+A bare ``open(path, "w")`` + write is not durable: a crash (or an
+exception raised mid-serialization, e.g. ``json.dump`` hitting an
+unserializable object after emitting half the output) leaves a
+truncated file where a good one used to be.  For the view sidecar
+registry that means every later ``repro view list`` dies on malformed
+JSON; for a database file it means the data is gone.
+
+:func:`atomic_write_text` is the one write primitive the persistence
+paths use instead: serialize fully in memory first, write to a
+temporary file *in the same directory* (same filesystem, so the final
+rename cannot degrade to a copy), fsync, then ``os.replace`` into
+place.  Readers see either the old complete file or the new complete
+file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path``'s contents with ``text``.
+
+    The temporary file is cleaned up on any failure, leaving whatever
+    was previously at ``path`` untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fp:
+            fp.write(text)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

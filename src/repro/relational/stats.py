@@ -67,6 +67,7 @@ from bisect import bisect_right
 from typing import Iterable, Mapping, Sequence
 
 from ..core.conditions import BoolAnd, BoolAtom, BoolOr, Conjunction, Eq, UnionFind
+from ..core.pickling import pickles_by_slots
 from ..core.tables import Row
 from ..core.terms import Constant, Variable
 from .algebra import (
@@ -131,6 +132,7 @@ _SMALL_DOMAIN_LIMIT = 4
 # ---------------------------------------------------------------------------
 
 
+@pickles_by_slots
 class _Bucket:
     """One equi-depth bucket: a closed value range with aggregate counts."""
 
@@ -151,6 +153,7 @@ class _Bucket:
         return f"[{self.lo}..{self.hi}: {self.count:g} rows, {self.distinct} distinct]"
 
 
+@pickles_by_slots
 class ColumnHistogram:
     """Value-distribution summary of one column: MCVs + equi-depth buckets.
 
@@ -414,6 +417,7 @@ def _bucket_overlap(bucket: _Bucket, lo, hi, lo_key, hi_key) -> float:
 # ---------------------------------------------------------------------------
 
 
+@pickles_by_slots
 class ColumnStats:
     """Per-column counts plus the value-distribution histogram.
 
@@ -450,6 +454,7 @@ class ColumnStats:
         )
 
 
+@pickles_by_slots
 class TableStats:
     """Statistics for one table: a row count plus per-column counts."""
 
@@ -633,6 +638,7 @@ def _or_domain(condition: BoolOr):
     return variable, tuple(dict.fromkeys(values))
 
 
+@pickles_by_slots
 class Statistics:
     """Per-table statistics for a whole database.
 
@@ -836,6 +842,7 @@ def resolve_stats(stats, source=None) -> "Statistics | None":
 # ---------------------------------------------------------------------------
 
 
+@pickles_by_slots
 class CardEstimate:
     """Estimated output shape of an RA (sub)expression.
 

@@ -14,6 +14,10 @@ process with snapshot isolation:
   view sidecar included).
 - :mod:`~repro.server.app` — the stdlib ``ThreadingHTTPServer``
   HTTP/JSON API behind ``repro serve``.
+- :mod:`~repro.server.pool` — :class:`QueryDispatcher` and its parts:
+  the multi-process read-worker pool (version-pinned snapshots shipped
+  as structural-sharing deltas), the ``(version, fingerprint)`` request
+  cache, and p50/p99 latency tracking behind ``/stats``.
 - :mod:`~repro.server.client` — :class:`ServerClient`, a
   ``urllib``-only client used by ``repro client``, the tests and the
   throughput benchmark.
@@ -21,13 +25,18 @@ process with snapshot isolation:
 
 from .app import ReproServer, make_server, run_server, start_in_thread
 from .client import ServerClient, ServerError
+from .pool import LatencyTracker, QueryDispatcher, RequestCache, WorkerPool
 from .registry import SessionRegistry, load_database_file
 from .session import DatabaseSession, QueryResult, SessionError, Snapshot
 
 __all__ = [
     "DatabaseSession",
+    "LatencyTracker",
+    "QueryDispatcher",
     "QueryResult",
     "ReproServer",
+    "RequestCache",
+    "WorkerPool",
     "ServerClient",
     "ServerError",
     "SessionError",

@@ -27,6 +27,14 @@ Routes (all bodies and responses JSON)::
     POST   /dbs/{db}/views                 {"query": "V(X) :- R(X, Y)."}
     DELETE /dbs/{db}/views/{view}          drop a view
     POST   /dbs/{db}/persist               write db + view sidecar back to disk
+    GET    /stats                          dispatcher counters, cache, pool,
+                                           p50/p99 latency
+
+Queries flow through a shared :class:`~repro.server.pool.QueryDispatcher`
+(request cache → snapshot views → worker pool → in-process; see that
+module).  Responses over ``CHUNK_THRESHOLD`` bytes are streamed with
+chunked transfer encoding so a large answer table starts flowing before
+it has been fully buffered per-connection.
 
 Errors are ``{"error": message}`` with 400 (bad request), 404 (unknown
 database/view) or 409 (conflict: duplicate database, stale sidecar).
@@ -44,6 +52,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..io.jsonio import database_from_json, database_to_json, table_to_json
+from .pool import DEFAULT_CACHE_SIZE, QueryDispatcher
 from .registry import SessionRegistry
 from .session import SessionError
 
@@ -52,6 +61,13 @@ __all__ = ["ReproServer", "make_server", "run_server"]
 #: Largest accepted request body (a whole database as JSON can be big,
 #: but a bound keeps a stray client from ballooning the process).
 MAX_BODY = 64 * 1024 * 1024
+
+#: Responses larger than this are streamed with chunked transfer
+#: encoding instead of a single Content-Length write.
+CHUNK_THRESHOLD = 64 * 1024
+
+#: Size of each chunk in a chunked response.
+CHUNK_SIZE = 16 * 1024
 
 
 class _HttpError(Exception):
@@ -62,6 +78,7 @@ class _HttpError(Exception):
 
 _ROUTES = [
     (re.compile(r"^/health$"), "health"),
+    (re.compile(r"^/stats$"), "stats"),
     (re.compile(r"^/dbs$"), "dbs"),
     (re.compile(r"^/dbs/(?P<db>[^/]+)$"), "db"),
     (re.compile(r"^/dbs/(?P<db>[^/]+)/database$"), "database"),
@@ -76,6 +93,9 @@ _ROUTES = [
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    #: Socket timeout: bounds the body-read loop (a stalled client gets
+    #: dropped rather than pinning a handler thread forever).
+    timeout = 60.0
 
     # -- plumbing ------------------------------------------------------------
 
@@ -95,7 +115,18 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HttpError(400, f"request body over {MAX_BODY} bytes")
         if length == 0:
             return {}
-        raw = self.rfile.read(length)
+        # A single read() on a socket file may legally return fewer than
+        # `length` bytes (the client writes the body in several packets);
+        # loop until the advertised length arrives.  The handler-level
+        # socket timeout bounds the wait on a stalled sender.
+        raw = bytearray()
+        while len(raw) < length:
+            chunk = self.rfile.read(length - len(raw))
+            if not chunk:
+                raise _HttpError(
+                    400, f"truncated body: got {len(raw)} of {length} bytes"
+                )
+            raw.extend(chunk)
         try:
             data = json.loads(raw)
         except ValueError as exc:
@@ -108,9 +139,17 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        if len(body) > CHUNK_THRESHOLD:
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            for start in range(0, len(body), CHUNK_SIZE):
+                chunk = body[start : start + CHUNK_SIZE]
+                self.wfile.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+            self.wfile.write(b"0\r\n\r\n")
+        else:
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
 
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
@@ -152,6 +191,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_health(self):
         self._reply({"ok": True, "databases": len(self.registry)})
+
+    def _get_stats(self):
+        self._reply(self.server.dispatcher.stats())
 
     def _get_dbs(self):
         self._reply(
@@ -199,7 +241,8 @@ class _Handler(BaseHTTPRequestHandler):
         ordering = body.get("ordering")
         if ordering not in (None, "dp", "greedy"):
             raise _HttpError(400, f"unknown ordering {ordering!r}")
-        result = self.registry.get(db).query(
+        result, served_by = self.server.dispatcher.query(
+            self.registry.get(db),
             query_text,
             ordering=ordering,
             naive=bool(body.get("naive", False)),
@@ -211,6 +254,7 @@ class _Handler(BaseHTTPRequestHandler):
             "rows": len(result.table),
             "classification": result.table.classify(),
             "table": table_to_json(result.table),
+            "served_by": served_by,
         }
         if result.answered_by_view is not None:
             payload["answered_by_view"] = result.answered_by_view
@@ -264,16 +308,29 @@ class ReproServer(ThreadingHTTPServer):
     """A threading HTTP server bound to a session registry.
 
     ``daemon_threads`` so in-flight request threads never block process
-    exit; ``block_on_close=False`` keeps shutdown prompt in tests.
+    exit; ``block_on_close=False`` keeps shutdown prompt in tests.  The
+    server owns a :class:`QueryDispatcher` (and through it the optional
+    worker pool); ``server_close`` shuts the pool down with the sockets.
     """
 
     daemon_threads = True
     block_on_close = False
 
-    def __init__(self, address, registry: SessionRegistry, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        registry: SessionRegistry,
+        verbose: bool = False,
+        dispatcher: "QueryDispatcher | None" = None,
+    ):
         super().__init__(address, _Handler)
         self.registry = registry
         self.verbose = verbose
+        self.dispatcher = dispatcher or QueryDispatcher()
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.dispatcher.close()
 
 
 def make_server(
@@ -281,9 +338,20 @@ def make_server(
     port: int = 0,
     registry: "SessionRegistry | None" = None,
     verbose: bool = False,
+    workers: int = 0,
+    cache_size: int = DEFAULT_CACHE_SIZE,
 ) -> ReproServer:
-    """Build (but don't start) a server; ``port=0`` picks a free port."""
-    return ReproServer((host, port), registry or SessionRegistry(), verbose=verbose)
+    """Build (but don't start) a server; ``port=0`` picks a free port.
+
+    ``workers`` > 0 enables the multi-process read pool; ``cache_size``
+    0 disables the request cache.
+    """
+    return ReproServer(
+        (host, port),
+        registry or SessionRegistry(),
+        verbose=verbose,
+        dispatcher=QueryDispatcher(workers=workers, cache_size=cache_size),
+    )
 
 
 def run_server(server: ReproServer) -> None:

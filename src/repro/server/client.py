@@ -51,7 +51,17 @@ class ServerClient:
         )
         try:
             with urlrequest.urlopen(req, timeout=self.timeout) as resp:
-                body = resp.read()
+                # Read in a loop: large responses arrive chunked
+                # (urllib decodes the framing but delivers the body in
+                # pieces) and even Content-Length responses may span
+                # several socket reads.
+                parts = []
+                while True:
+                    piece = resp.read(65536)
+                    if not piece:
+                        break
+                    parts.append(piece)
+                body = b"".join(parts)
         except urlerror.HTTPError as exc:
             raw = exc.read()
             try:
@@ -70,6 +80,11 @@ class ServerClient:
 
     def health(self) -> dict:
         return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        """Serving-layer statistics: dispatch counters, request cache,
+        worker pool, p50/p99 latency."""
+        return self._request("GET", "/stats")
 
     def databases(self) -> list:
         return self._request("GET", "/dbs")["databases"]

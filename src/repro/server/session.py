@@ -151,6 +151,11 @@ class DatabaseSession:
         return self._snapshot.version
 
     @property
+    def ordering(self) -> str:
+        """The session's default join-ordering strategy."""
+        return self._ordering
+
+    @property
     def store(self) -> StatsStore:
         return self._store
 
@@ -223,7 +228,12 @@ class DatabaseSession:
         return QueryResult(table, snap.version, explain=explain_lines)
 
     @staticmethod
-    def _compile(query_text: str):
+    def compile_query(query_text: str):
+        """Parse and plan a UCQ; returns ``(head_name, expression)``.
+
+        Raises :class:`SessionError` on malformed query text.  Public so
+        the dispatch layer can fingerprint a plan without evaluating it.
+        """
         from ..relational.parser import ParseError, parse_query
         from ..relational.planner import PlanError, ra_of_ucq
 
@@ -232,6 +242,8 @@ class DatabaseSession:
             return query.rules[0].head.pred, ra_of_ucq(query)
         except (ParseError, PlanError, ValueError) as exc:
             raise SessionError(f"query: {exc}") from exc
+
+    _compile = compile_query
 
     # -- writes --------------------------------------------------------------
 
@@ -344,6 +356,7 @@ class DatabaseSession:
             raise SessionError(
                 f"database {self.name!r} is not file-backed; nothing to persist to"
             )
+        from ..io.files import atomic_write_text
         from ..io.jsonio import json_dumps
         from ..io.text import dumps_database
         from ..views.persist import file_digest, manager_to_registry, save_registry
@@ -355,8 +368,7 @@ class DatabaseSession:
             else:
                 payload = json_dumps(snap.db) + "\n"
             try:
-                with open(self.source_path, "w", encoding="utf-8") as fp:
-                    fp.write(payload)
+                atomic_write_text(self.source_path, payload)
             except OSError as exc:
                 raise SessionError(
                     f"cannot write {self.source_path}: {exc.strerror or exc}"

@@ -65,6 +65,7 @@ from ..ctalgebra.delta import (
     delta_union,
 )
 from ..ctalgebra.operators import (
+    JoinPartition,
     difference_ct,
     intersect_ct,
     join_ct,
@@ -110,11 +111,21 @@ class _PlanNode:
     on their terms — the soundness guard of the join removal delta);
     ``epoch``/``result`` memoise the per-update walk so a shared node
     does maintenance work once per update, not once per dependent view.
+
+    ``partitions`` holds, for Join/Product nodes, the maintained
+    :class:`~repro.ctalgebra.operators.JoinPartition` of each child's
+    cache (keyed ``0``/``1``), built lazily on the first delta that
+    needs it and kept in sync with the child caches thereafter — so a
+    dimension-side one-row insert joins against the big cached fact
+    side without re-partitioning it.  Partitions are per *parent* node
+    (two parents joining the same child on different columns each keep
+    their own) and are dropped whenever the child's cache changes in a
+    way the walk results cannot mirror (recomputation, refresh).
     """
 
     __slots__ = (
         "expr", "fingerprint", "children", "relations",
-        "cache", "seen", "plain", "epoch", "result",
+        "cache", "seen", "plain", "epoch", "result", "partitions",
     )
 
     def __init__(self, expr: RAExpression, fingerprint: str, children: list["_PlanNode"]) -> None:
@@ -127,6 +138,7 @@ class _PlanNode:
         self.plain = 0
         self.epoch = -1
         self.result = _NONE
+        self.partitions: dict[int, JoinPartition] = {}
 
 
 class _View:
@@ -188,6 +200,8 @@ class ViewManager:
             "recomputed_nodes": 0,
             "difference_fallbacks": 0,
             "skipped_updates": 0,
+            "partition_builds": 0,
+            "partition_reuses": 0,
         }
 
     # -- registry ------------------------------------------------------------
@@ -449,6 +463,9 @@ class ViewManager:
         node.plain = sum(
             1 for row in node.cache.rows if not row.has_local_condition()
         )
+        # A rebuild means the children's caches changed in ways the walk
+        # results don't describe; any maintained partitions are stale.
+        node.partitions.clear()
 
     def _apply(self, node: _PlanNode) -> CTable:
         expr = node.expr
@@ -507,10 +524,20 @@ class ViewManager:
         self._log(line)
 
     def _append(self, node: _PlanNode, rows) -> tuple:
-        """Add genuinely-new delta rows to a node's cache; returns them."""
-        new = tuple(row for row in rows if row not in node.seen)
+        """Add genuinely-new delta rows to a node's cache; returns them.
+
+        Deduplicates within ``rows`` as well as against ``seen`` — the
+        updated-left join delta emits each ``dL >< dR`` pair from both
+        of its terms, and a union delta repeats a row derivable from
+        both branches; the cache must stay a set either way.
+        """
+        fresh: list[Row] = []
+        for row in rows:
+            if row not in node.seen:
+                node.seen.add(row)
+                fresh.append(row)
+        new = tuple(fresh)
         if new:
-            node.seen.update(new)
             node.cache = node.cache.extended(new)
             node.plain += sum(1 for row in new if not row.has_local_condition())
             self.counters["delta_rows"] += len(new)
@@ -529,6 +556,38 @@ class ViewManager:
         node.plain -= sum(1 for row in gone if not row.has_local_condition())
         self.counters["removed_rows"] += len(gone)
         self.counters["delta_nodes"] += 1
+
+    def _partition_for(self, node: _PlanNode, index: int) -> JoinPartition:
+        """The maintained partition of child ``index``'s cache for this
+        Join/Product node's join columns — built from the child's
+        *current* cache on first use, reused (and kept in sync by
+        :meth:`_sync_partitions`) afterwards."""
+        part = node.partitions.get(index)
+        if part is not None:
+            self.counters["partition_reuses"] += 1
+            return part
+        on = node.expr.on if isinstance(node.expr, Join) else ()
+        columns = [l for l, _ in on] if index == 0 else [r for _, r in on]
+        part = JoinPartition(node.children[index].cache, columns)
+        node.partitions[index] = part
+        self.counters["partition_builds"] += 1
+        return part
+
+    def _sync_partitions(self, node: _PlanNode, results) -> None:
+        """Mirror the children's walk results into any maintained
+        partitions, keeping them equal to the (just updated) child
+        caches.  A result the walk cannot mirror drops the partition;
+        it will be rebuilt from the fresh cache on next use."""
+        for index, (kind, rows) in enumerate(results):
+            part = node.partitions.get(index)
+            if part is None:
+                continue
+            if kind == "delta":
+                part.add_rows(rows)
+            elif kind == "removed":
+                part.remove_rows(rows)
+            elif kind == "recompute":
+                del node.partitions[index]
 
     def _recompute_node(self, node: _PlanNode):
         """Targeted fallback: rebuild one node from its (already updated)
@@ -600,10 +659,31 @@ class ViewManager:
             else None
         )
 
-        if isinstance(expr, Join):
-            delta = delta_join(left_before, left_delta, right.cache, right_delta, expr.on)
-        elif isinstance(expr, Product):
-            delta = delta_product(left_before, left_delta, right.cache, right_delta)
+        if isinstance(expr, (Join, Product)):
+            # Keep any maintained partitions equal to the just-updated
+            # child caches, then join each delta against the *partition*
+            # of the big cached side instead of re-partitioning it.
+            # With a left partition the left operand is effectively the
+            # updated cache (the partition mirrors it) — the sound
+            # staleness choice per the delta-rule docstring; the extra
+            # dL >< dR pairs it emits are absorbed by _append.
+            self._sync_partitions(node, (left_result, right_result))
+            left_partition = (
+                self._partition_for(node, 0) if right_delta is not None else None
+            )
+            right_partition = (
+                self._partition_for(node, 1) if left_delta is not None else None
+            )
+            if isinstance(expr, Join):
+                delta = delta_join(
+                    left.cache, left_delta, right.cache, right_delta, expr.on,
+                    left_partition=left_partition, right_partition=right_partition,
+                )
+            else:
+                delta = delta_product(
+                    left.cache, left_delta, right.cache, right_delta,
+                    left_partition=left_partition, right_partition=right_partition,
+                )
         elif isinstance(expr, Union):
             delta = delta_union(expr.arity, left_delta, right_delta)
         elif isinstance(expr, Intersect):
@@ -667,6 +747,7 @@ class ViewManager:
         removal = self._removal_delta(node, results)
         if removal is None:
             return self._recompute_node(node)
+        self._sync_partitions(node, results)
         if not removal:
             # The removed inputs derived nothing here: the cache is
             # unchanged and ancestors can skip their guard checks.
@@ -723,10 +804,19 @@ class ViewManager:
                 return None
             removed = CTable("delta", affected.cache.arity, removed_rows)
             on = expr.on if isinstance(expr, Join) else ()
+            # The sibling's cache is unchanged by this update (its walk
+            # result was "none"), so its maintained partition — built
+            # here if absent — is valid and saves re-partitioning it.
             if affected is left:
-                out = join_ct(removed, sibling.cache, on, name="delta")
+                out = join_ct(
+                    removed, sibling.cache, on, name="delta",
+                    right_partition=self._partition_for(node, 1),
+                )
             else:
-                out = join_ct(sibling.cache, removed, on, name="delta")
+                out = join_ct(
+                    sibling.cache, removed, on, name="delta",
+                    left_partition=self._partition_for(node, 0),
+                )
             return tuple(out.rows)
         if isinstance(expr, Union):
             left, right = node.children

@@ -38,6 +38,7 @@ import json
 import os
 
 from ..core.tables import TableDatabase
+from ..io.files import atomic_write_text
 from ..io.jsonio import table_to_json
 from .manager import ViewError, ViewManager
 
@@ -115,12 +116,15 @@ def load_registry(db_path: str) -> dict:
 
 
 def save_registry(db_path: str, registry: dict) -> None:
-    """Write the registry sidecar next to the database file."""
+    """Write the registry sidecar next to the database file.
+
+    Serializes fully before touching disk and replaces the sidecar
+    atomically — a crash mid-save leaves the previous registry intact
+    instead of a truncated JSON file that poisons every later load.
+    """
     path = registry_path(db_path)
     try:
-        with open(path, "w", encoding="utf-8") as fp:
-            json.dump(registry, fp, indent=2)
-            fp.write("\n")
+        atomic_write_text(path, json.dumps(registry, indent=2) + "\n")
     except OSError as exc:
         raise RegistryFormatError(
             f"cannot write {path}: {exc.strerror or exc}"

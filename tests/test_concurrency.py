@@ -389,6 +389,67 @@ class TestSnapshotIsolationStress:
                 f"rep() at version {version} differs from the prefix database"
             )
 
+    def test_cached_dispatch_stress_every_answer_matches_a_prefix(self):
+        """The ground stress test routed through the request cache: with
+        a :class:`QueryDispatcher` (cache enabled) between readers and
+        the session, every answer — cached or freshly evaluated — must
+        still equal evaluation at the update-stream prefix of exactly
+        its version.  A cache that ever served an entry across a version
+        bump fails the prefix check immediately."""
+        from repro.server.pool import QueryDispatcher
+
+        rng = random.Random(0xCAC4E)
+        edges = [(f"n{rng.randrange(8)}", f"n{rng.randrange(8)}") for _ in range(12)]
+        session = DatabaseSession(
+            "g", TableDatabase.single(codd_table("R", 2, set(edges)))
+        )
+        dispatcher = QueryDispatcher(workers=0, cache_size=64)
+        dbs = {0: session.snapshot().db}
+        observations = []
+        obs_lock = threading.Lock()
+
+        def writer():
+            present = set(row_values(session.snapshot().db["R"]))
+            for _ in range(50):
+                if present and rng.random() < 0.4:
+                    fact = rng.choice(sorted(present))
+                    present.discard(fact)
+                    op = ("delete", "R", fact)
+                else:
+                    fact = (f"n{rng.randrange(8)}", f"n{rng.randrange(8)}")
+                    present.add(fact)
+                    op = ("insert", "R", fact)
+                version = session.apply([op])
+                dbs[version] = session.snapshot().db
+
+        def reader():
+            for _ in range(40):
+                result, _served_by = dispatcher.query(session, PATH_QUERY)
+                with obs_lock:
+                    observations.append((result.version, row_values(result.table)))
+
+        run_threads([writer, reader, reader, reader])
+
+        # Quiesced repeats at the final version must hit the cache.
+        dispatcher.query(session, PATH_QUERY)
+        _, served_by = dispatcher.query(session, PATH_QUERY)
+        assert served_by == "cache"
+        assert dispatcher.cache.counters()["hits"] > 0
+        dispatcher.close()
+
+        expression = ra_of_ucq(parse_query(PATH_QUERY))
+        assert observations, "readers never ran"
+        checked = {}
+        for version, answer in observations:
+            assert version in dbs, f"answer at unpublished version {version}"
+            if version not in checked:
+                reference = evaluate_ct(expression, dbs[version], name="Q")
+                checked[version] = row_values(reference)
+            assert answer == checked[version], (
+                f"cached dispatch answer at version {version} matches no "
+                f"prefix of the update stream"
+            )
+
     def test_concurrent_writers_serialize(self):
         """Two writers racing on one session: every op lands exactly
         once and the final database reflects all of them."""

@@ -489,3 +489,70 @@ class TestPropertyRoundTrips:
     @given(_instances())
     def test_instance_json_roundtrip(self, inst):
         assert instance_from_json(instance_to_json(inst)) == inst
+
+
+class TestAtomicWriteText:
+    """Durability of registry/database persists: a crash mid-write must
+    never leave a truncated file behind (the old code's bare
+    ``open(path, "w")`` + incremental dump could)."""
+
+    def test_writes_and_replaces(self, tmp_path):
+        from repro.io.files import atomic_write_text
+
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), '{"v": 1}\n')
+        assert path.read_text(encoding="utf-8") == '{"v": 1}\n'
+        atomic_write_text(str(path), '{"v": 2}\n')
+        assert path.read_text(encoding="utf-8") == '{"v": 2}\n'
+        # No temp files linger after success.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_replace_keeps_old_content_and_cleans_up(
+        self, tmp_path, monkeypatch
+    ):
+        import os as _os
+
+        from repro.io import files as io_files
+
+        path = tmp_path / "out.json"
+        path.write_text("precious\n", encoding="utf-8")
+
+        def failing_replace(src, dst):
+            raise OSError("simulated crash at the rename")
+
+        monkeypatch.setattr(io_files.os, "replace", failing_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            io_files.atomic_write_text(str(path), "overwrite\n")
+        monkeypatch.undo()
+        assert path.read_text(encoding="utf-8") == "precious\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+        assert _os.path.exists(str(path))
+
+    def test_view_registry_save_is_atomic(self, tmp_path, monkeypatch):
+        """``save_registry`` goes through the atomic writer: a simulated
+        crash leaves the previous registry intact and loadable."""
+        from repro.io import files as io_files
+        from repro.views.persist import (
+            REGISTRY_KIND,
+            load_registry,
+            registry_path,
+            save_registry,
+        )
+
+        db_path = str(tmp_path / "db.pwt")
+        registry = {"kind": REGISTRY_KIND, "digest": "d" * 64, "views": {}}
+        save_registry(db_path, registry)
+        assert load_registry(db_path) == registry
+
+        def failing_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(io_files.os, "replace", failing_replace)
+        with pytest.raises(Exception):
+            save_registry(db_path, {"kind": REGISTRY_KIND, "views": {}})
+        monkeypatch.undo()
+        # The old sidecar survived, byte-for-byte valid JSON.
+        assert load_registry(db_path) == registry
+        assert [p.name for p in tmp_path.iterdir()] == [
+            registry_path(db_path).rsplit("/", 1)[-1]
+        ]

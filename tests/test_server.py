@@ -433,6 +433,84 @@ class TestHttpApi:
         with pytest.raises(ServerError, match="cannot reach"):
             client.health()
 
+    def test_served_by_field(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        first = client.query("g", PATH_QUERY)
+        assert first["served_by"] == "inline"
+        second = client.query("g", PATH_QUERY)
+        assert second["served_by"] == "cache"
+        assert second["table"] == first["table"]
+
+    def test_stats_endpoint(self, server_client):
+        _, client = server_client
+        create_graph(client)
+        client.query("g", PATH_QUERY)
+        client.query("g", PATH_QUERY)
+        stats = client.stats()
+        assert set(stats) == {"queries", "cache", "pool", "latency"}
+        assert stats["queries"]["queries"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["pool"]["enabled"] is False
+        assert stats["latency"]["count"] == 2
+        assert stats["latency"]["p99_ms"] >= stats["latency"]["p50_ms"] >= 0.0
+
+    def test_large_responses_are_chunked(self, server_client):
+        from repro.server.app import CHUNK_THRESHOLD
+
+        _, client = server_client
+        rows = [(f"left-{i:06d}", f"right-{i:06d}") for i in range(3000)]
+        client.create_database("big", database_to_json(graph_db(*rows)))
+        import urllib.request
+
+        with urllib.request.urlopen(client.base_url + "/dbs/big/database") as resp:
+            assert resp.headers.get("Transfer-Encoding") == "chunked"
+            assert resp.headers.get("Content-Length") is None
+            body = resp.read()
+        assert len(body) > CHUNK_THRESHOLD
+        payload = json.loads(body)
+        assert len(payload["database"]["tables"][0]["rows"]) == 3000
+        # The client decodes the same framing transparently.
+        snap = client.snapshot("big")
+        assert len(snap["database"]["tables"][0]["rows"]) == 3000
+
+    def test_body_fed_in_two_writes_is_read_whole(self, server_client):
+        """Regression: a request body arriving in several packets used to
+        be truncated by a single ``rfile.read(length)`` short read; the
+        handler must loop until Content-Length bytes arrive."""
+        import socket
+
+        server, client = server_client
+        create_graph(client)
+        body = json.dumps({"query": PATH_QUERY}).encode("utf-8")
+        split = len(body) // 2
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            # TCP_NODELAY so each sendall goes out as its own segment
+            # instead of coalescing in the kernel.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            header = (
+                b"POST /dbs/g/query HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: %d\r\n"
+                b"Connection: close\r\n\r\n" % len(body)
+            )
+            sock.sendall(header + body[:split])
+            threading.Event().wait(0.2)  # let the server's read run dry
+            sock.sendall(body[split:])
+            response = b""
+            while True:
+                piece = sock.recv(65536)
+                if not piece:
+                    break
+                response += piece
+        status = response.split(b"\r\n", 1)[0]
+        assert b"200" in status, response[:200]
+        payload = json.loads(response.split(b"\r\n\r\n", 1)[1])
+        assert row_values(table_from_json(payload["table"])) == {("a", "c")}
+
     def test_many_clients_share_one_server(self, server_client):
         # A light concurrency smoke (the real stress lives in
         # test_concurrency.py): parallel creates and queries all land.
@@ -454,3 +532,58 @@ class TestHttpApi:
         for t in threads:
             t.join()
         assert errors == []
+
+
+class TestHttpWithWorkerPool:
+    """The HTTP surface with the multi-process read pool enabled."""
+
+    @pytest.fixture
+    def pooled(self):
+        server = make_server(port=0, workers=1)
+        start_in_thread(server)
+        host, port = server.server_address[:2]
+        client = ServerClient(f"http://{host}:{port}")
+        try:
+            yield server, client
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_pool_serves_http_queries(self, pooled):
+        server, client = pooled
+        create_graph(client)
+        response = client.query("g", PATH_QUERY)
+        assert response["served_by"] == "pool"
+        assert row_values(table_from_json(response["table"])) == {("a", "c")}
+
+        client.update("g", ["insert", "R", ["c", "d"]])
+        response = client.query("g", PATH_QUERY)
+        assert response["served_by"] == "pool"
+        assert response["version"] == 1
+        assert row_values(table_from_json(response["table"])) == {
+            ("a", "c"),
+            ("b", "d"),
+        }
+        stats = client.stats()
+        assert stats["pool"]["enabled"] is True
+        assert stats["pool"]["alive"] == 1
+        assert stats["pool"]["full_ships"] == 1
+        assert stats["pool"]["delta_ships"] == 1
+
+    def test_worker_errors_surface_as_http_errors(self, pooled):
+        _, client = pooled
+        create_graph(client)
+        with pytest.raises(ServerError) as excinfo:
+            client.query("g", "Q(X) :- Missing(X, Y).")
+        assert excinfo.value.status == 400
+
+    def test_server_close_stops_the_pool(self):
+        server = make_server(port=0, workers=1)
+        start_in_thread(server)
+        pool = server.dispatcher.pool
+        assert pool.alive_workers() == 1
+        server.shutdown()
+        server.server_close()
+        for slot in pool._slots:
+            slot.process.join(timeout=5.0)
+        assert pool.alive_workers() == 0

@@ -31,7 +31,7 @@ from repro.core.tables import CTable, Row, TableDatabase, c_table, codd_table
 from repro.core.terms import Constant, Variable
 from repro.core.worlds import enumerate_worlds, strong_canonicalize
 from repro.ctalgebra import evaluate_ct
-from repro.ctalgebra.operators import _join_partition, join_ct
+from repro.ctalgebra.operators import JoinPartition, _join_partition, join_ct
 from repro.extensions import (
     apply_update,
     delete_fact,
@@ -509,6 +509,112 @@ class TestPinnedJoinPartition:
             left.constants() | right.constants(), key=Constant.sort_key
         )
         assert _rep(hashed, extra) == _rep(naive, extra)
+
+
+class TestPersistentJoinPartition:
+    """The maintained counterpart of ``_join_partition``: built once,
+    synced with add/remove, handed back to ``join_ct``."""
+
+    def sample_table(self):
+        return c_table(
+            "R", 2, [((Variable("p"), 10), "p = 3"), ((4, 11),), (("?w", 12),)]
+        )
+
+    def test_matches_one_shot_partition(self):
+        table = self.sample_table()
+        buckets, wild, alive = _join_partition(table, [0])
+        partition = JoinPartition(table, [0])
+        assert partition.buckets.keys() == buckets.keys()
+        assert partition.wild == wild
+        assert partition.alive == alive
+
+    def test_add_and_remove_keep_classification_in_sync(self):
+        table = self.sample_table()
+        partition = JoinPartition(table, [0])
+        extra = (Row((Constant(4), Constant(13))), Row((Variable("q"), Constant(14))))
+        partition.add_rows(extra)
+        assert len(partition.alive) == 5
+        assert len(partition.buckets[(Constant(4),)]) == 2
+        assert len(partition.wild) == 2
+        partition.remove_rows(extra)
+        reference = JoinPartition(table, [0])
+        assert partition.buckets.keys() == reference.buckets.keys()
+        assert partition.wild == reference.wild
+        assert sorted(partition.alive, key=repr) == sorted(
+            reference.alive, key=repr
+        )
+
+    def test_removing_the_last_bucket_row_drops_the_bucket(self):
+        table = codd_table("R", 2, [(1, 8), (2, 9)])
+        partition = JoinPartition(table, [0])
+        partition.remove_rows([Row((Constant(1), Constant(8)))])
+        assert (Constant(1),) not in partition.buckets
+        assert len(partition.alive) == 1
+
+    def test_join_with_supplied_partition_matches_plain_join(self):
+        left = self.sample_table()
+        right = codd_table("S", 2, [(3, 0), (4, 1), (5, 2)])
+        plain = join_ct(left, right, [(0, 0)], name="J")
+        partitioned = join_ct(
+            left, right, [(0, 0)], name="J",
+            left_partition=JoinPartition(left, [0]),
+        )
+        assert set(partitioned.rows) == set(plain.rows)
+        both = join_ct(
+            left, right, [(0, 0)], name="J",
+            left_partition=JoinPartition(left, [0]),
+            right_partition=JoinPartition(right, [0]),
+        )
+        assert set(both.rows) == set(plain.rows)
+
+    def test_mismatched_partition_columns_are_rejected(self):
+        left = self.sample_table()
+        right = codd_table("S", 2, [(3, 0)])
+        with pytest.raises(ValueError, match="columns"):
+            join_ct(
+                left, right, [(0, 0)], name="J",
+                left_partition=JoinPartition(left, [1]),
+            )
+
+    def test_manager_reuses_partitions_across_inserts(self):
+        """A stream of fact-side inserts against a star view: the big
+        dimension-side partitions are built once and reused, not rebuilt
+        per update."""
+        db, expr = _star(seed=11, num_dims=2, dim_rows=6, fact_rows=24)
+        manager = ViewManager(db)
+        manager.define("V", expr)
+        assert manager.counters["partition_builds"] == 0
+        fresh = [(i % 6, (i + 1) % 6) for i in range(6)]
+        for fact in fresh:
+            db = insert_fact(db, "F", fact, views=manager)
+            assert set(manager.get("V").rows) == set(
+                evaluate_ct(expr, db, name="V").rows
+            )
+        builds = manager.counters["partition_builds"]
+        reuses = manager.counters["partition_reuses"]
+        assert builds > 0
+        assert reuses > builds, (builds, reuses)
+        # More inserts: reuse keeps growing, builds stay flat.
+        for fact in [(i % 6, (i + 2) % 6) for i in range(6)]:
+            db = insert_fact(db, "F", fact, views=manager)
+        assert manager.counters["partition_builds"] == builds
+        assert manager.counters["partition_reuses"] > reuses
+
+    def test_manager_partitions_survive_deletes(self):
+        db, expr = _star(seed=13, num_dims=2, dim_rows=5, fact_rows=20)
+        manager = ViewManager(db)
+        manager.define("V", expr)
+        facts = [tuple(t.value for t in row.terms) for row in db["F"].rows]
+        for fact in facts[:4]:
+            db = delete_fact(db, "F", fact, views=manager)
+            assert set(manager.get("V").rows) == set(
+                evaluate_ct(expr, db, name="V").rows
+            )
+        for fact in [(i % 5, (i + 3) % 5) for i in range(3)]:
+            db = insert_fact(db, "F", fact, views=manager)
+            assert set(manager.get("V").rows) == set(
+                evaluate_ct(expr, db, name="V").rows
+            )
 
 
 # ---------------------------------------------------------------------------
