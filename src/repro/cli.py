@@ -276,23 +276,30 @@ def _save_registry(db_path: str, registry: dict) -> None:
 
 
 def _view_name_of(query_text: str) -> str:
-    """The head predicate naming a view, with parse errors as CLI errors."""
-    from .relational.parser import ParseError, parse_query
+    """The head predicate naming a view, with parse errors as CLI errors.
+
+    The first rule's head names the view — for a recursive program that
+    is the derived predicate the view materializes.
+    """
+    from .relational.parser import ParseError, parse_rules
 
     try:
-        return parse_query(query_text).rules[0].head.pred
+        rules = parse_rules(query_text)
     except (ParseError, ValueError) as exc:
         raise CliError(f"view: cannot compile view query: {exc}") from exc
+    if not rules:
+        raise CliError("view: empty view query")
+    return rules[0].head.pred
 
 
 def _materialize_view(manager, name: str, query_text: str):
     """Plan and evaluate one view in ``manager``, mapping every
     evaluation failure (bad query, unknown relation, arity mismatch) to
-    a clean CLI error."""
+    a clean CLI error.  Recursive rule text registers a Datalog view."""
     from .views import ViewError
 
     try:
-        return manager.define(name, query_text)
+        return manager.define_text(name, query_text)
     except KeyError as exc:
         raise CliError(f"view: unknown relation {exc}") from exc
     except (ViewError, ValueError) as exc:
@@ -435,6 +442,125 @@ def _answer_from_views(views: dict, digest: str, expression, explain: bool):
     return None
 
 
+def _answer_from_datalog_views(views: dict, digest: str, program, explain: bool):
+    """A fresh registered recursive view matching ``program``, if any.
+
+    The Datalog counterpart of :func:`_answer_from_views`: matching is
+    syntactic on :func:`~repro.queries.fixpoint.datalog_fingerprint`
+    (rule set + output choice), restricted to single-output programs —
+    the sidecar stores one table per view.
+    """
+    from .io.jsonio import table_from_json
+    from .queries.fixpoint import datalog_fingerprint
+    from .relational.parser import ParseError, parse_datalog
+
+    if not views:
+        if explain:
+            print("-- view: no views registered; evaluating from base tables")
+        return None
+    if len(program.outputs) != 1:
+        if explain:
+            print(
+                "-- view: program has several output predicates; "
+                "evaluating from base tables"
+            )
+        return None
+    wanted = datalog_fingerprint(program)
+    stale = []
+    for name, entry in sorted(views.items()):
+        try:
+            candidate = datalog_fingerprint(parse_datalog(entry.get("query", "")))
+        except (ParseError, ValueError):
+            continue  # a non-Datalog or hand-mangled entry; never fatal
+        if candidate != wanted:
+            continue
+        if entry.get("digest") != digest:
+            stale.append(name)
+            continue
+        try:
+            table = table_from_json(entry.get("table") or {})
+        except (KeyError, ValueError):
+            continue  # stored materialization mangled by hand: fall through
+        if explain:
+            print(f"-- view: answered by materialized view {name!r} (fresh)")
+        return name, table
+    if explain:
+        if stale:
+            print(
+                f"-- view: {', '.join(repr(s) for s in stale)} match(es) but "
+                "the database changed since materialization (stale); "
+                "evaluating from base tables (repro view refresh to update)"
+            )
+        else:
+            print("-- view: no registered view matches; evaluating from base tables")
+    return None
+
+
+def _eval_datalog(args, db, store) -> int:
+    """The ``eval --datalog`` path: least fixpoints over the c-tables."""
+    from .queries.fixpoint import CTFixpoint, naive_ct_refixpoint
+    from .relational.parser import ParseError, parse_datalog
+    from .relational.planner import PlanError
+
+    view_registry = None
+    if args.use_views and not args.naive:
+        view_registry = (
+            _load_registry(args.database)["views"],
+            _db_digest(args.database),
+        )
+    for position, query_arg in enumerate(args.query):
+        query_text = _read_query_argument(query_arg)
+        try:
+            program = CTFixpoint(parse_datalog(query_text), ordering=args.ordering)
+        except (ParseError, PlanError, ValueError) as exc:
+            raise CliError(f"query: {exc}") from exc
+        if position:
+            print()
+        if len(args.query) > 1:
+            print(f"-- program {position + 1}: outputs {', '.join(program.outputs)}")
+        if view_registry is not None:
+            answered = _answer_from_datalog_views(*view_registry, program, args.explain)
+            if answered is not None:
+                from .core.tables import CTable
+
+                name, table = answered
+                view = CTable(name, table.arity, table.rows, table.global_condition)
+                print(
+                    f"-- {view.name}/{view.arity} "
+                    f"({view.classify()}-table, {len(view)} rows)"
+                )
+                print(view)
+                continue
+        try:
+            if args.naive:
+                if args.plan:
+                    for head, expr in program.rule_plans:
+                        print(f"-- expression[{head}]: {expr!r}")
+                out = naive_ct_refixpoint(program, db)
+                trace: list[str] = []
+            else:
+                evaluation = program.evaluation(db, stats=store.snapshot())
+                if args.plan:
+                    for head, root in evaluation.rule_roots:
+                        print(f"-- plan[{head}]: {root.expr!r}")
+                out = evaluation.database()
+                trace = evaluation.trace
+        except KeyError as exc:
+            raise CliError(f"evaluation: unknown relation {exc}") from exc
+        except ValueError as exc:
+            raise CliError(f"evaluation: {exc}") from exc
+        if args.explain:
+            for line in trace:
+                print(f"-- {line}")
+        for table in out:
+            print(
+                f"-- {table.name}/{table.arity} "
+                f"({table.classify()}-table, {len(table)} rows)"
+            )
+            print(table)
+    return EXIT_YES
+
+
 def _read_query_argument(query_arg: str) -> str:
     import os
 
@@ -482,6 +608,8 @@ def _cmd_eval(args) -> int:
             "(the oracle path never answers from materializations)",
             file=sys.stderr,
         )
+    if args.datalog:
+        return _eval_datalog(args, db, store)
     view_registry = None
     if args.use_views and not args.naive:
         # Loaded once: neither the sidecar nor the database file can
@@ -804,6 +932,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="answer from a fresh materialized view (repro view define) when "
         "one matches the query; --explain says which view answered",
+    )
+    p.add_argument(
+        "--datalog",
+        action="store_true",
+        help="treat each query as a recursive Datalog program and evaluate "
+        "it to a least fixpoint over the c-tables (semi-naive; --naive "
+        "switches to the whole-program refixpoint oracle)",
     )
     p.set_defaults(func=_cmd_eval)
 

@@ -2,6 +2,13 @@
 
 from .base import IDENTITY, IdentityQuery, Query
 from .datalog import DatalogQuery, naive_fixpoint, seminaive_fixpoint
+from .fixpoint import (
+    CTFixpoint,
+    FixpointEvaluation,
+    canonical_condition,
+    datalog_fingerprint,
+    naive_ct_refixpoint,
+)
 from .firstorder import (
     And,
     Compare,
@@ -38,4 +45,9 @@ __all__ = [
     "DatalogQuery",
     "naive_fixpoint",
     "seminaive_fixpoint",
+    "CTFixpoint",
+    "FixpointEvaluation",
+    "canonical_condition",
+    "datalog_fingerprint",
+    "naive_ct_refixpoint",
 ]

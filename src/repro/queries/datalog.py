@@ -42,14 +42,23 @@ def _check_pure(rules: Sequence[Rule]) -> None:
 
 def _arities(rules: Sequence[Rule], edb_schema: DatabaseSchema | None) -> dict[str, int]:
     arities: dict[str, int] = {}
+    schema_names = set()
     if edb_schema is not None:
         for rel in edb_schema:
             arities[rel.name] = rel.arity
+            schema_names.add(rel.name)
     for rule in rules:
         for a in (rule.head, *rule.body):
             prev = arities.setdefault(a.pred, a.arity)
             if prev != a.arity:
-                raise ValueError(f"predicate {a.pred!r} used with arities {prev} and {a.arity}")
+                if a.pred in schema_names:
+                    raise ValueError(
+                        f"predicate {a.pred!r} used with arity {a.arity} in "
+                        f"{rule!r} but the instance relation has arity {prev}"
+                    )
+                raise ValueError(
+                    f"predicate {a.pred!r} used with arities {prev} and {a.arity}"
+                )
     return arities
 
 
@@ -88,6 +97,10 @@ class DatalogQuery(Query):
     # -- Query interface -------------------------------------------------------
 
     def output_schema(self, input_schema: DatabaseSchema) -> DatabaseSchema:
+        # Validates every predicate against the input schema as a side
+        # effect, so arity clashes surface here instead of deep in
+        # unification (or silently, when the bad atom never matches).
+        _arities(self.rules, input_schema)
         return DatabaseSchema(
             [RelationSchema(n, self._arities[n]) for n in self.outputs]
         )
@@ -104,6 +117,7 @@ class DatalogQuery(Query):
         return False
 
     def __call__(self, instance: Instance) -> Instance:
+        _arities(self.rules, instance.schema())
         if self.engine == "naive":
             store = naive_fixpoint(self.rules, instance)
         else:

@@ -18,7 +18,8 @@ Routes (all bodies and responses JSON)::
     GET    /dbs/{db}/database              full database JSON + version
     POST   /dbs/{db}/query                 {"query": "V(X) :- R(X, Y).",
                                             "ordering"?, "naive"?,
-                                            "use_views"?, "explain"?}
+                                            "use_views"?, "explain"?,
+                                            "datalog"?}
     POST   /dbs/{db}/update                {"op": [...]} or {"ops": [[...], ...]}
                                            ops: ["insert", rel, fact],
                                            ["delete", rel, fact],
@@ -248,6 +249,7 @@ class _Handler(BaseHTTPRequestHandler):
             naive=bool(body.get("naive", False)),
             use_views=bool(body.get("use_views", False)),
             explain=bool(body.get("explain", False)),
+            datalog=bool(body.get("datalog", False)),
         )
         payload = {
             "version": result.version,

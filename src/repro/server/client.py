@@ -118,6 +118,7 @@ class ServerClient:
         naive: bool = False,
         use_views: bool = False,
         explain: bool = False,
+        datalog: bool = False,
     ) -> dict:
         payload: dict = {"query": query_text}
         if ordering is not None:
@@ -128,6 +129,8 @@ class ServerClient:
             payload["use_views"] = True
         if explain:
             payload["explain"] = True
+        if datalog:
+            payload["datalog"] = True
         return self._request("POST", f"/dbs/{name}/query", payload)
 
     def update(self, name: str, *ops) -> dict:

@@ -523,13 +523,19 @@ class QueryDispatcher:
         naive: bool = False,
         use_views: bool = False,
         explain: bool = False,
+        datalog: bool = False,
     ) -> "tuple[QueryResult, str]":
         start = time.perf_counter()
         self._bump("queries")
         try:
-            result, served_by = self._query(
-                session, query_text, ordering, naive, use_views, explain
-            )
+            if datalog:
+                result, served_by = self._query_datalog(
+                    session, query_text, ordering, naive, use_views, explain
+                )
+            else:
+                result, served_by = self._query(
+                    session, query_text, ordering, naive, use_views, explain
+                )
         except BaseException:
             self._bump("errors")
             raise
@@ -537,6 +543,41 @@ class QueryDispatcher:
             self.latency.record(time.perf_counter() - start)
         self._bump(f"{served_by}_answers")
         return result, served_by
+
+    def _query_datalog(self, session, query_text, ordering, naive, use_views, explain):
+        """Recursive Datalog dispatch: cache → session (view match + fixpoint).
+
+        The worker pool rung is skipped — workers speak the UCQ wire
+        protocol only — so the ladder here is cache → view → inline.
+        The cache key is the program's Datalog fingerprint (rule-set
+        canonical, so reordered rule text still hits).
+        """
+        from ..queries.fixpoint import datalog_fingerprint
+
+        program = session.compile_datalog(query_text, ordering or session.ordering)
+        cacheable = self.cache is not None and not explain
+        key = None
+        if cacheable:
+            fingerprint = datalog_fingerprint(program)
+            key = (session.name, session.version, fingerprint, ordering, naive, use_views)
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit, "cache"
+        result = session.query(
+            query_text,
+            ordering=ordering,
+            naive=naive,
+            use_views=use_views,
+            explain=explain,
+            datalog=True,
+        )
+        if cacheable:
+            if result.version != key[1]:
+                key = (session.name, result.version) + key[2:]
+            self.cache.put(key, result)
+        if result.answered_by_view is not None:
+            return result, "view"
+        return result, "inline"
 
     def _query(self, session, query_text, ordering, naive, use_views, explain):
         from ..relational.planner import plan_fingerprint

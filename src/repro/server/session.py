@@ -190,14 +190,21 @@ class DatabaseSession:
         naive: bool = False,
         use_views: bool = False,
         explain: bool = False,
+        datalog: bool = False,
     ) -> QueryResult:
-        """Evaluate a UCQ over the current snapshot.
+        """Evaluate a UCQ — or, with ``datalog=True``, a recursive
+        Datalog program — over the current snapshot.
 
         Entirely lock-free: planning and evaluation run against the
         snapshot's database and statistics, so a concurrent writer can
         publish any number of new versions mid-query without this
         reader observing them.
         """
+        if datalog:
+            return self._query_datalog(
+                query_text, ordering=ordering, naive=naive,
+                use_views=use_views, explain=explain,
+            )
         name, expression = self._compile(query_text)
         snap = self._snapshot
         if use_views:
@@ -227,6 +234,50 @@ class DatabaseSession:
             raise SessionError(f"evaluation: {exc}") from exc
         return QueryResult(table, snap.version, explain=explain_lines)
 
+    def _query_datalog(
+        self,
+        query_text: str,
+        ordering: "str | None" = None,
+        naive: bool = False,
+        use_views: bool = False,
+        explain: bool = False,
+    ) -> QueryResult:
+        """Evaluate a recursive Datalog program over the current snapshot.
+
+        The result table is the program's **first** output predicate
+        (the whole fixpoint is computed; single-output programs — the
+        common case, e.g. transitive closure — are unambiguous).  With
+        ``use_views``, a registered recursive view whose Datalog
+        fingerprint matches answers from the snapshot's materialization
+        cut, exactly like UCQ view matching.
+        """
+        from ..queries.fixpoint import datalog_fingerprint, naive_ct_refixpoint
+
+        program = self.compile_datalog(query_text, ordering or self._ordering)
+        snap = self._snapshot
+        if use_views and len(program.outputs) == 1:
+            wanted = datalog_fingerprint(program)
+            for view_name, _query, fingerprint, table in snap.views:
+                if fingerprint == wanted:
+                    result = CTable(
+                        program.outputs[0], table.arity, table.rows,
+                        table.global_condition,
+                    )
+                    return QueryResult(result, snap.version, answered_by_view=view_name)
+        try:
+            if naive:
+                out = naive_ct_refixpoint(program, snap.db)
+                trace: "list[str] | None" = None
+            else:
+                evaluation = program.evaluation(snap.db, stats=snap.stats)
+                out = evaluation.database()
+                trace = evaluation.trace if explain else None
+        except KeyError as exc:
+            raise SessionError(f"evaluation: unknown relation {exc}") from exc
+        except ValueError as exc:
+            raise SessionError(f"evaluation: {exc}") from exc
+        return QueryResult(out[program.outputs[0]], snap.version, explain=trace)
+
     @staticmethod
     def compile_query(query_text: str):
         """Parse and plan a UCQ; returns ``(head_name, expression)``.
@@ -244,6 +295,22 @@ class DatabaseSession:
             raise SessionError(f"query: {exc}") from exc
 
     _compile = compile_query
+
+    @staticmethod
+    def compile_datalog(query_text: str, ordering: str = "dp"):
+        """Parse and compile a recursive Datalog program.
+
+        The Datalog counterpart of :meth:`compile_query`; public so the
+        dispatch layer can fingerprint a program without evaluating it.
+        """
+        from ..queries.fixpoint import CTFixpoint
+        from ..relational.parser import ParseError, parse_datalog
+        from ..relational.planner import PlanError
+
+        try:
+            return CTFixpoint(parse_datalog(query_text), ordering=ordering)
+        except (ParseError, PlanError, ValueError) as exc:
+            raise SessionError(f"query: {exc}") from exc
 
     # -- writes --------------------------------------------------------------
 
@@ -293,17 +360,24 @@ class DatabaseSession:
     # -- views ---------------------------------------------------------------
 
     def define_view(self, query_text: str) -> CTable:
-        """Register and materialize a view named by the rule head."""
-        from ..relational.parser import ParseError, parse_query
+        """Register and materialize a view named by the first rule head.
+
+        Recursive rule text registers a Datalog view (maintained by
+        incremental re-fixpoint); plain UCQs register as before.
+        """
+        from ..relational.parser import ParseError, parse_rules
         from ..views import ViewError
 
         try:
-            name = parse_query(query_text).rules[0].head.pred
+            rules = parse_rules(query_text)
+            if not rules:
+                raise SessionError("view: empty view query")
+            name = rules[0].head.pred
         except (ParseError, ValueError) as exc:
             raise SessionError(f"view: {exc}") from exc
         with self._write_lock:
             try:
-                self._views.define(name, query_text)
+                self._views.define_text(name, query_text)
             except KeyError as exc:
                 raise SessionError(f"view: unknown relation {exc}") from exc
             except (ViewError, ValueError) as exc:

@@ -38,6 +38,14 @@ intermediate, maintained once per update.  Per-view dependency tracking
 (the set of relations a view reads) makes updates to unrelated relations
 free.
 
+Recursive (Datalog) programs register through :meth:`ViewManager.
+define_datalog`: the view holds a live
+:class:`~repro.queries.fixpoint.FixpointEvaluation`, so inserts maintain
+it by *incremental re-fixpoint* — the inserted row seeds a delta and
+semi-naive rounds resume from the saturated caches — while deletions and
+modifications re-fixpoint from scratch (no sound removal delta exists
+for a fixpoint; see :class:`_RecursiveView`).
+
 The manager plugs into the mutation path of
 :mod:`repro.extensions.updates`: ``insert_fact(db, ..., views=manager)``
 notifies the manager alongside the ``StatsStore`` invalidation.
@@ -85,6 +93,7 @@ from ..relational.algebra import (
     Select,
     Union,
 )
+from ..queries.fixpoint import CTFixpoint, datalog_fingerprint
 from ..relational.planner import plan, plan_fingerprint, ra_of_ucq
 from ..relational.stats import StatsStore
 
@@ -157,6 +166,36 @@ class _View:
         return self.root.relations
 
 
+class _RecursiveView:
+    """A recursive (Datalog) view, maintained by re-fixpoint.
+
+    Holds a live :class:`~repro.queries.fixpoint.FixpointEvaluation`:
+    base-table inserts re-run semi-naive rounds from the saturated
+    caches (exact, because Datalog is monotone); deletions and
+    modifications discard the evaluation and re-fixpoint from scratch —
+    the recursive analogue of targeted recomputation, since a rewritten
+    base-row condition invalidates every round that consumed it.
+    ``source_fingerprint`` is a :func:`~repro.queries.fixpoint.
+    datalog_fingerprint`, disjoint from plan fingerprints, so UCQ view
+    matching never collides with recursive programs.
+    """
+
+    __slots__ = (
+        "name", "query_text", "program", "evaluation", "output",
+        "source_fingerprint", "relations", "cache",
+    )
+
+    def __init__(self, name, query_text, program, evaluation, output) -> None:
+        self.name = name
+        self.query_text = query_text
+        self.program = program
+        self.evaluation = evaluation
+        self.output = output
+        self.source_fingerprint = datalog_fingerprint(program)
+        self.relations = program.referenced()
+        self.cache = evaluation.table(output, name=name)
+
+
 class ViewManager:
     """Registry + incremental maintainer of materialized c-table views.
 
@@ -202,6 +241,8 @@ class ViewManager:
             "skipped_updates": 0,
             "partition_builds": 0,
             "partition_reuses": 0,
+            "refixpoint_rounds": 0,
+            "refixpoint_recomputes": 0,
         }
 
     # -- registry ------------------------------------------------------------
@@ -260,6 +301,73 @@ class ViewManager:
             self._views[name] = view
             return self.get(name)
 
+    def define_datalog(
+        self, name: str, program, output: "str | None" = None
+    ) -> CTable:
+        """Register and materialize a **recursive** (Datalog) view.
+
+        ``program`` is rule text (recursion allowed), a
+        :class:`~repro.queries.DatalogQuery`, a rule sequence or a
+        pre-compiled :class:`~repro.queries.CTFixpoint`.  The view
+        materializes one derived predicate — ``output``, defaulting to
+        the view's own name — as its table; the full fixpoint state stays
+        live so base-table inserts maintain it incrementally.
+        """
+        with self.lock:
+            if name in self._views:
+                raise ViewError(f"view {name!r} is already defined (drop it first)")
+            query_text = None
+            if isinstance(program, str):
+                query_text = program
+                compiled = self._compile_datalog(program)
+            elif isinstance(program, CTFixpoint):
+                compiled = program
+            else:
+                try:
+                    compiled = CTFixpoint(program, ordering=self._ordering)
+                except ValueError as exc:
+                    raise ViewError(f"cannot compile recursive view: {exc}") from exc
+            chosen = output if output is not None else name
+            if chosen not in compiled.idb:
+                raise ViewError(
+                    f"recursive view output {chosen!r} is not a derived "
+                    f"predicate of the program (have {sorted(compiled.idb)})"
+                )
+            snapshot = self._store.snapshot(self._db)
+            try:
+                evaluation = compiled.evaluation(self._db, stats=snapshot)
+            except ValueError as exc:
+                raise ViewError(f"cannot materialize recursive view: {exc}") from exc
+            self._views[name] = _RecursiveView(
+                name, query_text, compiled, evaluation, chosen
+            )
+            return self.get(name)
+
+    @staticmethod
+    def text_is_recursive(query_text: str) -> bool:
+        """Does rule text define a recursive (Datalog) program?"""
+        from ..relational.parser import ParseError, parse_rules
+
+        try:
+            rules = parse_rules(query_text)
+        except (ParseError, ValueError) as exc:
+            raise ViewError(f"cannot compile view query: {exc}") from exc
+        heads = {rule.head.pred for rule in rules}
+        return any(
+            body_atom.pred in heads for rule in rules for body_atom in rule.body
+        )
+
+    def define_text(self, name: str, query_text: str) -> CTable:
+        """Register a view from rule text, recursive or not.
+
+        The text-facing front door shared by the sidecar registry and the
+        server: recursive programs dispatch to :meth:`define_datalog`,
+        plain UCQs to :meth:`define`.
+        """
+        if self.text_is_recursive(query_text):
+            return self.define_datalog(name, query_text)
+        return self.define(name, query_text)
+
     def drop(self, name: str) -> None:
         """Forget a view; subplan caches no other view uses are released."""
         with self.lock:
@@ -268,7 +376,8 @@ class ViewManager:
             del self._views[name]
             live: dict[str, _PlanNode] = {}
             for view in self._views.values():
-                live.update(self._collect(view.root))
+                if isinstance(view, _View):
+                    live.update(self._collect(view.root))
             self._nodes = live
 
     def get(self, name: str) -> CTable:
@@ -277,6 +386,8 @@ class ViewManager:
         deduplicated, so this is a rename, not a copy."""
         with self.lock:
             view = self._view(name)
+            if isinstance(view, _RecursiveView):
+                return view.cache
             cache = view.root.cache
             return CTable._trusted(
                 view.name, cache.arity, cache.rows, cache.global_condition
@@ -327,6 +438,26 @@ class ViewManager:
                     return name, self.get(name)
             return None
 
+    def lookup_datalog(self, program) -> "tuple[str, CTable] | None":
+        """A registered recursive view answering ``program``, if any.
+
+        The recursive counterpart of :meth:`lookup`: matching is
+        syntactic on :func:`~repro.queries.fixpoint.datalog_fingerprint`
+        (rule set + output choice), restricted to views whose output
+        covers the whole program — a program with several output
+        predicates never matches a single-table view.
+        """
+        with self.lock:
+            fingerprint = datalog_fingerprint(program)
+            for name, view in self._views.items():
+                if (
+                    isinstance(view, _RecursiveView)
+                    and view.source_fingerprint == fingerprint
+                    and view.program.outputs == (view.output,)
+                ):
+                    return name, self.get(name)
+            return None
+
     def refresh(self, name: str | None = None, db: TableDatabase | None = None) -> None:
         """Recompute one view (or all) from the current database.
 
@@ -351,7 +482,10 @@ class ViewManager:
             self._epoch += 1
             views = [self._view(name)] if name is not None else list(self._views.values())
             for view in views:
-                self._refresh_walk(view.root)
+                if isinstance(view, _RecursiveView):
+                    self._refixpoint(view)
+                else:
+                    self._refresh_walk(view.root)
 
     # -- mutation notifications ----------------------------------------------
 
@@ -366,7 +500,10 @@ class ViewManager:
             row = Row(tuple(as_constant(v) for v in fact))
             before = dict(self.counters)
             for view in affected:
-                self._insert_walk(view.root, relation, row)
+                if isinstance(view, _RecursiveView):
+                    self._recursive_insert(view, relation, row)
+                else:
+                    self._insert_walk(view.root, relation, row)
             self._log_delta(relation, "insert into", affected, before)
 
     def notify_delete(self, relation: str, fact: Iterable, db: TableDatabase) -> None:
@@ -381,9 +518,18 @@ class ViewManager:
                 return
             before = dict(self.counters)
             for view in affected:
-                self._delete_walk(view.root, relation)
+                if isinstance(view, _RecursiveView):
+                    # No removal delta exists for a fixpoint: a rewritten
+                    # (or removed) base row invalidates every round that
+                    # consumed it, so re-fixpoint from scratch.
+                    self._refixpoint(view)
+                else:
+                    self._delete_walk(view.root, relation)
             removed = self.counters["removed_rows"] - before["removed_rows"]
             recomputed = self.counters["recomputed_nodes"] - before["recomputed_nodes"]
+            refixpoints = (
+                self.counters["refixpoint_recomputes"] - before["refixpoint_recomputes"]
+            )
             line = f"delete from {relation}: {len(affected)} view(s), -{removed} row(s)"
             if recomputed:
                 # Only priced when something recomputed: collect the distinct
@@ -391,11 +537,14 @@ class ViewManager:
                 # how many kept their caches.
                 nodes: dict[str, _PlanNode] = {}
                 for view in affected:
-                    nodes.update(self._collect(view.root))
+                    if isinstance(view, _View):
+                        nodes.update(self._collect(view.root))
                 line += (
                     f", {recomputed} node(s) recomputed, "
                     f"{max(len(nodes) - recomputed, 0)} cached subplan(s) reused"
                 )
+            if refixpoints:
+                line += f", {refixpoints} recursive view(s) re-fixpointed"
             self._log(line)
 
     def notify_modify(
@@ -425,6 +574,35 @@ class ViewManager:
             return ra_of_ucq(parse_query(query_text))
         except (ParseError, ValueError) as exc:
             raise ViewError(f"cannot compile view query: {exc}") from exc
+
+    def _compile_datalog(self, query_text: str) -> CTFixpoint:
+        from ..relational.parser import ParseError, parse_datalog
+
+        try:
+            return CTFixpoint(parse_datalog(query_text), ordering=self._ordering)
+        except (ParseError, ValueError) as exc:
+            raise ViewError(f"cannot compile recursive view: {exc}") from exc
+
+    def _recursive_insert(self, view: _RecursiveView, relation: str, row: Row) -> None:
+        """Incremental maintenance of a recursive view: seed the insert as
+        a delta and re-run semi-naive rounds from the saturated caches."""
+        evaluation = view.evaluation
+        before = sum(fs.count for fs in evaluation.facts.values())
+        rounds = evaluation.insert_base(relation, (row,))
+        derived = sum(fs.count for fs in evaluation.facts.values()) - before
+        self.counters["refixpoint_rounds"] += rounds
+        if derived:
+            self.counters["delta_rows"] += derived
+            self.counters["delta_nodes"] += 1
+            view.cache = evaluation.table(view.output, name=view.name)
+
+    def _refixpoint(self, view: _RecursiveView) -> None:
+        """Recompute a recursive view from scratch over the current
+        database (the delete/modify/refresh fallback)."""
+        snapshot = self._store.snapshot(self._db)
+        view.evaluation = view.program.evaluation(self._db, stats=snapshot)
+        view.cache = view.evaluation.table(view.output, name=view.name)
+        self.counters["refixpoint_recomputes"] += 1
 
     def _intern(self, expr: RAExpression) -> _PlanNode:
         fingerprint = plan_fingerprint(expr)

@@ -201,5 +201,5 @@ def manager_from_registry(
                 f"view {name!r} has no stored query (registry edited by "
                 "hand?); repro view drop it"
             )
-        manager.define(name, query_text)
+        manager.define_text(name, query_text)
     return manager, stale

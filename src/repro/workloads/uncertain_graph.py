@@ -1,0 +1,207 @@
+"""Uncertain-graph workloads: edge tables with variables and Or-domains.
+
+The raw material for the recursive-Datalog engine's tests and benchmark
+(:mod:`repro.queries.fixpoint`): graphs stored as binary ``edge``
+c-tables whose rows may carry
+
+* **variable endpoints** — an edge into a labelled null, so different
+  worlds wire the graph differently;
+* **conditional existence** — a local condition ``v = c`` making the
+  edge present only in the worlds that choose ``c``;
+* **Or-domains** — a local condition ``v = a or v = b`` restricting a
+  choice variable to a small explicit domain (the classic "attribute
+  value is one of these" incomplete-information shape, exercising the
+  :class:`~repro.core.conditions.BoolOr` branch of the fixpoint's
+  canonical-DNF machinery).
+
+Transitive closure over such a table is a genuinely *uncertain*
+reachability question: each world of the database induces its own
+closure, and ``rep(fixpoint(db)) = {closure(world) : world in rep(db)}``
+is exactly what the differential tests in ``tests/test_datalog_ct.py``
+check via :func:`~repro.core.canonical.strong_canonicalize`.
+
+Variables multiply the world count, so the generators keep the pool
+small by default (``num_variables=2``) — world enumeration stays
+tractable for the oracle harness.  :func:`layered_uncertain_graph`
+instead targets the *benchmark* axis: a deep layered DAG whose closure
+needs many rounds, which is where semi-naive evaluation separates from
+naive whole-program refixpointing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.conditions import BoolAtom, BoolOr, Conjunction, Eq
+from ..core.tables import CTable, Row, TableDatabase
+from ..core.terms import Constant, Variable
+
+__all__ = [
+    "uncertain_edge_table",
+    "uncertain_graph_database",
+    "layered_uncertain_graph",
+    "transitive_closure_program",
+    "reachability_program",
+    "same_generation_program",
+]
+
+#: The canonical transitive-closure program over ``edge/2``.
+_TC_TEMPLATE = "{tc}(X,Y) :- {edge}(X,Y). {tc}(X,Z) :- {tc}(X,Y), {edge}(Y,Z)."
+
+#: Reachability from a unary ``source`` relation along ``edge/2``.
+_REACH_TEMPLATE = (
+    "{reach}(X) :- {source}(X). {reach}(Y) :- {reach}(X), {edge}(X,Y)."
+)
+
+#: The same-generation program: non-linear recursion (two IDB body atoms).
+_SG_TEMPLATE = (
+    "{sg}(X,X) :- {edge}(X,Y). {sg}(X,X) :- {edge}(Y,X). "
+    "{sg}(X,Y) :- {edge}(A,X), {sg}(A,B), {edge}(B,Y)."
+)
+
+
+def transitive_closure_program(edge: str = "edge", tc: str = "TC") -> str:
+    """Rule text for transitive closure of ``edge/2`` into ``tc/2``."""
+    return _TC_TEMPLATE.format(edge=edge, tc=tc)
+
+
+def reachability_program(
+    edge: str = "edge", source: str = "source", reach: str = "reach"
+) -> str:
+    """Rule text for reachability from ``source/1`` along ``edge/2``."""
+    return _REACH_TEMPLATE.format(edge=edge, source=source, reach=reach)
+
+
+def same_generation_program(edge: str = "edge", sg: str = "SG") -> str:
+    """Rule text for the same-generation query (non-linear recursion)."""
+    return _SG_TEMPLATE.format(edge=edge, sg=sg)
+
+
+def _edge_condition(
+    rng: random.Random,
+    variables: Sequence[Variable],
+    nodes: Sequence[Constant],
+    or_probability: float,
+):
+    """A local condition for one edge: ``v = c`` or the Or-domain
+    ``v = a or v = b`` (distinct ``a``, ``b``)."""
+    v = rng.choice(list(variables))
+    if len(nodes) > 1 and rng.random() < or_probability:
+        a, b = rng.sample(list(nodes), 2)
+        return BoolOr((BoolAtom(Eq(v, a)), BoolAtom(Eq(v, b))))
+    return Conjunction([Eq(v, rng.choice(list(nodes)))])
+
+
+def uncertain_edge_table(
+    rng: random.Random,
+    num_nodes: int = 5,
+    num_edges: int = 8,
+    name: str = "edge",
+    num_variables: int = 2,
+    var_probability: float = 0.2,
+    cond_probability: float = 0.3,
+    or_probability: float = 0.5,
+) -> CTable:
+    """A random binary edge c-table over nodes ``0..num_nodes-1``.
+
+    Each endpoint is a variable with probability ``var_probability``
+    (drawn from a pool of ``num_variables``, shared across rows so the
+    same null can wire several edges); each row carries a local
+    condition with probability ``cond_probability`` — an Or-domain
+    ``v = a or v = b`` with probability ``or_probability``, a single
+    pin ``v = c`` otherwise.  Every world of the result is a plain
+    directed graph on (a subset of) the node pool.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    nodes = [Constant(i) for i in range(num_nodes)]
+    variables = [Variable(f"e{i}") for i in range(max(0, num_variables))]
+
+    def endpoint():
+        if variables and rng.random() < var_probability:
+            return rng.choice(variables)
+        return rng.choice(nodes)
+
+    rows = []
+    for _ in range(num_edges):
+        terms = [endpoint(), endpoint()]
+        if variables and rng.random() < cond_probability:
+            rows.append(
+                Row(terms, _edge_condition(rng, variables, nodes, or_probability))
+            )
+        else:
+            rows.append(Row(terms))
+    return CTable(name, 2, rows)
+
+
+def uncertain_graph_database(
+    rng: random.Random,
+    num_nodes: int = 5,
+    num_edges: int = 8,
+    num_sources: int = 0,
+    **edge_kwargs,
+) -> TableDatabase:
+    """An uncertain graph: an ``edge/2`` c-table, plus ``source/1`` when
+    ``num_sources > 0`` (the seed relation of
+    :func:`reachability_program`).  Keyword arguments pass through to
+    :func:`uncertain_edge_table`.
+    """
+    tables = [uncertain_edge_table(rng, num_nodes, num_edges, **edge_kwargs)]
+    if num_sources > 0:
+        picked = rng.sample(range(num_nodes), min(num_sources, num_nodes))
+        tables.append(
+            CTable("source", 1, [(Constant(i),) for i in sorted(picked)])
+        )
+    return TableDatabase(tables)
+
+
+def layered_uncertain_graph(
+    rng: random.Random,
+    layers: int = 8,
+    width: int = 4,
+    edges_per_layer: int | None = None,
+    num_variables: int = 2,
+    cond_probability: float = 0.25,
+    or_probability: float = 0.5,
+    name: str = "edge",
+) -> TableDatabase:
+    """A layered DAG whose transitive closure needs ``layers`` rounds.
+
+    Nodes are ``layer * width + slot``; every edge goes from layer ``i``
+    to layer ``i + 1``, so closure paths have length up to ``layers``
+    and the fixpoint runs for that many rounds — the regime where
+    semi-naive evaluation (touching only each round's delta) separates
+    from naive refixpointing (re-deriving every closed pair every
+    round).  Endpoints stay ground (the closure's *size* is the
+    benchmark variable, not the world count) but a
+    ``cond_probability`` fraction of edges carry pin / Or-domain
+    conditions over a small variable pool, keeping the condition
+    machinery on the measured path.  Each consecutive layer pair gets
+    ``edges_per_layer`` edges (default ``2 * width``): slot-to-slot
+    chains first so long paths always exist, the rest random.
+    """
+    if layers < 1 or width < 1:
+        raise ValueError("need at least one layer and one slot")
+    if edges_per_layer is None:
+        edges_per_layer = 2 * width
+    variables = [Variable(f"e{i}") for i in range(max(0, num_variables))]
+    node_pool = [Constant(i) for i in range(width)]
+    rows = []
+    for layer in range(layers):
+        base, nxt = layer * width, (layer + 1) * width
+        pairs = [(slot, slot) for slot in range(width)]
+        while len(pairs) < edges_per_layer:
+            pairs.append((rng.randrange(width), rng.randrange(width)))
+        for src, dst in pairs[:edges_per_layer]:
+            terms = [Constant(base + src), Constant(nxt + dst)]
+            if variables and rng.random() < cond_probability:
+                rows.append(
+                    Row(
+                        terms,
+                        _edge_condition(rng, variables, node_pool, or_probability),
+                    )
+                )
+            else:
+                rows.append(Row(terms))
+    return TableDatabase([CTable(name, 2, rows)])
