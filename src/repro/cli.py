@@ -502,6 +502,9 @@ def _eval_datalog(args, db, store) -> int:
     from .relational.parser import ParseError, parse_datalog
     from .relational.planner import PlanError
 
+    report: dict | None = None
+    if args.explain_json:
+        report = {"database": args.database, "ordering": args.ordering, "queries": []}
     view_registry = None
     if args.use_views and not args.naive:
         view_registry = (
@@ -514,43 +517,80 @@ def _eval_datalog(args, db, store) -> int:
             program = CTFixpoint(parse_datalog(query_text), ordering=args.ordering)
         except (ParseError, PlanError, ValueError) as exc:
             raise CliError(f"query: {exc}") from exc
-        if position:
-            print()
-        if len(args.query) > 1:
-            print(f"-- program {position + 1}: outputs {', '.join(program.outputs)}")
+        if report is None:
+            if position:
+                print()
+            if len(args.query) > 1:
+                print(
+                    f"-- program {position + 1}: outputs {', '.join(program.outputs)}"
+                )
         if view_registry is not None:
-            answered = _answer_from_datalog_views(*view_registry, program, args.explain)
+            answered = _answer_from_datalog_views(
+                *view_registry, program, args.explain and report is None
+            )
             if answered is not None:
                 from .core.tables import CTable
 
                 name, table = answered
                 view = CTable(name, table.arity, table.rows, table.global_condition)
+                if report is not None:
+                    report["queries"].append(
+                        {
+                            "outputs": list(program.outputs),
+                            "answered_by_view": name,
+                            "tables": [_table_summary(view)],
+                        }
+                    )
+                    continue
                 print(
                     f"-- {view.name}/{view.arity} "
                     f"({view.classify()}-table, {len(view)} rows)"
                 )
                 print(view)
                 continue
+        rounds = None
         try:
             if args.naive:
-                if args.plan:
+                if args.plan and report is None:
                     for head, expr in program.rule_plans:
                         print(f"-- expression[{head}]: {expr!r}")
                 out = naive_ct_refixpoint(program, db)
                 trace: list[str] = []
             else:
                 evaluation = program.evaluation(db, stats=store.snapshot())
-                if args.plan:
+                if args.plan and report is None:
                     for head, root in evaluation.rule_roots:
                         print(f"-- plan[{head}]: {root.expr!r}")
                 out = evaluation.database()
                 trace = evaluation.trace
+                rounds = evaluation.round_stats
         except KeyError as exc:
             raise CliError(f"evaluation: unknown relation {exc}") from exc
         except ValueError as exc:
             raise CliError(f"evaluation: {exc}") from exc
+        if report is not None:
+            entry: dict = {
+                "outputs": list(program.outputs),
+                "tables": [_table_summary(table) for table in out],
+            }
+            if trace:
+                entry["explain"] = list(trace)
+            if rounds is not None:
+                entry["rounds"] = rounds
+            report["queries"].append(entry)
+            continue
         if args.explain:
             for line in trace:
+                print(f"-- {line}")
+        if args.analyze and rounds is not None:
+            from .obs.analyze import render_analysis
+
+            payload = {
+                "kind": "datalog",
+                "rounds": rounds,
+                "total_ms": round(sum(r["ms"] for r in rounds), 3),
+            }
+            for line in render_analysis(payload):
                 print(f"-- {line}")
         for table in out:
             print(
@@ -558,7 +598,18 @@ def _eval_datalog(args, db, store) -> int:
                 f"({table.classify()}-table, {len(table)} rows)"
             )
             print(table)
+    if report is not None:
+        print(json.dumps(report, indent=2))
     return EXIT_YES
+
+
+def _table_summary(table) -> dict:
+    return {
+        "name": table.name,
+        "arity": table.arity,
+        "rows": len(table),
+        "classification": table.classify(),
+    }
 
 
 def _read_query_argument(query_arg: str) -> str:
@@ -574,7 +625,11 @@ def _read_query_argument(query_arg: str) -> str:
 
 
 def _cmd_eval(args) -> int:
-    from .ctalgebra.evaluate import evaluate_ct, evaluate_ct_ordered
+    from .ctalgebra.evaluate import (
+        evaluate_ct,
+        evaluate_ct_analyzed,
+        evaluate_ct_ordered,
+    )
     from .relational.parser import ParseError, parse_query
     from .relational.planner import PlanError, plan, ra_of_ucq
     from .relational.stats import StatsStore
@@ -608,8 +663,19 @@ def _cmd_eval(args) -> int:
             "(the oracle path never answers from materializations)",
             file=sys.stderr,
         )
+    if args.analyze and args.naive:
+        print(
+            "repro: --analyze has no effect with --naive "
+            "(the oracle path is not instrumented)",
+            file=sys.stderr,
+        )
     if args.datalog:
         return _eval_datalog(args, db, store)
+    # --explain-json: one JSON document on stdout instead of rendered
+    # tables, so tooling and tests read structure, not scraped text.
+    report: dict | None = None
+    if args.explain_json:
+        report = {"database": args.database, "ordering": args.ordering, "queries": []}
     view_registry = None
     if args.use_views and not args.naive:
         # Loaded once: neither the sidecar nor the database file can
@@ -626,19 +692,33 @@ def _cmd_eval(args) -> int:
         except (ParseError, PlanError, ValueError) as exc:
             raise CliError(f"query: {exc}") from exc
         name = query.rules[0].head.pred
-        if position:
-            print()
-        if len(args.query) > 1:
-            print(f"-- query {position + 1}: {name}")
+        if report is None:
+            if position:
+                print()
+            if len(args.query) > 1:
+                print(f"-- query {position + 1}: {name}")
         if view_registry is not None:
-            answered = _answer_from_views(*view_registry, expression, args.explain)
+            answered = _answer_from_views(
+                *view_registry, expression, args.explain and report is None
+            )
             if answered is not None:
                 from .core.tables import CTable
 
+                view_name, table = answered
+                view = CTable(name, table.arity, table.rows, table.global_condition)
+                if report is not None:
+                    report["queries"].append(
+                        {
+                            "name": view.name,
+                            "arity": view.arity,
+                            "rows": len(view),
+                            "classification": view.classify(),
+                            "answered_by_view": view_name,
+                        }
+                    )
+                    continue
                 if args.plan:
                     print("-- plan: skipped (answered from a materialized view)")
-                _, table = answered
-                view = CTable(name, table.arity, table.rows, table.global_condition)
                 print(
                     f"-- {view.name}/{view.arity} "
                     f"({view.classify()}-table, {len(view)} rows)"
@@ -646,15 +726,21 @@ def _cmd_eval(args) -> int:
                 print(view)
                 continue
         stats = None if args.naive else store.snapshot()
-        if args.explain and not args.naive and position == 0:
+        if stats is not None and report is not None and position == 0:
+            report["stats"] = [
+                table_stats.to_json()
+                for table_stats in sorted(stats, key=lambda t: t.name)
+            ]
+        if args.explain and not args.naive and position == 0 and report is None:
             for table_stats in sorted(stats, key=lambda t: t.name):
                 print(f"-- stats: {table_stats.describe()}")
                 for line in table_stats.histogram_lines():
                     print(f"-- stats:   {line}")
-        if args.explain and args.naive and not args.plan:
+        if args.explain and args.naive and not args.plan and report is None:
             # (--plan prints the same compiled expression already.)
             print(f"-- expression: {expression!r}")
-        if args.plan:
+        plan_repr = None
+        if args.plan or report is not None:
             # Show what actually executes: the statistics-ordered plan, or
             # with --naive the expression as compiled (run literally).
             shown = (
@@ -662,11 +748,24 @@ def _cmd_eval(args) -> int:
                 if args.naive
                 else plan(expression, stats=stats, ordering=args.ordering)
             )
-            print(f"-- plan: {shown!r}")
-        explain: list[str] | None = [] if args.explain and not args.naive else None
+            plan_repr = f"{shown!r}"
+            if args.plan and report is None:
+                print(f"-- plan: {plan_repr}")
+        want_explain = (args.explain or report is not None) and not args.naive
+        explain: list[str] | None = [] if want_explain else None
+        analysis = None
         try:
             if args.naive:
                 view = evaluate_ct(expression, db, name=name)
+            elif args.analyze:
+                view, analysis = evaluate_ct_analyzed(
+                    expression,
+                    db,
+                    name=name,
+                    stats=stats,
+                    explain=explain,
+                    ordering=args.ordering,
+                )
             else:
                 view = evaluate_ct_ordered(
                     expression,
@@ -680,13 +779,32 @@ def _cmd_eval(args) -> int:
             raise CliError(f"evaluation: unknown relation {exc}") from exc
         except ValueError as exc:
             raise CliError(f"evaluation: {exc}") from exc
-        if explain is not None:
+        if report is not None:
+            entry = {
+                "name": view.name,
+                "arity": view.arity,
+                "rows": len(view),
+                "classification": view.classify(),
+                "plan": plan_repr,
+            }
+            if explain is not None:
+                entry["explain"] = list(explain)
+            if analysis is not None:
+                entry["analyze"] = analysis.to_json()
+            report["queries"].append(entry)
+            continue
+        if explain is not None and args.explain:
             if not explain:
                 explain.append("join order: unchanged (no 3+-way join chain)")
             for line in explain:
                 print(f"-- {line}")
+        if analysis is not None:
+            for line in analysis.lines():
+                print(f"-- {line}")
         print(f"-- {view.name}/{view.arity} ({view.classify()}-table, {len(view)} rows)")
         print(view)
+    if report is not None:
+        print(json.dumps(report, indent=2))
     return EXIT_YES
 
 
@@ -720,6 +838,7 @@ def _cmd_serve(args) -> int:
             verbose=args.verbose,
             workers=args.workers,
             cache_size=args.cache_size,
+            slow_query_ms=args.slow_query_ms,
         )
     except OSError as exc:
         raise CliError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
@@ -740,6 +859,13 @@ def _print_query_response(response: dict, explain: bool) -> None:
     if explain:
         for line in response.get("explain", ()):
             print(f"-- {line}")
+    if response.get("analyze") is not None:
+        from .obs.analyze import render_analysis
+
+        for line in render_analysis(response["analyze"]):
+            print(f"-- {line}")
+        if response.get("trace_id"):
+            print(f"-- trace: {response['trace_id']}")
     answered_by = response.get("answered_by_view")
     if answered_by is not None:
         print(f"-- view: answered by materialized view {answered_by!r}")
@@ -774,12 +900,50 @@ def _parse_update_op(text: str) -> list:
     return op
 
 
+def _watch_summary(stats: dict) -> str:
+    """One ``--watch`` line: the numbers an operator glances at."""
+    queries = stats.get("queries", {})
+    latency = stats.get("latency", {})
+    cache = stats.get("cache", {})
+    hits = cache.get("hits", 0)
+    lookups = hits + cache.get("misses", 0)
+    hit_rate = f"{hits / lookups:.0%}" if lookups else "n/a"
+    rungs = "/".join(
+        str(queries.get(f"{rung}_answers", 0))
+        for rung in ("cache", "view", "pool", "inline")
+    )
+    slow = stats.get("slow_queries", {}).get("total", 0)
+    return (
+        f"queries={queries.get('queries', 0)} "
+        f"served(cache/view/pool/inline)={rungs} "
+        f"errors={queries.get('errors', 0)} cache_hit={hit_rate} "
+        f"p50={latency.get('p50_ms', 0.0):.1f}ms "
+        f"p99={latency.get('p99_ms', 0.0):.1f}ms slow={slow}"
+    )
+
+
 def _run_client_action(client, args) -> int:
     action = args.action
     if action == "health":
         print(json.dumps(client.health()))
     elif action == "stats":
-        print(json.dumps(client.stats(), indent=2))
+        if args.watch:
+            import time as _time
+
+            polls = 0
+            try:
+                while True:
+                    print(_watch_summary(client.stats()), flush=True)
+                    polls += 1
+                    if args.iterations and polls >= args.iterations:
+                        break
+                    _time.sleep(max(0.0, args.interval))
+            except KeyboardInterrupt:
+                pass
+        else:
+            print(json.dumps(client.stats(), indent=2))
+    elif action == "metrics":
+        sys.stdout.write(client.metrics())
     elif action == "list":
         for entry in client.databases():
             print(
@@ -801,6 +965,7 @@ def _run_client_action(client, args) -> int:
             naive=args.naive,
             use_views=args.use_views,
             explain=args.explain,
+            analyze=args.analyze,
         )
         _print_query_response(response, args.explain)
     elif action == "update":
@@ -940,6 +1105,20 @@ def build_parser() -> argparse.ArgumentParser:
         "it to a least fixpoint over the c-tables (semi-naive; --naive "
         "switches to the whole-program refixpoint oracle)",
     )
+    p.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute with per-operator instrumentation and "
+        "print estimated vs actual rows, wall time, condition-cache hit "
+        "rates and hash-partition bucket stats per plan node (per-round "
+        "delta sizes with --datalog)",
+    )
+    p.add_argument(
+        "--explain-json",
+        action="store_true",
+        help="emit one JSON document (stats, plans, explain lines, analyze "
+        "payloads, Datalog round deltas) instead of rendered tables",
+    )
     p.set_defaults(func=_cmd_eval)
 
     p = sub.add_parser(
@@ -1015,6 +1194,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="request-cache entries keyed by (version, plan) (default "
         "256; 0 disables caching)",
     )
+    p.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log queries slower than MS milliseconds to stderr and expose "
+        "them under /stats (default: disabled)",
+    )
     p.add_argument("--verbose", action="store_true", help="log every request")
     p.set_defaults(func=_cmd_serve)
 
@@ -1026,6 +1213,26 @@ def build_parser() -> argparse.ArgumentParser:
     cp = csub.add_parser(
         "stats", help="serving stats: dispatch counters, cache, pool, p50/p99"
     )
+    cp.add_argument(
+        "--watch",
+        action="store_true",
+        help="re-poll and print a one-line summary every --interval seconds",
+    )
+    cp.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="seconds between --watch polls (default 2.0)",
+    )
+    cp.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop --watch after N polls (default 0: until Ctrl-C)",
+    )
+    cp = csub.add_parser("metrics", help="raw Prometheus text from /metrics")
     cp = csub.add_parser("list", help="list served databases")
     cp = csub.add_parser("create", help="upload a database file under a name")
     cp.add_argument("name")
@@ -1039,6 +1246,12 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--naive", action="store_true")
     cp.add_argument("--use-views", action="store_true")
     cp.add_argument("--explain", action="store_true")
+    cp.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE on the server: per-operator est vs actual "
+        "rows and timings in the response",
+    )
     cp = csub.add_parser(
         "update", help="apply update ops, e.g. '[\"insert\", \"R\", [\"a\", \"b\"]]'"
     )

@@ -62,6 +62,7 @@ from .operators import (
 
 __all__ = [
     "evaluate_ct",
+    "evaluate_ct_analyzed",
     "evaluate_ct_database",
     "evaluate_ct_optimized",
     "evaluate_ct_ordered",
@@ -120,6 +121,114 @@ def evaluate_ct_ordered(
     planned = plan(expression, stats=snapshot, explain=explain, ordering=ordering)
     table = _eval(planned, db, optimized=True)
     return CTable(name, table.arity, table.rows, table.global_condition)
+
+
+def evaluate_ct_analyzed(
+    expression: RAExpression,
+    db: TableDatabase,
+    name: str = "view",
+    stats: Statistics | None = None,
+    explain: list[str] | None = None,
+    ordering: str = "dp",
+):
+    """EXPLAIN ANALYZE: plan, execute with per-node instrumentation.
+
+    Same plan and same result as :func:`evaluate_ct_ordered` (the two
+    paths share :func:`~repro.relational.planner.plan` and execute the
+    same lifted operators), but each plan node is timed individually
+    and annotated with the cost model's estimated rows, its actual
+    output rows, the condition-cache hit/miss deltas its operator
+    charged, and — for joins — the hash-partition bucket/wild counts.
+    Returns ``(table, analysis)`` with ``analysis`` a
+    :class:`repro.obs.analyze.PlanAnalysis`.
+
+    This is a *separate* walker from :func:`_eval`, deliberately: the
+    production evaluator carries zero instrumentation hooks, so turning
+    analyze mode off costs nothing (the contract
+    ``benchmarks/bench_observability.py`` enforces).
+    """
+    import time as _time
+
+    from ..core.conditions import condition_cache_stats
+    from ..obs.analyze import PlanAnalysis, cache_delta
+
+    start = _time.perf_counter()
+    before = condition_cache_stats()
+    snapshot = resolve_stats(stats, db)
+    planned = plan(expression, stats=snapshot, explain=explain, ordering=ordering)
+    plan_ms = (_time.perf_counter() - start) * 1e3
+    table, root = _eval_analyzed(planned, db, snapshot)
+    total_ms = (_time.perf_counter() - start) * 1e3
+    analysis = PlanAnalysis(
+        root,
+        plan_ms=plan_ms,
+        total_ms=total_ms,
+        condition_caches=cache_delta(before, condition_cache_stats()),
+    )
+    out = CTable(name, table.arity, table.rows, table.global_condition)
+    return out, analysis
+
+
+def _eval_analyzed(node: RAExpression, db: TableDatabase, stats: Statistics):
+    """The instrumented mirror of :func:`_eval` (optimized mode only).
+
+    Children evaluate first, so each node's wall time covers its own
+    operator application only; the condition-cache delta brackets the
+    same region.  Per-operator spans land on the active trace, if any.
+    """
+    import time as _time
+
+    from ..core.conditions import condition_cache_stats
+    from ..obs.analyze import NodeAnalysis, cache_delta, node_label
+    from ..obs.tracing import current_trace
+    from ..relational.stats import estimate
+
+    children = [_eval_analyzed(child, db, stats) for child in node.children()]
+    child_tables = [table for table, _ in children]
+    extras: dict = {}
+    before = condition_cache_stats()
+    start = _time.perf_counter()
+    if isinstance(node, Scan):
+        table = db[node.name]
+        if table.arity != node.arity:
+            raise ValueError(
+                f"scan of {node.name!r} expects arity {node.arity}, "
+                f"table has {table.arity}"
+            )
+    elif isinstance(node, Select):
+        table = select_ct(child_tables[0], node.predicates)
+    elif isinstance(node, Project):
+        table = project_ct(child_tables[0], node.columns)
+    elif isinstance(node, Join):
+        table = join_ct(child_tables[0], child_tables[1], node.on, instrument=extras)
+    elif isinstance(node, Product):
+        table = product_ct(child_tables[0], child_tables[1])
+    elif isinstance(node, Union):
+        table = union_ct(child_tables[0], child_tables[1])
+    elif isinstance(node, Intersect):
+        table = intersect_ct(child_tables[0], child_tables[1])
+    elif isinstance(node, Difference):
+        table = difference_ct(child_tables[0], child_tables[1])
+    else:
+        raise TypeError(f"unknown RA node: {node!r}")
+    ms = (_time.perf_counter() - start) * 1e3
+    caches = cache_delta(before, condition_cache_stats())
+    if caches:
+        extras["condition_caches"] = caches
+    label = node_label(node)
+    est_rows = estimate(node, stats).rows if stats is not None else None
+    trace = current_trace()
+    if trace is not None:
+        trace.add(f"op:{label}", ms, rows=len(table))
+    analysis = NodeAnalysis(
+        label,
+        est_rows,
+        len(table),
+        ms,
+        extras=extras,
+        children=[child for _, child in children],
+    )
+    return table, analysis
 
 
 def evaluate_ct_database(

@@ -313,6 +313,7 @@ def join_ct(
     *,
     left_partition: JoinPartition | None = None,
     right_partition: JoinPartition | None = None,
+    instrument: dict | None = None,
 ) -> CTable:
     """Equi-join by hash partitioning on constant-ground join columns.
 
@@ -348,6 +349,11 @@ def join_ct(
     — and the O(side) re-partitioning is skipped.  The view-maintenance
     layer uses this so a small delta against a big cached operand costs
     O(delta + matches), not O(cached operand).
+
+    ``instrument``, if given, receives the hash-partition shape
+    (``left_buckets``/``right_buckets`` bucket counts and
+    ``left_wild``/``right_wild`` fallback-row counts) — what EXPLAIN
+    ANALYZE reports.  The default ``None`` costs one identity check.
     """
     pairs = validate_join_columns(on, left.arity, right.arity)
     lcols = [l for l, _ in pairs]
@@ -375,6 +381,12 @@ def join_ct(
         )
     else:
         rbuckets, rwild, ralive = _join_partition(right, rcols)
+
+    if instrument is not None:
+        instrument["left_buckets"] = len(lbuckets)
+        instrument["right_buckets"] = len(rbuckets)
+        instrument["left_wild"] = len(lwild)
+        instrument["right_wild"] = len(rwild)
 
     rows: list[Row] = []
 

@@ -1,0 +1,63 @@
+"""Unified observability: metrics registry, structured tracing, EXPLAIN ANALYZE.
+
+Three small, dependency-free submodules (see each for the design):
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges, bounded
+  histograms with nearest-rank quantiles, and a registry rendering the
+  Prometheus text format for the server's ``/metrics`` endpoint;
+* :mod:`repro.obs.tracing` — a contextvar-scoped :class:`Trace` of
+  :class:`Span` records with a wire-safe trace id, plus the slow-query
+  log; near-zero cost when no trace is active;
+* :mod:`repro.obs.analyze` — the per-operator estimated-vs-actual
+  records behind ``repro eval --analyze`` and the server's
+  ``"analyze"`` query flag.
+"""
+
+from .metrics import (
+    Counter,
+    CounterGroup,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    counter_family,
+    gauge_family,
+    render_families,
+)
+from .tracing import (
+    TRACE_HEADER,
+    SlowQueryLog,
+    Span,
+    Trace,
+    current_trace,
+    new_trace_id,
+    sanitize_trace_id,
+    span,
+    start_trace,
+)
+from .analyze import NodeAnalysis, PlanAnalysis, node_label, render_analysis
+
+__all__ = [
+    "Counter",
+    "CounterGroup",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NodeAnalysis",
+    "PlanAnalysis",
+    "SlowQueryLog",
+    "Span",
+    "TRACE_HEADER",
+    "Trace",
+    "counter_family",
+    "current_trace",
+    "gauge_family",
+    "new_trace_id",
+    "node_label",
+    "render_analysis",
+    "render_families",
+    "sanitize_trace_id",
+    "span",
+    "start_trace",
+]

@@ -1,0 +1,425 @@
+"""A thread-safe metrics registry with Prometheus text exposition.
+
+The serving layer grew three disconnected telemetry dicts (dispatcher
+counters, view-maintenance counters, statistics-store collection
+passes) plus one ad-hoc latency tracker.  This module is the one place
+they all register into:
+
+* :class:`Counter` / :class:`Gauge` — single scalar instruments;
+* :class:`Histogram` — a bounded rolling window with nearest-rank
+  quantile readout (the generalization of the server's old
+  ``LatencyTracker``, which is now a thin subclass);
+* :class:`CounterGroup` — a thread-safe ``dict`` subclass for the
+  existing named-counter bundles (``QueryDispatcher.counters``,
+  ``WorkerPool.counters``, ``ViewManager.counters``), so every caller
+  that reads them as plain dicts keeps working while writers get an
+  atomic :meth:`~CounterGroup.bump`;
+* :class:`MetricsRegistry` — owns instruments and *collector*
+  callbacks (functions returning :class:`MetricFamily` lists read from
+  live objects at scrape time) and renders everything in the
+  Prometheus text exposition format for ``GET /metrics``.
+
+Instruments are cheap on the hot path: a counter bump is one lock
+acquisition and an integer add; rendering cost is paid only by the
+scraper.  Nothing here imports the engine, so any layer may depend on
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+from collections import deque
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "CounterGroup",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "counter_family",
+    "gauge_family",
+    "render_families",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: The metric kinds the renderer understands (Prometheus TYPE values).
+_KINDS = frozenset({"counter", "gauge", "summary", "untyped"})
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-flavoured number formatting: integral values render
+    without a fractional part, specials as +Inf/-Inf/NaN."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricFamily:
+    """One named metric with its samples: what a scrape collects.
+
+    ``samples`` is a list of ``(labels, value)`` pairs; ``labels`` is a
+    (possibly empty) mapping of label name to value.  ``kind`` is the
+    Prometheus TYPE (``counter``, ``gauge``, ``summary`` or
+    ``untyped``); ``suffix`` on a sample (e.g. ``_sum``, ``_count``)
+    supports summary families.
+    """
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        samples: "Sequence[tuple[Mapping[str, str], float]] | None" = None,
+    ) -> None:
+        self.name = _check_name(name)
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.kind = kind
+        self.help = help
+        self.samples: list = list(samples or ())
+
+    def add(self, labels: Mapping[str, str], value: float, suffix: str = "") -> None:
+        self.samples.append((dict(labels), float(value)) if not suffix else (dict(labels), float(value), suffix))
+
+    def __repr__(self) -> str:
+        return f"MetricFamily({self.name!r}, {self.kind!r}, {len(self.samples)} samples)"
+
+
+def counter_family(
+    name: str, help: str, values: Mapping[str, float], label: str = "key",
+    extra: "Mapping[str, str] | None" = None,
+) -> MetricFamily:
+    """A counter family from a named-counter dict: one sample per key,
+    keyed by the ``label`` label (plus any fixed ``extra`` labels)."""
+    family = MetricFamily(name, "counter", help)
+    for key in sorted(values):
+        labels = dict(extra or ())
+        labels[label] = str(key)
+        family.add(labels, values[key])
+    return family
+
+
+def gauge_family(
+    name: str, help: str,
+    samples: "Iterable[tuple[Mapping[str, str], float]]",
+) -> MetricFamily:
+    """A gauge family from pre-built ``(labels, value)`` samples."""
+    return MetricFamily(name, "gauge", help, list(samples))
+
+
+def render_families(families: Iterable[MetricFamily]) -> str:
+    """Render metric families in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        kind = family.kind if family.kind != "untyped" else "untyped"
+        lines.append(f"# TYPE {family.name} {kind}")
+        for sample in family.samples:
+            labels, value = sample[0], sample[1]
+            suffix = sample[2] if len(sample) > 2 else ""
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label_value(labels[key])}"'
+                    for key in sorted(labels)
+                )
+                lines.append(f"{family.name}{suffix}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{family.name}{suffix} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def collect(self) -> MetricFamily:
+        return MetricFamily(self.name, "counter", self.help, [({}, self.value)])
+
+
+class Gauge:
+    """A scalar that can go up and down, or a callback read at scrape time."""
+
+    __slots__ = ("name", "help", "_lock", "_value", "_fn")
+
+    def __init__(
+        self, name: str, help: str = "", fn: "Callable[[], float] | None" = None
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def collect(self) -> MetricFamily:
+        return MetricFamily(self.name, "gauge", self.help, [({}, self.value)])
+
+
+class Histogram:
+    """Rolling-window quantiles over recorded samples (nearest-rank).
+
+    ``count`` and the mean cover everything ever recorded; quantiles
+    cover the most recent ``window`` samples — recent enough to reflect
+    the current regime, bounded so a long-lived process never
+    accumulates unbounded samples.
+
+    Quantile semantics (the edge cases the old ``LatencyTracker`` was
+    never directly tested on):
+
+    * an **empty** window yields ``0.0`` for every quantile;
+    * a **single** sample is every quantile;
+    * ``fraction`` is clamped into ``[0, 1]`` — ``quantile(0)`` is the
+      window minimum, ``quantile(1)`` the maximum, and out-of-range
+      fractions never index past the sample list;
+    * at the **window boundary** the oldest sample has been evicted, so
+      quantiles describe exactly the retained ``window`` samples.
+    """
+
+    __slots__ = ("name", "help", "_lock", "_samples", "count", "_total")
+
+    def __init__(self, window: int = 2048, name: str = "histogram", help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: "deque[float]" = deque(maxlen=max(1, int(window)))
+        self.count = 0
+        self._total = 0.0
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+            self.count += 1
+            self._total += value
+
+    #: Prometheus naming for the same operation.
+    observe = record
+
+    @property
+    def window(self) -> int:
+        """How many samples the window currently holds."""
+        with self._lock:
+            return len(self._samples)
+
+    @staticmethod
+    def _rank(samples: Sequence[float], fraction: float) -> float:
+        if not samples:
+            return 0.0
+        fraction = min(max(fraction, 0.0), 1.0)
+        index = max(0, math.ceil(fraction * len(samples)) - 1)
+        return samples[min(index, len(samples) - 1)]
+
+    def quantile(self, fraction: float) -> float:
+        """The nearest-rank ``fraction`` quantile of the current window."""
+        with self._lock:
+            samples = sorted(self._samples)
+        return self._rank(samples, fraction)
+
+    #: Historical name, kept for the serving layer.
+    percentile = quantile
+
+    def summary(self) -> dict:
+        """Count, window size, lifetime mean and window p50/p99."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self.count
+            total = self._total
+        if not samples:
+            return {"count": 0, "window": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": count,
+            "window": len(samples),
+            "mean": total / count,
+            "p50": self._rank(samples, 0.50),
+            "p99": self._rank(samples, 0.99),
+        }
+
+    def collect(self) -> MetricFamily:
+        """A Prometheus ``summary`` family: quantiles + _sum + _count."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self.count
+            total = self._total
+        family = MetricFamily(self.name, "summary", self.help)
+        for q in (0.5, 0.9, 0.99):
+            family.add({"quantile": str(q)}, self._rank(samples, q))
+        family.add({}, total, suffix="_sum")
+        family.add({}, count, suffix="_count")
+        return family
+
+
+class CounterGroup(dict):
+    """A thread-safe bundle of named counters that still *is* a dict.
+
+    The serving and view layers historically kept plain ``counters``
+    dicts mutated under a private lock; tests and ``/stats`` read them
+    with ``dict(x.counters)`` and plain indexing.  ``CounterGroup``
+    keeps that surface (it subclasses ``dict``) while providing an
+    atomic :meth:`bump` and a consistent :meth:`snapshot`, so the same
+    object can feed the metrics registry without a wrapper.
+
+    Direct item assignment is still possible (the view manager bumps
+    under its own maintenance lock); ``bump`` is for writers with no
+    lock of their own.
+    """
+
+    def __init__(self, keys: Iterable[str] = (), **initial: int) -> None:
+        super().__init__({key: 0 for key in keys}, **initial)
+        self._lock = threading.Lock()
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self[key] = self.get(key, 0) + amount
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self)
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """Instruments plus scrape-time collector callbacks.
+
+    Two registration styles:
+
+    * :meth:`counter` / :meth:`gauge` / :meth:`histogram` create and own
+      an instrument (duplicate names are an error);
+    * :meth:`register_collector` adds a zero-argument callable returning
+      :class:`MetricFamily` objects, invoked on every :meth:`collect` —
+      the way to expose live objects (sessions, caches, pools) without
+      copying their state on every update.
+
+    ``collect`` and ``render_prometheus`` never raise because one
+    collector failed: a failing collector contributes an error gauge
+    instead, so a half-broken server still serves the rest of its
+    metrics.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+        self._collectors: list[Callable[[], Iterable[MetricFamily]]] = []
+
+    def _register(self, instrument):
+        with self._lock:
+            if instrument.name in self._instruments:
+                raise ValueError(f"metric {instrument.name!r} already registered")
+            self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "", fn=None) -> Gauge:
+        return self._register(Gauge(name, help, fn=fn))
+
+    def histogram(self, name: str, help: str = "", window: int = 2048) -> Histogram:
+        return self._register(Histogram(window=window, name=name, help=help))
+
+    def register_collector(self, fn: Callable[[], Iterable[MetricFamily]]) -> None:
+        with self._lock:
+            self._collectors.append(fn)
+
+    def collect(self) -> list[MetricFamily]:
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collectors = list(self._collectors)
+        families = [instrument.collect() for instrument in instruments]
+        errors = 0
+        for fn in collectors:
+            try:
+                families.extend(fn())
+            except Exception:  # noqa: BLE001 - a broken collector must not kill a scrape
+                errors += 1
+        if errors:
+            families.append(
+                MetricFamily(
+                    "repro_metrics_collector_errors",
+                    "gauge",
+                    "Collector callbacks that raised during this scrape.",
+                    [({}, errors)],
+                )
+            )
+        return families
+
+    def render_prometheus(self) -> str:
+        return render_families(self.collect())

@@ -495,6 +495,23 @@ class TableStats:
                 out.append(f"{self.name}.${i}: {column.hist.describe()}")
         return out
 
+    def to_json(self) -> dict:
+        """A JSON-ready summary, used by ``repro eval --explain-json``."""
+        return {
+            "name": self.name,
+            "arity": self.arity,
+            "rows": self.rows,
+            "columns": [
+                {
+                    "distinct": c.distinct,
+                    "ground": c.ground,
+                    "pinned": c.pinned,
+                    "wild": c.wild,
+                }
+                for c in self.columns
+            ],
+        }
+
     @staticmethod
     def from_rows(
         name: str,
@@ -772,6 +789,17 @@ class StatsStore:
     @property
     def source(self):
         return self._source
+
+    def counters(self) -> dict:
+        """Collection telemetry for ``/stats`` and ``/metrics``:
+        lifetime per-table collection passes and the current cache
+        shape."""
+        with self.lock:
+            return {
+                "table_collections": self.table_collections,
+                "cached_tables": len(self._cache),
+                "buckets": self.buckets,
+            }
 
     def rebind(self, source) -> None:
         """Point the store at a new version of the database.

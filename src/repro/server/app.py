@@ -29,7 +29,17 @@ Routes (all bodies and responses JSON)::
     DELETE /dbs/{db}/views/{view}          drop a view
     POST   /dbs/{db}/persist               write db + view sidecar back to disk
     GET    /stats                          dispatcher counters, cache, pool,
-                                           p50/p99 latency
+                                           p50/p99 latency, slow-query log,
+                                           per-database telemetry
+    GET    /metrics                        Prometheus text exposition
+
+Observability: every query response carries an ``X-Repro-Trace-Id``
+header (echoing the client's, if it sent a well-formed one) and the
+same id in the JSON payload, tying the response to server-side spans
+and slow-query log entries.  A ``"analyze": true`` query flag runs
+EXPLAIN ANALYZE — the response gains an ``"analyze"`` payload with
+per-operator estimated vs actual rows and timings (per-round delta
+sizes for Datalog programs).
 
 Queries flow through a shared :class:`~repro.server.pool.QueryDispatcher`
 (request cache → snapshot views → worker pool → in-process; see that
@@ -52,7 +62,10 @@ import threading
 
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..core.conditions import condition_cache_stats
 from ..io.jsonio import database_from_json, database_to_json, table_to_json
+from ..obs.tracing import TRACE_HEADER, new_trace_id, sanitize_trace_id
+from .observe import build_metrics_registry
 from .pool import DEFAULT_CACHE_SIZE, QueryDispatcher
 from .registry import SessionRegistry
 from .session import SessionError
@@ -80,6 +93,7 @@ class _HttpError(Exception):
 _ROUTES = [
     (re.compile(r"^/health$"), "health"),
     (re.compile(r"^/stats$"), "stats"),
+    (re.compile(r"^/metrics$"), "metrics"),
     (re.compile(r"^/dbs$"), "dbs"),
     (re.compile(r"^/dbs/(?P<db>[^/]+)$"), "db"),
     (re.compile(r"^/dbs/(?P<db>[^/]+)/database$"), "database"),
@@ -136,10 +150,14 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HttpError(400, "JSON body must be an object")
         return data
 
-    def _reply(self, payload: dict, status: int = 200) -> None:
+    def _reply(
+        self, payload: dict, status: int = 200, headers: "dict | None" = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if len(body) > CHUNK_THRESHOLD:
             self.send_header("Transfer-Encoding", "chunked")
             self.end_headers()
@@ -194,7 +212,21 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply({"ok": True, "databases": len(self.registry)})
 
     def _get_stats(self):
-        self._reply(self.server.dispatcher.stats())
+        payload = self.server.dispatcher.stats()
+        payload["databases"] = {
+            session.name: session.telemetry()
+            for session in self.registry.sessions()
+        }
+        payload["conditions"] = condition_cache_stats()
+        self._reply(payload)
+
+    def _get_metrics(self):
+        body = self.server.metrics.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _get_dbs(self):
         self._reply(
@@ -242,6 +274,12 @@ class _Handler(BaseHTTPRequestHandler):
         ordering = body.get("ordering")
         if ordering not in (None, "dp", "greedy"):
             raise _HttpError(400, f"unknown ordering {ordering!r}")
+        # The request's trace id: the client's (sanitized) header if it
+        # sent one, else freshly minted here.  A cache hit returns a
+        # QueryResult carrying the *original* evaluator's trace id; the
+        # response header/payload always name THIS request's id — the id
+        # the client can correlate with the slow-query log and spans.
+        trace_id = sanitize_trace_id(self.headers.get(TRACE_HEADER)) or new_trace_id()
         result, served_by = self.server.dispatcher.query(
             self.registry.get(db),
             query_text,
@@ -250,6 +288,8 @@ class _Handler(BaseHTTPRequestHandler):
             use_views=bool(body.get("use_views", False)),
             explain=bool(body.get("explain", False)),
             datalog=bool(body.get("datalog", False)),
+            analyze=bool(body.get("analyze", False)),
+            trace_id=trace_id,
         )
         payload = {
             "version": result.version,
@@ -257,12 +297,15 @@ class _Handler(BaseHTTPRequestHandler):
             "classification": result.table.classify(),
             "table": table_to_json(result.table),
             "served_by": served_by,
+            "trace_id": trace_id,
         }
         if result.answered_by_view is not None:
             payload["answered_by_view"] = result.answered_by_view
         if result.explain is not None:
             payload["explain"] = result.explain
-        self._reply(payload)
+        if result.analyze is not None:
+            payload["analyze"] = result.analyze
+        self._reply(payload, headers={TRACE_HEADER: trace_id})
 
     def _post_update(self, db: str):
         body = self._body()
@@ -329,6 +372,7 @@ class ReproServer(ThreadingHTTPServer):
         self.registry = registry
         self.verbose = verbose
         self.dispatcher = dispatcher or QueryDispatcher()
+        self.metrics = build_metrics_registry(self)
 
     def server_close(self) -> None:
         super().server_close()
@@ -342,17 +386,21 @@ def make_server(
     verbose: bool = False,
     workers: int = 0,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    slow_query_ms: "float | None" = None,
 ) -> ReproServer:
     """Build (but don't start) a server; ``port=0`` picks a free port.
 
     ``workers`` > 0 enables the multi-process read pool; ``cache_size``
-    0 disables the request cache.
+    0 disables the request cache; ``slow_query_ms`` enables the
+    slow-query log for requests over that many milliseconds.
     """
     return ReproServer(
         (host, port),
         registry or SessionRegistry(),
         verbose=verbose,
-        dispatcher=QueryDispatcher(workers=workers, cache_size=cache_size),
+        dispatcher=QueryDispatcher(
+            workers=workers, cache_size=cache_size, slow_query_ms=slow_query_ms
+        ),
     )
 
 

@@ -40,14 +40,23 @@ class ServerClient:
 
     # -- transport -----------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+        raw: bool = False,
+    ):
         data = None
-        headers = {"Accept": "application/json"}
+        request_headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            request_headers["Content-Type"] = "application/json"
+        if headers:
+            request_headers.update(headers)
         req = urlrequest.Request(
-            self.base_url + path, data=data, headers=headers, method=method
+            self.base_url + path, data=data, headers=request_headers, method=method
         )
         try:
             with urlrequest.urlopen(req, timeout=self.timeout) as resp:
@@ -71,6 +80,8 @@ class ServerClient:
             raise ServerError(message, status=exc.code) from None
         except urlerror.URLError as exc:
             raise ServerError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+        if raw:
+            return body.decode("utf-8", "replace")
         try:
             return json.loads(body)
         except ValueError as exc:
@@ -83,8 +94,13 @@ class ServerClient:
 
     def stats(self) -> dict:
         """Serving-layer statistics: dispatch counters, request cache,
-        worker pool, p50/p99 latency."""
+        worker pool, p50/p99 latency, slow-query log, per-database
+        telemetry."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        return self._request("GET", "/metrics", raw=True)
 
     def databases(self) -> list:
         return self._request("GET", "/dbs")["databases"]
@@ -119,6 +135,8 @@ class ServerClient:
         use_views: bool = False,
         explain: bool = False,
         datalog: bool = False,
+        analyze: bool = False,
+        trace_id: str | None = None,
     ) -> dict:
         payload: dict = {"query": query_text}
         if ordering is not None:
@@ -131,7 +149,14 @@ class ServerClient:
             payload["explain"] = True
         if datalog:
             payload["datalog"] = True
-        return self._request("POST", f"/dbs/{name}/query", payload)
+        if analyze:
+            payload["analyze"] = True
+        headers = None
+        if trace_id is not None:
+            from ..obs.tracing import TRACE_HEADER
+
+            headers = {TRACE_HEADER: trace_id}
+        return self._request("POST", f"/dbs/{name}/query", payload, headers=headers)
 
     def update(self, name: str, *ops) -> dict:
         """Apply update operations, e.g. ``update("db", ["insert", "R", ["a", "b"]])``."""

@@ -45,16 +45,17 @@ same in-process path ``DatabaseSession.query`` always provided.
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import pickle
 import queue
 import threading
 import time
 
-from collections import OrderedDict, deque
+from collections import OrderedDict
 
 from ..core.tables import CTable, TableDatabase
+from ..obs.metrics import CounterGroup, Histogram
+from ..obs.tracing import SlowQueryLog, current_trace, new_trace_id, start_trace
 from .session import DatabaseSession, QueryResult, SessionError, Snapshot
 
 __all__ = [
@@ -80,11 +81,18 @@ DEFAULT_POOL_TIMEOUT = 30.0
 def _evaluate(db: TableDatabase, stats, query_text: str, options: dict) -> tuple:
     """Worker-side query evaluation; mirrors ``DatabaseSession.query``
     minus views (view matches are answered in the main process, where
-    the snapshot cut lives)."""
+    the snapshot cut lives).
+
+    The dispatcher's trace id rides ``options["trace_id"]`` and is
+    echoed back in the ``"ok"`` reply, so a response served by any
+    worker carries the same trace id the dispatching thread assigned —
+    one id per request, across the process boundary.
+    """
     from ..ctalgebra.evaluate import evaluate_ct, evaluate_ct_ordered
     from ..relational.parser import ParseError, parse_query
     from ..relational.planner import PlanError, ra_of_ucq
 
+    trace_id = options.get("trace_id")
     try:
         query = parse_query(query_text)
         name = query.rules[0].head.pred
@@ -94,22 +102,23 @@ def _evaluate(db: TableDatabase, stats, query_text: str, options: dict) -> tuple
     naive = bool(options.get("naive"))
     explain_lines = [] if options.get("explain") and not naive else None
     try:
-        if naive:
-            table = evaluate_ct(expression, db, name=name)
-        else:
-            table = evaluate_ct_ordered(
-                expression,
-                db,
-                name=name,
-                stats=stats,
-                explain=explain_lines,
-                ordering=options.get("ordering") or "dp",
-            )
+        with start_trace(name="worker", trace_id=trace_id):
+            if naive:
+                table = evaluate_ct(expression, db, name=name)
+            else:
+                table = evaluate_ct_ordered(
+                    expression,
+                    db,
+                    name=name,
+                    stats=stats,
+                    explain=explain_lines,
+                    ordering=options.get("ordering") or "dp",
+                )
     except KeyError as exc:
         return ("err", "session", f"evaluation: unknown relation {exc}")
     except ValueError as exc:
         return ("err", "session", f"evaluation: {exc}")
-    return ("ok", table, explain_lines)
+    return ("ok", table, explain_lines, trace_id)
 
 
 def _worker_main(conn) -> None:
@@ -197,17 +206,19 @@ class WorkerPool:
         self._slots: list[_WorkerSlot] = []
         self._lock = threading.Lock()
         self._closed = False
-        self.counters = {
-            "dispatched": 0,
-            "full_ships": 0,
-            "delta_ships": 0,
-            "delta_tables": 0,
-            "cached_ships": 0,
-            "pickle_failures": 0,
-            "worker_failures": 0,
-            "worker_errors": 0,
-            "respawns": 0,
-        }
+        # CounterGroup is a dict subclass, so existing readers
+        # (dict(pool.counters), stats()) keep working unchanged.
+        self.counters = CounterGroup((
+            "dispatched",
+            "full_ships",
+            "delta_ships",
+            "delta_tables",
+            "cached_ships",
+            "pickle_failures",
+            "worker_failures",
+            "worker_errors",
+            "respawns",
+        ))
         for _ in range(self.size):
             slot = self._spawn()
             self._slots.append(slot)
@@ -222,8 +233,7 @@ class WorkerPool:
             return sum(1 for slot in self._slots if slot.process.is_alive())
 
     def _bump(self, key: str, amount: int = 1) -> None:
-        with self._lock:
-            self.counters[key] += amount
+        self.counters.bump(key, amount)
 
     def _spawn(self) -> _WorkerSlot:
         parent_conn, child_conn = self._context.Pipe()
@@ -248,7 +258,7 @@ class WorkerPool:
                 return
             fresh = self._spawn()
             self._slots[self._slots.index(slot)] = fresh
-            self.counters["respawns"] += 1
+        self.counters.bump("respawns")
         self._idle.put(fresh)
 
     def _payload(self, slot: _WorkerSlot, name: str, snapshot: Snapshot):
@@ -278,6 +288,7 @@ class WorkerPool:
         ordering: "str | None" = None,
         naive: bool = False,
         explain: bool = False,
+        trace_id: "str | None" = None,
     ) -> "QueryResult | None":
         if not self.enabled:
             return None
@@ -289,7 +300,12 @@ class WorkerPool:
         replace = False
         try:
             payload, stats = self._payload(slot, name, snapshot)
-            options = {"ordering": ordering, "naive": naive, "explain": explain}
+            options = {
+                "ordering": ordering,
+                "naive": naive,
+                "explain": explain,
+                "trace_id": trace_id,
+            }
             try:
                 slot.conn.send(("query", name, payload, stats, query_text, options))
             except (pickle.PicklingError, TypeError, AttributeError):
@@ -326,7 +342,12 @@ class WorkerPool:
                 self._idle.put(slot)
         if reply[0] == "ok":
             self._bump("dispatched")
-            return QueryResult(reply[1], snapshot.version, explain=reply[2])
+            return QueryResult(
+                reply[1],
+                snapshot.version,
+                explain=reply[2],
+                trace_id=reply[3] if len(reply) > 3 else None,
+            )
         if reply[1] == "session":
             self._bump("dispatched")
             raise SessionError(reply[2])
@@ -334,8 +355,8 @@ class WorkerPool:
         return None
 
     def stats(self) -> dict:
+        counters = self.counters.snapshot()
         with self._lock:
-            counters = dict(self.counters)
             alive = sum(1 for slot in self._slots if slot.process.is_alive())
         return {"enabled": self.size > 0, "workers": self.size, "alive": alive, **counters}
 
@@ -419,54 +440,39 @@ class RequestCache:
 # ---------------------------------------------------------------------------
 
 
-class LatencyTracker:
+class LatencyTracker(Histogram):
     """Rolling-window latency percentiles (nearest-rank, inclusive).
 
-    ``count``/``mean_ms`` cover everything ever recorded; the
-    percentiles cover the most recent ``window`` samples — recent
-    enough to reflect the current regime, bounded so a long-lived
-    server never accumulates unbounded samples.
+    Now a thin subclass of :class:`repro.obs.metrics.Histogram` — the
+    window/quantile mechanics (and their edge cases: empty window,
+    single sample, eviction at the window boundary, clamped fractions)
+    live there, shared with every other histogram in the registry.
+    ``record`` takes **seconds**; :meth:`summary` keeps the historical
+    millisecond-keyed shape that ``/stats`` and the serving benchmark
+    read, and :meth:`Histogram.collect` exposes the same window as a
+    Prometheus summary family for ``/metrics``.
     """
 
     def __init__(self, window: int = 2048) -> None:
-        self._lock = threading.Lock()
-        self._samples: "deque[float]" = deque(maxlen=max(1, int(window)))
-        self.count = 0
-        self._total = 0.0
-
-    def record(self, seconds: float) -> None:
-        with self._lock:
-            self._samples.append(seconds)
-            self.count += 1
-            self._total += seconds
-
-    def percentile(self, fraction: float) -> float:
-        """The nearest-rank ``fraction`` percentile (seconds) of the window."""
-        with self._lock:
-            samples = sorted(self._samples)
-        if not samples:
-            return 0.0
-        index = max(0, math.ceil(fraction * len(samples)) - 1)
-        return samples[min(index, len(samples) - 1)]
+        super().__init__(
+            window=window,
+            name="repro_request_latency_seconds",
+            help="Per-request dispatch latency (rolling window).",
+        )
 
     def summary(self) -> dict:
         with self._lock:
             samples = sorted(self._samples)
             count = self.count
             total = self._total
-
-        def rank(fraction: float) -> float:
-            index = max(0, math.ceil(fraction * len(samples)) - 1)
-            return samples[min(index, len(samples) - 1)]
-
         if not samples:
             return {"count": 0, "window": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0}
         return {
             "count": count,
             "window": len(samples),
             "mean_ms": total / count * 1e3,
-            "p50_ms": rank(0.50) * 1e3,
-            "p99_ms": rank(0.99) * 1e3,
+            "p50_ms": self._rank(samples, 0.50) * 1e3,
+            "p99_ms": self._rank(samples, 0.99) * 1e3,
         }
 
 
@@ -496,23 +502,24 @@ class QueryDispatcher:
         cache_size: int = DEFAULT_CACHE_SIZE,
         timeout: float = DEFAULT_POOL_TIMEOUT,
         latency_window: int = 2048,
+        slow_query_ms: "float | None" = None,
     ) -> None:
         self.pool = WorkerPool(workers, timeout=timeout) if workers > 0 else None
         self.cache = RequestCache(cache_size) if cache_size > 0 else None
         self.latency = LatencyTracker(latency_window)
-        self._lock = threading.Lock()
-        self.counters = {
-            "queries": 0,
-            "cache_answers": 0,
-            "view_answers": 0,
-            "pool_answers": 0,
-            "inline_answers": 0,
-            "errors": 0,
-        }
+        self.slow_log = SlowQueryLog(slow_query_ms)
+        self.counters = CounterGroup((
+            "queries",
+            "cache_answers",
+            "view_answers",
+            "pool_answers",
+            "inline_answers",
+            "analyze_answers",
+            "errors",
+        ))
 
     def _bump(self, key: str) -> None:
-        with self._lock:
-            self.counters[key] += 1
+        self.counters.bump(key)
 
     def query(
         self,
@@ -524,27 +531,53 @@ class QueryDispatcher:
         use_views: bool = False,
         explain: bool = False,
         datalog: bool = False,
+        analyze: bool = False,
+        trace_id: "str | None" = None,
     ) -> "tuple[QueryResult, str]":
+        """Dispatch one query; returns ``(result, served_by)``.
+
+        Every dispatch runs under a :func:`~repro.obs.tracing.start_trace`
+        scoped to this call — ``trace_id`` (e.g. from the client's
+        ``X-Repro-Trace-Id`` header) names it, or a fresh id is minted.
+        ``analyze=True`` forces the in-process EXPLAIN ANALYZE path:
+        the cache and worker-pool rungs are skipped (instrumented
+        results are never cached, and workers don't speak analyze), so
+        the reported timings always describe a real execution.
+        """
+        trace_id = trace_id or new_trace_id()
         start = time.perf_counter()
         self._bump("queries")
+        served_by = "error"
         try:
-            if datalog:
-                result, served_by = self._query_datalog(
-                    session, query_text, ordering, naive, use_views, explain
-                )
-            else:
-                result, served_by = self._query(
-                    session, query_text, ordering, naive, use_views, explain
-                )
+            with start_trace(name="dispatch", trace_id=trace_id):
+                if datalog:
+                    result, served_by = self._query_datalog(
+                        session, query_text, ordering, naive, use_views,
+                        explain, analyze,
+                    )
+                else:
+                    result, served_by = self._query(
+                        session, query_text, ordering, naive, use_views,
+                        explain, analyze,
+                    )
         except BaseException:
             self._bump("errors")
             raise
         finally:
-            self.latency.record(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self.latency.record(elapsed)
+            if self.slow_log.enabled:
+                self.slow_log.record(
+                    session.name, query_text, elapsed * 1e3, served_by, trace_id
+                )
         self._bump(f"{served_by}_answers")
+        if analyze:
+            self._bump("analyze_answers")
         return result, served_by
 
-    def _query_datalog(self, session, query_text, ordering, naive, use_views, explain):
+    def _query_datalog(
+        self, session, query_text, ordering, naive, use_views, explain, analyze=False
+    ):
         """Recursive Datalog dispatch: cache → session (view match + fixpoint).
 
         The worker pool rung is skipped — workers speak the UCQ wire
@@ -555,7 +588,7 @@ class QueryDispatcher:
         from ..queries.fixpoint import datalog_fingerprint
 
         program = session.compile_datalog(query_text, ordering or session.ordering)
-        cacheable = self.cache is not None and not explain
+        cacheable = self.cache is not None and not explain and not analyze
         key = None
         if cacheable:
             fingerprint = datalog_fingerprint(program)
@@ -570,6 +603,7 @@ class QueryDispatcher:
             use_views=use_views,
             explain=explain,
             datalog=True,
+            analyze=analyze,
         )
         if cacheable:
             if result.version != key[1]:
@@ -579,12 +613,12 @@ class QueryDispatcher:
             return result, "view"
         return result, "inline"
 
-    def _query(self, session, query_text, ordering, naive, use_views, explain):
+    def _query(self, session, query_text, ordering, naive, use_views, explain, analyze=False):
         from ..relational.planner import plan_fingerprint
 
         head, expression = session.compile_query(query_text)
         snap = session.snapshot()
-        cacheable = self.cache is not None and not explain
+        cacheable = self.cache is not None and not explain and not analyze
         fingerprint = plan_fingerprint(expression) if (cacheable or use_views) else None
 
         key = None
@@ -603,7 +637,8 @@ class QueryDispatcher:
                         self.cache.put(key, result)
                     return result, "view"
 
-        if self.pool is not None:
+        if self.pool is not None and not analyze:
+            active = current_trace()
             result = self.pool.query(
                 session.name,
                 snap,
@@ -611,6 +646,7 @@ class QueryDispatcher:
                 ordering=ordering or session.ordering,
                 naive=naive,
                 explain=explain,
+                trace_id=active.trace_id if active is not None else None,
             )
             if result is not None:
                 if cacheable:
@@ -618,7 +654,8 @@ class QueryDispatcher:
                 return result, "pool"
 
         result = session.query(
-            query_text, ordering=ordering, naive=naive, use_views=False, explain=explain
+            query_text, ordering=ordering, naive=naive, use_views=False,
+            explain=explain, analyze=analyze,
         )
         if cacheable:
             if result.version != snap.version:
@@ -630,13 +667,12 @@ class QueryDispatcher:
 
     def stats(self) -> dict:
         """The ``/stats`` payload: dispatch counters, cache, pool, latency."""
-        with self._lock:
-            counters = dict(self.counters)
         return {
-            "queries": counters,
+            "queries": self.counters.snapshot(),
             "cache": self.cache.counters() if self.cache is not None else {"enabled": False},
             "pool": self.pool.stats() if self.pool is not None else {"enabled": False, "workers": 0},
             "latency": self.latency.summary(),
+            "slow_queries": self.slow_log.stats(),
         }
 
     def close(self) -> None:

@@ -99,15 +99,31 @@ class Snapshot:
 
 class QueryResult:
     """What one query evaluation returned: the result table, the version
-    it was evaluated against, and how it was answered."""
+    it was evaluated against, and how it was answered.
 
-    __slots__ = ("table", "version", "answered_by_view", "explain")
+    ``trace_id`` records the trace active when the result was evaluated
+    (``None`` for untraced library use); ``analyze`` carries the
+    JSON-ready EXPLAIN ANALYZE payload when the query ran with
+    per-operator instrumentation.
+    """
 
-    def __init__(self, table, version, answered_by_view=None, explain=None) -> None:
+    __slots__ = ("table", "version", "answered_by_view", "explain", "trace_id", "analyze")
+
+    def __init__(
+        self,
+        table,
+        version,
+        answered_by_view=None,
+        explain=None,
+        trace_id=None,
+        analyze=None,
+    ) -> None:
         self.table = table
         self.version = version
         self.answered_by_view = answered_by_view
         self.explain = explain
+        self.trace_id = trace_id
+        self.analyze = analyze
 
 
 class DatabaseSession:
@@ -191,6 +207,7 @@ class DatabaseSession:
         use_views: bool = False,
         explain: bool = False,
         datalog: bool = False,
+        analyze: bool = False,
     ) -> QueryResult:
         """Evaluate a UCQ — or, with ``datalog=True``, a recursive
         Datalog program — over the current snapshot.
@@ -199,14 +216,25 @@ class DatabaseSession:
         snapshot's database and statistics, so a concurrent writer can
         publish any number of new versions mid-query without this
         reader observing them.
+
+        With ``analyze=True`` (and not ``naive``) the query executes
+        through the instrumented walker and the result carries a
+        JSON-ready EXPLAIN ANALYZE payload in ``QueryResult.analyze``
+        (per-operator estimated vs actual rows, wall time, condition
+        cache deltas; per-round delta sizes for Datalog).
         """
+        from ..obs.tracing import current_trace, span
+
         if datalog:
             return self._query_datalog(
                 query_text, ordering=ordering, naive=naive,
-                use_views=use_views, explain=explain,
+                use_views=use_views, explain=explain, analyze=analyze,
             )
-        name, expression = self._compile(query_text)
+        with span("session.compile", db=self.name):
+            name, expression = self._compile(query_text)
         snap = self._snapshot
+        trace = current_trace()
+        trace_id = trace.trace_id if trace is not None else None
         if use_views:
             from ..relational.planner import plan_fingerprint
 
@@ -214,25 +242,45 @@ class DatabaseSession:
             for view_name, _query, fingerprint, table in snap.views:
                 if fingerprint == wanted:
                     result = CTable(name, table.arity, table.rows, table.global_condition)
-                    return QueryResult(result, snap.version, answered_by_view=view_name)
+                    return QueryResult(
+                        result, snap.version, answered_by_view=view_name,
+                        trace_id=trace_id,
+                    )
         explain_lines: "list[str] | None" = [] if explain and not naive else None
+        analysis = None
         try:
-            if naive:
-                table = evaluate_ct(expression, snap.db, name=name)
-            else:
-                table = evaluate_ct_ordered(
-                    expression,
-                    snap.db,
-                    name=name,
-                    stats=snap.stats,
-                    explain=explain_lines,
-                    ordering=ordering or self._ordering,
-                )
+            with span("session.evaluate", naive=naive):
+                if naive:
+                    table = evaluate_ct(expression, snap.db, name=name)
+                elif analyze:
+                    from ..ctalgebra.evaluate import evaluate_ct_analyzed
+
+                    table, analysis = evaluate_ct_analyzed(
+                        expression,
+                        snap.db,
+                        name=name,
+                        stats=snap.stats,
+                        explain=explain_lines,
+                        ordering=ordering or self._ordering,
+                    )
+                else:
+                    table = evaluate_ct_ordered(
+                        expression,
+                        snap.db,
+                        name=name,
+                        stats=snap.stats,
+                        explain=explain_lines,
+                        ordering=ordering or self._ordering,
+                    )
         except KeyError as exc:
             raise SessionError(f"evaluation: unknown relation {exc}") from exc
         except ValueError as exc:
             raise SessionError(f"evaluation: {exc}") from exc
-        return QueryResult(table, snap.version, explain=explain_lines)
+        return QueryResult(
+            table, snap.version, explain=explain_lines,
+            trace_id=trace_id,
+            analyze=analysis.to_json() if analysis is not None else None,
+        )
 
     def _query_datalog(
         self,
@@ -241,6 +289,7 @@ class DatabaseSession:
         naive: bool = False,
         use_views: bool = False,
         explain: bool = False,
+        analyze: bool = False,
     ) -> QueryResult:
         """Evaluate a recursive Datalog program over the current snapshot.
 
@@ -251,10 +300,13 @@ class DatabaseSession:
         fingerprint matches answers from the snapshot's materialization
         cut, exactly like UCQ view matching.
         """
+        from ..obs.tracing import current_trace
         from ..queries.fixpoint import datalog_fingerprint, naive_ct_refixpoint
 
         program = self.compile_datalog(query_text, ordering or self._ordering)
         snap = self._snapshot
+        active = current_trace()
+        trace_id = active.trace_id if active is not None else None
         if use_views and len(program.outputs) == 1:
             wanted = datalog_fingerprint(program)
             for view_name, _query, fingerprint, table in snap.views:
@@ -263,7 +315,11 @@ class DatabaseSession:
                         program.outputs[0], table.arity, table.rows,
                         table.global_condition,
                     )
-                    return QueryResult(result, snap.version, answered_by_view=view_name)
+                    return QueryResult(
+                        result, snap.version, answered_by_view=view_name,
+                        trace_id=trace_id,
+                    )
+        analysis = None
         try:
             if naive:
                 out = naive_ct_refixpoint(program, snap.db)
@@ -272,11 +328,21 @@ class DatabaseSession:
                 evaluation = program.evaluation(snap.db, stats=snap.stats)
                 out = evaluation.database()
                 trace = evaluation.trace if explain else None
+                if analyze:
+                    rounds = evaluation.round_stats
+                    analysis = {
+                        "kind": "datalog",
+                        "rounds": rounds,
+                        "total_ms": round(sum(r["ms"] for r in rounds), 3),
+                    }
         except KeyError as exc:
             raise SessionError(f"evaluation: unknown relation {exc}") from exc
         except ValueError as exc:
             raise SessionError(f"evaluation: {exc}") from exc
-        return QueryResult(out[program.outputs[0]], snap.version, explain=trace)
+        return QueryResult(
+            out[program.outputs[0]], snap.version, explain=trace,
+            trace_id=trace_id, analyze=analysis,
+        )
 
     @staticmethod
     def compile_query(query_text: str):
@@ -452,6 +518,32 @@ class DatabaseSession:
             return self.source_path
 
     # -- introspection -------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """Operational counters for this session, JSON-ready.
+
+        Complements :meth:`info` (shape of the data) with *activity*:
+        view-maintenance counters, the recent maintenance log, and the
+        statistics store's collection counts.  Reads the view manager's
+        state under its lock so a concurrent writer can't tear the cut.
+        """
+        snap = self._snapshot
+        views = self._views
+        with views.lock:
+            view_counters = dict(views.counters)
+            last_maintenance = list(views.last_maintenance)
+            subplans = views.subplan_count
+        return {
+            "version": snap.version,
+            "tables": len(snap.db),
+            "views": {
+                "count": len(snap.views),
+                "counters": view_counters,
+                "last_maintenance": last_maintenance,
+                "subplans": subplans,
+            },
+            "stats_store": self._store.counters(),
+        }
 
     def info(self) -> dict:
         """A JSON-ready description of the session's current snapshot."""

@@ -93,6 +93,7 @@ from ..relational.algebra import (
     Select,
     Union,
 )
+from ..obs.metrics import CounterGroup
 from ..queries.fixpoint import CTFixpoint, datalog_fingerprint
 from ..relational.planner import plan, plan_fingerprint, ra_of_ucq
 from ..relational.stats import StatsStore
@@ -232,18 +233,24 @@ class ViewManager:
         self._nodes: dict[str, _PlanNode] = {}
         self._epoch = 0
         self.last_maintenance: list[str] = []
-        self.counters = {
-            "delta_rows": 0,
-            "removed_rows": 0,
-            "delta_nodes": 0,
-            "recomputed_nodes": 0,
-            "difference_fallbacks": 0,
-            "skipped_updates": 0,
-            "partition_builds": 0,
-            "partition_reuses": 0,
-            "refixpoint_rounds": 0,
-            "refixpoint_recomputes": 0,
-        }
+        # A CounterGroup *is* a dict (existing readers index it and copy
+        # it unchanged); the thread-safe snapshot() additionally feeds
+        # the server's /stats and /metrics surfaces.  Writes below stay
+        # plain item assignments — they already run under self.lock.
+        self.counters = CounterGroup(
+            (
+                "delta_rows",
+                "removed_rows",
+                "delta_nodes",
+                "recomputed_nodes",
+                "difference_fallbacks",
+                "skipped_updates",
+                "partition_builds",
+                "partition_reuses",
+                "refixpoint_rounds",
+                "refixpoint_recomputes",
+            )
+        )
 
     # -- registry ------------------------------------------------------------
 

@@ -390,7 +390,7 @@ class TestQueryDispatcher:
         try:
             dispatcher.query(session, PATH_QUERY)
             stats = dispatcher.stats()
-            assert set(stats) == {"queries", "cache", "pool", "latency"}
+            assert set(stats) == {"queries", "cache", "pool", "latency", "slow_queries"}
             assert stats["queries"]["queries"] == 1
             assert stats["cache"]["enabled"] is True
             assert stats["pool"] == {"enabled": False, "workers": 0}

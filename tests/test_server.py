@@ -448,7 +448,15 @@ class TestHttpApi:
         client.query("g", PATH_QUERY)
         client.query("g", PATH_QUERY)
         stats = client.stats()
-        assert set(stats) == {"queries", "cache", "pool", "latency"}
+        assert set(stats) == {
+            "queries",
+            "cache",
+            "pool",
+            "latency",
+            "slow_queries",
+            "databases",
+            "conditions",
+        }
         assert stats["queries"]["queries"] == 2
         assert stats["cache"]["hits"] == 1
         assert stats["cache"]["misses"] == 1
